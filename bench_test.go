@@ -1,0 +1,244 @@
+// Benchmarks regenerating the paper's experiments. One benchmark per table
+// and figure (the printable rows come from cmd/mcbench; these measure the
+// pipelines and report the headline ratios as metrics), plus ablations for
+// the design decisions called out in DESIGN.md.
+package mcretiming
+
+import (
+	"testing"
+
+	"mcretiming/internal/bench"
+	"mcretiming/internal/core"
+	"mcretiming/internal/gen"
+	"mcretiming/internal/mcgraph"
+	"mcretiming/internal/netlist"
+	"mcretiming/internal/xc4000"
+)
+
+// mapBaseline runs the Table 1 flow for one generated circuit.
+func mapBaseline(b *testing.B, c *netlist.Circuit) *netlist.Circuit {
+	b.Helper()
+	mapped, err := xc4000.Map(xc4000.DecomposeSyncResets(c.Clone()))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return mapped
+}
+
+// BenchmarkTable1Baseline measures the baseline characterization flow
+// (decompose sync set/clear + map + timing) per circuit.
+func BenchmarkTable1Baseline(b *testing.B) {
+	for _, p := range gen.Profiles {
+		b.Run(p.Name, func(b *testing.B) {
+			c := p.Build()
+			for i := 0; i < b.N; i++ {
+				mapped := mapBaseline(b, c)
+				st, err := xc4000.Report(mapped)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(st.FFs), "FF")
+				b.ReportMetric(float64(st.LUTs+st.Carry), "LUT")
+				b.ReportMetric(float64(st.Delay)/1000, "delay-ns")
+			}
+		})
+	}
+}
+
+// BenchmarkTable2MCRetime measures multiple-class retiming (minarea at best
+// delay) + remap per circuit, reporting the paper's ratio columns.
+func BenchmarkTable2MCRetime(b *testing.B) {
+	for _, p := range gen.Profiles {
+		b.Run(p.Name, func(b *testing.B) {
+			c := p.Build()
+			mapped := mapBaseline(b, c)
+			before, err := xc4000.Report(mapped)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for i := 0; i < b.N; i++ {
+				retimed, rep, err := core.Retime(mapped, core.Options{Objective: core.MinAreaAtMinPeriod})
+				if err != nil {
+					b.Fatal(err)
+				}
+				remapped, err := xc4000.Map(retimed)
+				if err != nil {
+					b.Fatal(err)
+				}
+				after, err := xc4000.Report(remapped)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(rep.NumClasses), "classes")
+				b.ReportMetric(float64(rep.StepsMoved), "steps-moved")
+				b.ReportMetric(float64(after.LUTs+after.Carry)/float64(before.LUTs+before.Carry), "Rlut")
+				b.ReportMetric(float64(after.Delay)/float64(before.Delay), "Rdelay")
+			}
+		})
+	}
+}
+
+// BenchmarkTable3NoEnable measures the conventional baseline: decompose the
+// load enables first, then retime and remap.
+func BenchmarkTable3NoEnable(b *testing.B) {
+	for _, p := range gen.Profiles {
+		b.Run(p.Name, func(b *testing.B) {
+			c := p.Build()
+			mapped := mapBaseline(b, c)
+			before, err := xc4000.Report(mapped)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for i := 0; i < b.N; i++ {
+				noen, err := xc4000.Map(xc4000.DecomposeEnables(xc4000.DecomposeSyncResets(c.Clone())))
+				if err != nil {
+					b.Fatal(err)
+				}
+				retimed, _, err := core.Retime(noen, core.Options{Objective: core.MinAreaAtMinPeriod})
+				if err != nil {
+					b.Fatal(err)
+				}
+				remapped, err := xc4000.Map(retimed)
+				if err != nil {
+					b.Fatal(err)
+				}
+				after, err := xc4000.Report(remapped)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(after.LUTs+after.Carry)/float64(before.LUTs+before.Carry), "Rlut1")
+				b.ReportMetric(float64(after.Delay)/float64(before.Delay), "Rdelay1")
+			}
+		})
+	}
+}
+
+// BenchmarkFig1LoadEnable measures both Fig. 1 flows on the two-register
+// enable circuit and reports the area gap.
+func BenchmarkFig1LoadEnable(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := bench.RunFig1()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(r.MCFF), "mc-FF")
+		b.ReportMetric(float64(r.BaseFF), "decomposed-FF")
+		b.ReportMetric(float64(r.BaseLUT-r.MCLUT), "extra-LUTs")
+	}
+}
+
+// BenchmarkAblationSharing compares minarea results with and without the
+// §4.2 separation-vertex transform: the naive cost model may undercount and
+// produce worse real register counts.
+func BenchmarkAblationSharing(b *testing.B) {
+	for _, variant := range []struct {
+		name    string
+		disable bool
+	}{{"separation", false}, {"naive", true}} {
+		b.Run(variant.name, func(b *testing.B) {
+			c := gen.Circuit(7) // many classes: sharing conflicts abound
+			mapped := mapBaseline(b, c)
+			for i := 0; i < b.N; i++ {
+				out, _, err := core.Retime(mapped, core.Options{
+					Objective:      core.MinAreaAtMinPeriod,
+					DisableSharing: variant.disable,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(out.NumRegs()), "FF-after")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationJustify measures the cost of reset-state computation by
+// comparing full justification against the naive hooks (X reset values) on
+// an async-reset-heavy circuit.
+func BenchmarkAblationJustify(b *testing.B) {
+	for _, variant := range []struct {
+		name    string
+		disable bool
+	}{{"bdd-justify", false}, {"naive", true}} {
+		b.Run(variant.name, func(b *testing.B) {
+			c := gen.Circuit(6)
+			mapped := mapBaseline(b, c)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := core.Retime(mapped, core.Options{
+					Objective:      core.MinAreaAtMinPeriod,
+					DisableJustify: variant.disable,
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationJustifyEngine compares the paper's BDD justification
+// against the SAT backend on the conflict-heavy register-dominated circuit.
+func BenchmarkAblationJustifyEngine(b *testing.B) {
+	for _, variant := range []struct {
+		name string
+		sat  bool
+	}{{"bdd", false}, {"sat", true}} {
+		b.Run(variant.name, func(b *testing.B) {
+			c := gen.Circuit(6)
+			mapped := mapBaseline(b, c)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := core.Retime(mapped, core.Options{
+					Objective:  core.MinAreaAtMinPeriod,
+					SATJustify: variant.sat,
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationLazyVsDense compares the lazy cutting-plane period
+// constraints against the dense W/D formulation on a mapped circuit — the
+// implementation choice that makes the suite tractable.
+func BenchmarkAblationLazyVsDense(b *testing.B) {
+	c := gen.Circuit(1)
+	mapped := mapBaseline(b, c)
+	m, err := mcgraph.Build(mapped)
+	if err != nil {
+		b.Fatal(err)
+	}
+	info := m.ComputeBounds()
+	g, bounds := m.AreaGraph(info)
+
+	b.Run("dense-WD", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := g.MinPeriod(nil, bounds); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("lazy-cuts", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := g.MinPeriodLazy(bounds, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkBoundsComputation measures step 2 (maximal backward/forward
+// retiming) alone — the paper reports it as a few percent of total runtime.
+func BenchmarkBoundsComputation(b *testing.B) {
+	c := gen.Circuit(6) // register-dominated: worst case for bounds
+	mapped := mapBaseline(b, c)
+	m, err := mcgraph.Build(mapped)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.ComputeBounds()
+	}
+}

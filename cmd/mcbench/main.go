@@ -1,0 +1,65 @@
+// Command mcbench regenerates the paper's experimental tables and figures
+// on the synthetic circuit suite.
+//
+// Usage:
+//
+//	mcbench [-table 1|2|3] [-fig1] [-all]
+//
+// With no flags it runs everything.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mcretiming/internal/bench"
+)
+
+func main() {
+	table := flag.Int("table", 0, "print only this table (1, 2 or 3)")
+	fig1 := flag.Bool("fig1", false, "print only the Fig. 1 comparison")
+	flag.Parse()
+
+	if *fig1 {
+		r, err := bench.RunFig1()
+		if err != nil {
+			fatal(err)
+		}
+		bench.PrintFig1(os.Stdout, r)
+		return
+	}
+	rows, err := bench.RunSuite()
+	if err != nil {
+		fatal(err)
+	}
+	switch *table {
+	case 1:
+		bench.PrintTable1(os.Stdout, rows)
+	case 2:
+		bench.PrintTable2(os.Stdout, rows)
+		bench.PrintJustifyStats(os.Stdout, rows)
+	case 3:
+		bench.PrintTable3(os.Stdout, rows)
+	case 0:
+		bench.PrintTable1(os.Stdout, rows)
+		fmt.Println()
+		bench.PrintTable2(os.Stdout, rows)
+		bench.PrintJustifyStats(os.Stdout, rows)
+		fmt.Println()
+		bench.PrintTable3(os.Stdout, rows)
+		fmt.Println()
+		if r, err := bench.RunFig1(); err == nil {
+			bench.PrintFig1(os.Stdout, r)
+		} else {
+			fatal(err)
+		}
+	default:
+		fatal(fmt.Errorf("unknown table %d", *table))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mcbench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,70 @@
+// Command mcgen materializes the synthetic benchmark suite (the paper's
+// C1-C10 stand-ins) as netlist files, optionally after the mapping flow.
+//
+// Usage:
+//
+//	mcgen [-dir out] [-format mcn|blif|v] [-mapped] [-c N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"mcretiming"
+	"mcretiming/internal/gen"
+)
+
+func main() {
+	dir := flag.String("dir", ".", "output directory")
+	format := flag.String("format", "mcn", "output format: mcn, blif or v (Verilog)")
+	mapped := flag.Bool("mapped", false, "run the Table-1 flow (decompose sync resets + 4-LUT map) first")
+	only := flag.Int("c", 0, "generate only circuit N (1-10); 0 = all")
+	flag.Parse()
+
+	ext := map[string]string{"mcn": ".mcn", "blif": ".blif", "v": ".v"}[*format]
+	if ext == "" {
+		fatal(fmt.Errorf("unknown format %q", *format))
+	}
+	if err := os.MkdirAll(*dir, 0o755); err != nil {
+		fatal(err)
+	}
+	for i, p := range gen.Profiles {
+		if *only != 0 && i+1 != *only {
+			continue
+		}
+		c := p.Build()
+		if *mapped {
+			var err error
+			if c, err = mcretiming.MapXC4000(mcretiming.DecomposeSyncResets(c)); err != nil {
+				fatal(fmt.Errorf("%s: %w", p.Name, err))
+			}
+		}
+		path := filepath.Join(*dir, p.Name+ext)
+		f, err := os.Create(path)
+		if err != nil {
+			fatal(err)
+		}
+		switch *format {
+		case "mcn":
+			err = mcretiming.WriteNetlist(f, c)
+		case "blif":
+			err = mcretiming.WriteBLIF(f, c)
+		case "v":
+			err = mcretiming.WriteVerilog(f, c)
+		}
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", path, err))
+		}
+		fmt.Printf("%s: %d gates, %d registers\n", path, c.NumGates(), c.NumRegs())
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mcgen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,83 @@
+// Formal retimes a small multiple-class circuit and then PROVES the result
+// equivalent to the original with the bounded model checker — exhaustively
+// over every input sequence up to a depth, not by random sampling — and
+// dumps a simulation trace of both circuits as VCD for waveform viewing.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"mcretiming"
+	"mcretiming/internal/logic"
+	"mcretiming/internal/sim"
+	"mcretiming/internal/vcd"
+)
+
+func build() *mcretiming.Circuit {
+	c := mcretiming.NewCircuit("formal")
+	a := c.AddInput("a")
+	b := c.AddInput("b")
+	rst := c.AddInput("rst")
+	clk := c.AddInput("clk")
+	_, x := c.AddGate("g1", mcretiming.Xor, []mcretiming.SignalID{a, b}, 7_000)
+	_, y := c.AddGate("g2", mcretiming.Nand, []mcretiming.SignalID{x, a}, 1_000)
+	r, q := c.AddReg("r", y, clk)
+	c.Regs[r].SR = rst
+	c.Regs[r].SRVal = mcretiming.B1
+	_, o := c.AddGate("g3", mcretiming.Not, []mcretiming.SignalID{q}, 1_000)
+	c.MarkOutput(o)
+	return c
+}
+
+func main() {
+	orig := build()
+	retimed, rep, err := mcretiming.Retime(orig, mcretiming.Options{
+		Objective: mcretiming.MinAreaAtMinPeriod,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("period %.1f -> %.1f ns, FF %d -> %d, %d local justifications\n",
+		float64(rep.PeriodBefore)/1000, float64(rep.PeriodAfter)/1000,
+		rep.RegsBefore, rep.RegsAfter, rep.JustifyLocal)
+
+	const depth = 10
+	res, err := mcretiming.ProveEquivalent(orig, retimed, mcretiming.BMCOptions{
+		Depth: depth, Skip: 2,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !res.Equivalent {
+		log.Fatalf("NOT equivalent: cycle %d output %d", res.Cycle, res.Output)
+	}
+	fmt.Printf("proved equivalent for all input sequences up to %d cycles\n", depth)
+
+	// Waveform dump of the retimed circuit under a reset-then-count pattern.
+	s, err := sim.New(retimed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rec := vcd.NewRecorder(retimed)
+	for cyc := 0; cyc < 16; cyc++ {
+		s.Eval([]logic.Bit{
+			logic.FromBool(cyc%2 == 0), // a
+			logic.FromBool(cyc%4 < 2),  // b
+			logic.FromBool(cyc < 2),    // rst pulse
+			logic.B0,                   // clk (cycle-based model)
+		})
+		rec.Sample(s)
+		s.Step()
+	}
+	f, err := os.Create("retimed.vcd")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	if err := rec.Write(f); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("trace written to retimed.vcd (open with GTKWave)")
+}

@@ -1,0 +1,54 @@
+// Quickstart: build a small load-enable pipeline, retime it for minimum
+// area at the best clock period, and verify the result is sequentially
+// equivalent to the original.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mcretiming"
+)
+
+func main() {
+	// A two-stage datapath whose registers share one load enable. The
+	// second stage is much deeper than the first, so the register layer
+	// sits in the wrong place for speed.
+	c := mcretiming.NewCircuit("quickstart")
+	a := c.AddInput("a")
+	b := c.AddInput("b")
+	en := c.AddInput("en")
+	clk := c.AddInput("clk")
+
+	r1, q1 := c.AddReg("r1", a, clk)
+	r2, q2 := c.AddReg("r2", b, clk)
+	c.Regs[r1].EN = en
+	c.Regs[r2].EN = en
+
+	_, x := c.AddGate("g1", mcretiming.And, []mcretiming.SignalID{q1, q2}, 1_000)
+	_, y := c.AddGate("g2", mcretiming.Xor, []mcretiming.SignalID{x, a}, 4_000)
+	_, z := c.AddGate("g3", mcretiming.Nor, []mcretiming.SignalID{y, b}, 4_000)
+	c.MarkOutput(z)
+
+	out, rep, err := mcretiming.Retime(c, mcretiming.Options{
+		Objective: mcretiming.MinAreaAtMinPeriod,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("classes:   %d\n", rep.NumClasses)
+	fmt.Printf("period:    %.1f ns -> %.1f ns\n",
+		float64(rep.PeriodBefore)/1000, float64(rep.PeriodAfter)/1000)
+	fmt.Printf("registers: %d -> %d\n", rep.RegsBefore, rep.RegsAfter)
+	fmt.Printf("steps:     %d moved of %d possible\n", rep.StepsMoved, rep.StepsPossible)
+
+	res, err := mcretiming.Equivalent(c, out, mcretiming.Stimulus{
+		Cycles: 64, Seqs: 8, Skip: 4, Seed: 1,
+		Bias: map[string]float64{"en": 0.75},
+	})
+	if err != nil {
+		log.Fatalf("equivalence check failed: %v", err)
+	}
+	fmt.Printf("equivalent on %d known output samples\n", res.Compared)
+}

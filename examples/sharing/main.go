@@ -1,0 +1,65 @@
+// Sharing demonstrates the paper's §4.2 register-sharing repair (Fig. 4).
+//
+// A multi-fanout node drives two branches whose registers belong to
+// different classes (one plain, one load-enabled). The naive Leiserson–Saxe
+// sharing cost bills the fanout registers as shared — max over the edges —
+// although incompatible registers can never share a flip-flop. With the
+// separation-vertex transform the minarea engine sees the true cost; the
+// ablation (DisableSharing) shows the undercount in action.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mcretiming"
+)
+
+func build() *mcretiming.Circuit {
+	c := mcretiming.NewCircuit("fig4")
+	in := c.AddInput("in")
+	en := c.AddInput("en")
+	clk := c.AddInput("clk")
+
+	_, u := c.AddGate("u", mcretiming.Not, []mcretiming.SignalID{in}, 3_500)
+	// Branch 1: plain register, then logic.
+	_, qa := c.AddReg("ra", u, clk)
+	_, v1 := c.AddGate("v1", mcretiming.Not, []mcretiming.SignalID{qa}, 3_500)
+	// Branch 2: load-enable register (a different class), then logic.
+	rb, qb := c.AddReg("rb", u, clk)
+	c.Regs[rb].EN = en
+	_, v2 := c.AddGate("v2", mcretiming.Not, []mcretiming.SignalID{qb}, 3_500)
+	c.MarkOutput(v1)
+	c.MarkOutput(v2)
+	return c
+}
+
+func run(name string, disable bool) {
+	c := build()
+	out, rep, err := mcretiming.Retime(c, mcretiming.Options{
+		Objective:      mcretiming.MinAreaAtMinPeriod,
+		DisableSharing: disable,
+	})
+	if err != nil {
+		log.Fatalf("%s: %v", name, err)
+	}
+	fmt.Printf("%-34s FF %d -> %d, period %.1f -> %.1f ns\n",
+		name, rep.RegsBefore, rep.RegsAfter,
+		float64(rep.PeriodBefore)/1000, float64(rep.PeriodAfter)/1000)
+	// Show what classes survived.
+	plain, enabled := 0, 0
+	out.LiveRegs(func(r *mcretiming.Reg) {
+		if r.HasEN() {
+			enabled++
+		} else {
+			plain++
+		}
+	})
+	fmt.Printf("%-34s %d plain + %d enabled registers\n", "", plain, enabled)
+}
+
+func main() {
+	fmt.Println("Fig. 4: incompatible registers at a multi-fanout node")
+	run("with separation vertices (§4.2)", false)
+	run("ablation: naive sharing cost", true)
+}

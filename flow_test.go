@@ -1,0 +1,80 @@
+package mcretiming_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"mcretiming"
+	"mcretiming/internal/gen"
+)
+
+func TestRunFlowImprovesDelay(t *testing.T) {
+	c := gen.Circuit(3)
+	res, err := mcretiming.RunFlow(c, mcretiming.FlowOptions{Clean: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.After.Delay >= res.Before.Delay {
+		t.Errorf("flow did not improve delay: %d -> %d", res.Before.Delay, res.After.Delay)
+	}
+	if res.Report.NumClasses == 0 {
+		t.Error("report missing class count")
+	}
+	skip := res.Mapped.NumRegs() + res.Retimed.NumRegs() + 2
+	if _, err := mcretiming.Equivalent(res.Mapped, res.Retimed, mcretiming.Stimulus{
+		Cycles: skip + 32, Seqs: 4, Skip: skip, Seed: 1,
+		Bias: map[string]float64{"en": 0.8},
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunFlowEnableBaselineCostsMore(t *testing.T) {
+	c := gen.Circuit(3) // enable-rich circuit
+	mc, err := mcretiming.RunFlow(c, mcretiming.FlowOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := mcretiming.RunFlow(c, mcretiming.FlowOptions{DecomposeEN: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper's Table 3 claim in miniature: decomposing enables costs
+	// area at no delay advantage.
+	if base.After.LUTs < mc.After.LUTs {
+		t.Errorf("decomposed flow used fewer LUTs (%d < %d)?", base.After.LUTs, mc.After.LUTs)
+	}
+	if base.After.Delay < mc.After.Delay {
+		t.Errorf("decomposed flow was faster (%d < %d)?", base.After.Delay, mc.After.Delay)
+	}
+}
+
+func TestCriticalPathReport(t *testing.T) {
+	c := gen.Circuit(2)
+	mapped, err := mcretiming.MapXC4000(mcretiming.DecomposeSyncResets(c.Clone()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	path, total, err := mcretiming.CriticalPath(mapped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(path) == 0 || total == 0 {
+		t.Fatal("no critical path found on a combinational-rich circuit")
+	}
+	st, err := mcretiming.ReportFPGA(mapped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != st.Delay {
+		t.Errorf("critical path %d != reported delay %d", total, st.Delay)
+	}
+	var buf bytes.Buffer
+	if err := mcretiming.PrintCriticalPath(&buf, mapped); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "critical path") {
+		t.Error("report header missing")
+	}
+}

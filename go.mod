@@ -1,0 +1,3 @@
+module mcretiming
+
+go 1.22

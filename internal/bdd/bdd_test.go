@@ -1,0 +1,221 @@
+package bdd
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestTerminalsAndVars(t *testing.T) {
+	m := New()
+	a := m.Var(0)
+	if a == True || a == False {
+		t.Fatal("Var(0) collapsed to a terminal")
+	}
+	if m.Var(0) != a {
+		t.Error("Var not hash-consed")
+	}
+	if m.Not(m.Not(a)) != a {
+		t.Error("double negation not canonical")
+	}
+	if m.NVar(0) != m.Not(a) {
+		t.Error("NVar(0) != Not(Var(0))")
+	}
+}
+
+func TestBasicIdentities(t *testing.T) {
+	m := New()
+	a, b := m.Var(0), m.Var(1)
+	if m.And(a, m.Not(a)) != False {
+		t.Error("a & !a != false")
+	}
+	if m.Or(a, m.Not(a)) != True {
+		t.Error("a | !a != true")
+	}
+	if m.And(a, b) != m.And(b, a) {
+		t.Error("and not commutative (canonicity broken)")
+	}
+	if m.Xor(a, a) != False {
+		t.Error("a ^ a != false")
+	}
+	if m.Xnor(a, b) != m.Not(m.Xor(a, b)) {
+		t.Error("xnor != not(xor)")
+	}
+	if m.And() != True || m.Or() != False {
+		t.Error("empty and/or wrong identity")
+	}
+}
+
+// Random expression trees must evaluate identically via BDD and directly.
+func TestRandomExprSemantics(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	const nvars = 6
+	type expr struct {
+		op       int // 0=var 1=not 2=and 3=or 4=xor
+		v        int
+		lhs, rhs *expr
+	}
+	var genExpr func(depth int) *expr
+	genExpr = func(depth int) *expr {
+		if depth == 0 || rng.Intn(4) == 0 {
+			return &expr{op: 0, v: rng.Intn(nvars)}
+		}
+		op := 1 + rng.Intn(4)
+		e := &expr{op: op, lhs: genExpr(depth - 1)}
+		if op != 1 {
+			e.rhs = genExpr(depth - 1)
+		}
+		return e
+	}
+	var evalExpr func(e *expr, env uint) bool
+	evalExpr = func(e *expr, env uint) bool {
+		switch e.op {
+		case 0:
+			return env>>e.v&1 == 1
+		case 1:
+			return !evalExpr(e.lhs, env)
+		case 2:
+			return evalExpr(e.lhs, env) && evalExpr(e.rhs, env)
+		case 3:
+			return evalExpr(e.lhs, env) || evalExpr(e.rhs, env)
+		default:
+			return evalExpr(e.lhs, env) != evalExpr(e.rhs, env)
+		}
+	}
+	m := New()
+	var build func(e *expr) Ref
+	build = func(e *expr) Ref {
+		switch e.op {
+		case 0:
+			return m.Var(e.v)
+		case 1:
+			return m.Not(build(e.lhs))
+		case 2:
+			return m.And(build(e.lhs), build(e.rhs))
+		case 3:
+			return m.Or(build(e.lhs), build(e.rhs))
+		default:
+			return m.Xor(build(e.lhs), build(e.rhs))
+		}
+	}
+	for iter := 0; iter < 200; iter++ {
+		e := genExpr(5)
+		f := build(e)
+		for env := uint(0); env < 1<<nvars; env++ {
+			got := m.Eval(f, func(v int) bool { return env>>v&1 == 1 })
+			want := evalExpr(e, env)
+			if got != want {
+				t.Fatalf("iter %d env %b: bdd=%v direct=%v", iter, env, got, want)
+			}
+		}
+	}
+}
+
+func TestFromTruthRoundTrip(t *testing.T) {
+	f := func(tt uint16) bool {
+		m := New()
+		vars := []int{0, 1, 2, 3}
+		g := m.FromTruth(uint64(tt), vars)
+		for pat := 0; pat < 16; pat++ {
+			got := m.Eval(g, func(v int) bool { return pat>>v&1 == 1 })
+			if got != (tt>>pat&1 == 1) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRestrictAndExists(t *testing.T) {
+	m := New()
+	a, b, c := m.Var(0), m.Var(1), m.Var(2)
+	f := m.Or(m.And(a, b), m.And(m.Not(a), c))
+	if got := m.Restrict(f, 0, true); got != b {
+		t.Error("f|a=1 != b")
+	}
+	if got := m.Restrict(f, 0, false); got != c {
+		t.Error("f|a=0 != c")
+	}
+	if got := m.Exists(f, 0); got != m.Or(b, c) {
+		t.Error("∃a.f != b|c")
+	}
+	// Restricting a variable not in the support is the identity.
+	if got := m.Restrict(f, 5, true); got != f {
+		t.Error("restrict on absent var changed function")
+	}
+}
+
+func TestMinAssignmentMinimizesAssignedVars(t *testing.T) {
+	m := New()
+	a, b, c, d := m.Var(0), m.Var(1), m.Var(2), m.Var(3)
+	// f = (a&b&c&d) | !a. Shortest path: a=0, everything else don't-care.
+	f := m.Or(m.And(a, b, c, d), m.Not(a))
+	assign, ok := m.MinAssignment(f)
+	if !ok {
+		t.Fatal("satisfiable function reported unsat")
+	}
+	if len(assign) != 1 || assign[0] != false {
+		t.Errorf("assign = %v, want {0:false}", assign)
+	}
+	// Verify the cube: every completion satisfies f.
+	for env := uint(0); env < 16; env++ {
+		full := env &^ 1 // force a=0
+		if !m.Eval(f, func(v int) bool { return full>>v&1 == 1 }) {
+			t.Errorf("completion %b of min assignment falsifies f", full)
+		}
+	}
+}
+
+func TestMinAssignmentUnsat(t *testing.T) {
+	m := New()
+	if _, ok := m.MinAssignment(False); ok {
+		t.Error("MinAssignment(False) reported sat")
+	}
+}
+
+// MinAssignment must always return a cube fully inside the on-set.
+func TestMinAssignmentIsImplicant(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for iter := 0; iter < 100; iter++ {
+		m := New()
+		tt := rng.Uint64() & 0xFFFF
+		if tt == 0 {
+			continue
+		}
+		f := m.FromTruth(tt, []int{0, 1, 2, 3})
+		assign, ok := m.MinAssignment(f)
+		if !ok {
+			t.Fatalf("tt %04x: unsat reported for nonzero truth table", tt)
+		}
+		for pat := uint(0); pat < 16; pat++ {
+			match := true
+			for v, val := range assign {
+				if (pat>>v&1 == 1) != val {
+					match = false
+					break
+				}
+			}
+			if match && tt>>pat&1 == 0 {
+				t.Fatalf("tt %04x: assignment %v covers off-set pattern %b", tt, assign, pat)
+			}
+		}
+	}
+}
+
+func TestSupport(t *testing.T) {
+	m := New()
+	f := m.Or(m.And(m.Var(1), m.Var(4)), m.Var(2))
+	got := m.Support(f)
+	want := []int{1, 2, 4}
+	if len(got) != len(want) {
+		t.Fatalf("support = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("support = %v, want %v", got, want)
+		}
+	}
+}

@@ -1,0 +1,122 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"mcretiming/internal/gen"
+)
+
+// One small circuit through the whole three-table pipeline.
+func TestRunCircuitPipeline(t *testing.T) {
+	row, err := RunCircuit(gen.Circuit(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.Name != "C2" {
+		t.Errorf("name = %q", row.Name)
+	}
+	if row.FF1 == 0 || row.LUT1 == 0 || row.Delay1 == 0 {
+		t.Errorf("baseline row empty: %+v", row)
+	}
+	if row.Delay2 > row.Delay1 {
+		t.Errorf("retiming worsened delay: %d -> %d", row.Delay1, row.Delay2)
+	}
+	if row.Classes == 0 || row.Possible == 0 {
+		t.Errorf("mc statistics missing: %+v", row)
+	}
+	// Table 3 row must exist and the ratios be well defined.
+	if row.FF3 == 0 || row.LUT3 == 0 {
+		t.Errorf("no-enable row empty: %+v", row)
+	}
+	if r := row.Rlut2(); r <= 0 {
+		t.Errorf("Rlut2 = %f", r)
+	}
+}
+
+func TestPrintTablesRender(t *testing.T) {
+	row, err := RunCircuit(gen.Circuit(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := []*Row{row}
+	var buf bytes.Buffer
+	PrintTable1(&buf, rows)
+	PrintTable2(&buf, rows)
+	PrintTable3(&buf, rows)
+	PrintJustifyStats(&buf, rows)
+	out := buf.String()
+	for _, want := range []string{
+		"Table 1", "Table 2", "Table 3", "C2", "Rdelay", "Justifications", "CPU split",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in rendered tables", want)
+		}
+	}
+}
+
+func TestFig1Comparison(t *testing.T) {
+	r, err := RunFig1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper's Fig. 1 economics: mc-retiming ends with fewer registers
+	// than the decompose-first flow, at no delay cost.
+	if r.MCFF >= r.BaseFF {
+		t.Errorf("mc FF %d not below decomposed FF %d", r.MCFF, r.BaseFF)
+	}
+	if r.MCFF != 1 {
+		t.Errorf("mc FF = %d, want 1 (the shared enable register)", r.MCFF)
+	}
+	if r.BaseFF != 3 {
+		t.Errorf("decomposed FF = %d, want 3", r.BaseFF)
+	}
+	if r.MCDelay > r.BaseDelay {
+		t.Errorf("mc delay %d worse than decomposed %d", r.MCDelay, r.BaseDelay)
+	}
+	var buf bytes.Buffer
+	PrintFig1(&buf, r)
+	if !strings.Contains(buf.String(), "mc-retiming saves") {
+		t.Error("Fig. 1 summary line missing")
+	}
+}
+
+// Lock the paper's headline suite-level claims as a regression test:
+// delay improves overall, LUT area stays flat-or-better, justifications
+// stay overwhelmingly local, and decomposing enables first costs more LUTs
+// with no delay advantage (Table 3 vs Table 2).
+func TestSuiteHeadlineClaims(t *testing.T) {
+	if testing.Short() {
+		t.Skip("whole-suite run")
+	}
+	rows, err := RunSuite()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tot := Sum(rows)
+	if rd := ratio64(tot.Delay2, tot.Delay1); rd >= 0.9 {
+		t.Errorf("total Rdelay = %.2f, want < 0.9 (paper: 0.78)", rd)
+	}
+	if rl := ratio(tot.LUT2, tot.LUT1); rl >= 1.05 {
+		t.Errorf("total Rlut = %.2f, want <= 1.05 (paper: 0.97)", rl)
+	}
+	var local, global int
+	for _, r := range rows {
+		local += r.JustifyLocal
+		global += r.JustifyGlobal
+		if r.Moved > r.Possible {
+			t.Errorf("%s: moved %d > possible %d", r.Name, r.Moved, r.Possible)
+		}
+	}
+	if frac := float64(global) / float64(local+global); frac >= 0.05 {
+		t.Errorf("global justification fraction %.3f, want < 0.05 (paper: <0.01)", frac)
+	}
+	// Table 3 vs Table 2 (the paper's totals: Rlut2 = 1.13, Rdelay2 = 1.01).
+	if rl2 := ratio(tot.LUT3, tot.LUT2); rl2 <= 1.0 {
+		t.Errorf("decomposed flow LUT ratio vs mc = %.2f, want > 1.0", rl2)
+	}
+	if rd2 := ratio64(tot.Delay3, tot.Delay2); rd2 < 0.95 {
+		t.Errorf("decomposed flow delay ratio vs mc = %.2f, want >= 0.95", rd2)
+	}
+}

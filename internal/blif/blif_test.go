@@ -1,0 +1,190 @@
+package blif
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"mcretiming/internal/gen"
+	"mcretiming/internal/logic"
+	"mcretiming/internal/netlist"
+	"mcretiming/internal/verify"
+	"mcretiming/internal/xc4000"
+)
+
+const sampleBlif = `# a comment
+.model toy
+.inputs a b clk
+.outputs y
+.latch n1 q re clk 0
+.names a b n1
+11 1
+.names q a y
+10 1
+01 1
+.end
+`
+
+func TestReadSample(t *testing.T) {
+	c, err := Read(strings.NewReader(sampleBlif))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Name != "toy" {
+		t.Errorf("name = %q", c.Name)
+	}
+	if len(c.PIs) != 3 || len(c.POs) != 1 {
+		t.Errorf("ports: %d in %d out", len(c.PIs), len(c.POs))
+	}
+	if c.NumRegs() != 1 || c.NumLUTs() != 2 {
+		t.Errorf("counts: %d regs %d luts", c.NumRegs(), c.NumLUTs())
+	}
+	// AND cover: tt for pattern 11 only.
+	var and *netlist.Gate
+	c.LiveGates(func(g *netlist.Gate) {
+		if c.SignalName(g.Out) == "n1" {
+			and = g
+		}
+	})
+	if and == nil || and.TT != 0b1000 {
+		t.Fatalf("AND cover parsed wrong: %+v", and)
+	}
+}
+
+func TestRoundTripPreservesBehaviour(t *testing.T) {
+	c, err := Read(strings.NewReader(sampleBlif))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, c); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("%v\n%s", err, buf.String())
+	}
+	if _, err := verify.Equivalent(c, back, verify.Stimulus{Cycles: 24, Seqs: 4, Skip: 2, Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Generic registers survive the # .mcreg extension round trip.
+func TestMcregExtensionRoundTrip(t *testing.T) {
+	c := netlist.New("ext")
+	d := c.AddInput("d")
+	en := c.AddInput("en")
+	rst := c.AddInput("rst")
+	arst := c.AddInput("arst")
+	clk := c.AddInput("clk")
+	r, q := c.AddReg("r", d, clk)
+	c.Regs[r].EN = en
+	c.Regs[r].SR = rst
+	c.Regs[r].SRVal = logic.B1
+	c.Regs[r].AR = arst
+	c.Regs[r].ARVal = logic.B0
+	c.MarkOutput(q)
+
+	var buf bytes.Buffer
+	if err := Write(&buf, c); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "# .mcreg") {
+		t.Fatalf("no extension emitted:\n%s", buf.String())
+	}
+	back, err := Read(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr := &back.Regs[0]
+	if !rr.HasEN() || !rr.HasSR() || !rr.HasAR() {
+		t.Fatalf("controls lost: %+v", rr)
+	}
+	if rr.SRVal != logic.B1 || rr.ARVal != logic.B0 {
+		t.Errorf("reset values lost: sr=%v ar=%v", rr.SRVal, rr.ARVal)
+	}
+	if _, err := verify.Equivalent(c, back, verify.Stimulus{
+		Cycles: 32, Seqs: 6, Skip: 2, Seed: 2,
+		Bias: map[string]float64{"rst": 0.3, "arst": 0.2, "en": 0.7},
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// A mapped generated circuit survives BLIF round trip.
+func TestGeneratedCircuitRoundTrip(t *testing.T) {
+	c, err := xc4000.Map(xc4000.DecomposeSyncResets(gen.Circuit(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, c); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumRegs() != c.NumRegs() {
+		t.Errorf("regs %d -> %d", c.NumRegs(), back.NumRegs())
+	}
+	if _, err := verify.Equivalent(c, back, verify.Stimulus{
+		Cycles: 30, Seqs: 3, Skip: 3, Seed: 3,
+		Bias: map[string]float64{"en": 0.7, "arst": 0.2},
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOffsetCover(t *testing.T) {
+	src := ".model off\n.inputs a b\n.outputs y\n.names a b y\n00 0\n.end\n"
+	c, err := Read(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Complement of {00}: OR.
+	var g *netlist.Gate
+	c.LiveGates(func(gg *netlist.Gate) { g = gg })
+	if g.TT != 0b1110 {
+		t.Errorf("off-set cover tt = %04b, want 1110", g.TT)
+	}
+}
+
+func TestConstantNames(t *testing.T) {
+	src := ".model k\n.inputs a\n.outputs y z w\n.names y\n1\n.names z\n.names a w\n1 1\n.end\n"
+	c, err := Read(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.POs) != 3 {
+		t.Fatal("outputs lost")
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	cases := []string{
+		".model x\n.inputs a\n.outputs y\n.names a y\n1- 1\n.end\n",           // width mismatch
+		".model x\n.inputs a b\n.outputs y\n.names a b y\n11 1\n00 0\n.end\n", // mixed sets
+		".model x\n.outputs y\n.end\n",                                        // undefined output
+		".model x\n.inputs a\n.outputs a\nbogus line\n.end\n",                 // stray row
+	}
+	for i, src := range cases {
+		if _, err := Read(strings.NewReader(src)); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestImplicitClock(t *testing.T) {
+	src := ".model ic\n.inputs d\n.outputs q\n.latch d q 0\n.end\n"
+	c, err := Read(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumRegs() != 1 {
+		t.Fatal("latch lost")
+	}
+	if c.Regs[0].Clk == netlist.NoSignal {
+		t.Error("no implicit clock attached")
+	}
+}

@@ -1,0 +1,193 @@
+// Package bmc is a bounded sequential equivalence checker: it unrolls two
+// circuits k cycles into one SAT instance and asks whether any input
+// sequence makes their outputs differ. UNSAT is a *proof* of equivalence up
+// to depth k — exhaustive over all inputs, unlike the random sampling of
+// internal/verify.
+//
+// The encoding mirrors the three-valued semantics of internal/sim exactly,
+// via dual-rail literals: every signal s at every cycle is a pair
+// (s¹, s⁰) with s¹="is definitely 1", s⁰="is definitely 0"; X is (0,0) and
+// (1,1) is excluded by construction. Registers power up at X, so the
+// initial state needs no universal quantification — X is just a constant
+// rail pair. The miter asserts, for some cycle ≥ skip and output i: both
+// circuits' outputs are known and differ — precisely the failure condition
+// of verify.Equivalent, checked over all 2^(inputs×cycles) stimuli at once.
+package bmc
+
+import (
+	"fmt"
+
+	"mcretiming/internal/netlist"
+	"mcretiming/internal/sat"
+)
+
+// rail is a dual-rail signal: literals for "is 1" and "is 0".
+type rail struct {
+	one, zero sat.Lit
+}
+
+// builder allocates SAT variables and encodes gates.
+type builder struct {
+	s     *sat.Solver
+	nvars int
+}
+
+func (b *builder) newVar() int {
+	v := b.nvars
+	b.nvars++
+	return v
+}
+
+// lit returns the positive literal of a fresh variable.
+func (b *builder) freshLit() sat.Lit { return sat.L(b.newVar(), false) }
+
+// constRail returns the rail of a constant (or X when both false).
+func (b *builder) constRail(one, zero bool) rail {
+	r := rail{b.freshLit(), b.freshLit()}
+	b.unit(r.one, one)
+	b.unit(r.zero, zero)
+	return r
+}
+
+func (b *builder) unit(l sat.Lit, val bool) {
+	if val {
+		b.s.AddClause(l)
+	} else {
+		b.s.AddClause(l.Not())
+	}
+}
+
+// Options configures a check.
+type Options struct {
+	Depth int // cycles to unroll (required)
+	Skip  int // compare outputs from this cycle on
+}
+
+// Result reports the outcome.
+type Result struct {
+	Equivalent bool
+	// Cycle and Output locate the first difference of the counterexample
+	// (valid when !Equivalent).
+	Cycle  int
+	Output int
+}
+
+// Check unrolls a and b Depth cycles under shared inputs and decides
+// whether a known-vs-known output mismatch is reachable. The circuits must
+// have matching input names (as in verify.Equivalent) and equally many
+// outputs.
+func Check(a, b *netlist.Circuit, opts Options) (*Result, error) {
+	if opts.Depth <= 0 {
+		return nil, fmt.Errorf("bmc: depth must be positive")
+	}
+	if len(a.POs) != len(b.POs) {
+		return nil, fmt.Errorf("bmc: %d vs %d outputs", len(a.POs), len(b.POs))
+	}
+	mapB, err := matchPIs(a, b)
+	if err != nil {
+		return nil, err
+	}
+
+	// The solver grows with the clauses; no pre-sizing needed.
+	bld := &builder{s: sat.New(0)}
+
+	ua, err := newUnroller(a, bld)
+	if err != nil {
+		return nil, err
+	}
+	ub, err := newUnroller(b, bld)
+	if err != nil {
+		return nil, err
+	}
+
+	// Shared inputs per cycle: fully known Boolean values (one rail is the
+	// variable, the other its complement — encoded with two vars plus
+	// XOR-ish clauses for simplicity).
+	var diffLits []sat.Lit
+	type diffRef struct{ cycle, output int }
+	var diffRefs []diffRef
+	for cyc := 0; cyc < opts.Depth; cyc++ {
+		ins := make([]rail, len(a.PIs))
+		for i := range a.PIs {
+			v := bld.freshLit()
+			nz := bld.freshLit()
+			// nz <-> ¬v : clauses (v | nz), (¬v | ¬nz)
+			bld.s.AddClause(v, nz)
+			bld.s.AddClause(v.Not(), nz.Not())
+			ins[i] = rail{one: v, zero: nz}
+		}
+		insB := make([]rail, len(b.PIs))
+		for i, j := range mapB {
+			insB[j] = ins[i]
+		}
+		outsA := ua.step(ins)
+		outsB := ub.step(insB)
+		if cyc < opts.Skip {
+			continue
+		}
+		for k := range outsA {
+			// diff: both known and opposite.
+			d := bld.freshLit()
+			x, y := outsA[k], outsB[k]
+			// d -> (x1&y0) | (x0&y1)
+			// Encode d <-> mismatch via: m1 <-> x1&y0 ; m2 <-> x0&y1 ; d <-> m1|m2.
+			m1 := bld.freshLit()
+			m2 := bld.freshLit()
+			andGate(bld.s, m1, x.one, y.zero)
+			andGate(bld.s, m2, x.zero, y.one)
+			orGate(bld.s, d, m1, m2)
+			diffLits = append(diffLits, d)
+			diffRefs = append(diffRefs, diffRef{cycle: cyc, output: k})
+		}
+	}
+	if len(diffLits) == 0 {
+		return &Result{Equivalent: true}, nil
+	}
+	// Miter: at least one difference.
+	bld.s.AddClause(diffLits...)
+	if !bld.s.Solve() {
+		return &Result{Equivalent: true}, nil
+	}
+	res := &Result{Equivalent: false, Cycle: -1}
+	for i, d := range diffLits {
+		if bld.s.Value(d.Var()) {
+			res.Cycle = diffRefs[i].cycle
+			res.Output = diffRefs[i].output
+			break
+		}
+	}
+	return res, nil
+}
+
+// andGate encodes o <-> a & b.
+func andGate(s *sat.Solver, o, a, b sat.Lit) {
+	s.AddClause(o.Not(), a)
+	s.AddClause(o.Not(), b)
+	s.AddClause(o, a.Not(), b.Not())
+}
+
+// orGate encodes o <-> a | b.
+func orGate(s *sat.Solver, o, a, b sat.Lit) {
+	s.AddClause(o, a.Not())
+	s.AddClause(o, b.Not())
+	s.AddClause(o.Not(), a, b)
+}
+
+func matchPIs(a, b *netlist.Circuit) ([]int, error) {
+	if len(a.PIs) != len(b.PIs) {
+		return nil, fmt.Errorf("bmc: %d vs %d inputs", len(a.PIs), len(b.PIs))
+	}
+	byName := make(map[string]int, len(b.PIs))
+	for i, pi := range b.PIs {
+		byName[b.Signals[pi].Name] = i
+	}
+	out := make([]int, len(a.PIs))
+	for i, pi := range a.PIs {
+		j, ok := byName[a.Signals[pi].Name]
+		if !ok {
+			return nil, fmt.Errorf("bmc: input %q missing in %s", a.Signals[pi].Name, b.Name)
+		}
+		out[i] = j
+	}
+	return out, nil
+}

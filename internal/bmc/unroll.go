@@ -1,0 +1,242 @@
+package bmc
+
+import (
+	"fmt"
+
+	"mcretiming/internal/logic"
+	"mcretiming/internal/netlist"
+	"mcretiming/internal/sat"
+)
+
+// unroller encodes one circuit cycle by cycle. Register state starts at X
+// (rails 0,0), matching sim's power-up model.
+type unroller struct {
+	c     *netlist.Circuit
+	b     *builder
+	order []netlist.GateID
+	state map[netlist.RegID]rail
+	xRail rail
+}
+
+func newUnroller(c *netlist.Circuit, b *builder) (*unroller, error) {
+	order, err := c.TopoGates()
+	if err != nil {
+		return nil, fmt.Errorf("bmc: %w", err)
+	}
+	u := &unroller{c: c, b: b, order: order, state: make(map[netlist.RegID]rail)}
+	u.xRail = b.constRail(false, false)
+	c.LiveRegs(func(r *netlist.Reg) { u.state[r.ID] = u.xRail })
+	return u, nil
+}
+
+// step encodes one cycle: combinational evaluation of the primary-output
+// rails and the next register state. ins are the PI rails in c.PIs order.
+func (u *unroller) step(ins []rail) []rail {
+	vals := make([]rail, len(u.c.Signals))
+	have := make([]bool, len(u.c.Signals))
+	set := func(sig netlist.SignalID, r rail) {
+		vals[sig] = r
+		have[sig] = true
+	}
+	for i, pi := range u.c.PIs {
+		set(pi, ins[i])
+	}
+	u.c.LiveRegs(func(r *netlist.Reg) { set(r.Q, u.state[r.ID]) })
+	for _, gid := range u.order {
+		g := &u.c.Gates[gid]
+		in := make([]rail, len(g.In))
+		for i, s := range g.In {
+			in[i] = vals[s]
+		}
+		set(g.Out, u.gateRail(g, in))
+	}
+	outs := make([]rail, len(u.c.POs))
+	for i, po := range u.c.POs {
+		outs[i] = vals[po]
+	}
+	// Next state under the generic-register priority (mirrors sim.nextQ:
+	// every unknown control merges the alternatives Kleene-style, which is
+	// exactly the dual-rail mux).
+	next := make(map[netlist.RegID]rail, len(u.state))
+	u.c.LiveRegs(func(r *netlist.Reg) {
+		cur := u.state[r.ID]
+		q := vals[r.D]
+		if r.HasEN() {
+			q = u.mux(vals[r.EN], cur, q)
+		}
+		if r.HasSR() {
+			q = u.mux(vals[r.SR], q, u.bitRail(r.SRVal))
+		}
+		if r.HasAR() {
+			q = u.mux(vals[r.AR], q, u.bitRail(r.ARVal))
+		}
+		next[r.ID] = q
+	})
+	u.state = next
+	return outs
+}
+
+func (u *unroller) bitRail(v logic.Bit) rail {
+	switch v {
+	case logic.B0:
+		return u.b.constRail(false, true)
+	case logic.B1:
+		return u.b.constRail(true, false)
+	}
+	return u.xRail
+}
+
+// gateRail encodes a gate in dual-rail logic, matching Eval3's ternary
+// semantics gate by gate.
+func (u *unroller) gateRail(g *netlist.Gate, in []rail) rail {
+	switch g.Type {
+	case netlist.Buf:
+		return in[0]
+	case netlist.Not:
+		return rail{one: in[0].zero, zero: in[0].one}
+	case netlist.And:
+		return u.andRail(in)
+	case netlist.Or:
+		return u.orRail(in)
+	case netlist.Nand:
+		r := u.andRail(in)
+		return rail{one: r.zero, zero: r.one}
+	case netlist.Nor:
+		r := u.orRail(in)
+		return rail{one: r.zero, zero: r.one}
+	case netlist.Xor:
+		return u.xorRail(in)
+	case netlist.Xnor:
+		r := u.xorRail(in)
+		return rail{one: r.zero, zero: r.one}
+	case netlist.Mux:
+		return u.mux(in[0], in[1], in[2])
+	case netlist.Const0:
+		return u.b.constRail(false, true)
+	case netlist.Const1:
+		return u.b.constRail(true, false)
+	case netlist.Lut, netlist.Carry:
+		return u.cubeRail(g, in)
+	}
+	panic("bmc: unsupported gate type " + g.Type.String())
+}
+
+// defAnd returns a fresh literal defined as the conjunction of lits.
+func (u *unroller) defAnd(lits []sat.Lit) sat.Lit {
+	switch len(lits) {
+	case 0:
+		t := u.b.freshLit()
+		u.b.s.AddClause(t)
+		return t
+	case 1:
+		return lits[0]
+	}
+	o := u.b.freshLit()
+	long := make([]sat.Lit, 0, len(lits)+1)
+	long = append(long, o)
+	for _, l := range lits {
+		u.b.s.AddClause(o.Not(), l)
+		long = append(long, l.Not())
+	}
+	u.b.s.AddClause(long...)
+	return o
+}
+
+// defOr returns a fresh literal defined as the disjunction of lits.
+func (u *unroller) defOr(lits []sat.Lit) sat.Lit {
+	neg := make([]sat.Lit, len(lits))
+	for i, l := range lits {
+		neg[i] = l.Not()
+	}
+	return u.defAnd(neg).Not()
+}
+
+func (u *unroller) andRail(in []rail) rail {
+	ones := make([]sat.Lit, len(in))
+	zeros := make([]sat.Lit, len(in))
+	for i, r := range in {
+		ones[i] = r.one
+		zeros[i] = r.zero
+	}
+	return rail{one: u.defAnd(ones), zero: u.defOr(zeros)}
+}
+
+func (u *unroller) orRail(in []rail) rail {
+	ones := make([]sat.Lit, len(in))
+	zeros := make([]sat.Lit, len(in))
+	for i, r := range in {
+		ones[i] = r.one
+		zeros[i] = r.zero
+	}
+	return rail{one: u.defOr(ones), zero: u.defAnd(zeros)}
+}
+
+func (u *unroller) xorRail(in []rail) rail {
+	// known = all inputs known; parity over the one-rails.
+	known := make([]sat.Lit, len(in))
+	for i, r := range in {
+		known[i] = u.defOr([]sat.Lit{r.one, r.zero})
+	}
+	allKnown := u.defAnd(known)
+	parity := in[0].one
+	for _, r := range in[1:] {
+		// p' <-> p XOR r.one
+		p := u.b.freshLit()
+		u.b.s.AddClause(p.Not(), parity, r.one)
+		u.b.s.AddClause(p.Not(), parity.Not(), r.one.Not())
+		u.b.s.AddClause(p, parity.Not(), r.one)
+		u.b.s.AddClause(p, parity, r.one.Not())
+		parity = p
+	}
+	return rail{
+		one:  u.defAnd([]sat.Lit{allKnown, parity}),
+		zero: u.defAnd([]sat.Lit{allKnown, parity.Not()}),
+	}
+}
+
+// mux implements the ternary multiplexer: sel=0→a, sel=1→b, sel=X→known
+// only where a and b agree.
+func (u *unroller) mux(sel, a, b rail) rail {
+	one := u.defOr([]sat.Lit{
+		u.defAnd([]sat.Lit{sel.one, b.one}),
+		u.defAnd([]sat.Lit{sel.zero, a.one}),
+		u.defAnd([]sat.Lit{a.one, b.one}),
+	})
+	zero := u.defOr([]sat.Lit{
+		u.defAnd([]sat.Lit{sel.one, b.zero}),
+		u.defAnd([]sat.Lit{sel.zero, a.zero}),
+		u.defAnd([]sat.Lit{a.zero, b.zero}),
+	})
+	return rail{one: one, zero: zero}
+}
+
+// cubeRail encodes a truth-table gate with cube semantics (identical to
+// Eval3's completion enumeration): the output is definitely 1 iff the known
+// inputs exclude the entire off-set, and definitely 0 iff they exclude the
+// on-set.
+func (u *unroller) cubeRail(g *netlist.Gate, in []rail) rail {
+	tt := g.TruthTable()
+	n := len(in)
+	excludes := func(wantOn bool) sat.Lit {
+		var terms []sat.Lit
+		for m := 0; m < 1<<n; m++ {
+			isOn := tt>>m&1 == 1
+			if isOn != wantOn {
+				continue
+			}
+			// "The inputs cannot form pattern m": some pin is definitely
+			// the opposite of its pattern bit.
+			var opp []sat.Lit
+			for i := 0; i < n; i++ {
+				if m>>i&1 == 1 {
+					opp = append(opp, in[i].zero)
+				} else {
+					opp = append(opp, in[i].one)
+				}
+			}
+			terms = append(terms, u.defOr(opp))
+		}
+		return u.defAnd(terms)
+	}
+	return rail{one: excludes(false), zero: excludes(true)}
+}

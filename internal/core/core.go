@@ -1,0 +1,213 @@
+// Package core orchestrates multiple-class retiming end to end — the
+// six-step flow of paper §5:
+//
+//  1. build the mc-graph from the circuit,
+//  2. derive the retiming bounds by maximal backward/forward retiming,
+//  3. modify the graph for multiple-class register sharing,
+//  4. compute the minimum feasible clock period under the bounds,
+//  5. compute a minimum-area retiming at that period,
+//  6. relocate the registers, computing equivalent reset states on the way.
+//
+// If implementing the solution hits an unresolvable reset-state conflict,
+// the offending vertex's backward bound is tightened to what was achieved
+// and a new retiming is computed (§5.2) — the paper never needed this on its
+// benchmark set, and neither do ours, but the loop is there.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"mcretiming/internal/graph"
+	"mcretiming/internal/justify"
+	"mcretiming/internal/mcgraph"
+	"mcretiming/internal/netlist"
+	"mcretiming/internal/retime"
+)
+
+// Objective selects what Retime optimizes.
+type Objective int
+
+// Objectives. MinAreaAtMinPeriod is the paper's "minimal area for best
+// delay" used throughout its results.
+const (
+	MinPeriod Objective = iota
+	MinAreaAtMinPeriod
+	MinAreaAtPeriod
+)
+
+// Options configures Retime. The zero value asks for minimum area at the
+// minimum feasible period with all paper mechanisms enabled.
+type Options struct {
+	Objective    Objective
+	TargetPeriod int64 // picoseconds; used by MinAreaAtPeriod
+
+	// DisableSharing skips step 3 (the §4.2 separation vertices): the
+	// ablation baseline whose area cost function can undercount.
+	DisableSharing bool
+	// DisableJustify skips reset-state computation: created registers keep
+	// undefined reset values. Only sound for circuits whose registers have
+	// no set/clear controls; exposed for tests and ablation benches.
+	DisableJustify bool
+	// SATJustify switches global justification from BDDs (the paper's
+	// engine) to the SAT backend.
+	SATJustify bool
+	// ForwardOnly forbids backward moves (r(v) > 0): no backward
+	// justification can ever be needed, at the price of optimization
+	// freedom. The paper notes backward steps carry all the reset-state
+	// cost; this is the conservative mode that avoids them entirely.
+	ForwardOnly bool
+	// MaxRetries bounds the re-retiming loop on justification conflicts.
+	// 0 means the default (8).
+	MaxRetries int
+}
+
+// Report describes one retiming run, mirroring the paper's Table 2 columns
+// plus the §6 timing breakdown.
+type Report struct {
+	NumClasses    int
+	ClassTable    []mcgraph.ClassInfo // per-class control tuples + populations
+	StepsMoved    int64               // Σ|r(v)|: first number of column #Step
+	StepsPossible int64               // second number of column #Step
+
+	PeriodBefore, PeriodAfter int64 // graph clock period, ps
+	RegsBefore, RegsAfter     int
+
+	BackwardSteps, ForwardSteps                   int
+	JustifyLocal, JustifyGlobal, JustifyConflicts int
+	Retries                                       int
+
+	TimeModel  time.Duration // steps 1-3: mc-graph, classes, bounds, sharing
+	TimeSolve  time.Duration // steps 4-5: minperiod + minarea
+	TimeVerify time.Duration // step 6: relocation + reset states
+}
+
+// Retime applies multiple-class retiming to c and returns the retimed
+// circuit with a report. c itself is never modified.
+func Retime(c *netlist.Circuit, opts Options) (*netlist.Circuit, *Report, error) {
+	rep := &Report{}
+	maxRetries := opts.MaxRetries
+	if maxRetries == 0 {
+		maxRetries = 64
+	}
+
+	// Steps 1-3.
+	t0 := time.Now()
+	m, err := mcgraph.Build(c)
+	if err != nil {
+		return nil, nil, err
+	}
+	info := m.ComputeBounds()
+	var g *graph.Graph
+	var bounds *graph.Bounds
+	if opts.DisableSharing {
+		g = m.ToGraph()
+		bounds = info.GraphBounds(m)
+	} else {
+		g, bounds = m.AreaGraph(info)
+	}
+	if opts.ForwardOnly {
+		for v := range bounds.Max {
+			if bounds.Max[v] > 0 || bounds.Max[v] == graph.NoUpper {
+				bounds.Max[v] = 0
+			}
+		}
+	}
+	rep.NumClasses = len(m.Classes)
+	rep.ClassTable = m.ClassSummary()
+	rep.StepsPossible = info.StepsPossible
+	rep.RegsBefore = c.NumRegs()
+	rep.TimeModel = time.Since(t0)
+
+	if rep.PeriodBefore, err = g.Period(nil); err != nil {
+		return nil, nil, fmt.Errorf("core: %w", err)
+	}
+
+	pool := &graph.CutPool{}
+	for {
+		// Steps 4-5.
+		t1 := time.Now()
+		r, phi, err := solve(g, bounds, opts, pool)
+		if err != nil {
+			return nil, nil, err
+		}
+		rep.TimeSolve += time.Since(t1)
+
+		// Step 6.
+		t2 := time.Now()
+		work := m.Clone()
+		var hooks mcgraph.Hooks
+		var j *justify.Justifier
+		if opts.DisableJustify {
+			hooks = mcgraph.NaiveHooks{}
+		} else {
+			j = justify.New(work)
+			if opts.SATJustify {
+				j.Engine = justify.EngineSAT
+			}
+			hooks = j
+		}
+		stats, err := work.Relocate(r, hooks)
+		rep.TimeVerify += time.Since(t2)
+		if err != nil {
+			var je *mcgraph.ErrJustify
+			if errors.As(err, &je) && rep.Retries < maxRetries {
+				// §5.2: forbid the non-justifiable backward moves and
+				// compute a new retiming. All conflicts of the pass are
+				// harvested at once, so a handful of retries suffices.
+				rep.Retries++
+				for _, cf := range je.Conflicts {
+					if cf.Achieved < bounds.Max[cf.V] {
+						bounds.Max[cf.V] = cf.Achieved
+					}
+				}
+				continue
+			}
+			return nil, nil, err
+		}
+
+		if j != nil {
+			rep.JustifyLocal = j.Stats.LocalSteps
+			rep.JustifyGlobal = j.Stats.GlobalSteps
+			rep.JustifyConflicts = j.Stats.Conflicts
+		}
+		rep.BackwardSteps = stats.BackwardSteps
+		rep.ForwardSteps = stats.ForwardSteps
+		rep.StepsMoved = stats.LayersMoved
+		rep.PeriodAfter = phi
+
+		out, err := work.Rebuild(c.Name + "_retimed")
+		if err != nil {
+			return nil, nil, err
+		}
+		rep.RegsAfter = out.NumRegs()
+		return out, rep, nil
+	}
+}
+
+// solve runs steps 4 and 5 on the prepared graph and returns the retiming
+// (over all solver vertices, separation vertices included) and the achieved
+// period. Period constraints are generated lazily; pool persists the cuts
+// across justification-conflict retries (bounds change, cuts stay valid).
+func solve(g *graph.Graph, bounds *graph.Bounds, opts Options, pool *graph.CutPool) ([]int32, int64, error) {
+	switch opts.Objective {
+	case MinPeriod:
+		phi, r, err := g.MinPeriodLazy(bounds, pool)
+		return r, phi, err
+	case MinAreaAtMinPeriod:
+		phi, _, err := g.MinPeriodLazy(bounds, pool)
+		if err != nil {
+			return nil, 0, err
+		}
+		r, err := retime.MinAreaLazy(g, phi, bounds, pool)
+		return r, phi, err
+	case MinAreaAtPeriod:
+		if _, ok := g.FeasibleLazy(opts.TargetPeriod, bounds, pool); !ok {
+			return nil, 0, fmt.Errorf("core: target period %d infeasible", opts.TargetPeriod)
+		}
+		r, err := retime.MinAreaLazy(g, opts.TargetPeriod, bounds, pool)
+		return r, opts.TargetPeriod, err
+	}
+	return nil, 0, fmt.Errorf("core: unknown objective %d", opts.Objective)
+}

@@ -1,0 +1,304 @@
+package core
+
+import (
+	"testing"
+
+	"mcretiming/internal/logic"
+	"mcretiming/internal/netlist"
+	"mcretiming/internal/verify"
+)
+
+// fig1Circuit is the paper's Fig. 1a): two load-enable registers feeding an
+// AND, then a slow gate; minperiod wants the layer moved forward.
+func fig1Circuit(t *testing.T) *netlist.Circuit {
+	t.Helper()
+	c := netlist.New("fig1")
+	i1 := c.AddInput("i1")
+	i2 := c.AddInput("i2")
+	en := c.AddInput("en")
+	clk := c.AddInput("clk")
+	r1, q1 := c.AddReg("r1", i1, clk)
+	r2, q2 := c.AddReg("r2", i2, clk)
+	c.Regs[r1].EN = en
+	c.Regs[r2].EN = en
+	_, g := c.AddGate("g", netlist.And, []netlist.SignalID{q1, q2}, 1000)
+	_, h1 := c.AddGate("h1", netlist.Not, []netlist.SignalID{g}, 5000)
+	_, h2 := c.AddGate("h2", netlist.Not, []netlist.SignalID{h1}, 5000)
+	c.MarkOutput(h2)
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestFig1MinPeriodMovesEnableLayer(t *testing.T) {
+	c := fig1Circuit(t)
+	out, rep, err := Retime(c, Options{Objective: MinAreaAtMinPeriod})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.NumClasses != 1 {
+		t.Errorf("classes = %d, want 1", rep.NumClasses)
+	}
+	// Period: before = 1000+5000+5000 = 11000; the optimum puts the layer
+	// between h1 and h2: max(1000+5000, 5000) = 6000.
+	if rep.PeriodBefore != 11000 {
+		t.Errorf("period before = %d, want 11000", rep.PeriodBefore)
+	}
+	if rep.PeriodAfter != 6000 {
+		t.Errorf("period after = %d, want 6000", rep.PeriodAfter)
+	}
+	// Fig. 1b): one shared EN register, no extra logic.
+	if out.NumRegs() != 1 {
+		t.Errorf("registers = %d, want 1 (shared enable register)", out.NumRegs())
+	}
+	if out.NumGates() != c.NumGates() {
+		t.Errorf("gates = %d, want %d", out.NumGates(), c.NumGates())
+	}
+	res, err := verify.Equivalent(c, out, verify.Stimulus{
+		Skip: 4, Seed: 1, Bias: map[string]float64{"en": 0.8},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Compared == 0 {
+		t.Error("equivalence check compared nothing")
+	}
+}
+
+// An unbalanced plain pipeline: registers in the wrong place; retiming must
+// rebalance and the result must stay sequentially equivalent.
+func TestUnbalancedPipelineRebalanced(t *testing.T) {
+	c := netlist.New("pipe")
+	in := c.AddInput("in")
+	clk := c.AddInput("clk")
+	_, q1 := c.AddReg("r1", in, clk)
+	sig := q1
+	delays := []int64{1000, 8000, 1000, 8000}
+	for i, d := range delays {
+		_, sig = c.AddGate("", netlist.Not, []netlist.SignalID{sig}, d)
+		if i == 0 {
+			// A register right after the first (cheap) gate: badly placed.
+			_, sig = c.AddReg("r2", sig, clk)
+		}
+	}
+	c.MarkOutput(sig)
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	out, rep, err := Retime(c, Options{Objective: MinAreaAtMinPeriod})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.PeriodAfter >= rep.PeriodBefore {
+		t.Errorf("period did not improve: %d -> %d", rep.PeriodBefore, rep.PeriodAfter)
+	}
+	if rep.PeriodAfter > 9000 {
+		t.Errorf("period after = %d, want <= 9000 (8000+1000)", rep.PeriodAfter)
+	}
+	if _, err := verify.Equivalent(c, out, verify.Stimulus{Skip: 6, Seed: 2}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Sync-clear registers moved backward: justification must produce equivalent
+// reset values, verified by simulation with reset pulses.
+func TestSyncResetBackwardEquivalent(t *testing.T) {
+	c := netlist.New("srb")
+	a := c.AddInput("a")
+	b := c.AddInput("b")
+	clk := c.AddInput("clk")
+	rst := c.AddInput("rst")
+	_, g1 := c.AddGate("g1", netlist.Xor, []netlist.SignalID{a, b}, 9000)
+	_, g2 := c.AddGate("g2", netlist.Nand, []netlist.SignalID{g1, a}, 1000)
+	r1, q1 := c.AddReg("r1", g2, clk)
+	c.Regs[r1].SR = rst
+	c.Regs[r1].SRVal = logic.B1
+	_, o := c.AddGate("g3", netlist.Not, []netlist.SignalID{q1}, 1000)
+	c.MarkOutput(o)
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	out, rep, err := Retime(c, Options{Objective: MinAreaAtMinPeriod})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.PeriodAfter >= rep.PeriodBefore {
+		t.Errorf("period did not improve: %d -> %d", rep.PeriodBefore, rep.PeriodAfter)
+	}
+	res, err := verify.Equivalent(c, out, verify.Stimulus{
+		Skip: 3, Seed: 3, Cycles: 48, Seqs: 16,
+		Bias: map[string]float64{"rst": 0.3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Compared == 0 {
+		t.Error("equivalence check compared nothing")
+	}
+	if rep.JustifyLocal == 0 {
+		t.Error("expected local justification steps")
+	}
+}
+
+// Async-clear registers: the class includes the async control; moving the
+// layer keeps behaviour (async reset forces both circuits identically).
+func TestAsyncClearForwardEquivalent(t *testing.T) {
+	c := netlist.New("ac")
+	i1 := c.AddInput("i1")
+	i2 := c.AddInput("i2")
+	clk := c.AddInput("clk")
+	arst := c.AddInput("arst")
+	mk := func(name string, d netlist.SignalID, v logic.Bit) netlist.SignalID {
+		r, q := c.AddReg(name, d, clk)
+		c.Regs[r].AR = arst
+		c.Regs[r].ARVal = v
+		return q
+	}
+	q1 := mk("r1", i1, logic.B0)
+	q2 := mk("r2", i2, logic.B1)
+	_, g := c.AddGate("g", netlist.Or, []netlist.SignalID{q1, q2}, 1000)
+	_, h := c.AddGate("h", netlist.Xnor, []netlist.SignalID{g, g}, 9000)
+	c.MarkOutput(h)
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	out, rep, err := Retime(c, Options{Objective: MinAreaAtMinPeriod})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.PeriodAfter >= rep.PeriodBefore {
+		t.Errorf("period did not improve: %d -> %d", rep.PeriodBefore, rep.PeriodAfter)
+	}
+	// The forward-implied async value: OR(0,1) = 1.
+	found := false
+	out.LiveRegs(func(rg *netlist.Reg) {
+		if rg.HasAR() && rg.ARVal == logic.B1 {
+			found = true
+		}
+	})
+	if !found {
+		t.Error("no register with implied async value 1")
+	}
+	if _, err := verify.Equivalent(c, out, verify.Stimulus{
+		Skip: 3, Seed: 4, Bias: map[string]float64{"arst": 0.2},
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Mixed classes in one circuit: retiming must respect the class boundaries
+// and still verify.
+func TestMixedClassesEndToEnd(t *testing.T) {
+	c := netlist.New("mixed")
+	in := c.AddInput("in")
+	en := c.AddInput("en")
+	clk := c.AddInput("clk")
+	rst := c.AddInput("rst")
+
+	r1, q1 := c.AddReg("r1", in, clk)
+	c.Regs[r1].EN = en
+	_, g1 := c.AddGate("g1", netlist.Not, []netlist.SignalID{q1}, 6000)
+	r2, q2 := c.AddReg("r2", g1, clk)
+	c.Regs[r2].SR = rst
+	c.Regs[r2].SRVal = logic.B0
+	_, g2 := c.AddGate("g2", netlist.Not, []netlist.SignalID{q2}, 6000)
+	_, q3 := c.AddReg("r3", g2, clk)
+	_, g3 := c.AddGate("g3", netlist.Not, []netlist.SignalID{q3}, 1000)
+	c.MarkOutput(g3)
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	out, rep, err := Retime(c, Options{Objective: MinAreaAtMinPeriod})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.NumClasses != 3 {
+		t.Errorf("classes = %d, want 3", rep.NumClasses)
+	}
+	if _, err := verify.Equivalent(c, out, verify.Stimulus{
+		Skip: 6, Seed: 5, Cycles: 64, Seqs: 12,
+		Bias: map[string]float64{"en": 0.8, "rst": 0.2},
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The conflict circuit from the justify tests: core must retry with a
+// tightened bound and still produce a valid, equivalent result.
+func TestConflictRetryLoop(t *testing.T) {
+	c := netlist.New("retry")
+	a := c.AddInput("a")
+	b := c.AddInput("b")
+	clk := c.AddInput("clk")
+	rst := c.AddInput("rst")
+	_, z := c.AddGate("v2", netlist.And, []netlist.SignalID{a, b}, 8000)
+	_, o3 := c.AddGate("v3", netlist.Nand, []netlist.SignalID{z}, 1000)
+	_, o4 := c.AddGate("v4", netlist.Not, []netlist.SignalID{z}, 1000)
+	r3, q3 := c.AddReg("r3", o3, clk)
+	c.Regs[r3].SR = rst
+	c.Regs[r3].SRVal = logic.B0
+	r4, q4 := c.AddReg("r4", o4, clk)
+	c.Regs[r4].SR = rst
+	c.Regs[r4].SRVal = logic.B1
+	_, e3 := c.AddGate("g5", netlist.Not, []netlist.SignalID{q3}, 1000)
+	_, e4 := c.AddGate("g6", netlist.Not, []netlist.SignalID{q4}, 1000)
+	c.MarkOutput(e3)
+	c.MarkOutput(e4)
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	out, rep, err := Retime(c, Options{Objective: MinAreaAtMinPeriod})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := verify.Equivalent(c, out, verify.Stimulus{
+		Skip: 4, Seed: 6, Bias: map[string]float64{"rst": 0.3},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("retries=%d conflicts=%d period %d->%d",
+		rep.Retries, rep.JustifyConflicts, rep.PeriodBefore, rep.PeriodAfter)
+}
+
+func TestMinPeriodObjective(t *testing.T) {
+	c := fig1Circuit(t)
+	out, rep, err := Retime(c, Options{Objective: MinPeriod})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.PeriodAfter != 6000 {
+		t.Errorf("minperiod = %d, want 6000", rep.PeriodAfter)
+	}
+	if _, err := verify.Equivalent(c, out, verify.Stimulus{Skip: 4, Seed: 7}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMinAreaAtExplicitPeriod(t *testing.T) {
+	c := fig1Circuit(t)
+	out, rep, err := Retime(c, Options{Objective: MinAreaAtPeriod, TargetPeriod: 11000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At the relaxed period nothing needs to move: registers stay at 2 or
+	// fewer (minarea may still share).
+	if out.NumRegs() > 2 {
+		t.Errorf("regs = %d, want <= 2", out.NumRegs())
+	}
+	if rep.PeriodAfter != 11000 {
+		t.Errorf("reported period = %d, want 11000", rep.PeriodAfter)
+	}
+}
+
+func TestInfeasibleTargetPeriod(t *testing.T) {
+	c := fig1Circuit(t)
+	if _, _, err := Retime(c, Options{Objective: MinAreaAtPeriod, TargetPeriod: 1}); err == nil {
+		t.Fatal("infeasible target accepted")
+	}
+}

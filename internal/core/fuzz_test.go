@@ -1,0 +1,201 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"mcretiming/internal/bmc"
+	"mcretiming/internal/logic"
+	"mcretiming/internal/netlist"
+	"mcretiming/internal/verify"
+)
+
+// randomSequentialCircuit builds a random synchronous circuit with a mix of
+// register classes (plain, enabled, sync-reset, async-reset, combinations),
+// every register output consumed, and no dangling logic.
+func randomSequentialCircuit(rng *rand.Rand, nGates int) *netlist.Circuit {
+	c := netlist.New(fmt.Sprintf("fuzz%d", rng.Int31()))
+	clk := c.AddInput("clk")
+	en1 := c.AddInput("en1")
+	en2 := c.AddInput("en2")
+	rst := c.AddInput("rst")
+	arst := c.AddInput("arst")
+
+	pool := []netlist.SignalID{
+		c.AddInput("a"), c.AddInput("b"), c.AddInput("c"), c.AddInput("d"),
+	}
+	types := []netlist.GateType{
+		netlist.And, netlist.Or, netlist.Nand, netlist.Nor,
+		netlist.Xor, netlist.Xnor, netlist.Not, netlist.Mux,
+	}
+	randBit := func() logic.Bit { return logic.Bit(rng.Intn(3)) }
+
+	for i := 0; i < nGates; i++ {
+		gt := types[rng.Intn(len(types))]
+		var n int
+		switch gt {
+		case netlist.Not:
+			n = 1
+		case netlist.Mux:
+			n = 3
+		default:
+			n = 2 + rng.Intn(2)
+		}
+		in := make([]netlist.SignalID, n)
+		for j := range in {
+			in[j] = pool[rng.Intn(len(pool))]
+		}
+		_, o := c.AddGate("", gt, in, int64(1000+rng.Intn(8)*1000))
+		pool = append(pool, o)
+
+		if rng.Intn(3) == 0 {
+			rid, q := c.AddReg("", o, clk)
+			r := &c.Regs[rid]
+			switch rng.Intn(6) {
+			case 0: // plain
+			case 1:
+				r.EN = en1
+			case 2:
+				r.EN = en2
+				r.SR = rst
+				r.SRVal = randBit()
+			case 3:
+				r.SR = rst
+				r.SRVal = randBit()
+			case 4:
+				r.AR = arst
+				r.ARVal = randBit()
+			case 5:
+				r.EN = en1
+				r.AR = arst
+				r.ARVal = randBit()
+			}
+			pool = append(pool, q)
+		}
+	}
+	// Consume everything: every otherwise-unused signal feeds an output
+	// reduction so no register dangles.
+	used := make([]bool, len(c.Signals))
+	c.LiveGates(func(g *netlist.Gate) {
+		for _, in := range g.In {
+			used[in] = true
+		}
+	})
+	c.LiveRegs(func(r *netlist.Reg) { used[r.D] = true })
+	var loose []netlist.SignalID
+	for i := range c.Signals {
+		sig := netlist.SignalID(i)
+		d := c.Signals[i].Driver
+		if !used[i] && (d.Kind == netlist.DriverGate || d.Kind == netlist.DriverReg) {
+			loose = append(loose, sig)
+		}
+	}
+	for len(loose) > 1 {
+		var next []netlist.SignalID
+		for i := 0; i < len(loose); i += 3 {
+			end := i + 3
+			if end > len(loose) {
+				end = len(loose)
+			}
+			if end-i == 1 {
+				next = append(next, loose[i])
+				continue
+			}
+			_, o := c.AddGate("", netlist.Xor, loose[i:end], 1000)
+			next = append(next, o)
+		}
+		loose = next
+	}
+	if len(loose) == 1 {
+		c.MarkOutput(loose[0])
+	}
+	// Plus a couple of direct taps.
+	c.MarkOutput(pool[len(pool)-1])
+	c.MarkOutput(pool[len(pool)/2])
+	return c
+}
+
+// The central correctness property of the whole system: any circuit the
+// generator produces, retimed under any objective, must remain sequentially
+// equivalent to the original.
+func TestRandomCircuitsRetimeEquivalent(t *testing.T) {
+	rng := rand.New(rand.NewSource(2026))
+	objectives := []Objective{MinPeriod, MinAreaAtMinPeriod}
+	bias := map[string]float64{"en1": 0.8, "en2": 0.7, "rst": 0.2, "arst": 0.15}
+	iters := 60
+	if testing.Short() {
+		iters = 12
+	}
+	for iter := 0; iter < iters; iter++ {
+		c := randomSequentialCircuit(rng, 25+rng.Intn(50))
+		if err := c.Validate(); err != nil {
+			t.Fatalf("iter %d: generator bug: %v", iter, err)
+		}
+		if c.NumRegs() == 0 {
+			continue
+		}
+		obj := objectives[iter%len(objectives)]
+		out, rep, err := Retime(c, Options{Objective: obj, SATJustify: iter%3 == 0})
+		if err != nil {
+			t.Fatalf("iter %d (%s): %v", iter, c.Name, err)
+		}
+		if rep.PeriodAfter > rep.PeriodBefore {
+			t.Errorf("iter %d: period worsened %d -> %d", iter, rep.PeriodBefore, rep.PeriodAfter)
+		}
+		skip := c.NumRegs() + 2
+		res, err := verify.Equivalent(c, out, verify.Stimulus{
+			Cycles: skip + 48, Seqs: 4, Skip: skip,
+			Seed: int64(iter), Bias: bias,
+		})
+		if err != nil {
+			t.Fatalf("iter %d (%s, obj %d): NOT EQUIVALENT: %v", iter, c.Name, obj, err)
+		}
+		if res.Compared == 0 {
+			t.Logf("iter %d: warning: no known-vs-known samples (deeply X circuit)", iter)
+		}
+		// Every few iterations, upgrade the random check to a bounded
+		// PROOF over all input sequences.
+		if iter%10 == 0 && c.NumRegs() <= 12 {
+			pr, err := bmc.Check(c, out, bmc.Options{Depth: 6})
+			if err != nil {
+				t.Fatalf("iter %d: bmc: %v", iter, err)
+			}
+			if !pr.Equivalent {
+				t.Fatalf("iter %d: BMC found mismatch at cycle %d output %d",
+					iter, pr.Cycle, pr.Output)
+			}
+		}
+	}
+}
+
+// Retiming twice must keep equivalence and never worsen the period
+// (idempotence of the fixpoint).
+func TestRetimeTwiceStable(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for iter := 0; iter < 10; iter++ {
+		c := randomSequentialCircuit(rng, 40)
+		if c.NumRegs() == 0 {
+			continue
+		}
+		once, rep1, err := Retime(c, Options{Objective: MinAreaAtMinPeriod})
+		if err != nil {
+			t.Fatalf("iter %d: %v", iter, err)
+		}
+		twice, rep2, err := Retime(once, Options{Objective: MinAreaAtMinPeriod})
+		if err != nil {
+			t.Fatalf("iter %d: second retime: %v", iter, err)
+		}
+		if rep2.PeriodAfter > rep1.PeriodAfter {
+			t.Errorf("iter %d: second retime worsened period %d -> %d",
+				iter, rep1.PeriodAfter, rep2.PeriodAfter)
+		}
+		skip := c.NumRegs() + twice.NumRegs() + 2
+		if _, err := verify.Equivalent(c, twice, verify.Stimulus{
+			Cycles: skip + 40, Seqs: 3, Skip: skip, Seed: int64(iter),
+			Bias: map[string]float64{"en1": 0.8, "en2": 0.7, "rst": 0.2, "arst": 0.15},
+		}); err != nil {
+			t.Fatalf("iter %d: double retime not equivalent: %v", iter, err)
+		}
+	}
+}

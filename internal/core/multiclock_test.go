@@ -1,0 +1,106 @@
+package core
+
+import (
+	"testing"
+
+	"mcretiming/internal/netlist"
+	"mcretiming/internal/verify"
+)
+
+// Multiple clocks: registers clocked differently are never compatible (the
+// clock is part of the class tuple), so retiming may rebalance within each
+// domain but can never mix layers across domains.
+func TestMultiClockDomainsStaySeparate(t *testing.T) {
+	c := netlist.New("twoclk")
+	in := c.AddInput("in")
+	clkA := c.AddInput("clkA")
+	clkB := c.AddInput("clkB")
+
+	// Domain A: register, deep logic.
+	_, qa := c.AddReg("ra", in, clkA)
+	_, g1 := c.AddGate("g1", netlist.Not, []netlist.SignalID{qa}, 6000)
+	_, g2 := c.AddGate("g2", netlist.Not, []netlist.SignalID{g1}, 6000)
+	// Domain crossing: register in domain B.
+	_, qb := c.AddReg("rb", g2, clkB)
+	_, g3 := c.AddGate("g3", netlist.Not, []netlist.SignalID{qb}, 1000)
+	_, qb2 := c.AddReg("rb2", g3, clkB)
+	c.MarkOutput(qb2)
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	out, rep, err := Retime(c, Options{Objective: MinAreaAtMinPeriod})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.NumClasses != 2 {
+		t.Errorf("classes = %d, want 2 (one per clock)", rep.NumClasses)
+	}
+	// Count registers per domain: the A/B split must survive.
+	perClk := map[netlist.SignalID]int{}
+	out.LiveRegs(func(r *netlist.Reg) { perClk[r.Clk]++ })
+	if len(perClk) != 2 {
+		t.Errorf("clock domains after retiming: %d, want 2", len(perClk))
+	}
+	if _, err := verify.Equivalent(c, out, verify.Stimulus{
+		Cycles: 40, Seqs: 6, Skip: 5, Seed: 3,
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// A layer mixing two clocks at one gate must block movement entirely.
+func TestMixedClockLayerImmovable(t *testing.T) {
+	c := netlist.New("mixclk")
+	i1 := c.AddInput("i1")
+	i2 := c.AddInput("i2")
+	clkA := c.AddInput("clkA")
+	clkB := c.AddInput("clkB")
+	_, q1 := c.AddReg("r1", i1, clkA)
+	_, q2 := c.AddReg("r2", i2, clkB)
+	_, g := c.AddGate("g", netlist.And, []netlist.SignalID{q1, q2}, 1000)
+	_, h := c.AddGate("h", netlist.Not, []netlist.SignalID{g}, 9000)
+	c.MarkOutput(h)
+
+	out, rep, err := Retime(c, Options{Objective: MinAreaAtMinPeriod})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The incompatible layer cannot cross the AND: period stays put and the
+	// registers stay where they were.
+	if rep.PeriodAfter != rep.PeriodBefore {
+		t.Errorf("period changed %d -> %d despite immovable layer",
+			rep.PeriodBefore, rep.PeriodAfter)
+	}
+	if out.NumRegs() != 2 {
+		t.Errorf("registers = %d, want 2", out.NumRegs())
+	}
+}
+
+// ForwardOnly must never perform a backward step and still improve what it
+// can by forward moves alone.
+func TestForwardOnlyMode(t *testing.T) {
+	c := netlist.New("fwdonly")
+	i1 := c.AddInput("i1")
+	i2 := c.AddInput("i2")
+	clk := c.AddInput("clk")
+	_, q1 := c.AddReg("r1", i1, clk)
+	_, q2 := c.AddReg("r2", i2, clk)
+	_, g := c.AddGate("g", netlist.And, []netlist.SignalID{q1, q2}, 1000)
+	_, h := c.AddGate("h", netlist.Not, []netlist.SignalID{g}, 9000)
+	c.MarkOutput(h)
+
+	out, rep, err := Retime(c, Options{Objective: MinAreaAtMinPeriod, ForwardOnly: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.BackwardSteps != 0 {
+		t.Errorf("forward-only mode performed %d backward steps", rep.BackwardSteps)
+	}
+	if rep.PeriodAfter >= rep.PeriodBefore {
+		t.Errorf("no improvement: %d -> %d", rep.PeriodBefore, rep.PeriodAfter)
+	}
+	if _, err := verify.Equivalent(c, out, verify.Stimulus{Skip: 4, Seed: 8}); err != nil {
+		t.Fatal(err)
+	}
+}

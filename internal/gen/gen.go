@@ -1,0 +1,196 @@
+// Package gen generates the synthetic "industrial" circuits the experiments
+// run on. The paper evaluates on ten proprietary RT-level FPGA designs
+// (C1–C10, Table 1); those are not available, so this package builds
+// circuits with the same structural profile: register and LUT counts of the
+// same magnitude, the same presence of load-enable and asynchronous
+// set/clear registers, comparable class counts, carry-chain arithmetic, and
+// — crucially — register placements left where an HDL designer put them, so
+// retiming has the same kind of headroom the paper exploits.
+//
+// Everything is deterministic: a fixed seed per profile.
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"mcretiming/internal/logic"
+	"mcretiming/internal/netlist"
+	"mcretiming/internal/xc4000"
+)
+
+// ctrl describes the control wiring of one register layer.
+type ctrl struct {
+	en    netlist.SignalID
+	ar    netlist.SignalID
+	arVal logic.Bit
+	sr    netlist.SignalID
+	srVal logic.Bit
+}
+
+// builder accumulates one circuit.
+type builder struct {
+	c   *netlist.Circuit
+	clk netlist.SignalID
+	rng *rand.Rand
+}
+
+func newBuilder(name string, seed int64) *builder {
+	c := netlist.New(name)
+	return &builder{c: c, clk: c.AddInput("clk"), rng: rand.New(rand.NewSource(seed))}
+}
+
+func (b *builder) inputBus(prefix string, width int) []netlist.SignalID {
+	bus := make([]netlist.SignalID, width)
+	for i := range bus {
+		bus[i] = b.c.AddInput(fmt.Sprintf("%s%d", prefix, i))
+	}
+	return bus
+}
+
+var stageGates = []netlist.GateType{
+	netlist.And, netlist.Or, netlist.Nand, netlist.Nor, netlist.Xor, netlist.Xnor,
+}
+
+// logicStage builds one combinational stage over bus: depth levels of
+// random 2-3 input gates per bit, mixing in neighbouring bits so the stage
+// is not bitwise-independent.
+func (b *builder) logicStage(bus []netlist.SignalID, depth int) []netlist.SignalID {
+	cur := append([]netlist.SignalID(nil), bus...)
+	for d := 0; d < depth; d++ {
+		next := make([]netlist.SignalID, len(cur))
+		for i := range cur {
+			gt := stageGates[b.rng.Intn(len(stageGates))]
+			n := 2 + b.rng.Intn(2)
+			in := make([]netlist.SignalID, 0, n)
+			in = append(in, cur[i])
+			for len(in) < n {
+				in = append(in, cur[b.rng.Intn(len(cur))])
+			}
+			_, next[i] = b.c.AddGate("", gt, in, xc4000.DelayLUT+xc4000.DelayRoute)
+		}
+		cur = next
+	}
+	return cur
+}
+
+// regLayer registers every bit of bus with the given controls.
+func (b *builder) regLayer(bus []netlist.SignalID, ct ctrl) []netlist.SignalID {
+	out := make([]netlist.SignalID, len(bus))
+	for i, sig := range bus {
+		rid, q := b.c.AddReg("", sig, b.clk)
+		r := &b.c.Regs[rid]
+		r.EN = ct.en
+		if ct.ar != netlist.NoSignal {
+			r.AR = ct.ar
+			r.ARVal = ct.arVal
+			if r.ARVal == logic.BX {
+				r.ARVal = logic.FromBool(b.rng.Intn(2) == 1)
+			}
+		}
+		if ct.sr != netlist.NoSignal {
+			r.SR = ct.sr
+			r.SRVal = ct.srVal
+			if r.SRVal == logic.BX {
+				r.SRVal = logic.FromBool(b.rng.Intn(2) == 1)
+			}
+		}
+		out[i] = q
+	}
+	return out
+}
+
+// adder builds a ripple-carry adder over the hardwired carry chain,
+// returning the sum bits.
+func (b *builder) adder(x, y []netlist.SignalID) []netlist.SignalID {
+	n := len(x)
+	if len(y) < n {
+		n = len(y)
+	}
+	sum := make([]netlist.SignalID, n)
+	carry := b.c.Const(logic.B0)
+	for i := 0; i < n; i++ {
+		_, sum[i] = b.c.AddGate("", netlist.Xor,
+			[]netlist.SignalID{x[i], y[i], carry}, xc4000.DelayLUT+xc4000.DelayRoute)
+		_, carry = b.c.AddGate("", netlist.Carry,
+			[]netlist.SignalID{x[i], y[i], carry}, xc4000.DelayCarry)
+	}
+	return sum
+}
+
+// counter builds a width-bit up-counter (adder + register feedback).
+func (b *builder) counter(width int, ct ctrl) []netlist.SignalID {
+	qs := make([]netlist.SignalID, width)
+	ds := make([]netlist.SignalID, width)
+	for i := range qs {
+		ds[i] = b.c.AddSignal("")
+		rid := b.c.AddRegTo("", ds[i], b.c.AddSignal(""), b.clk)
+		r := &b.c.Regs[rid]
+		qs[i] = r.Q
+		r.EN = ct.en
+		if ct.ar != netlist.NoSignal {
+			r.AR = ct.ar
+			r.ARVal = logic.B0
+		}
+		if ct.sr != netlist.NoSignal {
+			r.SR = ct.sr
+			r.SRVal = logic.B0
+		}
+	}
+	carry := b.c.Const(logic.B1)
+	for i := 0; i < width; i++ {
+		b.c.AddGateTo("", netlist.Xor, []netlist.SignalID{qs[i], carry}, ds[i],
+			xc4000.DelayLUT+xc4000.DelayRoute)
+		if i < width-1 {
+			_, carry = b.c.AddGate("", netlist.And, []netlist.SignalID{qs[i], carry},
+				xc4000.DelayLUT+xc4000.DelayRoute)
+		}
+	}
+	return qs
+}
+
+// shiftChain registers bus through n back-to-back layers (a shift register).
+func (b *builder) shiftChain(bus []netlist.SignalID, n int, ct ctrl) []netlist.SignalID {
+	for i := 0; i < n; i++ {
+		bus = b.regLayer(bus, ct)
+	}
+	return bus
+}
+
+// reduce folds bus down to one signal with a gate tree.
+func (b *builder) reduce(bus []netlist.SignalID, gt netlist.GateType) netlist.SignalID {
+	cur := append([]netlist.SignalID(nil), bus...)
+	for len(cur) > 1 {
+		var next []netlist.SignalID
+		for i := 0; i < len(cur); i += 4 {
+			end := i + 4
+			if end > len(cur) {
+				end = len(cur)
+			}
+			if end-i == 1 {
+				next = append(next, cur[i])
+				continue
+			}
+			_, o := b.c.AddGate("", gt, cur[i:end], xc4000.DelayLUT+xc4000.DelayRoute)
+			next = append(next, o)
+		}
+		cur = next
+	}
+	return cur[0]
+}
+
+// markOutputs exposes every signal of bus as a primary output.
+func (b *builder) markOutputs(bus ...[]netlist.SignalID) {
+	for _, set := range bus {
+		for _, sig := range set {
+			b.c.MarkOutput(sig)
+		}
+	}
+}
+
+func (b *builder) finish() *netlist.Circuit {
+	if err := b.c.Validate(); err != nil {
+		panic("gen: generated circuit invalid: " + err.Error())
+	}
+	return b.c
+}

@@ -1,0 +1,106 @@
+package gen
+
+import (
+	"testing"
+
+	"mcretiming/internal/core"
+	"mcretiming/internal/mcgraph"
+	"mcretiming/internal/verify"
+	"mcretiming/internal/xc4000"
+)
+
+func TestSuiteValidatesAndMaps(t *testing.T) {
+	for _, p := range Profiles {
+		c := p.Build()
+		if err := c.Validate(); err != nil {
+			t.Fatalf("%s: %v", p.Name, err)
+		}
+		mapped, err := xc4000.Map(xc4000.DecomposeSyncResets(c.Clone()))
+		if err != nil {
+			t.Fatalf("%s: map: %v", p.Name, err)
+		}
+		st, err := xc4000.Report(mapped)
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name, err)
+		}
+		t.Logf("%-4s FF=%-5d LUT=%-5d carry=%-4d delay=%.1fns EN=%v AR=%v",
+			p.Name, st.FFs, st.LUTs, st.Carry, float64(st.Delay)/1000, st.HasEN, st.HasAR)
+		if st.FFs == 0 || st.LUTs == 0 {
+			t.Errorf("%s: degenerate circuit", p.Name)
+		}
+	}
+}
+
+// The class structure is part of the Table 1/2 profile: C6 must collapse to
+// a single class, C7 must spread over 40, C5 over 15.
+func TestClassCountsMatchProfile(t *testing.T) {
+	want := map[string]int{"C5": 15, "C6": 1, "C7": 40}
+	for _, p := range Profiles {
+		target, ok := want[p.Name]
+		if !ok {
+			continue
+		}
+		c := p.Build()
+		m, err := mcgraph.Build(c)
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name, err)
+		}
+		if got := len(m.Classes); got != target {
+			t.Errorf("%s: %d classes, want %d", p.Name, got, target)
+		}
+	}
+}
+
+func TestDeterministicGeneration(t *testing.T) {
+	a := Circuit(1)
+	b := Circuit(1)
+	if len(a.Gates) != len(b.Gates) || len(a.Regs) != len(b.Regs) {
+		t.Fatal("generation is not deterministic")
+	}
+	for i := range a.Gates {
+		if a.Gates[i].Type != b.Gates[i].Type {
+			t.Fatal("generation is not deterministic (gate types differ)")
+		}
+	}
+}
+
+// The small circuits go through the full paper flow and must stay
+// sequentially equivalent.
+func TestSmallCircuitsRetimeEquivalent(t *testing.T) {
+	for _, idx := range []int{1, 2, 3, 5} {
+		p := Profiles[idx-1]
+		t.Run(p.Name, func(t *testing.T) {
+			c := p.Build()
+			mapped, err := xc4000.Map(xc4000.DecomposeSyncResets(c.Clone()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			retimed, rep, err := core.Retime(mapped, core.Options{Objective: core.MinAreaAtMinPeriod})
+			if err != nil {
+				t.Fatal(err)
+			}
+			bias := map[string]float64{"en": 0.7}
+			for i := 0; i < 14; i++ {
+				bias["rst"+string(rune('0'+i))] = 0.15
+			}
+			bias["arst"] = 0.15
+			skip := mapped.NumRegs() + 2
+			res, err := verify.Equivalent(mapped, retimed, verify.Stimulus{
+				Cycles: skip + 40, Seqs: 6, Skip: skip, Seed: int64(idx),
+				Bias: bias,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Compared == 0 {
+				t.Error("equivalence check compared nothing")
+			}
+			if rep.PeriodAfter > rep.PeriodBefore {
+				t.Errorf("retiming worsened period: %d -> %d", rep.PeriodBefore, rep.PeriodAfter)
+			}
+			t.Logf("%s: period %.1f -> %.1f ns, FF %d -> %d, classes %d, steps %d/%d",
+				p.Name, float64(rep.PeriodBefore)/1000, float64(rep.PeriodAfter)/1000,
+				rep.RegsBefore, rep.RegsAfter, rep.NumClasses, rep.StepsMoved, rep.StepsPossible)
+		})
+	}
+}

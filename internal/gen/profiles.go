@@ -1,0 +1,258 @@
+package gen
+
+import (
+	"fmt"
+
+	"mcretiming/internal/logic"
+	"mcretiming/internal/netlist"
+)
+
+// none is the absent-control ctrl.
+var none = ctrl{en: netlist.NoSignal, ar: netlist.NoSignal, sr: netlist.NoSignal}
+
+// pipe builds an unbalanced pipeline: logic stages of the given depths with
+// a register layer after each stage except the last. Registers sit where an
+// RTL coder put them — at stage boundaries — even though the stage depths
+// differ, which is exactly the imbalance retiming exploits.
+func (b *builder) pipe(bus []netlist.SignalID, depths []int, ct ctrl) []netlist.SignalID {
+	for i, d := range depths {
+		bus = b.logicStage(bus, d)
+		if i < len(depths)-1 {
+			bus = b.regLayer(bus, ct)
+		}
+	}
+	return bus
+}
+
+// Profile identifies one synthetic benchmark circuit.
+type Profile struct {
+	Name  string
+	Build func() *netlist.Circuit
+}
+
+// Profiles lists the ten circuits in Table 1 order.
+var Profiles = []Profile{
+	{"C1", buildC1}, {"C2", buildC2}, {"C3", buildC3}, {"C4", buildC4},
+	{"C5", buildC5}, {"C6", buildC6}, {"C7", buildC7}, {"C8", buildC8},
+	{"C9", buildC9}, {"C10", buildC10},
+}
+
+// Circuit builds the i-th (1-based) benchmark circuit.
+func Circuit(i int) *netlist.Circuit {
+	return Profiles[i-1].Build()
+}
+
+// Suite builds all ten circuits.
+func Suite() []*netlist.Circuit {
+	out := make([]*netlist.Circuit, len(Profiles))
+	for i, p := range Profiles {
+		out[i] = p.Build()
+	}
+	return out
+}
+
+// C1: small control+datapath with load enables and async clears (35 FF).
+func buildC1() *netlist.Circuit {
+	b := newBuilder("C1", 101)
+	en := b.c.AddInput("en")
+	ar := b.c.AddInput("arst")
+	in := b.inputBus("d", 16)
+	ct := ctrl{en: en, ar: ar, arVal: logic.B0, sr: netlist.NoSignal}
+	out := b.pipe(in, []int{1, 5, 2}, ct)
+	cnt := b.counter(3, ctrl{en: en, ar: ar, arVal: logic.BX, sr: netlist.NoSignal})
+	b.markOutputs(out, cnt[:1])
+	return b.finish()
+}
+
+// C2: tiny datapath, enables + async set/clear (12 FF).
+func buildC2() *netlist.Circuit {
+	b := newBuilder("C2", 102)
+	en := b.c.AddInput("en")
+	ar := b.c.AddInput("arst")
+	in := b.inputBus("d", 6)
+	ct := ctrl{en: en, ar: ar, arVal: logic.B1, sr: netlist.NoSignal}
+	s1 := b.logicStage(in, 2)
+	r1 := b.regLayer(s1, ct)
+	s2 := b.logicStage(r1, 5)
+	r2 := b.regLayer(s2, ct)
+	s3 := b.logicStage(r2, 1)
+	b.markOutputs(s3)
+	return b.finish()
+}
+
+// C3: enable-only shifter/datapath (26 FF).
+func buildC3() *netlist.Circuit {
+	b := newBuilder("C3", 103)
+	en := b.c.AddInput("en")
+	in := b.inputBus("d", 13)
+	ct := ctrl{en: en, ar: netlist.NoSignal, sr: netlist.NoSignal}
+	s1 := b.logicStage(in, 1)
+	r1 := b.regLayer(s1, ct)
+	s2 := b.logicStage(r1, 4)
+	r2 := b.regLayer(s2, ct)
+	s3 := b.logicStage(r2, 1)
+	b.markOutputs(s3)
+	return b.finish()
+}
+
+// C4: the big datapath: eight enabled pipelines with distinct enables, two
+// 24-bit carry-chain adders, a counter — 11 register classes, ~300 FF, the
+// deepest logic of the suite.
+func buildC4() *netlist.Circuit {
+	b := newBuilder("C4", 104)
+	in := b.inputBus("d", 10)
+	var outs [][]netlist.SignalID
+	for k := 0; k < 8; k++ {
+		en := b.c.AddInput(fmt.Sprintf("en%d", k))
+		ct := ctrl{en: en, ar: netlist.NoSignal, sr: netlist.NoSignal}
+		depths := []int{1, 7 + k%3, 2, 5}
+		outs = append(outs, b.pipe(in, depths, ct))
+	}
+	// Two adders over pipeline outputs, registered with their own enables.
+	enA := b.c.AddInput("enA")
+	enB := b.c.AddInput("enB")
+	sumA := b.adder(append(outs[0], outs[1]...), append(outs[2], outs[3]...))
+	sumB := b.adder(append(outs[4], outs[5]...), append(outs[6], outs[7]...))
+	rA := b.regLayer(sumA, ctrl{en: enA, ar: netlist.NoSignal, sr: netlist.NoSignal})
+	rB := b.regLayer(sumB, ctrl{en: enB, ar: netlist.NoSignal, sr: netlist.NoSignal})
+	fin := b.adder(rA, rB)
+	// A narrow-deep serial block — the delay hot spot that gives C4 the
+	// suite's worst clock and the most to gain from retiming.
+	enC := b.c.AddInput("enC")
+	ctC := ctrl{en: enC, ar: netlist.NoSignal, sr: netlist.NoSignal}
+	deep := b.logicStage(in[:3], 20)
+	deep = b.regLayer(deep, ctC)
+	deep = b.logicStage(deep, 22)
+	deep = b.regLayer(deep, ctC)
+	cnt := b.counter(13, none)
+	b.markOutputs(fin, deep, cnt[:2])
+	return b.finish()
+}
+
+// C5: many independently reset blocks: 15 register classes, async only.
+func buildC5() *netlist.Circuit {
+	b := newBuilder("C5", 105)
+	in := b.inputBus("d", 6)
+	var outs [][]netlist.SignalID
+	for k := 0; k < 14; k++ {
+		ar := b.c.AddInput(fmt.Sprintf("rst%d", k))
+		ct := ctrl{en: netlist.NoSignal, ar: ar, arVal: logic.B0, sr: netlist.NoSignal}
+		s := b.logicStage(in, 1+k%3)
+		outs = append(outs, b.regLayer(s, ct))
+	}
+	// A small plain block: the 15th class.
+	tail := b.regLayer(b.logicStage(in, 2), none)
+	mix := b.logicStage(append(outs[0], append(outs[7], tail...)...), 2)
+	b.markOutputs(mix)
+	// Every register output is consumed (no dead flip-flops).
+	for _, o := range outs[1:] {
+		b.c.MarkOutput(b.reduce(o, netlist.Xor))
+	}
+	return b.finish()
+}
+
+// C6: register-dominated: a deep 64-bit shift pipeline with one shared
+// async clear (a single class) threaded through occasional logic and one
+// long carry chain — over a thousand flip-flops.
+func buildC6() *netlist.Circuit {
+	b := newBuilder("C6", 106)
+	ar := b.c.AddInput("arst")
+	ct := ctrl{en: netlist.NoSignal, ar: ar, arVal: logic.B0, sr: netlist.NoSignal}
+	in := b.inputBus("d", 64)
+	bus := b.regLayer(b.logicStage(in, 1), ct)
+	for i := 0; i < 6; i++ {
+		bus = b.regLayer(b.logicStage(bus, 1), ct)
+	}
+	// A 64-bit adder wedged between shift segments: the delay hot spot.
+	sum := b.adder(bus, in)
+	bus = b.regLayer(sum, ct)
+	for i := 0; i < 7; i++ {
+		bus = b.regLayer(b.logicStage(bus, 1), ct)
+	}
+	bus = b.logicStage(bus, 2)
+	rl := b.regLayer(bus, ct)
+	cnt := b.counter(3, ct)
+	b.markOutputs(rl, cnt[:1])
+	return b.finish()
+}
+
+// C7: a sea of small channels, each with its own (enable, async) pairing:
+// 40 register classes.
+func buildC7() *netlist.Circuit {
+	b := newBuilder("C7", 107)
+	in := b.inputBus("d", 4)
+	ens := make([]netlist.SignalID, 8)
+	for i := range ens {
+		ens[i] = b.c.AddInput(fmt.Sprintf("en%d", i))
+	}
+	ars := make([]netlist.SignalID, 5)
+	for i := range ars {
+		ars[i] = b.c.AddInput(fmt.Sprintf("rst%d", i))
+	}
+	for k := 0; k < 39; k++ {
+		ct := ctrl{en: ens[k%8], ar: ars[k%5], arVal: logic.B0, sr: netlist.NoSignal}
+		s := b.logicStage(in, 1)
+		r := b.regLayer(s, ct)
+		s2 := b.logicStage(r, 2+k%4)
+		r2 := b.regLayer(s2, ct)
+		b.c.MarkOutput(b.reduce(r2, netlist.Xor))
+	}
+	cnt := b.counter(3, none)
+	b.markOutputs(cnt[:1])
+	return b.finish()
+}
+
+// C8: plain flip-flops only (the no-complex-registers control case).
+func buildC8() *netlist.Circuit {
+	b := newBuilder("C8", 108)
+	in := b.inputBus("d", 19)
+	s1 := b.logicStage(in, 1)
+	r1 := b.regLayer(s1, none)
+	s2 := b.logicStage(r1, 6)
+	r2 := b.regLayer(s2, none)
+	s3 := b.logicStage(r2, 1)
+	r3 := b.regLayer(s3, none)
+	s4 := b.logicStage(r3, 2)
+	r4 := b.regLayer(s4, none)
+	cnt := b.counter(3, none)
+	b.markOutputs(r4, cnt[:1])
+	return b.finish()
+}
+
+// C9: logic-heavy and deep (the worst delay per FF): enables + asyncs.
+func buildC9() *netlist.Circuit {
+	b := newBuilder("C9", 109)
+	en := b.c.AddInput("en")
+	ar := b.c.AddInput("arst")
+	ct := ctrl{en: en, ar: ar, arVal: logic.B0, sr: netlist.NoSignal}
+	in := b.inputBus("d", 19)
+	s1 := b.logicStage(in, 2)
+	r1 := b.regLayer(s1, ct)
+	s2 := b.logicStage(r1, 16)
+	r2 := b.regLayer(s2, ct)
+	s3 := b.logicStage(r2, 3)
+	r3 := b.regLayer(s3, ct)
+	s4 := b.logicStage(r3, 2)
+	r4 := b.regLayer(s4, ct)
+	cnt := b.counter(3, ct)
+	b.markOutputs(r4, cnt[:1])
+	return b.finish()
+}
+
+// C10: medium mixed design: four enabled+cleared pipelines with distinct
+// controls plus a counter — 5 classes.
+func buildC10() *netlist.Circuit {
+	b := newBuilder("C10", 110)
+	in := b.inputBus("d", 16)
+	var outs [][]netlist.SignalID
+	for k := 0; k < 4; k++ {
+		en := b.c.AddInput(fmt.Sprintf("en%d", k))
+		ar := b.c.AddInput(fmt.Sprintf("rst%d", k))
+		ct := ctrl{en: en, ar: ar, arVal: logic.B0, sr: netlist.NoSignal}
+		outs = append(outs, b.pipe(in, []int{1, 6 + k, 3, 2}, ct))
+	}
+	sum := b.adder(append(outs[0], outs[1][:8]...), append(outs[2], outs[3][:8]...))
+	cnt := b.counter(14, none)
+	b.markOutputs(sum, outs[1][8:], outs[3][8:], cnt[:2])
+	return b.finish()
+}

@@ -1,0 +1,79 @@
+package graph
+
+import "fmt"
+
+// FEAS is the Leiserson–Saxe feasibility algorithm (their Algorithm FEAS,
+// restated in paper §2): starting from r = 0, repeat |V|−1 times — compute
+// the arrival times Δ of the retimed graph and increment r(v) for every
+// vertex with Δ(v) > φ. The period φ is feasible iff the final graph meets
+// it. Unlike the constraint-graph formulations it needs no W/D matrices and
+// no explicit period constraints, but it cannot handle the class bounds of
+// multiple-class retiming; it is kept as the classic reference engine and a
+// cross-check oracle for the other two.
+//
+// On success it returns a legal retiming achieving φ (normalized to
+// r[Host] = 0 — FEAS may move the host, and retimings are invariant under a
+// uniform shift).
+func (g *Graph) FEAS(phi int64) ([]int32, bool) {
+	n := g.NumVertices()
+	r := make([]int32, n)
+	for iter := 0; iter < n-1; iter++ {
+		delta, err := g.arrivals(r)
+		if err != nil {
+			// A zero-weight cycle mid-iteration cannot happen for legal
+			// intermediate retimings of a well-formed graph; treat as
+			// infeasible defensively.
+			return nil, false
+		}
+		changed := false
+		for v := 0; v < n; v++ {
+			if delta[v] > phi {
+				r[v]++
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	if p, err := g.Period(r); err != nil || p > phi {
+		return nil, false
+	}
+	h := r[Host]
+	for i := range r {
+		r[i] -= h
+	}
+	if g.CheckLegal(r) != nil {
+		return nil, false
+	}
+	return r, true
+}
+
+// MinPeriodFEAS performs the classic minimum-period search: binary search
+// over the candidate D values of the W/D matrices, testing each with FEAS.
+// It supports no retiming bounds (basic retiming only).
+func (g *Graph) MinPeriodFEAS(wd *WD) (int64, []int32, error) {
+	if wd == nil {
+		wd = g.ComputeWD()
+	}
+	cands := wd.Candidates()
+	if len(cands) == 0 {
+		return 0, make([]int32, g.NumVertices()), nil
+	}
+	lo, hi := 0, len(cands)-1
+	bestPhi := cands[hi]
+	bestR, ok := g.FEAS(bestPhi)
+	if !ok {
+		return 0, nil, fmt.Errorf("graph: FEAS rejects the maximum candidate %d", bestPhi)
+	}
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if r, ok := g.FEAS(cands[mid]); ok {
+			bestPhi, bestR = cands[mid], r
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return bestPhi, bestR, nil
+}

@@ -1,0 +1,175 @@
+package graph
+
+import (
+	"fmt"
+	"math"
+)
+
+// Unbounded sentinels for Bounds entries.
+const (
+	NoLower int32 = math.MinInt32
+	NoUpper int32 = math.MaxInt32
+)
+
+// Bounds are the per-vertex class constraints of multiple-class retiming
+// (paper Eq. 2): Min[v] ≤ r(v) ≤ Max[v]. Use NoLower/NoUpper for vertices
+// free in one direction. A nil *Bounds means unconstrained (basic retiming).
+type Bounds struct {
+	Min, Max []int32
+}
+
+// NewBounds returns unconstrained bounds for n vertices.
+func NewBounds(n int) *Bounds {
+	b := &Bounds{Min: make([]int32, n), Max: make([]int32, n)}
+	for i := 0; i < n; i++ {
+		b.Min[i] = NoLower
+		b.Max[i] = NoUpper
+	}
+	return b
+}
+
+// Check verifies that r respects the bounds.
+func (b *Bounds) Check(r []int32) error {
+	if b == nil {
+		return nil
+	}
+	for v, rv := range r {
+		if b.Min[v] != NoLower && rv < b.Min[v] {
+			return fmt.Errorf("graph: r(%d)=%d below bound %d", v, rv, b.Min[v])
+		}
+		if b.Max[v] != NoUpper && rv > b.Max[v] {
+			return fmt.Errorf("graph: r(%d)=%d above bound %d", v, rv, b.Max[v])
+		}
+	}
+	return nil
+}
+
+// Constraint is the difference constraint r(X) − r(Y) ≤ B, represented as
+// the edge Y→X with weight B in the constraint graph (so that shortest-path
+// distances are a solution).
+type Constraint struct {
+	Y, X VertexID
+	B    int32
+}
+
+// Feasible decides whether clock period phi is feasible under the circuit
+// constraints, the period constraints derived from wd, and the class bounds
+// (nil = none). On success it returns a legal retiming with r[Host] = 0.
+//
+// This is the paper's §5.1 formulation: the class constraints become
+// difference constraints against the host vertex, and the whole system is
+// solved as shortest paths (SPFA) from a virtual source.
+func (g *Graph) Feasible(phi int64, wd *WD, bounds *Bounds) ([]int32, bool) {
+	n := g.NumVertices()
+	cons := make([]Constraint, 0, len(g.Edges)+2*n)
+	for _, e := range g.Edges {
+		// circuit: r(u) − r(v) ≤ w(e)
+		cons = append(cons, Constraint{Y: e.To, X: e.From, B: e.W})
+	}
+	if bounds != nil {
+		for v := 0; v < n; v++ {
+			if lo := bounds.Min[v]; lo != NoLower {
+				// r(h) − r(v) ≤ −min
+				cons = append(cons, Constraint{Y: VertexID(v), X: Host, B: -lo})
+			}
+			if hi := bounds.Max[v]; hi != NoUpper {
+				// r(v) − r(h) ≤ max
+				cons = append(cons, Constraint{Y: Host, X: VertexID(v), B: hi})
+			}
+		}
+	}
+	for u := 0; u < n; u++ {
+		row := u * n
+		for v := 0; v < n; v++ {
+			if wd.W[row+v] != InfW && wd.D[row+v] > phi {
+				// period: r(u) − r(v) ≤ W(u,v) − 1
+				cons = append(cons, Constraint{Y: VertexID(v), X: VertexID(u), B: wd.W[row+v] - 1})
+			}
+		}
+	}
+	r, ok := SolveDifference(n, cons)
+	if !ok {
+		return nil, false
+	}
+	// Normalize so the host stays at 0.
+	h := r[Host]
+	for i := range r {
+		r[i] -= h
+	}
+	return r, true
+}
+
+// SolveDifference solves a system of difference constraints
+// r(x) − r(y) ≤ b over n variables by SPFA from a virtual source connected
+// to every variable with weight 0. It returns a solution, or ok=false if
+// the system is infeasible (negative cycle).
+func SolveDifference(n int, cons []Constraint) ([]int32, bool) {
+	adj := make([][]int32, n) // constraint indices by source y
+	for i, c := range cons {
+		adj[c.Y] = append(adj[c.Y], int32(i))
+	}
+	dist := make([]int64, n) // virtual source: all start at 0
+	inQueue := make([]bool, n)
+	relaxed := make([]int32, n)
+	queue := make([]VertexID, 0, n)
+	for v := 0; v < n; v++ {
+		queue = append(queue, VertexID(v))
+		inQueue[v] = true
+	}
+	for len(queue) > 0 {
+		y := queue[0]
+		queue = queue[1:]
+		inQueue[y] = false
+		for _, ci := range adj[y] {
+			c := cons[ci]
+			if nd := dist[y] + int64(c.B); nd < dist[c.X] {
+				dist[c.X] = nd
+				relaxed[c.X]++
+				if relaxed[c.X] > int32(n)+1 {
+					return nil, false // negative cycle
+				}
+				if !inQueue[c.X] {
+					queue = append(queue, c.X)
+					inQueue[c.X] = true
+				}
+			}
+		}
+	}
+	out := make([]int32, n)
+	for i, d := range dist {
+		out[i] = int32(d)
+	}
+	return out, true
+}
+
+// MinPeriod finds the minimum feasible clock period under the given bounds
+// by binary search over the candidate D values, and returns it with a legal
+// retiming achieving it. wd may be nil (computed internally).
+func (g *Graph) MinPeriod(wd *WD, bounds *Bounds) (int64, []int32, error) {
+	if wd == nil {
+		wd = g.ComputeWD()
+	}
+	cands := wd.Candidates()
+	if len(cands) == 0 {
+		return 0, make([]int32, g.NumVertices()), nil
+	}
+	// The largest candidate is always feasible (no period constraints).
+	lo, hi := 0, len(cands)-1
+	bestPhi := cands[hi]
+	var bestR []int32
+	if r, ok := g.Feasible(bestPhi, wd, bounds); ok {
+		bestR = r
+	} else {
+		return 0, nil, fmt.Errorf("graph: even period %d infeasible (conflicting bounds?)", bestPhi)
+	}
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if r, ok := g.Feasible(cands[mid], wd, bounds); ok {
+			bestPhi, bestR = cands[mid], r
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return bestPhi, bestR, nil
+}

@@ -1,0 +1,211 @@
+package graph
+
+import "fmt"
+
+// This file implements lazily-generated period constraints. The dense
+// formulation emits r(u) − r(v) ≤ W(u,v) − 1 for every pair with
+// D(u,v) > φ — O(V²) constraints, which is what makes naive minarea
+// retiming explode on real circuits (the problem [16] and [12, 11] attack
+// with pruning). The lazy scheme is a cutting-plane loop instead:
+//
+//	solve with the constraints found so far → compute the critical
+//	(zero-weight) paths of the candidate retiming → every path longer than
+//	φ yields one violated-but-valid period cut → re-solve.
+//
+// A cut traced from a zero-weight path p: u⇝v with delay > φ is
+// r(u) − r(v) ≤ w(p) − 1, where w(p) (the path's original weight) equals
+// r(u) − r(v) under the current candidate — so the cut is violated now, and
+// it is a genuine period constraint (any retiming leaving no register on p
+// exposes a too-long path). Convergence: each round adds a constraint the
+// current solution violates, and the constraint space is finite.
+//
+// Cuts are remembered with the delay of the path that produced them, so a
+// binary search can reuse every cut whose path delay exceeds the probe.
+type Cut struct {
+	Constraint
+	PathDelay int64
+}
+
+// CutPool accumulates period cuts across feasibility probes.
+type CutPool struct {
+	cuts []Cut
+	// tightest bound seen per (u,v) pair and delay class is not tracked —
+	// duplicates are cheap for SPFA and rare in practice.
+}
+
+// ForPeriod returns the pooled constraints that apply at period phi.
+func (p *CutPool) ForPeriod(phi int64) []Constraint {
+	var out []Constraint
+	for _, c := range p.cuts {
+		if c.PathDelay > phi {
+			out = append(out, c.Constraint)
+		}
+	}
+	return out
+}
+
+// Add appends cuts to the pool.
+func (p *CutPool) Add(cuts []Cut) { p.cuts = append(p.cuts, cuts...) }
+
+// Len returns the number of pooled cuts.
+func (p *CutPool) Len() int { return len(p.cuts) }
+
+// BaseConstraints returns the circuit constraints plus the class-bound
+// constraints of §5.1 (bounds may be nil).
+func (g *Graph) BaseConstraints(bounds *Bounds) []Constraint {
+	n := g.NumVertices()
+	cons := make([]Constraint, 0, len(g.Edges)+2*n)
+	for _, e := range g.Edges {
+		cons = append(cons, Constraint{Y: e.To, X: e.From, B: e.W})
+	}
+	if bounds != nil {
+		for v := 0; v < n; v++ {
+			if lo := bounds.Min[v]; lo != NoLower {
+				cons = append(cons, Constraint{Y: VertexID(v), X: Host, B: -lo})
+			}
+			if hi := bounds.Max[v]; hi != NoUpper {
+				cons = append(cons, Constraint{Y: Host, X: VertexID(v), B: hi})
+			}
+		}
+	}
+	return cons
+}
+
+// PeriodCuts computes the period cuts violated by retiming r at period phi:
+// one per vertex whose zero-weight arrival exceeds phi, traced back along
+// the critical parent chain. An empty result means r achieves phi.
+func (g *Graph) PeriodCuts(r []int32, phi int64) ([]Cut, error) {
+	n := g.NumVertices()
+	indeg := make([]int32, n)
+	for _, e := range g.Edges {
+		if g.weight(e, r) == 0 {
+			indeg[e.To]++
+		}
+	}
+	queue := make([]VertexID, 0, n)
+	for v := 0; v < n; v++ {
+		if indeg[v] == 0 {
+			queue = append(queue, VertexID(v))
+		}
+	}
+	delta := make([]int64, n)
+	parent := make([]VertexID, n)
+	for v := range delta {
+		delta[v] = g.Delay[v]
+		parent[v] = -1
+	}
+	done := 0
+	for len(queue) > 0 {
+		u := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		done++
+		for _, ei := range g.out[u] {
+			e := g.Edges[ei]
+			if g.weight(e, r) != 0 {
+				continue
+			}
+			if a := delta[u] + g.Delay[e.To]; a > delta[e.To] {
+				delta[e.To] = a
+				parent[e.To] = u
+			}
+			indeg[e.To]--
+			if indeg[e.To] == 0 {
+				queue = append(queue, e.To)
+			}
+		}
+	}
+	if done != n {
+		return nil, fmt.Errorf("graph: zero-weight cycle under candidate retiming")
+	}
+	var cuts []Cut
+	for v := 0; v < n; v++ {
+		if delta[v] <= phi {
+			continue
+		}
+		u := VertexID(v)
+		for parent[u] != -1 {
+			u = parent[u]
+		}
+		// Path weight w(p) = r(u) − r(v) because every edge is tight.
+		b := r[u] - r[VertexID(v)] - 1
+		cuts = append(cuts, Cut{
+			Constraint: Constraint{Y: VertexID(v), X: u, B: b},
+			PathDelay:  delta[v],
+		})
+	}
+	return cuts, nil
+}
+
+// FeasibleLazy decides period feasibility with lazily generated cuts,
+// reusing (and extending) pool. On success it returns a legal retiming with
+// r[Host] = 0.
+func (g *Graph) FeasibleLazy(phi int64, bounds *Bounds, pool *CutPool) ([]int32, bool) {
+	n := g.NumVertices()
+	base := g.BaseConstraints(bounds)
+	cons := append(base, pool.ForPeriod(phi)...)
+	for {
+		r, ok := SolveDifference(n, cons)
+		if !ok {
+			return nil, false
+		}
+		h := r[Host]
+		for i := range r {
+			r[i] -= h
+		}
+		cuts, err := g.PeriodCuts(r, phi)
+		if err != nil {
+			return nil, false
+		}
+		if len(cuts) == 0 {
+			return r, true
+		}
+		pool.Add(cuts)
+		for _, c := range cuts {
+			cons = append(cons, c.Constraint)
+		}
+	}
+}
+
+// MinPeriodLazy finds the minimum feasible period by numeric binary search
+// with lazy cuts. pool accumulates the generated cuts (nil for a private
+// pool) and can seed a subsequent minarea solve at the same period.
+func (g *Graph) MinPeriodLazy(bounds *Bounds, pool *CutPool) (int64, []int32, error) {
+	if pool == nil {
+		pool = &CutPool{}
+	}
+	hi, err := g.Period(nil)
+	if err != nil {
+		return 0, nil, err
+	}
+	var lo int64
+	for _, d := range g.Delay {
+		if d > lo {
+			lo = d
+		}
+	}
+	bestPhi, bestR := hi, make([]int32, g.NumVertices())
+	if r, ok := g.FeasibleLazy(hi, bounds, pool); ok {
+		bestR = r
+	} else {
+		return 0, nil, fmt.Errorf("graph: original period %d infeasible (conflicting bounds?)", hi)
+	}
+	// The achieved period of a feasible retiming tightens the search much
+	// faster than bisection alone.
+	if p, err := g.Period(bestR); err == nil && p < bestPhi {
+		bestPhi = p
+	}
+	for lo < bestPhi {
+		mid := lo + (bestPhi-lo)/2
+		if r, ok := g.FeasibleLazy(mid, bounds, pool); ok {
+			bestR = r
+			if p, err := g.Period(r); err == nil && p <= mid {
+				bestPhi = p
+			} else {
+				bestPhi = mid
+			}
+		} else {
+			lo = mid + 1
+		}
+	}
+	return bestPhi, bestR, nil
+}

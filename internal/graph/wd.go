@@ -1,0 +1,148 @@
+package graph
+
+import (
+	"container/heap"
+	"math"
+	"slices"
+)
+
+// InfW marks an unreachable pair in the W matrix.
+const InfW int32 = math.MaxInt32
+
+// WD holds the Leiserson–Saxe path matrices for a graph with n vertices:
+// W(u,v) is the minimum number of registers on any path u⇝v and D(u,v) the
+// maximum total vertex delay among the minimum-weight paths (both endpoints
+// included). The trivial path gives W(u,u)=0, D(u,u)=d(u).
+type WD struct {
+	N int
+	W []int32 // flat n×n, InfW when unreachable
+	D []int64 // valid only where W < InfW
+}
+
+// At returns W(u,v) and D(u,v).
+func (m *WD) At(u, v VertexID) (int32, int64) {
+	i := int(u)*m.N + int(v)
+	return m.W[i], m.D[i]
+}
+
+type pqItem struct {
+	v    VertexID
+	dist int32
+}
+type pq []pqItem
+
+func (p pq) Len() int           { return len(p) }
+func (p pq) Less(i, j int) bool { return p[i].dist < p[j].dist }
+func (p pq) Swap(i, j int)      { p[i], p[j] = p[j], p[i] }
+func (p *pq) Push(x any)        { *p = append(*p, x.(pqItem)) }
+func (p *pq) Pop() any          { old := *p; n := len(old); it := old[n-1]; *p = old[:n-1]; return it }
+
+// ComputeWD computes the W and D matrices by, per source, a Dijkstra on the
+// register weights followed by a longest-delay DP over the tight-edge DAG
+// (the subgraph of edges on some minimum-weight path). Zero-weight cycles
+// cannot be tight in a well-formed graph — every combinational cycle is
+// rejected by Period — so the DP order is well-defined.
+func (g *Graph) ComputeWD() *WD {
+	n := g.NumVertices()
+	m := &WD{N: n, W: make([]int32, n*n), D: make([]int64, n*n)}
+	dist := make([]int32, n)
+	delay := make([]int64, n)
+	inDag := make([]bool, n)
+
+	for u := 0; u < n; u++ {
+		// Dijkstra on register counts from u.
+		for i := range dist {
+			dist[i] = InfW
+		}
+		dist[u] = 0
+		h := pq{{VertexID(u), 0}}
+		for len(h) > 0 {
+			it := heap.Pop(&h).(pqItem)
+			if it.dist > dist[it.v] {
+				continue
+			}
+			for _, ei := range g.out[it.v] {
+				e := g.Edges[ei]
+				if nd := it.dist + e.W; nd < dist[e.To] {
+					dist[e.To] = nd
+					heap.Push(&h, pqItem{e.To, nd})
+				}
+			}
+		}
+
+		// Longest delay over tight edges, in order of increasing dist
+		// (ties resolved by propagation-to-fixpoint within a weight class:
+		// zero-weight tight edges form a DAG, so a reverse-post-order pass
+		// suffices; we use repeated relaxation over a Kahn queue instead).
+		g.tightLongest(VertexID(u), dist, delay, inDag)
+
+		row := u * n
+		for v := 0; v < n; v++ {
+			m.W[row+v] = dist[v]
+			m.D[row+v] = delay[v]
+		}
+	}
+	return m
+}
+
+// tightLongest fills delay[v] with the maximum path delay among paths u⇝v of
+// weight dist[v]. Vertices unreachable keep delay 0 (their W entry is InfW).
+func (g *Graph) tightLongest(u VertexID, dist []int32, delay []int64, inDag []bool) {
+	n := g.NumVertices()
+	indeg := make([]int32, n)
+	for i := 0; i < n; i++ {
+		delay[i] = 0
+		inDag[i] = dist[i] != InfW
+	}
+	tight := func(e Edge) bool {
+		return dist[e.From] != InfW && dist[e.From]+e.W == dist[e.To]
+	}
+	for _, e := range g.Edges {
+		if tight(e) {
+			indeg[e.To]++
+		}
+	}
+	queue := make([]VertexID, 0, n)
+	for v := 0; v < n; v++ {
+		if inDag[v] && indeg[v] == 0 {
+			queue = append(queue, VertexID(v))
+		}
+	}
+	delay[u] = g.Delay[u]
+	for len(queue) > 0 {
+		x := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		for _, ei := range g.out[x] {
+			e := g.Edges[ei]
+			if !tight(e) {
+				continue
+			}
+			if a := delay[x] + g.Delay[e.To]; a > delay[e.To] {
+				delay[e.To] = a
+			}
+			indeg[e.To]--
+			if indeg[e.To] == 0 {
+				queue = append(queue, e.To)
+			}
+		}
+	}
+}
+
+// Candidates returns the sorted distinct D values — the candidate clock
+// periods for the minimum-period binary search.
+func (m *WD) Candidates() []int64 {
+	seen := make(map[int64]bool)
+	var out []int64
+	for i, w := range m.W {
+		if w == InfW {
+			continue
+		}
+		d := m.D[i]
+		if !seen[d] {
+			seen[d] = true
+			out = append(out, d)
+		}
+	}
+	slices.Sort(out)
+	return out
+}

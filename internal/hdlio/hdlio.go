@@ -1,0 +1,219 @@
+// Package hdlio reads and writes a small textual netlist format, standing
+// in for the paper's HDL-analyzer front end: it describes technology-
+// independent gate-level circuits whose registers are generic (EN, SS/SC,
+// AS/AC per Fig. 2a).
+//
+// Format (one statement per line, '#' comments):
+//
+//	circuit NAME
+//	input SIGNAL
+//	output SIGNAL
+//	gate NAME TYPE OUT IN... [delay=PS] [tt=HEX]
+//	reg NAME Q D clk=SIG [en=SIG] [sr=SIG:V] [ar=SIG:V]
+//
+// V is 0, 1 or x. Signals are declared implicitly by first use.
+package hdlio
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"mcretiming/internal/logic"
+	"mcretiming/internal/netlist"
+)
+
+var typeByName = map[string]netlist.GateType{}
+var nameByType = map[netlist.GateType]string{}
+
+func init() {
+	for t := netlist.Buf; t <= netlist.Const1; t++ {
+		typeByName[t.String()] = t
+		nameByType[t] = t.String()
+	}
+}
+
+// Write serializes c.
+func Write(w io.Writer, c *netlist.Circuit) error {
+	bw := bufio.NewWriter(w)
+	names := c.UniqueSignalNames()
+	name := func(sig netlist.SignalID) string { return names[sig] }
+	fmt.Fprintf(bw, "circuit %s\n", c.Name)
+	for _, pi := range c.PIs {
+		fmt.Fprintf(bw, "input %s\n", name(pi))
+	}
+	c.LiveGates(func(g *netlist.Gate) {
+		fmt.Fprintf(bw, "gate %s %s %s", g.Name, nameByType[g.Type], name(g.Out))
+		for _, in := range g.In {
+			fmt.Fprintf(bw, " %s", name(in))
+		}
+		if g.Delay != 0 {
+			fmt.Fprintf(bw, " delay=%d", g.Delay)
+		}
+		if g.Type == netlist.Lut {
+			fmt.Fprintf(bw, " tt=%x", g.TT)
+		}
+		fmt.Fprintln(bw)
+	})
+	c.LiveRegs(func(r *netlist.Reg) {
+		fmt.Fprintf(bw, "reg %s %s %s clk=%s", r.Name, name(r.Q), name(r.D), name(r.Clk))
+		if r.HasEN() {
+			fmt.Fprintf(bw, " en=%s", name(r.EN))
+		}
+		if r.HasSR() {
+			fmt.Fprintf(bw, " sr=%s:%s", name(r.SR), r.SRVal)
+		}
+		if r.HasAR() {
+			fmt.Fprintf(bw, " ar=%s:%s", name(r.AR), r.ARVal)
+		}
+		fmt.Fprintln(bw)
+	})
+	for _, po := range c.POs {
+		fmt.Fprintf(bw, "output %s\n", name(po))
+	}
+	return bw.Flush()
+}
+
+// Read parses a circuit.
+func Read(r io.Reader) (*netlist.Circuit, error) {
+	c := netlist.New("unnamed")
+	sigs := make(map[string]netlist.SignalID)
+	sig := func(name string) netlist.SignalID {
+		if id, ok := sigs[name]; ok {
+			return id
+		}
+		id := c.AddSignal(name)
+		sigs[name] = id
+		return id
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		bad := func(format string, args ...any) error {
+			return fmt.Errorf("hdlio: line %d: %s", lineNo, fmt.Sprintf(format, args...))
+		}
+		switch fields[0] {
+		case "circuit":
+			if len(fields) != 2 {
+				return nil, bad("circuit wants a name")
+			}
+			c.Name = fields[1]
+		case "input":
+			if len(fields) != 2 {
+				return nil, bad("input wants a signal")
+			}
+			id := sig(fields[1])
+			c.Signals[id].Driver = netlist.Driver{Kind: netlist.DriverInput}
+			c.PIs = append(c.PIs, id)
+		case "output":
+			if len(fields) != 2 {
+				return nil, bad("output wants a signal")
+			}
+			c.MarkOutput(sig(fields[1]))
+		case "gate":
+			if len(fields) < 4 {
+				return nil, bad("gate wants NAME TYPE OUT [IN...]")
+			}
+			gt, ok := typeByName[fields[2]]
+			if !ok {
+				return nil, bad("unknown gate type %q", fields[2])
+			}
+			out := sig(fields[3])
+			var in []netlist.SignalID
+			var delay int64
+			var tt uint64
+			for _, f := range fields[4:] {
+				switch {
+				case strings.HasPrefix(f, "delay="):
+					v, err := strconv.ParseInt(f[6:], 10, 64)
+					if err != nil {
+						return nil, bad("bad delay %q", f)
+					}
+					delay = v
+				case strings.HasPrefix(f, "tt="):
+					v, err := strconv.ParseUint(f[3:], 16, 64)
+					if err != nil {
+						return nil, bad("bad tt %q", f)
+					}
+					tt = v
+				default:
+					in = append(in, sig(f))
+				}
+			}
+			gid := c.AddGateTo(fields[1], gt, in, out, delay)
+			c.Gates[gid].TT = tt
+		case "reg":
+			if len(fields) < 5 {
+				return nil, bad("reg wants NAME Q D clk=SIG")
+			}
+			q := sig(fields[2])
+			d := sig(fields[3])
+			var clk, en, sr, ar netlist.SignalID = netlist.NoSignal, netlist.NoSignal, netlist.NoSignal, netlist.NoSignal
+			srv, arv := logic.BX, logic.BX
+			for _, f := range fields[4:] {
+				k, v, ok := strings.Cut(f, "=")
+				if !ok {
+					return nil, bad("bad register attribute %q", f)
+				}
+				switch k {
+				case "clk":
+					clk = sig(v)
+				case "en":
+					en = sig(v)
+				case "sr", "ar":
+					name, val, ok := strings.Cut(v, ":")
+					if !ok {
+						return nil, bad("%s wants SIG:V", k)
+					}
+					b, err := parseBit(val)
+					if err != nil {
+						return nil, bad("%v", err)
+					}
+					if k == "sr" {
+						sr, srv = sig(name), b
+					} else {
+						ar, arv = sig(name), b
+					}
+				default:
+					return nil, bad("unknown register attribute %q", k)
+				}
+			}
+			if clk == netlist.NoSignal {
+				return nil, bad("register %s has no clock", fields[1])
+			}
+			rid := c.AddRegTo(fields[1], d, q, clk)
+			rr := &c.Regs[rid]
+			rr.EN, rr.SR, rr.SRVal, rr.AR, rr.ARVal = en, sr, srv, ar, arv
+		default:
+			return nil, bad("unknown statement %q", fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if err := c.Validate(); err != nil {
+		return nil, fmt.Errorf("hdlio: %w", err)
+	}
+	return c, nil
+}
+
+func parseBit(s string) (logic.Bit, error) {
+	switch s {
+	case "0":
+		return logic.B0, nil
+	case "1":
+		return logic.B1, nil
+	case "x", "X", "-":
+		return logic.BX, nil
+	}
+	return logic.BX, fmt.Errorf("bad bit value %q", s)
+}

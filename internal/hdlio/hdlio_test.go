@@ -1,0 +1,116 @@
+package hdlio
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"mcretiming/internal/gen"
+	"mcretiming/internal/logic"
+	"mcretiming/internal/netlist"
+	"mcretiming/internal/verify"
+)
+
+func TestRoundTripSmall(t *testing.T) {
+	c := netlist.New("rt")
+	d := c.AddInput("d")
+	clk := c.AddInput("clk")
+	en := c.AddInput("en")
+	rst := c.AddInput("rst")
+	r, q := c.AddReg("ff", d, clk)
+	c.Regs[r].EN = en
+	c.Regs[r].SR = rst
+	c.Regs[r].SRVal = logic.B1
+	_, o := c.AddGate("inv", netlist.Not, []netlist.SignalID{q}, 3500)
+	c.MarkOutput(o)
+
+	var buf bytes.Buffer
+	if err := Write(&buf, c); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != "rt" {
+		t.Errorf("name = %q", back.Name)
+	}
+	if back.NumRegs() != 1 || back.NumGates() != 1 {
+		t.Errorf("counts: %d regs %d gates", back.NumRegs(), back.NumGates())
+	}
+	rr := &back.Regs[0]
+	if !rr.HasEN() || !rr.HasSR() || rr.SRVal != logic.B1 {
+		t.Errorf("register attributes lost: %+v", rr)
+	}
+	if back.Gates[0].Delay != 3500 {
+		t.Errorf("delay = %d", back.Gates[0].Delay)
+	}
+	if _, err := verify.Equivalent(c, back, verify.Stimulus{Cycles: 24, Seqs: 4, Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRoundTripGeneratedSuite(t *testing.T) {
+	for _, p := range gen.Profiles[:4] {
+		c := p.Build()
+		var buf bytes.Buffer
+		if err := Write(&buf, c); err != nil {
+			t.Fatalf("%s: %v", p.Name, err)
+		}
+		back, err := Read(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name, err)
+		}
+		if back.NumRegs() != c.NumRegs() || back.NumGates() != c.NumGates() {
+			t.Errorf("%s: counts changed: regs %d->%d gates %d->%d",
+				p.Name, c.NumRegs(), back.NumRegs(), c.NumGates(), back.NumGates())
+		}
+		if _, err := verify.Equivalent(c, back, verify.Stimulus{Cycles: 20, Seqs: 2, Seed: 2}); err != nil {
+			t.Fatalf("%s: %v", p.Name, err)
+		}
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	cases := []struct{ name, src string }{
+		{"badtype", "gate g frob o a b\n"},
+		{"badstmt", "wire x\n"},
+		{"noclk", "input d\nreg r q d\noutput q\n"},
+		{"badbit", "input d\ninput c\ninput s\nreg r q d clk=c sr=s:2\noutput q\n"},
+		{"undriven", "gate g and o a b\noutput o\n"},
+	}
+	for _, tc := range cases {
+		if _, err := Read(strings.NewReader(tc.src)); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+}
+
+func TestLutTruthTableSurvives(t *testing.T) {
+	src := "circuit l\ninput a\ninput b\ngate g lut o a b tt=6\noutput o\n"
+	c, err := Read(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Gates[0].TT != 6 {
+		t.Errorf("tt = %d, want 6", c.Gates[0].TT)
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, c); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "tt=6") {
+		t.Errorf("tt not written: %s", buf.String())
+	}
+}
+
+func TestCommentsAndBlankLines(t *testing.T) {
+	src := "# a comment\n\ncircuit x\ninput a\n# another\noutput a\n"
+	c, err := Read(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.PIs) != 1 || len(c.POs) != 1 {
+		t.Error("comment handling broke parsing")
+	}
+}

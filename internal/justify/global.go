@@ -1,0 +1,257 @@
+package justify
+
+import (
+	"mcretiming/internal/bdd"
+	"mcretiming/internal/logic"
+	"mcretiming/internal/sat"
+)
+
+// maxGlobalVars caps the size of a global justification system, and
+// maxGlobalNodes bounds the BDD while it is built; beyond either the
+// conflict is treated as unresolvable (the caller re-retimes with a
+// tightened bound). Real conflict regions are tiny — the paper reports
+// global justification for <1% of steps — so the caps only guard blowup.
+const (
+	maxGlobalVars  = 512
+	maxGlobalNodes = 1 << 20
+)
+
+// Engine selects the global-justification backend.
+type Engine int
+
+// Engines. The paper's implementation uses BDDs (the default); the SAT
+// backend is the modern alternative and an ablation point. SAT falls back
+// to BDD when the system has universally-quantified unknowns, which plain
+// SAT cannot express.
+const (
+	EngineBDD Engine = iota
+	EngineSAT
+)
+
+// component is the §5.2 trace-back region of one conflict: the ancestor
+// moves of the conflicting registers.
+type component struct {
+	recs    []*record
+	serials map[int64]bool
+	inComp  map[*record]bool
+}
+
+// closure collects the ancestor component of seed: for every consumed
+// serial the record that created it, recursively, down to originals.
+func (j *Justifier) closure(seed *record) *component {
+	comp := &component{
+		recs:    []*record{seed},
+		serials: make(map[int64]bool),
+		inComp:  map[*record]bool{seed: true},
+	}
+	var addSerial func(s int64)
+	addSerial = func(s int64) {
+		if comp.serials[s] {
+			return
+		}
+		comp.serials[s] = true
+		if r := j.creator[s]; r != nil && !comp.inComp[r] {
+			comp.inComp[r] = true
+			comp.recs = append(comp.recs, r)
+			for _, t := range r.consumed() {
+				addSerial(t)
+			}
+			for _, t := range r.created() {
+				addSerial(t)
+			}
+		}
+	}
+	for _, s := range seed.consumed() {
+		addSerial(s)
+	}
+	for _, s := range seed.created() {
+		addSerial(s)
+	}
+	return comp
+}
+
+// pinned reports whether an out-of-component record already consumed s —
+// its value is a committed decision the re-solve must not change.
+func (j *Justifier) pinned(comp *component, s int64) bool {
+	for _, r := range j.consumers[s] {
+		if !comp.inComp[r] {
+			return true
+		}
+	}
+	return false
+}
+
+// globalJustify resolves a conflict at seed by re-solving its trace-back
+// region in one satisfiability problem per domain (paper §5.2, Fig. 5b).
+//
+// Variables are the reset-value slots of the component's serials. Originals
+// and pinned serials with known values become unit constraints; unknown
+// fixed levels are universally quantified (a derived value may not depend
+// on an undefined level). On success every free serial is rewritten with
+// maximal don't-cares.
+func (j *Justifier) globalJustify(seed *record, dom domain, active bool) bool {
+	if !active {
+		return true
+	}
+	comp := j.closure(seed)
+	if len(comp.serials) > maxGlobalVars {
+		return false
+	}
+
+	fixed := func(s int64) bool { return j.origin[s] || j.pinned(comp, s) }
+	var hasQuantified bool
+	for s := range comp.serials {
+		if fixed(s) && !j.value(s, dom).Known() {
+			hasQuantified = true
+			break
+		}
+	}
+
+	var assign map[int64]logic.Bit
+	var ok bool
+	if j.Engine == EngineSAT && !hasQuantified {
+		assign, ok = j.solveSAT(comp, dom, fixed)
+	} else {
+		assign, ok = j.solveBDD(comp, dom, fixed)
+	}
+	if !ok {
+		return false
+	}
+
+	// Write the solution back to every free serial; fixed serials keep
+	// their identities.
+	for s := range comp.serials {
+		if fixed(s) {
+			continue
+		}
+		vv := j.vals[s]
+		vv[dom] = assign[s]
+		j.vals[s] = vv
+	}
+	// Push updated values onto the register instances still on edges.
+	for ei := range j.M.Edges {
+		regs := j.M.Edges[ei].Regs
+		for k := range regs {
+			if comp.serials[regs[k].Serial] && !fixed(regs[k].Serial) {
+				vv := j.vals[regs[k].Serial]
+				if dom == domSync {
+					regs[k].S = vv[domSync]
+				} else {
+					regs[k].A = vv[domAsync]
+				}
+			}
+		}
+	}
+	return true
+}
+
+// solveBDD builds the conjunction of the component's gate constraints as a
+// BDD and extracts a minimum satisfying assignment.
+func (j *Justifier) solveBDD(comp *component, dom domain, fixed func(int64) bool) (map[int64]logic.Bit, bool) {
+	m := bdd.New()
+	varOf := make(map[int64]int, len(comp.serials))
+	order := make([]int64, 0, len(comp.serials))
+	for s := range comp.serials {
+		varOf[s] = len(order)
+		order = append(order, s)
+	}
+
+	system := bdd.True
+	var quantify []int64
+	for s := range comp.serials {
+		if !fixed(s) {
+			continue
+		}
+		if v := j.value(s, dom); v.Known() {
+			system = m.And(system, m.Lit(varOf[s], v.Bool()))
+		} else {
+			quantify = append(quantify, s)
+		}
+	}
+	for _, r := range comp.recs {
+		pins := make([]int, len(r.fanin))
+		for i, s := range r.fanin {
+			pins[i] = varOf[s]
+		}
+		gf := m.FromTruth(r.gate.TruthTable(), pins)
+		for _, out := range r.out {
+			system = m.And(system, m.Xnor(gf, m.Var(varOf[out])))
+			if system == bdd.False || m.NumNodes() > maxGlobalNodes {
+				return nil, false
+			}
+		}
+	}
+	// Undefined fixed levels: the solution must hold for every completion.
+	for _, s := range quantify {
+		v := varOf[s]
+		system = m.And(m.Restrict(system, v, false), m.Restrict(system, v, true))
+		if system == bdd.False || m.NumNodes() > maxGlobalNodes {
+			return nil, false
+		}
+	}
+	raw, ok := m.MinAssignment(system)
+	if !ok {
+		return nil, false
+	}
+	assign := make(map[int64]logic.Bit, len(comp.serials))
+	for s, v := range varOf {
+		if b, ok := raw[v]; ok {
+			assign[s] = logic.FromBool(b)
+		} else {
+			assign[s] = logic.BX
+		}
+	}
+	return assign, true
+}
+
+// solveSAT encodes the component as CNF: one clause per gate input pattern
+// ("if the inputs match pattern m, the output is tt[m]"), unit clauses for
+// fixed values, then a model with greedy don't-care lifting.
+func (j *Justifier) solveSAT(comp *component, dom domain, fixed func(int64) bool) (map[int64]logic.Bit, bool) {
+	varOf := make(map[int64]int, len(comp.serials))
+	for s := range comp.serials {
+		varOf[s] = len(varOf)
+	}
+	s := sat.New(len(varOf))
+	keep := make(map[int]bool)
+	for ser := range comp.serials {
+		if !fixed(ser) {
+			continue
+		}
+		v := j.value(ser, dom)
+		if !v.Known() {
+			return nil, false // quantified: caller routes to BDD
+		}
+		s.AddClause(sat.L(varOf[ser], !v.Bool()))
+		keep[varOf[ser]] = true
+	}
+	for _, r := range comp.recs {
+		tt := r.gate.TruthTable()
+		n := len(r.fanin)
+		for m := 0; m < 1<<n; m++ {
+			outVal := tt>>m&1 == 1
+			for _, out := range r.out {
+				lits := make([]sat.Lit, 0, n+1)
+				for i, fs := range r.fanin {
+					// "input i differs from pattern bit i"
+					lits = append(lits, sat.L(varOf[fs], m>>i&1 == 1))
+				}
+				lits = append(lits, sat.L(varOf[out], !outVal))
+				s.AddClause(lits...)
+			}
+		}
+	}
+	if !s.Solve() {
+		return nil, false
+	}
+	model := s.Lift(keep)
+	assign := make(map[int64]logic.Bit, len(comp.serials))
+	for ser, v := range varOf {
+		if b, ok := model[v]; ok {
+			assign[ser] = logic.FromBool(b)
+		} else {
+			assign[ser] = logic.BX
+		}
+	}
+	return assign, true
+}

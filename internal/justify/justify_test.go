@@ -1,0 +1,279 @@
+package justify
+
+import (
+	"errors"
+	"testing"
+
+	"mcretiming/internal/logic"
+	"mcretiming/internal/mcgraph"
+	"mcretiming/internal/netlist"
+)
+
+// syncReg adds a register with synchronous clear to rst and reset value s.
+func syncReg(c *netlist.Circuit, name string, d, clk, rst netlist.SignalID, s logic.Bit) (netlist.RegID, netlist.SignalID) {
+	r, q := c.AddReg(name, d, clk)
+	c.Regs[r].SR = rst
+	c.Regs[r].SRVal = s
+	return r, q
+}
+
+func gateVertex(t *testing.T, m *mcgraph.MC, name string) (v int32) {
+	t.Helper()
+	for i, vert := range m.Verts {
+		if vert.Kind == mcgraph.KGate && vert.Name == name {
+			return int32(i)
+		}
+	}
+	t.Fatalf("gate vertex %q not found", name)
+	return 0
+}
+
+// TestForwardImplication: moving a sync-reset layer forward across an AND
+// computes the new reset value by implication.
+func TestForwardImplication(t *testing.T) {
+	c := netlist.New("fwd")
+	a := c.AddInput("a")
+	b := c.AddInput("b")
+	clk := c.AddInput("clk")
+	rst := c.AddInput("rst")
+	_, q1 := syncReg(c, "r1", a, clk, rst, logic.B1)
+	_, q2 := syncReg(c, "r2", b, clk, rst, logic.B0)
+	_, g := c.AddGate("g", netlist.And, []netlist.SignalID{q1, q2}, 100)
+	c.MarkOutput(g)
+	m, err := mcgraph.Build(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j := New(m)
+	r := make([]int32, len(m.Verts))
+	r[gateVertex(t, m, "g")] = -1
+	if _, err := m.Relocate(r, j); err != nil {
+		t.Fatal(err)
+	}
+	out, err := m.Rebuild("fwd2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.NumRegs() != 1 {
+		t.Fatalf("regs = %d, want 1", out.NumRegs())
+	}
+	out.LiveRegs(func(rg *netlist.Reg) {
+		if rg.SRVal != logic.B0 { // AND(1,0) = 0
+			t.Errorf("implied reset value = %v, want 0", rg.SRVal)
+		}
+	})
+	if j.Stats.ForwardImpl != 1 {
+		t.Errorf("forward implications = %d, want 1", j.Stats.ForwardImpl)
+	}
+}
+
+// TestLocalBackwardJustification: moving a sync-reset register backward
+// across a NAND justifies input values with maximal don't-cares.
+func TestLocalBackwardJustification(t *testing.T) {
+	c := netlist.New("bwd")
+	a := c.AddInput("a")
+	b := c.AddInput("b")
+	clk := c.AddInput("clk")
+	rst := c.AddInput("rst")
+	_, g := c.AddGate("g", netlist.Nand, []netlist.SignalID{a, b}, 100)
+	_, q := syncReg(c, "r", g, clk, rst, logic.B1)
+	c.MarkOutput(q)
+	m, err := mcgraph.Build(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j := New(m)
+	r := make([]int32, len(m.Verts))
+	r[gateVertex(t, m, "g")] = 1
+	if _, err := m.Relocate(r, j); err != nil {
+		t.Fatal(err)
+	}
+	out, err := m.Rebuild("bwd2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// NAND(x1,x2)=1: one input 0 suffices; the other stays don't-care.
+	zeros, xs := 0, 0
+	out.LiveRegs(func(rg *netlist.Reg) {
+		switch rg.SRVal {
+		case logic.B0:
+			zeros++
+		case logic.BX:
+			xs++
+		}
+	})
+	if zeros != 1 || xs != 1 {
+		t.Errorf("justified values: %d zeros, %d don't-cares; want 1 and 1", zeros, xs)
+	}
+	if j.Stats.LocalSteps != 1 || j.Stats.GlobalSteps != 0 {
+		t.Errorf("stats local=%d global=%d, want 1,0", j.Stats.LocalSteps, j.Stats.GlobalSteps)
+	}
+}
+
+// fig5Style builds the Fig. 5 scenario: local choices at two gates conflict
+// at the shared fanin gate and global justification must repair them.
+//
+//	v2 = AND(a,b) -> z ;  v3 = OR(z,c) -> reg(s=1) ; v4 = NOT(z) -> reg(s=1)
+//
+// Local at v3 picks z=1 (an OR output 1 is cheapest via one input); local at
+// v4 needs z=0; the backward move at v2 sees 1 vs 0 — conflict. Globally
+// z=0, c=1 satisfies both.
+func fig5Style(t *testing.T) (*netlist.Circuit, func(*mcgraph.MC) []int32) {
+	t.Helper()
+	c := netlist.New("fig5")
+	a := c.AddInput("a")
+	b := c.AddInput("b")
+	cc := c.AddInput("c")
+	clk := c.AddInput("clk")
+	rst := c.AddInput("rst")
+	_, z := c.AddGate("v2", netlist.And, []netlist.SignalID{a, b}, 100)
+	_, o3 := c.AddGate("v3", netlist.Or, []netlist.SignalID{z, cc}, 100)
+	_, o4 := c.AddGate("v4", netlist.Not, []netlist.SignalID{z}, 100)
+	_, q3 := syncReg(c, "r3", o3, clk, rst, logic.B1)
+	_, q4 := syncReg(c, "r4", o4, clk, rst, logic.B1)
+	c.MarkOutput(q3)
+	c.MarkOutput(q4)
+	plan := func(m *mcgraph.MC) []int32 {
+		r := make([]int32, len(m.Verts))
+		r[gateVertex(t, m, "v3")] = 1
+		r[gateVertex(t, m, "v4")] = 1
+		r[gateVertex(t, m, "v2")] = 1
+		return r
+	}
+	return c, plan
+}
+
+func TestFig5GlobalJustificationResolvesConflict(t *testing.T) {
+	c, plan := fig5Style(t)
+	m, err := mcgraph.Build(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j := New(m)
+	if _, err := m.Relocate(plan(m), j); err != nil {
+		t.Fatalf("relocation failed: %v (stats %+v)", err, j.Stats)
+	}
+	if j.Stats.GlobalSteps == 0 {
+		t.Error("expected a global justification step")
+	}
+	if j.Stats.Conflicts != 0 {
+		t.Errorf("unresolvable conflicts = %d, want 0", j.Stats.Conflicts)
+	}
+	out, err := m.Rebuild("fig5r")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All registers are now at the fanins of v2 (a,b) and the c input of
+	// v3. Check the values actually justify: OR(AND(sa,sb), sc) = 1 and
+	// NOT(AND(sa,sb)) = 1 for every completion of don't-cares.
+	var sa, sb, sc logic.Bit = logic.BX, logic.BX, logic.BX
+	out.LiveRegs(func(rg *netlist.Reg) {
+		switch out.Signals[rg.D].Name {
+		case "a":
+			sa = rg.SRVal
+		case "b":
+			sb = rg.SRVal
+		case "c":
+			sc = rg.SRVal
+		}
+	})
+	for _, va := range completions(sa) {
+		for _, vb := range completions(sb) {
+			for _, vc := range completions(sc) {
+				and := va && vb
+				if !(and || vc) {
+					t.Errorf("OR constraint violated: a=%v b=%v c=%v", va, vb, vc)
+				}
+				if and {
+					t.Errorf("NOT constraint violated: a=%v b=%v", va, vb)
+				}
+			}
+		}
+	}
+}
+
+func completions(b logic.Bit) []bool {
+	switch b {
+	case logic.B0:
+		return []bool{false}
+	case logic.B1:
+		return []bool{true}
+	}
+	return []bool{false, true}
+}
+
+// TestUnresolvableConflict: NAND and NOT of the same signal demanding
+// contradictory values cannot be globally justified: ErrJustify must surface
+// with the achieved count so the caller can bound and retry.
+func TestUnresolvableConflict(t *testing.T) {
+	c := netlist.New("conflict")
+	a := c.AddInput("a")
+	b := c.AddInput("b")
+	clk := c.AddInput("clk")
+	rst := c.AddInput("rst")
+	_, z := c.AddGate("v2", netlist.And, []netlist.SignalID{a, b}, 100)
+	_, o3 := c.AddGate("v3", netlist.Nand, []netlist.SignalID{z}, 100)
+	_, o4 := c.AddGate("v4", netlist.Not, []netlist.SignalID{z}, 100)
+	_, q3 := syncReg(c, "r3", o3, clk, rst, logic.B0) // needs z=1
+	_, q4 := syncReg(c, "r4", o4, clk, rst, logic.B1) // needs z=0
+	c.MarkOutput(q3)
+	c.MarkOutput(q4)
+	m, err := mcgraph.Build(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j := New(m)
+	r := make([]int32, len(m.Verts))
+	for i, v := range m.Verts {
+		if v.Kind == mcgraph.KGate && (v.Name == "v3" || v.Name == "v4" || v.Name == "v2") {
+			r[i] = 1
+		}
+	}
+	_, err = m.Relocate(r, j)
+	var je *mcgraph.ErrJustify
+	if !errors.As(err, &je) {
+		t.Fatalf("err = %v, want ErrJustify", err)
+	}
+	if len(je.Conflicts) != 1 || je.Conflicts[0].Achieved != 0 {
+		t.Errorf("conflicts = %+v, want one at achieved 0 (v2 never moved)", je.Conflicts)
+	}
+	if j.Stats.Conflicts != 1 {
+		t.Errorf("conflicts = %d, want 1", j.Stats.Conflicts)
+	}
+}
+
+// Don't-care original values must not be relied upon: a backward move whose
+// justification would need a defined value from an X original must not
+// invent one.
+func TestUnknownOriginalsQuantified(t *testing.T) {
+	c := netlist.New("xorig")
+	a := c.AddInput("a")
+	b := c.AddInput("b")
+	clk := c.AddInput("clk")
+	rst := c.AddInput("rst")
+	_, z := c.AddGate("v2", netlist.And, []netlist.SignalID{a, b}, 100)
+	_, o3 := c.AddGate("v3", netlist.Or, []netlist.SignalID{z, z}, 100)
+	_, q3 := syncReg(c, "r3", o3, clk, rst, logic.BX) // undefined original
+	c.MarkOutput(q3)
+	m, err := mcgraph.Build(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j := New(m)
+	r := make([]int32, len(m.Verts))
+	r[gateVertex(t, m, "v3")] = 1
+	r[gateVertex(t, m, "v2")] = 1
+	if _, err := m.Relocate(r, j); err != nil {
+		t.Fatal(err)
+	}
+	// Target was X all the way: every created register stays don't-care.
+	out, err := m.Rebuild("xorig2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out.LiveRegs(func(rg *netlist.Reg) {
+		if rg.SRVal != logic.BX {
+			t.Errorf("register %s got invented reset value %v", rg.Name, rg.SRVal)
+		}
+	})
+}

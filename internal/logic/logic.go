@@ -1,0 +1,140 @@
+// Package logic provides two- and three-valued Boolean algebra shared by the
+// netlist model, the simulator, and reset-state justification.
+//
+// The third value X models an unknown or don't-care level, following the
+// usual ternary (Kleene) extension: an operator output is X only if the
+// known inputs do not already determine it.
+package logic
+
+import "fmt"
+
+// Bit is a ternary logic value: 0, 1, or X (unknown / don't-care).
+type Bit uint8
+
+// The three logic values. The zero value of Bit is B0.
+const (
+	B0 Bit = iota // logic 0
+	B1            // logic 1
+	BX            // unknown / don't-care ("-" in the paper's register labels)
+)
+
+// String returns "0", "1" or "x".
+func (b Bit) String() string {
+	switch b {
+	case B0:
+		return "0"
+	case B1:
+		return "1"
+	case BX:
+		return "x"
+	}
+	return fmt.Sprintf("Bit(%d)", uint8(b))
+}
+
+// Known reports whether b is a definite 0 or 1.
+func (b Bit) Known() bool { return b == B0 || b == B1 }
+
+// FromBool converts a Go bool to a Bit.
+func FromBool(v bool) Bit {
+	if v {
+		return B1
+	}
+	return B0
+}
+
+// Bool converts a known Bit to a Go bool; it panics on BX.
+func (b Bit) Bool() bool {
+	switch b {
+	case B0:
+		return false
+	case B1:
+		return true
+	}
+	panic("logic: Bool() on unknown Bit")
+}
+
+// Not returns the ternary complement of b.
+func Not(b Bit) Bit {
+	switch b {
+	case B0:
+		return B1
+	case B1:
+		return B0
+	}
+	return BX
+}
+
+// And returns the ternary conjunction of bits.
+func And(bits ...Bit) Bit {
+	out := B1
+	for _, b := range bits {
+		switch b {
+		case B0:
+			return B0
+		case BX:
+			out = BX
+		}
+	}
+	return out
+}
+
+// Or returns the ternary disjunction of bits.
+func Or(bits ...Bit) Bit {
+	out := B0
+	for _, b := range bits {
+		switch b {
+		case B1:
+			return B1
+		case BX:
+			out = BX
+		}
+	}
+	return out
+}
+
+// Xor returns the ternary exclusive-or of bits.
+func Xor(bits ...Bit) Bit {
+	out := B0
+	for _, b := range bits {
+		if b == BX {
+			return BX
+		}
+		if b == B1 {
+			out = Not(out)
+		}
+	}
+	return out
+}
+
+// Mux returns the ternary multiplexer value: a when sel=0, b when sel=1.
+// When sel is X the result is known only if a and b agree.
+func Mux(sel, a, b Bit) Bit {
+	switch sel {
+	case B0:
+		return a
+	case B1:
+		return b
+	}
+	if a == b && a.Known() {
+		return a
+	}
+	return BX
+}
+
+// Equal reports whether a and b are compatible under the ternary order,
+// i.e. equal, or at least one of them is X.
+func Compatible(a, b Bit) bool { return a == b || a == BX || b == BX }
+
+// Meet returns the most specific value consistent with both a and b, and
+// whether such a value exists (false on a 0/1 conflict).
+func Meet(a, b Bit) (Bit, bool) {
+	switch {
+	case a == b:
+		return a, true
+	case a == BX:
+		return b, true
+	case b == BX:
+		return a, true
+	}
+	return BX, false
+}

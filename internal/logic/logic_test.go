@@ -1,0 +1,159 @@
+package logic
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBitString(t *testing.T) {
+	if B0.String() != "0" || B1.String() != "1" || BX.String() != "x" {
+		t.Error("Bit.String wrong")
+	}
+}
+
+func TestKnownAndBool(t *testing.T) {
+	if !B0.Known() || !B1.Known() || BX.Known() {
+		t.Error("Known wrong")
+	}
+	if B0.Bool() || !B1.Bool() {
+		t.Error("Bool wrong")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Bool(BX) did not panic")
+		}
+	}()
+	_ = BX.Bool()
+}
+
+func TestFromBoolRoundTrip(t *testing.T) {
+	f := func(v bool) bool { return FromBool(v).Bool() == v }
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Ternary operators must agree with Boolean ones on known inputs.
+func TestTernaryMatchesBooleanOnKnown(t *testing.T) {
+	bits := []Bit{B0, B1}
+	for _, a := range bits {
+		for _, b := range bits {
+			if And(a, b) != FromBool(a.Bool() && b.Bool()) {
+				t.Errorf("And(%v,%v)", a, b)
+			}
+			if Or(a, b) != FromBool(a.Bool() || b.Bool()) {
+				t.Errorf("Or(%v,%v)", a, b)
+			}
+			if Xor(a, b) != FromBool(a.Bool() != b.Bool()) {
+				t.Errorf("Xor(%v,%v)", a, b)
+			}
+		}
+		if Not(a) != FromBool(!a.Bool()) {
+			t.Errorf("Not(%v)", a)
+		}
+	}
+}
+
+// X must behave monotonically: if an operator is known with an X input, it
+// must stay the same for both refinements of that X.
+func TestXMonotonicity(t *testing.T) {
+	all := []Bit{B0, B1, BX}
+	refine := func(b Bit) []Bit {
+		if b == BX {
+			return []Bit{B0, B1}
+		}
+		return []Bit{b}
+	}
+	for _, a := range all {
+		for _, b := range all {
+			ops := []struct {
+				name string
+				f    func(...Bit) Bit
+			}{{"and", And}, {"or", Or}, {"xor", Xor}}
+			for _, op := range ops {
+				out := op.f(a, b)
+				if out == BX {
+					continue
+				}
+				for _, ra := range refine(a) {
+					for _, rb := range refine(b) {
+						if op.f(ra, rb) != out {
+							t.Errorf("%s(%v,%v)=%v not preserved at (%v,%v)",
+								op.name, a, b, out, ra, rb)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestMuxControllingCases(t *testing.T) {
+	if Mux(B0, B1, B0) != B1 {
+		t.Error("Mux sel=0 should pick a")
+	}
+	if Mux(B1, B1, B0) != B0 {
+		t.Error("Mux sel=1 should pick b")
+	}
+	if Mux(BX, B1, B1) != B1 {
+		t.Error("Mux X-sel with agreeing data should be known")
+	}
+	if Mux(BX, B1, B0) != BX {
+		t.Error("Mux X-sel with differing data should be X")
+	}
+}
+
+func TestAndOrControllingValues(t *testing.T) {
+	if And(B0, BX) != B0 {
+		t.Error("And with 0 must be 0 regardless of X")
+	}
+	if Or(B1, BX) != B1 {
+		t.Error("Or with 1 must be 1 regardless of X")
+	}
+	if And(B1, BX) != BX || Or(B0, BX) != BX {
+		t.Error("non-controlling inputs must keep X")
+	}
+	if Xor(B1, BX) != BX {
+		t.Error("Xor with any X must be X")
+	}
+}
+
+func TestCompatibleAndMeet(t *testing.T) {
+	cases := []struct {
+		a, b Bit
+		comp bool
+		meet Bit
+		ok   bool
+	}{
+		{B0, B0, true, B0, true},
+		{B1, B1, true, B1, true},
+		{B0, B1, false, BX, false},
+		{B0, BX, true, B0, true},
+		{BX, B1, true, B1, true},
+		{BX, BX, true, BX, true},
+	}
+	for _, tc := range cases {
+		if got := Compatible(tc.a, tc.b); got != tc.comp {
+			t.Errorf("Compatible(%v,%v) = %v", tc.a, tc.b, got)
+		}
+		m, ok := Meet(tc.a, tc.b)
+		if ok != tc.ok || (ok && m != tc.meet) {
+			t.Errorf("Meet(%v,%v) = %v,%v want %v,%v", tc.a, tc.b, m, ok, tc.meet, tc.ok)
+		}
+	}
+}
+
+func TestVariadicIdentities(t *testing.T) {
+	if And() != B1 {
+		t.Error("empty And should be 1")
+	}
+	if Or() != B0 {
+		t.Error("empty Or should be 0")
+	}
+	if Xor() != B0 {
+		t.Error("empty Xor should be 0")
+	}
+	if Xor(B1, B1, B1) != B1 {
+		t.Error("odd-parity Xor wrong")
+	}
+}

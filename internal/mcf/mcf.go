@@ -1,0 +1,310 @@
+// Package mcf implements a minimum-cost flow solver used as the LP engine
+// for minimum-area retiming.
+//
+// The minarea ILP of Leiserson–Saxe (§8 of "Retiming Synchronous Circuitry",
+// restated in the paper's §5.1) is a linear program over difference
+// constraints; its dual is a transshipment problem. Package retime builds
+// one node per retiming variable, one arc per difference constraint
+// r(x) − r(y) ≤ b (arc y→x with cost b and infinite capacity), gives each
+// node the supply c(v), and reads the optimal retiming back off the
+// shortest-path potentials of the optimal residual network.
+//
+// The solver is the successive-shortest-paths algorithm: one initial SPFA
+// absorbs negative arc costs into node potentials, then every augmentation
+// is an early-terminating Dijkstra over nonnegative reduced costs. Negative
+// arc costs are fine; negative cycles (impossible for a bounded retiming
+// LP) are rejected.
+package mcf
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Inf is the capacity used for uncapacitated arcs.
+const Inf int64 = math.MaxInt64 / 4
+
+type arc struct {
+	to   int32
+	rev  int32 // index of the reverse arc in adj[to]
+	cap  int64 // residual capacity
+	cost int64
+}
+
+// Solver is a min-cost flow instance. Nodes are 0..n-1.
+type Solver struct {
+	n      int
+	adj    [][]arc
+	supply []int64
+	// arcRef locates user arcs: (node, index) of the forward arc.
+	arcRef [][2]int32
+}
+
+// New returns a solver over n nodes.
+func New(n int) *Solver {
+	return &Solver{n: n, adj: make([][]arc, n), supply: make([]int64, n)}
+}
+
+// AddArc adds a directed arc u→v with the given capacity and per-unit cost,
+// returning its handle for Flow.
+func (s *Solver) AddArc(u, v int, capacity, cost int64) int {
+	if u == v {
+		// Self-loops carry no flow in an optimal solution with cost ≥ 0 and
+		// would confuse the reverse-arc bookkeeping; represent as a handle
+		// with zero flow.
+		s.arcRef = append(s.arcRef, [2]int32{-1, -1})
+		return len(s.arcRef) - 1
+	}
+	fu := int32(len(s.adj[u]))
+	fv := int32(len(s.adj[v]))
+	s.adj[u] = append(s.adj[u], arc{to: int32(v), rev: fv, cap: capacity, cost: cost})
+	s.adj[v] = append(s.adj[v], arc{to: int32(u), rev: fu, cap: 0, cost: -cost})
+	s.arcRef = append(s.arcRef, [2]int32{int32(u), fu})
+	return len(s.arcRef) - 1
+}
+
+// AddSupply adds b to the net supply of node v (positive = source).
+func (s *Solver) AddSupply(v int, b int64) { s.supply[v] += b }
+
+// ErrInfeasible is returned when the supplies cannot be routed.
+var ErrInfeasible = errors.New("mcf: infeasible (supply cannot reach demand)")
+
+// Solve routes all supplies to demands at minimum cost and returns the cost.
+// Supplies must balance to zero.
+//
+// Algorithm: successive shortest paths with node potentials. One initial
+// Bellman–Ford (SPFA) absorbs negative arc costs into the potentials; every
+// augmentation after that is a Dijkstra over nonnegative reduced costs.
+func (s *Solver) Solve() (int64, error) {
+	var total int64
+	for _, b := range s.supply {
+		total += b
+	}
+	if total != 0 {
+		return 0, fmt.Errorf("mcf: supplies sum to %d, want 0", total)
+	}
+	excess := append([]int64(nil), s.supply...)
+	pi, ok := s.initialPotentials()
+	if !ok {
+		return 0, errors.New("mcf: negative cycle in residual network")
+	}
+	var cost int64
+	dist := make([]int64, s.n)
+	prevNode := make([]int32, s.n)
+	prevArc := make([]int32, s.n)
+	for {
+		src := -1
+		for v, e := range excess {
+			if e > 0 {
+				src = v
+				break
+			}
+		}
+		if src == -1 {
+			return cost, nil
+		}
+		sink := s.dijkstra(src, pi, excess, dist, prevNode, prevArc)
+		if sink == -1 {
+			return 0, ErrInfeasible
+		}
+		// Fold the new distances into the potentials (unreached nodes keep
+		// their old potential relative to the sink's distance).
+		for v := 0; v < s.n; v++ {
+			if dist[v] < math.MaxInt64 && dist[v] < dist[sink] {
+				pi[v] += dist[v]
+			} else {
+				pi[v] += dist[sink]
+			}
+		}
+		// Bottleneck along the path.
+		amt := excess[src]
+		if -excess[sink] < amt {
+			amt = -excess[sink]
+		}
+		for v := sink; v != src; v = int(prevNode[v]) {
+			a := &s.adj[prevNode[v]][prevArc[v]]
+			if a.cap < amt {
+				amt = a.cap
+			}
+		}
+		for v := sink; v != src; v = int(prevNode[v]) {
+			a := &s.adj[prevNode[v]][prevArc[v]]
+			a.cap -= amt
+			s.adj[v][a.rev].cap += amt
+			cost += amt * a.cost
+		}
+		excess[src] -= amt
+		excess[sink] += amt
+	}
+}
+
+// initialPotentials runs one SPFA from a virtual source over all nodes so
+// that every residual arc has nonnegative reduced cost afterwards.
+func (s *Solver) initialPotentials() ([]int64, bool) {
+	pi := make([]int64, s.n)
+	inQ := make([]bool, s.n)
+	relax := make([]int32, s.n)
+	queue := make([]int32, 0, s.n)
+	for v := 0; v < s.n; v++ {
+		queue = append(queue, int32(v))
+		inQ[v] = true
+	}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		inQ[u] = false
+		for ai := range s.adj[u] {
+			a := &s.adj[u][ai]
+			if a.cap <= 0 {
+				continue
+			}
+			if nd := pi[u] + a.cost; nd < pi[a.to] {
+				pi[a.to] = nd
+				relax[a.to]++
+				if relax[a.to] > int32(s.n)+1 {
+					return nil, false
+				}
+				if !inQ[a.to] {
+					queue = append(queue, a.to)
+					inQ[a.to] = true
+				}
+			}
+		}
+	}
+	return pi, true
+}
+
+// dijkstra computes shortest residual distances from src under the reduced
+// costs cost(u,v) + pi[u] − pi[v] ≥ 0, stopping as soon as the closest
+// deficit node is settled (its distance is then final); it returns that
+// node, or -1 if no deficit is reachable. Distances of unsettled nodes may
+// be upper bounds only — the caller's potential update caps them at the
+// sink's distance, which keeps reduced costs nonnegative.
+func (s *Solver) dijkstra(src int, pi []int64, excess, dist []int64, prevNode, prevArc []int32) int {
+	for i := range dist {
+		dist[i] = math.MaxInt64
+		prevNode[i] = -1
+	}
+	dist[src] = 0
+	h := pqMCF{{int32(src), 0}}
+	for len(h) > 0 {
+		it := h[0]
+		h.pop()
+		if it.dist > dist[it.v] {
+			continue
+		}
+		if excess[it.v] < 0 {
+			return int(it.v)
+		}
+		for ai := range s.adj[it.v] {
+			a := &s.adj[it.v][ai]
+			if a.cap <= 0 {
+				continue
+			}
+			rc := a.cost + pi[it.v] - pi[a.to]
+			if nd := it.dist + rc; nd < dist[a.to] {
+				dist[a.to] = nd
+				prevNode[a.to] = it.v
+				prevArc[a.to] = int32(ai)
+				h.push(pqItem{a.to, nd})
+			}
+		}
+	}
+	return -1
+}
+
+type pqItem struct {
+	v    int32
+	dist int64
+}
+
+// pqMCF is a minimal binary min-heap (avoiding container/heap interface
+// allocations on this hot path).
+type pqMCF []pqItem
+
+func (h *pqMCF) push(it pqItem) {
+	*h = append(*h, it)
+	i := len(*h) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if (*h)[p].dist <= (*h)[i].dist {
+			break
+		}
+		(*h)[p], (*h)[i] = (*h)[i], (*h)[p]
+		i = p
+	}
+}
+
+func (h *pqMCF) pop() {
+	old := *h
+	n := len(old) - 1
+	old[0] = old[n]
+	*h = old[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < n && old[l].dist < old[small].dist {
+			small = l
+		}
+		if r < n && old[r].dist < old[small].dist {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		old[i], old[small] = old[small], old[i]
+		i = small
+	}
+}
+
+// Flow returns the flow routed through the arc with the given handle.
+func (s *Solver) Flow(handle int) int64 {
+	ref := s.arcRef[handle]
+	if ref[0] < 0 {
+		return 0
+	}
+	a := s.adj[ref[0]][ref[1]]
+	// Flow = what moved to the reverse arc.
+	return s.adj[a.to][a.rev].cap
+}
+
+// ResidualPotentials returns node potentials π with π(x) ≤ π(y) + cost for
+// every arc y→x of the optimal residual network, computed by Bellman–Ford
+// from a virtual source (all nodes start at 0). Positive-flow arcs are tight
+// under π, so for the retiming dual, r(v) = π(v) is an optimal primal
+// solution. Call only after Solve succeeded.
+func (s *Solver) ResidualPotentials() ([]int64, error) {
+	dist := make([]int64, s.n)
+	inQ := make([]bool, s.n)
+	relax := make([]int32, s.n)
+	queue := make([]int32, 0, s.n)
+	for v := 0; v < s.n; v++ {
+		queue = append(queue, int32(v))
+		inQ[v] = true
+	}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		inQ[u] = false
+		for ai := range s.adj[u] {
+			a := &s.adj[u][ai]
+			if a.cap <= 0 {
+				continue
+			}
+			if nd := dist[u] + a.cost; nd < dist[a.to] {
+				dist[a.to] = nd
+				relax[a.to]++
+				if relax[a.to] > int32(s.n)+1 {
+					return nil, errors.New("mcf: negative residual cycle (flow not optimal)")
+				}
+				if !inQ[a.to] {
+					queue = append(queue, a.to)
+					inQ[a.to] = true
+				}
+			}
+		}
+	}
+	return dist, nil
+}

@@ -1,0 +1,186 @@
+package mcf
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestSimpleTransshipment(t *testing.T) {
+	// 0 --(cap 10, cost 1)--> 1 --(cap 10, cost 1)--> 2
+	// 0 --(cap 10, cost 5)------------------------> 2
+	// Ship 7 units from 0 to 2: all via node 1, cost 14.
+	s := New(3)
+	a01 := s.AddArc(0, 1, 10, 1)
+	a12 := s.AddArc(1, 2, 10, 1)
+	a02 := s.AddArc(0, 2, 10, 5)
+	s.AddSupply(0, 7)
+	s.AddSupply(2, -7)
+	cost, err := s.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cost != 14 {
+		t.Errorf("cost = %d, want 14", cost)
+	}
+	if s.Flow(a01) != 7 || s.Flow(a12) != 7 || s.Flow(a02) != 0 {
+		t.Errorf("flows = %d,%d,%d, want 7,7,0", s.Flow(a01), s.Flow(a12), s.Flow(a02))
+	}
+}
+
+func TestCapacityForcesExpensivePath(t *testing.T) {
+	s := New(3)
+	a01 := s.AddArc(0, 1, 4, 1)
+	a12 := s.AddArc(1, 2, 4, 1)
+	a02 := s.AddArc(0, 2, 10, 5)
+	s.AddSupply(0, 7)
+	s.AddSupply(2, -7)
+	cost, err := s.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 units at cost 2, 3 units at cost 5.
+	if cost != 4*2+3*5 {
+		t.Errorf("cost = %d, want 23", cost)
+	}
+	if s.Flow(a01) != 4 || s.Flow(a12) != 4 || s.Flow(a02) != 3 {
+		t.Errorf("flows = %d,%d,%d, want 4,4,3", s.Flow(a01), s.Flow(a12), s.Flow(a02))
+	}
+}
+
+func TestInfeasibleDetected(t *testing.T) {
+	s := New(2)
+	s.AddSupply(0, 3)
+	s.AddSupply(1, -3)
+	// No arcs.
+	if _, err := s.Solve(); err != ErrInfeasible {
+		t.Fatalf("err = %v, want ErrInfeasible", err)
+	}
+}
+
+func TestUnbalancedSupplies(t *testing.T) {
+	s := New(2)
+	s.AddSupply(0, 3)
+	if _, err := s.Solve(); err == nil {
+		t.Fatal("unbalanced supplies accepted")
+	}
+}
+
+func TestNegativeCostArcs(t *testing.T) {
+	// A negative-cost arc on the cheapest path.
+	s := New(3)
+	s.AddArc(0, 1, 10, 4)
+	s.AddArc(1, 2, 10, -3)
+	s.AddArc(0, 2, 10, 2)
+	s.AddSupply(0, 5)
+	s.AddSupply(2, -5)
+	cost, err := s.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cost != 5*1 {
+		t.Errorf("cost = %d, want 5", cost)
+	}
+}
+
+func TestResidualPotentialsFeasible(t *testing.T) {
+	s := New(4)
+	s.AddArc(0, 1, 6, 2)
+	s.AddArc(1, 2, 6, 2)
+	s.AddArc(0, 3, 6, 1)
+	s.AddArc(3, 2, 6, 4)
+	s.AddSupply(0, 6)
+	s.AddSupply(2, -6)
+	if _, err := s.Solve(); err != nil {
+		t.Fatal(err)
+	}
+	pi, err := s.ResidualPotentials()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Feasibility of potentials on every residual arc.
+	for u := 0; u < 4; u++ {
+		for _, a := range s.adj[u] {
+			if a.cap > 0 && pi[a.to] > pi[u]+a.cost {
+				t.Errorf("potential violates residual arc %d→%d", u, a.to)
+			}
+		}
+	}
+}
+
+// Against brute force: random small instances, compare optimal cost with an
+// exhaustive enumeration over integer flows.
+func TestRandomAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for iter := 0; iter < 60; iter++ {
+		n := 3 + rng.Intn(3)
+		type edge struct {
+			u, v      int
+			cap, cost int64
+		}
+		var edges []edge
+		for i := 0; i < n+2; i++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u == v {
+				continue
+			}
+			// Costs stay nonnegative: successive shortest paths does not
+			// support negative cycles, and retiming duals never have them
+			// (negative costs on acyclic routes are covered separately).
+			edges = append(edges, edge{u, v, int64(rng.Intn(3) + 1), int64(rng.Intn(7))})
+		}
+		amt := int64(rng.Intn(3) + 1)
+		src, dst := 0, n-1
+
+		s := New(n)
+		for _, e := range edges {
+			s.AddArc(e.u, e.v, e.cap, e.cost)
+		}
+		s.AddSupply(src, amt)
+		s.AddSupply(dst, -amt)
+		got, err := s.Solve()
+
+		// Brute force: enumerate flow on each edge 0..cap, check conservation.
+		best := int64(1) << 62
+		var rec func(i int, flows []int64)
+		rec = func(i int, flows []int64) {
+			if i == len(edges) {
+				bal := make([]int64, n)
+				var c int64
+				for j, e := range edges {
+					bal[e.u] -= flows[j]
+					bal[e.v] += flows[j]
+					c += flows[j] * e.cost
+				}
+				bal[src] += amt
+				bal[dst] -= amt
+				for _, b := range bal {
+					if b != 0 {
+						return
+					}
+				}
+				if c < best {
+					best = c
+				}
+				return
+			}
+			for f := int64(0); f <= edges[i].cap; f++ {
+				flows[i] = f
+				rec(i+1, flows)
+			}
+		}
+		rec(0, make([]int64, len(edges)))
+
+		if best == int64(1)<<62 {
+			if err != ErrInfeasible {
+				t.Fatalf("iter %d: brute force infeasible, solver said %v (cost %d)", iter, err, got)
+			}
+			continue
+		}
+		if err != nil {
+			t.Fatalf("iter %d: solver error %v, brute force cost %d", iter, err, best)
+		}
+		if got != best {
+			t.Fatalf("iter %d: solver cost %d, brute force %d", iter, got, best)
+		}
+	}
+}

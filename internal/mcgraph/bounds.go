@@ -1,0 +1,129 @@
+package mcgraph
+
+import (
+	"mcretiming/internal/graph"
+)
+
+// BoundsInfo carries the mc-retiming bounds of §4.1 plus the bookkeeping the
+// sharing transform and the paper's #Step metric need.
+type BoundsInfo struct {
+	// RMax[v] is the backward bound r_max^mc(v) ≥ 0; RMin[v] the forward
+	// bound r_min^mc(v) ≤ 0. For vertices on all-compatible cycles the
+	// corresponding Unbounded flag is set and the count is the cap reached.
+	RMax, RMin                 []int32
+	UnboundedMax, UnboundedMin []bool
+	// Backward is the maximally backward retimed clone (needed by §4.2).
+	Backward *MC
+	// StepsPossible is Σ_v (r_max + |r_min|): the paper's "#Step" second
+	// number, the total number of valid mc-retiming steps.
+	StepsPossible int64
+}
+
+// ComputeBounds derives the mc-retiming bounds by maximal backward and
+// maximal forward retiming of clones of m (§4.1). Reset values are ignored,
+// exactly as the paper prescribes.
+//
+// Maximal retiming need not terminate when a cycle's register layers stay
+// compatible all the way around (registers can rotate forever). A vertex
+// whose move count exceeds the total number of register instances has
+// necessarily cycled, so it is excluded from further moves and reported
+// unbounded in that direction — "arbitrarily many layers available".
+func (m *MC) ComputeBounds() *BoundsInfo {
+	n := len(m.Verts)
+	cap32 := int32(m.NumRegInstances()) + 1
+
+	bw := m.Clone()
+	rmax, ubMax := bw.maximalRetime(true, cap32)
+	fw := m.Clone()
+	rmin, ubMin := fw.maximalRetime(false, cap32)
+
+	info := &BoundsInfo{
+		RMax: rmax, RMin: make([]int32, n),
+		UnboundedMax: ubMax, UnboundedMin: ubMin,
+		Backward: bw,
+	}
+	for v := 0; v < n; v++ {
+		info.RMin[v] = -rmin[v]
+		info.StepsPossible += int64(rmax[v]) + int64(rmin[v])
+	}
+	return info
+}
+
+// maximalRetime applies valid mc-steps in the given direction until no more
+// apply, capping per-vertex counts, and returns the per-vertex move counts
+// and unbounded flags. The receiver is mutated.
+func (m *MC) maximalRetime(backward bool, cap32 int32) (counts []int32, unbounded []bool) {
+	n := len(m.Verts)
+	counts = make([]int32, n)
+	unbounded = make([]bool, n)
+
+	can := m.CanForward
+	step := m.StepForward
+	if backward {
+		can = m.CanBackward
+		step = m.StepBackward
+	}
+
+	// Worklist to a fixpoint: a move at v can only enable moves at v itself
+	// or at its direct neighbours (that is where registers appeared), so
+	// after each move v and its neighbours are re-enqueued.
+	inQ := make([]bool, n)
+	queue := make([]graph.VertexID, 0, n)
+	push := func(v graph.VertexID) {
+		if !inQ[v] && !unbounded[v] {
+			inQ[v] = true
+			queue = append(queue, v)
+		}
+	}
+	for v := 1; v < n; v++ {
+		push(graph.VertexID(v))
+	}
+	for len(queue) > 0 {
+		v := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		inQ[v] = false
+		if unbounded[v] {
+			continue
+		}
+		if _, ok := can(v); !ok {
+			continue
+		}
+		if _, err := step(v); err != nil {
+			continue
+		}
+		counts[v]++
+		if counts[v] >= cap32 {
+			unbounded[v] = true
+		} else {
+			push(v)
+		}
+		for _, ei := range m.in[v] {
+			push(m.Edges[ei].From)
+		}
+		for _, ei := range m.out[v] {
+			push(m.Edges[ei].To)
+		}
+	}
+	return counts, unbounded
+}
+
+// GraphBounds converts the mc bounds into basic-retiming bounds over the
+// projected graph's vertices (same indexing). Pinned vertices get [0,0];
+// unbounded directions are left open.
+func (info *BoundsInfo) GraphBounds(m *MC) *graph.Bounds {
+	n := len(m.Verts)
+	b := graph.NewBounds(n)
+	for v := 0; v < n; v++ {
+		if m.Verts[v].Pinned {
+			b.Min[v], b.Max[v] = 0, 0
+			continue
+		}
+		if !info.UnboundedMin[v] {
+			b.Min[v] = info.RMin[v]
+		}
+		if !info.UnboundedMax[v] {
+			b.Max[v] = info.RMax[v]
+		}
+	}
+	return b
+}

@@ -1,0 +1,138 @@
+// Package mcgraph implements the multiple-class retiming graph of the paper
+// (§3): a retiming graph whose edges carry *sequences* of registers, each
+// labelled with a register class and synchronous/asynchronous reset values.
+//
+// On top of the model it provides the paper's algorithmic core:
+//
+//   - register classification (Definition 1),
+//   - valid mc-retiming steps (Fig. 3) and maximal backward/forward
+//     retiming, which yield the per-vertex retiming bounds r_min^mc and
+//     r_max^mc (§4.1),
+//   - the separation-vertex transformation that repairs the register-sharing
+//     cost model at multi-fanout vertices (§4.2, Eq. 3),
+//   - the projection onto a basic retiming graph plus bounds (§4 and §5.1),
+//   - relocation of registers according to a computed retiming, with
+//     equivalent reset-state computation hooks (§5.2, package justify).
+package mcgraph
+
+import (
+	"fmt"
+
+	"mcretiming/internal/logic"
+	"mcretiming/internal/netlist"
+)
+
+// ClassID identifies a register class within an MC graph.
+type ClassID int32
+
+// Class is the paper's Definition 1: a register class is the tuple of
+// control signals (clk, load, r_sync, r_async). Signals are normalized
+// before classification (buffer chains collapsed, EN tied to constant 1 and
+// resets tied to constant 0 dropped), so two registers are compatible iff
+// their Class fields are equal.
+type Class struct {
+	ID  ClassID
+	Clk netlist.SignalID
+	EN  netlist.SignalID // NoSignal: always loads
+	SR  netlist.SignalID // NoSignal: no synchronous set/clear
+	AR  netlist.SignalID // NoSignal: no asynchronous set/clear
+}
+
+// HasEN reports whether the class has a load-enable control.
+func (c *Class) HasEN() bool { return c.EN != netlist.NoSignal }
+
+// HasSR reports whether the class has a synchronous set/clear control.
+func (c *Class) HasSR() bool { return c.SR != netlist.NoSignal }
+
+// HasAR reports whether the class has an asynchronous set/clear control.
+func (c *Class) HasAR() bool { return c.AR != netlist.NoSignal }
+
+type classKey struct {
+	clk, en, sr, ar netlist.SignalID
+}
+
+// normalizeSignal chases buffer chains back to the driving non-buffer signal
+// so that logically-equivalent control connections classify together.
+func normalizeSignal(c *netlist.Circuit, sig netlist.SignalID) netlist.SignalID {
+	for sig != netlist.NoSignal {
+		d := c.Signals[sig].Driver
+		if d.Kind != netlist.DriverGate {
+			return sig
+		}
+		g := &c.Gates[d.Gate]
+		if g.Type != netlist.Buf {
+			return sig
+		}
+		sig = g.In[0]
+	}
+	return sig
+}
+
+// classKeyOf computes the normalized class key of register r in circuit c.
+func classKeyOf(c *netlist.Circuit, r *netlist.Reg) classKey {
+	k := classKey{
+		clk: normalizeSignal(c, r.Clk),
+		en:  normalizeSignal(c, r.EN),
+		sr:  normalizeSignal(c, r.SR),
+		ar:  normalizeSignal(c, r.AR),
+	}
+	// EN tied to constant 1 behaves like no enable; resets tied to constant
+	// 0 are never asserted.
+	if v, ok := c.IsConst(k.en); ok && v == logic.B1 {
+		k.en = netlist.NoSignal
+	}
+	if v, ok := c.IsConst(k.sr); ok && v == logic.B0 {
+		k.sr = netlist.NoSignal
+	}
+	if v, ok := c.IsConst(k.ar); ok && v == logic.B0 {
+		k.ar = netlist.NoSignal
+	}
+	return k
+}
+
+// classifier interns register classes.
+type classifier struct {
+	classes []Class
+	byKey   map[classKey]ClassID
+}
+
+func newClassifier() *classifier {
+	return &classifier{byKey: make(map[classKey]ClassID)}
+}
+
+func (cl *classifier) intern(key classKey) ClassID {
+	if id, ok := cl.byKey[key]; ok {
+		return id
+	}
+	id := ClassID(len(cl.classes))
+	cl.classes = append(cl.classes, Class{
+		ID: id, Clk: key.clk, EN: key.en, SR: key.sr, AR: key.ar,
+	})
+	cl.byKey[key] = id
+	return id
+}
+
+// RegInst is one register occurrence on an mc-graph edge: its class and the
+// paper's s/a labels (synchronous and asynchronous reset values, BX = "-").
+// Orig links back to the netlist register this instance descends from
+// (NoReg for registers created by retiming moves).
+//
+// Serial identifies the physical register layer the instance belongs to:
+// instances of one physical register on several fanout edges share a
+// serial, and reset-state justification (§5.2) uses serials to trace
+// derived registers back to their origins for global justification.
+type RegInst struct {
+	Class  ClassID
+	S, A   logic.Bit
+	Orig   netlist.RegID
+	Serial int64
+}
+
+// Compatible reports whether two instances may move in one layer: the paper
+// requires equal classes only — reset values are reconciled by
+// justification later.
+func (a RegInst) Compatible(b RegInst) bool { return a.Class == b.Class }
+
+func (a RegInst) String() string {
+	return fmt.Sprintf("l^%d(s=%v,a=%v)", a.Class, a.S, a.A)
+}

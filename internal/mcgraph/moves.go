@@ -1,0 +1,137 @@
+package mcgraph
+
+import (
+	"fmt"
+
+	"mcretiming/internal/graph"
+	"mcretiming/internal/logic"
+	"mcretiming/internal/netlist"
+)
+
+// Movable reports whether mc-retiming steps at v are structurally possible:
+// v must be an unpinned gate vertex with both fanin and fanout edges
+// (vertices without one side would create or destroy registers).
+func (m *MC) Movable(v graph.VertexID) bool {
+	return !m.Verts[v].Pinned && len(m.in[v]) > 0 && len(m.out[v]) > 0
+}
+
+// CanBackward reports whether a backward mc-retiming step is valid at v
+// (paper Fig. 3): a complete layer of compatible registers at the source
+// ends of all fanout edges, with no frozen edge involved on either side.
+// It returns the class of the layer.
+func (m *MC) CanBackward(v graph.VertexID) (ClassID, bool) {
+	if !m.Movable(v) {
+		return 0, false
+	}
+	var cls ClassID
+	for i, ei := range m.out[v] {
+		e := &m.Edges[ei]
+		if e.NoMove || len(e.Regs) == 0 {
+			return 0, false
+		}
+		if i == 0 {
+			cls = e.Regs[0].Class
+		} else if e.Regs[0].Class != cls {
+			return 0, false
+		}
+	}
+	for _, ei := range m.in[v] {
+		if m.Edges[ei].NoMove {
+			return 0, false
+		}
+	}
+	return cls, true
+}
+
+// StepBackward performs a backward mc-retiming step at v: the source-nearest
+// register of every fanout edge is removed and a fresh layer of the same
+// class (values unknown, to be justified) is appended at the sink end of
+// every fanin edge. It returns the removed instances, in m.Out(v) order.
+func (m *MC) StepBackward(v graph.VertexID) ([]RegInst, error) {
+	cls, ok := m.CanBackward(v)
+	if !ok {
+		return nil, fmt.Errorf("mcgraph: invalid backward step at %s", m.Verts[v].Name)
+	}
+	removed := make([]RegInst, 0, len(m.out[v]))
+	for _, ei := range m.out[v] {
+		e := &m.Edges[ei]
+		removed = append(removed, e.Regs[0])
+		e.Regs = e.Regs[1:]
+	}
+	// Each fanin pin gets its own physical register (values differ per pin
+	// after justification), hence its own serial.
+	for _, ei := range m.in[v] {
+		e := &m.Edges[ei]
+		m.nextSerial++
+		e.Regs = append(e.Regs, RegInst{
+			Class: cls, S: logic.BX, A: logic.BX, Orig: netlist.NoReg,
+			Serial: m.nextSerial,
+		})
+	}
+	return removed, nil
+}
+
+// CanForward reports whether a forward mc-retiming step is valid at v: a
+// complete layer of compatible registers at the sink ends of all fanin
+// edges, no frozen edge involved.
+func (m *MC) CanForward(v graph.VertexID) (ClassID, bool) {
+	if !m.Movable(v) {
+		return 0, false
+	}
+	var cls ClassID
+	for i, ei := range m.in[v] {
+		e := &m.Edges[ei]
+		if e.NoMove || len(e.Regs) == 0 {
+			return 0, false
+		}
+		last := e.Regs[len(e.Regs)-1]
+		if i == 0 {
+			cls = last.Class
+		} else if last.Class != cls {
+			return 0, false
+		}
+	}
+	for _, ei := range m.out[v] {
+		if m.Edges[ei].NoMove {
+			return 0, false
+		}
+	}
+	return cls, true
+}
+
+// StepForward performs a forward mc-retiming step at v: the sink-nearest
+// register of every fanin edge is removed and a fresh layer of the same
+// class is inserted at the source end of every fanout edge. It returns the
+// removed instances, in m.In(v) order.
+func (m *MC) StepForward(v graph.VertexID) ([]RegInst, error) {
+	cls, ok := m.CanForward(v)
+	if !ok {
+		return nil, fmt.Errorf("mcgraph: invalid forward step at %s", m.Verts[v].Name)
+	}
+	removed := make([]RegInst, 0, len(m.in[v]))
+	for _, ei := range m.in[v] {
+		e := &m.Edges[ei]
+		removed = append(removed, e.Regs[len(e.Regs)-1])
+		e.Regs = e.Regs[:len(e.Regs)-1]
+	}
+	// One physical register shared by every fanout edge: one serial.
+	m.nextSerial++
+	inst := RegInst{
+		Class: cls, S: logic.BX, A: logic.BX, Orig: netlist.NoReg,
+		Serial: m.nextSerial,
+	}
+	for _, ei := range m.out[v] {
+		e := &m.Edges[ei]
+		e.Regs = append([]RegInst{inst}, e.Regs...)
+	}
+	return removed, nil
+}
+
+// SetFanoutLayer overwrites the values of the layer just inserted by
+// StepForward: the source-nearest register of every fanout edge of v.
+func (m *MC) SetFanoutLayer(v graph.VertexID, inst RegInst) {
+	for _, ei := range m.out[v] {
+		e := &m.Edges[ei]
+		e.Regs[0] = inst
+	}
+}

@@ -1,0 +1,131 @@
+package mcgraph
+
+import (
+	"mcretiming/internal/graph"
+)
+
+// AreaGraph builds the basic retiming graph fed to the minperiod/minarea
+// solvers: the projection of m plus, per multi-fanout vertex, the
+// separation vertices of §4.2 that keep the Leiserson–Saxe sharing cost
+// from undercounting incompatible registers.
+//
+// For each multi-fanout vertex u, the register layers of the maximally
+// backward retimed graph (info.Backward) are traversed source→sink; at each
+// layer the largest compatible set is kept and everything else is cut.
+// For a fanout edge e_i with τ_i registers right of the cut, a zero-delay
+// separation vertex s_i splits e_i; s_i is billed as a single-fanout vertex
+// by the cost model and its backward bound follows Eq. 3:
+//
+//	r_max(s_i) = max(r_max(v_i) − τ_i, 0).
+//
+// The τ_i − r_max(v_i) surplus (if positive) of the initial registers is
+// placed on the s_i→v_i stub, the rest on u→s_i — the rewind of the maximal
+// backward retiming, in closed form.
+//
+// Separation vertices exist only in the returned graph/bounds; retiming
+// values at indices ≥ len(m.Verts) are solver-internal and dropped when the
+// solution is applied to the mc-graph.
+func (m *MC) AreaGraph(info *BoundsInfo) (*graph.Graph, *graph.Bounds) {
+	g := graph.New()
+	for i := 1; i < len(m.Verts); i++ {
+		g.AddVertex(m.Verts[i].Name, m.Verts[i].Delay)
+	}
+	gb := info.GraphBounds(m)
+	// Bounds slices grow as separation vertices are added.
+	addVertexBound := func(min, max int32) graph.VertexID {
+		v := g.AddVertex("sep", 0)
+		gb.Min = append(gb.Min, min)
+		gb.Max = append(gb.Max, max)
+		return v
+	}
+
+	// Decide cuts per multi-fanout vertex on the backward-retimed graph.
+	// tau[edge index] = number of non-sharable registers (right of cut).
+	tau := make(map[int32]int32)
+	bw := info.Backward
+	for v := range m.Verts {
+		outs := m.out[v]
+		if len(outs) < 2 {
+			continue
+		}
+		selected := append([]int32(nil), outs...)
+		for layer := 0; ; layer++ {
+			// Group the selected edges that still have a register at this
+			// layer by the register's class.
+			groups := make(map[ClassID][]int32)
+			for _, ei := range selected {
+				regs := bw.Edges[ei].Regs
+				if layer < len(regs) {
+					groups[regs[layer].Class] = append(groups[regs[layer].Class], ei)
+				}
+			}
+			if len(groups) == 0 {
+				break // all remaining edges fully consumed: fully sharable
+			}
+			var best ClassID
+			bestN := -1
+			for cls, es := range groups {
+				if len(es) > bestN || (len(es) == bestN && cls < best) {
+					best, bestN = cls, len(es)
+				}
+			}
+			// Everything selected but outside the winning group is cut at
+			// this layer; its remaining registers are non-sharable.
+			for _, ei := range selected {
+				regs := bw.Edges[ei].Regs
+				if layer >= len(regs) {
+					continue // consumed: sharable in full
+				}
+				inBest := false
+				for _, bi := range groups[best] {
+					if bi == ei {
+						inBest = true
+						break
+					}
+				}
+				if !inBest {
+					tau[ei] = int32(len(regs) - layer)
+				}
+			}
+			selected = groups[best]
+		}
+	}
+
+	// Emit edges, splitting those with a cut. Host-adjacent edges are
+	// omitted (see ToGraph).
+	for i := range m.Edges {
+		e := &m.Edges[i]
+		if e.From == graph.Host || e.To == graph.Host {
+			continue
+		}
+		w := int32(len(e.Regs))
+		t := tau[int32(i)]
+		if t == 0 || e.NoMove {
+			g.AddEdge(e.From, e.To, w)
+			continue
+		}
+		vi := e.To
+		rmaxV := info.RMax[vi]
+		// Initial registers on the sink stub (closed-form rewind).
+		stub := t - rmaxV
+		if info.UnboundedMax[vi] || stub < 0 {
+			stub = 0
+		}
+		if stub > w {
+			stub = w
+		}
+		var sepMax int32
+		switch {
+		case info.UnboundedMax[vi]:
+			sepMax = graph.NoUpper
+		case rmaxV > t:
+			sepMax = rmaxV - t
+		default:
+			sepMax = 0
+		}
+		s := addVertexBound(graph.NoLower, sepMax)
+		g.AddEdge(e.From, s, w-stub)
+		g.AddEdge(s, vi, stub)
+	}
+	return g, gb
+}

@@ -1,0 +1,50 @@
+package mcgraph
+
+import (
+	"fmt"
+	"strings"
+
+	"mcretiming/internal/netlist"
+)
+
+// ClassInfo summarizes one register class for reporting.
+type ClassInfo struct {
+	ID        ClassID
+	Desc      string // human-readable control tuple
+	Registers int    // live netlist registers in the class
+}
+
+// ClassSummary lists the classes of m with their register populations,
+// in class-ID order.
+func (m *MC) ClassSummary() []ClassInfo {
+	counts := make([]int, len(m.Classes))
+	m.Ckt.LiveRegs(func(r *netlist.Reg) {
+		counts[m.classOfReg[r.ID]]++
+	})
+	out := make([]ClassInfo, len(m.Classes))
+	for i := range m.Classes {
+		cls := &m.Classes[i]
+		var parts []string
+		parts = append(parts, "clk="+m.Ckt.SignalName(cls.Clk))
+		if cls.HasEN() {
+			parts = append(parts, "en="+m.Ckt.SignalName(cls.EN))
+		}
+		if cls.HasSR() {
+			parts = append(parts, "sync="+m.Ckt.SignalName(cls.SR))
+		}
+		if cls.HasAR() {
+			parts = append(parts, "async="+m.Ckt.SignalName(cls.AR))
+		}
+		out[i] = ClassInfo{
+			ID:        cls.ID,
+			Desc:      strings.Join(parts, " "),
+			Registers: counts[i],
+		}
+	}
+	return out
+}
+
+// String renders the info as "C3 (12 regs): clk=clk en=en1".
+func (ci ClassInfo) String() string {
+	return fmt.Sprintf("C%d (%d regs): %s", ci.ID, ci.Registers, ci.Desc)
+}

@@ -1,0 +1,30 @@
+package netlist
+
+import "fmt"
+
+// UniqueSignalNames returns one name per signal, guaranteed distinct:
+// serialization must never merge two signals because circuit passes (e.g.
+// the technology mapper) mixed imported names with generated ones.
+// Colliding names get a "__dupN" suffix; empty names become "nID".
+func (c *Circuit) UniqueSignalNames() []string {
+	names := make([]string, len(c.Signals))
+	seen := make(map[string]bool, len(c.Signals))
+	for i := range c.Signals {
+		name := c.Signals[i].Name
+		if name == "" {
+			name = fmt.Sprintf("n%d", i)
+		}
+		if seen[name] {
+			base := name
+			for k := 1; ; k++ {
+				name = fmt.Sprintf("%s__dup%d", base, k)
+				if !seen[name] {
+					break
+				}
+			}
+		}
+		seen[name] = true
+		names[i] = name
+	}
+	return names
+}

@@ -1,0 +1,88 @@
+package netlist
+
+import "fmt"
+
+// Fanouts indexes, for every signal, the gates and registers that read it.
+// It is a snapshot: structural edits invalidate it.
+type Fanouts struct {
+	// GateReaders[sig] lists gates with sig among their inputs.
+	GateReaders [][]GateID
+	// RegD[sig] lists registers whose D pin reads sig.
+	RegD [][]RegID
+	// RegCtrl[sig] lists registers with sig on a control pin (clk/EN/SR/AR).
+	RegCtrl [][]RegID
+	// IsPO[sig] reports whether sig is a primary output.
+	IsPO []bool
+}
+
+// BuildFanouts computes the fanout index of the circuit.
+func (c *Circuit) BuildFanouts() *Fanouts {
+	n := len(c.Signals)
+	f := &Fanouts{
+		GateReaders: make([][]GateID, n),
+		RegD:        make([][]RegID, n),
+		RegCtrl:     make([][]RegID, n),
+		IsPO:        make([]bool, n),
+	}
+	c.LiveGates(func(g *Gate) {
+		for _, in := range g.In {
+			f.GateReaders[in] = append(f.GateReaders[in], g.ID)
+		}
+	})
+	c.LiveRegs(func(r *Reg) {
+		f.RegD[r.D] = append(f.RegD[r.D], r.ID)
+		for _, ctl := range []SignalID{r.Clk, r.EN, r.SR, r.AR} {
+			if ctl != NoSignal {
+				f.RegCtrl[ctl] = append(f.RegCtrl[ctl], r.ID)
+			}
+		}
+	})
+	for _, po := range c.POs {
+		f.IsPO[po] = true
+	}
+	return f
+}
+
+// TopoGates returns the live gates in a topological order of the
+// combinational logic: every gate appears after the drivers of its inputs.
+// Register Q outputs and primary inputs are sources. It returns an error if
+// the combinational logic contains a cycle.
+func (c *Circuit) TopoGates() ([]GateID, error) {
+	// indeg counts, per gate, how many of its inputs are driven by
+	// not-yet-emitted gates.
+	indeg := make(map[GateID]int)
+	readers := make(map[GateID][]GateID) // driver gate -> reader gates
+	var ready []GateID
+	live := 0
+	c.LiveGates(func(g *Gate) {
+		live++
+		n := 0
+		for _, in := range g.In {
+			d := c.Signals[in].Driver
+			if d.Kind == DriverGate && !c.Gates[d.Gate].Dead {
+				n++
+				readers[d.Gate] = append(readers[d.Gate], g.ID)
+			}
+		}
+		indeg[g.ID] = n
+		if n == 0 {
+			ready = append(ready, g.ID)
+		}
+	})
+	order := make([]GateID, 0, live)
+	for len(ready) > 0 {
+		g := ready[len(ready)-1]
+		ready = ready[:len(ready)-1]
+		order = append(order, g)
+		for _, r := range readers[g] {
+			indeg[r]--
+			if indeg[r] == 0 {
+				ready = append(ready, r)
+			}
+		}
+	}
+	if len(order) != live {
+		return nil, fmt.Errorf("netlist %q: combinational cycle among %d gates", c.Name, live-len(order))
+	}
+	return order, nil
+}

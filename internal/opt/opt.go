@@ -1,0 +1,313 @@
+// Package opt provides the combinational cleanup passes a synthesis flow
+// runs before mapping and retiming: constant propagation, buffer sweeping,
+// and dead-logic removal. The paper's flow performs architecture-specific
+// logic optimization before its "retime" command; these passes are the
+// technology-independent core of that step.
+//
+// All passes are pure: they return a fresh circuit and leave the input
+// untouched. Registers are never restructured (that is retiming's job) —
+// but a register whose output drives nothing is dead logic and goes.
+package opt
+
+import (
+	"fmt"
+	"slices"
+
+	"mcretiming/internal/logic"
+	"mcretiming/internal/netlist"
+)
+
+// Result reports what Clean removed.
+type Result struct {
+	GatesRemoved int
+	RegsRemoved  int
+	ConstsFolded int
+}
+
+// Clean runs constant folding, buffer sweeping and dead-logic removal to a
+// fixpoint and returns the cleaned circuit.
+func Clean(c *netlist.Circuit) (*netlist.Circuit, *Result, error) {
+	if err := c.Validate(); err != nil {
+		return nil, nil, fmt.Errorf("opt: %w", err)
+	}
+	res := &Result{}
+	cur := c
+	for {
+		next, changed, err := pass(cur, res)
+		if err != nil {
+			return nil, nil, err
+		}
+		if !changed {
+			res.GatesRemoved = c.NumGates() - next.NumGates()
+			res.RegsRemoved = c.NumRegs() - next.NumRegs()
+			return next, res, nil
+		}
+		cur = next
+	}
+}
+
+// pass performs one rebuild with folding and sweeping.
+func pass(c *netlist.Circuit, res *Result) (*netlist.Circuit, bool, error) {
+	order, err := c.TopoGates()
+	if err != nil {
+		return nil, false, err
+	}
+
+	// Forward value analysis: constant signals.
+	val := make([]logic.Bit, len(c.Signals))
+	for i := range val {
+		val[i] = logic.BX
+	}
+	in3 := make([]logic.Bit, 8)
+	for _, gid := range order {
+		g := &c.Gates[gid]
+		in := in3[:0]
+		for _, s := range g.In {
+			in = append(in, val[s])
+		}
+		switch g.Type {
+		case netlist.Const0:
+			val[g.Out] = logic.B0
+		case netlist.Const1:
+			val[g.Out] = logic.B1
+		default:
+			val[g.Out] = g.Eval3(in)
+		}
+	}
+
+	out := netlist.New(c.Name)
+	sigMap := make([]netlist.SignalID, len(c.Signals))
+	for i := range sigMap {
+		sigMap[i] = netlist.NoSignal
+	}
+	for _, pi := range c.PIs {
+		sigMap[pi] = out.AddInput(c.Signals[pi].Name)
+	}
+
+	changed := false
+	// Live registers: those reachable from outputs/controls. First find
+	// consumers, then walk liveness backwards.
+	live := liveRegs(c)
+	regQ := make(map[netlist.RegID]netlist.SignalID)
+	var liveOrder []netlist.RegID // deterministic register order
+	c.LiveRegs(func(r *netlist.Reg) {
+		if live[r.ID] {
+			liveOrder = append(liveOrder, r.ID)
+			regQ[r.ID] = out.AddSignal(c.Signals[r.Q].Name)
+		}
+	})
+
+	var need func(sig netlist.SignalID) (netlist.SignalID, error)
+	need = func(sig netlist.SignalID) (netlist.SignalID, error) {
+		if sigMap[sig] != netlist.NoSignal {
+			return sigMap[sig], nil
+		}
+		// Constant-valued signals fold, except when already a const gate
+		// (which maps 1:1 below).
+		d := c.Signals[sig].Driver
+		if v := val[sig]; v.Known() && d.Kind == netlist.DriverGate {
+			g := &c.Gates[d.Gate]
+			if g.Type != netlist.Const0 && g.Type != netlist.Const1 {
+				res.ConstsFolded++
+				changed = true
+			}
+			sigMap[sig] = out.Const(v)
+			return sigMap[sig], nil
+		}
+		switch d.Kind {
+		case netlist.DriverReg:
+			q, ok := regQ[d.Reg]
+			if !ok {
+				return netlist.NoSignal, fmt.Errorf("opt: dead register %s still referenced", c.Regs[d.Reg].Name)
+			}
+			sigMap[sig] = q
+			return q, nil
+		case netlist.DriverGate:
+			g := &c.Gates[d.Gate]
+			// Buffer sweep.
+			if g.Type == netlist.Buf {
+				changed = true
+				ns, err := need(g.In[0])
+				if err != nil {
+					return netlist.NoSignal, err
+				}
+				sigMap[sig] = ns
+				return ns, nil
+			}
+			in := make([]netlist.SignalID, len(g.In))
+			for i, s := range g.In {
+				ns, err := need(s)
+				if err != nil {
+					return netlist.NoSignal, err
+				}
+				in[i] = ns
+			}
+			gid := out.AddGateTo(g.Name, g.Type, in, out.AddSignal(c.Signals[sig].Name), g.Delay)
+			ng := &out.Gates[gid]
+			ng.TT = g.TT
+			sigMap[sig] = ng.Out
+			return ng.Out, nil
+		default:
+			return netlist.NoSignal, fmt.Errorf("opt: undriven signal %s", c.SignalName(sig))
+		}
+	}
+
+	mapPin := func(sig netlist.SignalID) (netlist.SignalID, error) {
+		if sig == netlist.NoSignal {
+			return netlist.NoSignal, nil
+		}
+		return need(sig)
+	}
+	for _, id := range liveOrder {
+		q := regQ[id]
+		r := &c.Regs[id]
+		dSig, err := mapPin(r.D)
+		if err != nil {
+			return nil, false, err
+		}
+		clk, err := mapPin(r.Clk)
+		if err != nil {
+			return nil, false, err
+		}
+		nid := out.AddRegTo(r.Name, dSig, q, clk)
+		nr := &out.Regs[nid]
+		if nr.EN, err = mapPin(r.EN); err != nil {
+			return nil, false, err
+		}
+		if nr.SR, err = mapPin(r.SR); err != nil {
+			return nil, false, err
+		}
+		if nr.AR, err = mapPin(r.AR); err != nil {
+			return nil, false, err
+		}
+		nr.SRVal, nr.ARVal = r.SRVal, r.ARVal
+	}
+	for _, po := range c.POs {
+		sig, err := need(po)
+		if err != nil {
+			return nil, false, err
+		}
+		out.MarkOutput(sig)
+	}
+	if out.NumGates() != c.NumGates() || out.NumRegs() != c.NumRegs() {
+		changed = true
+	}
+	if err := out.Validate(); err != nil {
+		return nil, false, fmt.Errorf("opt: cleaned netlist invalid: %w", err)
+	}
+	return out, changed, nil
+}
+
+// liveRegs returns the registers transitively reachable (backwards) from
+// primary outputs and register control pins.
+func liveRegs(c *netlist.Circuit) map[netlist.RegID]bool {
+	live := make(map[netlist.RegID]bool)
+	seenSig := make([]bool, len(c.Signals))
+	var walk func(sig netlist.SignalID)
+	walk = func(sig netlist.SignalID) {
+		if sig == netlist.NoSignal || seenSig[sig] {
+			return
+		}
+		seenSig[sig] = true
+		d := c.Signals[sig].Driver
+		switch d.Kind {
+		case netlist.DriverGate:
+			for _, in := range c.Gates[d.Gate].In {
+				walk(in)
+			}
+		case netlist.DriverReg:
+			r := &c.Regs[d.Reg]
+			if !live[d.Reg] {
+				live[d.Reg] = true
+				walk(r.D)
+				walk(r.Clk)
+				walk(r.EN)
+				walk(r.SR)
+				walk(r.AR)
+			}
+		}
+	}
+	for _, po := range c.POs {
+		walk(po)
+	}
+	return live
+}
+
+// Strash merges structurally identical gates (same type, truth table and
+// input signals) into one — classic structural hashing. It returns a fresh
+// circuit; registers are untouched.
+func Strash(c *netlist.Circuit) (*netlist.Circuit, int, error) {
+	if err := c.Validate(); err != nil {
+		return nil, 0, fmt.Errorf("opt: %w", err)
+	}
+	order, err := c.TopoGates()
+	if err != nil {
+		return nil, 0, err
+	}
+	out := netlist.New(c.Name)
+	sigMap := make([]netlist.SignalID, len(c.Signals))
+	for i := range sigMap {
+		sigMap[i] = netlist.NoSignal
+	}
+	for _, pi := range c.PIs {
+		sigMap[pi] = out.AddInput(c.Signals[pi].Name)
+	}
+	// Register Qs first (they are sources for the combinational logic).
+	type regPin struct{ id netlist.RegID }
+	var regs []regPin
+	c.LiveRegs(func(r *netlist.Reg) {
+		sigMap[r.Q] = out.AddSignal(c.Signals[r.Q].Name)
+		regs = append(regs, regPin{r.ID})
+	})
+
+	merged := 0
+	seen := make(map[string]netlist.SignalID)
+	for _, gid := range order {
+		g := &c.Gates[gid]
+		key := fmt.Sprintf("%d:%x", g.Type, g.TT)
+		ins := make([]netlist.SignalID, len(g.In))
+		for i, s := range g.In {
+			ins[i] = sigMap[s]
+			key += fmt.Sprintf(":%d", sigMap[s])
+		}
+		// Commutative gates: canonicalize input order in the key.
+		switch g.Type {
+		case netlist.And, netlist.Or, netlist.Nand, netlist.Nor, netlist.Xor, netlist.Xnor:
+			sorted := append([]netlist.SignalID(nil), ins...)
+			slices.Sort(sorted)
+			key = fmt.Sprintf("%d:%x", g.Type, g.TT)
+			for _, s := range sorted {
+				key += fmt.Sprintf(":%d", s)
+			}
+		}
+		if prev, ok := seen[key]; ok {
+			sigMap[g.Out] = prev
+			merged++
+			continue
+		}
+		ng := out.AddGateTo(g.Name, g.Type, ins, out.AddSignal(c.Signals[g.Out].Name), g.Delay)
+		out.Gates[ng].TT = g.TT
+		sigMap[g.Out] = out.Gates[ng].Out
+		seen[key] = out.Gates[ng].Out
+	}
+	for _, rp := range regs {
+		r := &c.Regs[rp.id]
+		pin := func(sig netlist.SignalID) netlist.SignalID {
+			if sig == netlist.NoSignal {
+				return netlist.NoSignal
+			}
+			return sigMap[sig]
+		}
+		nid := out.AddRegTo(r.Name, pin(r.D), sigMap[r.Q], pin(r.Clk))
+		nr := &out.Regs[nid]
+		nr.EN, nr.SR, nr.AR = pin(r.EN), pin(r.SR), pin(r.AR)
+		nr.SRVal, nr.ARVal = r.SRVal, r.ARVal
+	}
+	for _, po := range c.POs {
+		out.MarkOutput(sigMap[po])
+	}
+	if err := out.Validate(); err != nil {
+		return nil, 0, fmt.Errorf("opt: strash result invalid: %w", err)
+	}
+	return out, merged, nil
+}

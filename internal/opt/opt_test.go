@@ -1,0 +1,235 @@
+package opt
+
+import (
+	"math/rand"
+	"testing"
+
+	"mcretiming/internal/logic"
+	"mcretiming/internal/netlist"
+	"mcretiming/internal/verify"
+	"mcretiming/internal/xc4000"
+)
+
+func TestConstantFolding(t *testing.T) {
+	c := netlist.New("cf")
+	a := c.AddInput("a")
+	zero := c.Const(logic.B0)
+	// AND(a, 0) = 0; OR of that with a = a.
+	_, x := c.AddGate("g1", netlist.And, []netlist.SignalID{a, zero}, 100)
+	_, y := c.AddGate("g2", netlist.Or, []netlist.SignalID{x, a}, 100)
+	c.MarkOutput(y)
+
+	out, res, err := Clean(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ConstsFolded == 0 {
+		t.Error("nothing folded")
+	}
+	// g1 must be gone; g2 survives as OR(0, a) — three-valued analysis
+	// cannot see OR(0,a)=a, only constants fold.
+	if out.NumGates() >= c.NumGates() {
+		t.Errorf("gates %d -> %d, want fewer", c.NumGates(), out.NumGates())
+	}
+	if _, err := verify.Equivalent(c, out, verify.Stimulus{Cycles: 16, Seqs: 4, Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBufferSweep(t *testing.T) {
+	c := netlist.New("bs")
+	a := c.AddInput("a")
+	sig := a
+	for i := 0; i < 5; i++ {
+		_, sig = c.AddGate("", netlist.Buf, []netlist.SignalID{sig}, 0)
+	}
+	_, y := c.AddGate("inv", netlist.Not, []netlist.SignalID{sig}, 100)
+	c.MarkOutput(y)
+
+	out, _, err := Clean(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.NumGates() != 1 {
+		t.Errorf("gates = %d, want 1 (buffers swept)", out.NumGates())
+	}
+}
+
+func TestDeadRegisterRemoval(t *testing.T) {
+	c := netlist.New("dr")
+	a := c.AddInput("a")
+	clk := c.AddInput("clk")
+	_, qLive := c.AddReg("live", a, clk)
+	_, qDead := c.AddReg("dead", a, clk)
+	_, deadGate := c.AddGate("dg", netlist.Not, []netlist.SignalID{qDead}, 100)
+	_ = deadGate
+	c.MarkOutput(qLive)
+
+	out, res, err := Clean(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.NumRegs() != 1 {
+		t.Errorf("regs = %d, want 1", out.NumRegs())
+	}
+	if out.NumGates() != 0 {
+		t.Errorf("gates = %d, want 0", out.NumGates())
+	}
+	if res.RegsRemoved != 1 {
+		t.Errorf("RegsRemoved = %d, want 1", res.RegsRemoved)
+	}
+}
+
+func TestControlPinsKeepRegistersAlive(t *testing.T) {
+	// A register whose Q only drives another register's enable is live.
+	c := netlist.New("ctl")
+	a := c.AddInput("a")
+	clk := c.AddInput("clk")
+	_, qEn := c.AddReg("enreg", a, clk)
+	r, q := c.AddReg("data", a, clk)
+	c.Regs[r].EN = qEn
+	c.MarkOutput(q)
+
+	out, _, err := Clean(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.NumRegs() != 2 {
+		t.Errorf("regs = %d, want 2 (enable driver is live)", out.NumRegs())
+	}
+}
+
+func TestCleanIsIdempotentAndEquivalent(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for iter := 0; iter < 20; iter++ {
+		c := randomCircuit(rng)
+		once, _, err := Clean(c)
+		if err != nil {
+			t.Fatalf("iter %d: %v", iter, err)
+		}
+		twice, res2, err := Clean(once)
+		if err != nil {
+			t.Fatalf("iter %d: %v", iter, err)
+		}
+		if res2.GatesRemoved != 0 || res2.RegsRemoved != 0 || res2.ConstsFolded != 0 {
+			t.Errorf("iter %d: second Clean changed things: %+v", iter, res2)
+		}
+		if twice.NumGates() != once.NumGates() {
+			t.Errorf("iter %d: not idempotent", iter)
+		}
+		if _, err := verify.Equivalent(c, once, verify.Stimulus{
+			Cycles: 24, Seqs: 3, Skip: 2, Seed: int64(iter),
+		}); err != nil {
+			t.Fatalf("iter %d: %v", iter, err)
+		}
+	}
+}
+
+// randomCircuit with buffers, constants and some dead logic mixed in.
+func randomCircuit(rng *rand.Rand) *netlist.Circuit {
+	c := netlist.New("r")
+	clk := c.AddInput("clk")
+	pool := []netlist.SignalID{c.AddInput("a"), c.AddInput("b"), c.Const(logic.B0), c.Const(logic.B1)}
+	types := []netlist.GateType{netlist.And, netlist.Or, netlist.Xor, netlist.Not, netlist.Buf, netlist.Nand}
+	for i := 0; i < 25; i++ {
+		gt := types[rng.Intn(len(types))]
+		n := 2
+		if gt == netlist.Not || gt == netlist.Buf {
+			n = 1
+		}
+		in := make([]netlist.SignalID, n)
+		for j := range in {
+			in[j] = pool[rng.Intn(len(pool))]
+		}
+		_, o := c.AddGate("", gt, in, 100)
+		pool = append(pool, o)
+		if rng.Intn(5) == 0 {
+			_, q := c.AddReg("", o, clk)
+			pool = append(pool, q)
+		}
+	}
+	c.MarkOutput(pool[len(pool)-1])
+	c.MarkOutput(pool[len(pool)/2])
+	return c
+}
+
+// The full flow: Clean before Map must not break the pipeline.
+func TestCleanThenMap(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	c := randomCircuit(rng)
+	cleaned, _, err := Clean(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mapped, err := xc4000.Map(cleaned)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := verify.Equivalent(c, mapped, verify.Stimulus{
+		Cycles: 24, Seqs: 3, Skip: 2, Seed: 9,
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStrashMergesDuplicates(t *testing.T) {
+	c := netlist.New("st")
+	a := c.AddInput("a")
+	b := c.AddInput("b")
+	// Two identical ANDs (one with swapped inputs: commutative) and one XOR.
+	_, x1 := c.AddGate("g1", netlist.And, []netlist.SignalID{a, b}, 100)
+	_, x2 := c.AddGate("g2", netlist.And, []netlist.SignalID{b, a}, 100)
+	_, x3 := c.AddGate("g3", netlist.Xor, []netlist.SignalID{a, b}, 100)
+	_, y := c.AddGate("g4", netlist.Or, []netlist.SignalID{x1, x2, x3}, 100)
+	c.MarkOutput(y)
+
+	out, merged, err := Strash(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged != 1 {
+		t.Errorf("merged = %d, want 1", merged)
+	}
+	if out.NumGates() != 3 {
+		t.Errorf("gates = %d, want 3", out.NumGates())
+	}
+	if _, err := verify.Equivalent(c, out, verify.Stimulus{Cycles: 16, Seqs: 4, Seed: 3}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStrashPreservesDistinctTT(t *testing.T) {
+	c := netlist.New("tt")
+	a := c.AddInput("a")
+	b := c.AddInput("b")
+	_, l1 := c.AddLut("l1", []netlist.SignalID{a, b}, 0b0110, 100)
+	_, l2 := c.AddLut("l2", []netlist.SignalID{a, b}, 0b1000, 100)
+	_, y := c.AddGate("g", netlist.Or, []netlist.SignalID{l1, l2}, 100)
+	c.MarkOutput(y)
+	out, merged, err := Strash(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged != 0 || out.NumGates() != 3 {
+		t.Errorf("distinct LUTs merged: merged=%d gates=%d", merged, out.NumGates())
+	}
+}
+
+func TestStrashRandomEquivalent(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	for iter := 0; iter < 15; iter++ {
+		c := randomCircuit(rng)
+		out, _, err := Strash(c)
+		if err != nil {
+			t.Fatalf("iter %d: %v", iter, err)
+		}
+		if out.NumGates() > c.NumGates() {
+			t.Errorf("iter %d: strash grew the circuit", iter)
+		}
+		if _, err := verify.Equivalent(c, out, verify.Stimulus{
+			Cycles: 24, Seqs: 3, Skip: 2, Seed: int64(iter),
+		}); err != nil {
+			t.Fatalf("iter %d: %v", iter, err)
+		}
+	}
+}

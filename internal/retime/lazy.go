@@ -1,0 +1,141 @@
+package retime
+
+import (
+	"fmt"
+
+	"mcretiming/internal/graph"
+	"mcretiming/internal/mcf"
+)
+
+// MinAreaLazy computes a minimum-register retiming at period phi using
+// lazily generated period cuts (see graph.FeasibleLazy) instead of the
+// dense W/D constraint matrix. pool may carry cuts from the minperiod
+// search; it is extended in place. phi must be feasible.
+func MinAreaLazy(g *graph.Graph, phi int64, bounds *graph.Bounds, pool *graph.CutPool) ([]int32, error) {
+	if pool == nil {
+		pool = &graph.CutPool{}
+	}
+	prob := buildAreaProblem(g, bounds)
+	cuts := pool.ForPeriod(phi)
+	for round := 0; ; round++ {
+		r, err := prob.solve(g, cuts)
+		if err != nil {
+			return nil, fmt.Errorf("retime: minarea (lazy, round %d) at period %d: %w", round, phi, err)
+		}
+		newCuts, err := g.PeriodCuts(r, phi)
+		if err != nil {
+			return nil, err
+		}
+		if len(newCuts) == 0 {
+			if err := g.CheckLegal(r); err != nil {
+				return nil, fmt.Errorf("retime: minarea produced illegal retiming: %w", err)
+			}
+			if err := bounds.Check(r); err != nil {
+				return nil, fmt.Errorf("retime: minarea violated bounds: %w", err)
+			}
+			return r, nil
+		}
+		pool.Add(newCuts)
+		for _, c := range newCuts {
+			cuts = append(cuts, c.Constraint)
+		}
+	}
+}
+
+// areaProblem is the sharing-aware minarea ILP skeleton: variables (graph
+// vertices plus fanout mirrors), cost coefficients, and the constraints that
+// do not depend on the period.
+type areaProblem struct {
+	nvars int
+	cost  []int64
+	base  []dcon
+}
+
+type dcon struct {
+	x, y int // r(x) − r(y) ≤ b
+	b    int64
+}
+
+// buildAreaProblem assembles the Leiserson–Saxe sharing model over g: every
+// multi-fanout vertex u gets a mirror variable m_u billed max_i w_r(e_i).
+func buildAreaProblem(g *graph.Graph, bounds *graph.Bounds) *areaProblem {
+	n := g.NumVertices()
+	mirror := make([]int, n)
+	nvars := n
+	for v := 0; v < n; v++ {
+		if len(g.Out(graph.VertexID(v))) >= 2 {
+			mirror[v] = nvars
+			nvars++
+		} else {
+			mirror[v] = -1
+		}
+	}
+	p := &areaProblem{nvars: nvars, cost: make([]int64, nvars)}
+	for v := 0; v < n; v++ {
+		outs := g.Out(graph.VertexID(v))
+		if len(outs) == 0 {
+			continue
+		}
+		if mirror[v] == -1 {
+			e := g.Edges[outs[0]]
+			p.cost[e.To]++
+			p.cost[e.From]--
+			continue
+		}
+		var wmax int32
+		for _, ei := range outs {
+			if w := g.Edges[ei].W; w > wmax {
+				wmax = w
+			}
+		}
+		p.cost[mirror[v]]++
+		p.cost[v]--
+		for _, ei := range outs {
+			e := g.Edges[ei]
+			p.base = append(p.base, dcon{x: int(e.To), y: mirror[v], b: int64(wmax - e.W)})
+		}
+	}
+	for _, e := range g.Edges {
+		p.base = append(p.base, dcon{x: int(e.From), y: int(e.To), b: int64(e.W)})
+	}
+	if bounds != nil {
+		for v := 0; v < n; v++ {
+			if lo := bounds.Min[v]; lo != graph.NoLower {
+				p.base = append(p.base, dcon{x: int(graph.Host), y: v, b: int64(-lo)})
+			}
+			if hi := bounds.Max[v]; hi != graph.NoUpper {
+				p.base = append(p.base, dcon{x: v, y: int(graph.Host), b: int64(hi)})
+			}
+		}
+	}
+	return p
+}
+
+// solve runs the min-cost-flow dual over the base constraints plus the given
+// period constraints and recovers the retiming from residual potentials.
+func (p *areaProblem) solve(g *graph.Graph, period []graph.Constraint) ([]int32, error) {
+	s := mcf.New(p.nvars)
+	for _, c := range p.base {
+		s.AddArc(c.y, c.x, mcf.Inf, c.b)
+	}
+	for _, c := range period {
+		s.AddArc(int(c.Y), int(c.X), mcf.Inf, int64(c.B))
+	}
+	for v := 0; v < p.nvars; v++ {
+		s.AddSupply(v, p.cost[v])
+	}
+	if _, err := s.Solve(); err != nil {
+		return nil, err
+	}
+	pi, err := s.ResidualPotentials()
+	if err != nil {
+		return nil, err
+	}
+	n := g.NumVertices()
+	r := make([]int32, n)
+	h := pi[graph.Host]
+	for v := 0; v < n; v++ {
+		r[v] = int32(pi[v] - h)
+	}
+	return r, nil
+}

@@ -1,0 +1,273 @@
+package sat
+
+// Conflict-driven clause learning: the search core of Solve. The solver
+// keeps an implication graph (a reason clause per assigned variable),
+// analyzes each conflict to the first unique implication point, learns the
+// resulting clause, backjumps, and restarts on a doubling conflict budget.
+// Decisions pick the unassigned variable with the highest bumped activity
+// (VSIDS without the heap — instances here are small).
+
+const (
+	noReason int32 = -1
+	varDecay       = 0.95
+)
+
+type searchState struct {
+	level    []int32   // decision level per variable
+	reason   []int32   // implying clause per variable, noReason for decisions
+	activity []float64 // VSIDS-ish scores
+	varInc   float64
+	seen     []bool // scratch for analyze
+}
+
+func (s *Solver) initSearch() *searchState {
+	return &searchState{
+		level:    make([]int32, s.nvars),
+		reason:   make([]int32, s.nvars),
+		activity: make([]float64, s.nvars),
+		varInc:   1,
+		seen:     make([]bool, s.nvars),
+	}
+}
+
+// Solve decides satisfiability with CDCL. On SAT the model is readable via
+// Value. Assumptions are enqueued at decision level 0, so a conflict with
+// them is final UNSAT.
+func (s *Solver) Solve(assumptions ...Lit) bool {
+	if s.empty {
+		return false
+	}
+	for i := range s.assign {
+		s.assign[i] = unassigned
+	}
+	s.trail = s.trail[:0]
+	s.trailLim = s.trailLim[:0]
+	st := s.initSearch()
+
+	enq := func(l Lit, reason int32) bool {
+		switch s.litValue(l) {
+		case vTrue:
+			return true
+		case vFalse:
+			return false
+		}
+		s.enqueue(l)
+		v := l.Var()
+		st.level[v] = int32(len(s.trailLim))
+		st.reason[v] = reason
+		return true
+	}
+
+	for ci, cl := range s.clauses {
+		if len(cl) == 1 {
+			if !enq(cl[0], int32(ci)) {
+				return false
+			}
+		}
+	}
+	for _, a := range assumptions {
+		if !enq(a, noReason) {
+			return false
+		}
+	}
+	qhead := 0
+	if conflict := s.propagateCDCL(&qhead, st); conflict >= 0 {
+		return false
+	}
+
+	conflictBudget := 128
+	conflicts := 0
+	for {
+		// Decision.
+		pick := -1
+		best := -1.0
+		for v := 0; v < s.nvars; v++ {
+			if s.assign[v] == unassigned && st.activity[v] > best {
+				best = st.activity[v]
+				pick = v
+			}
+		}
+		if pick == -1 {
+			return true
+		}
+		s.trailLim = append(s.trailLim, len(s.trail))
+		enq(L(pick, true), noReason) // negative polarity first: cheap for miters
+
+		for {
+			conflict := s.propagateCDCL(&qhead, st)
+			if conflict < 0 {
+				break
+			}
+			conflicts++
+			if len(s.trailLim) == 0 {
+				return false
+			}
+			learnt, backLevel := s.analyze(conflict, st)
+			s.backtrackTo(backLevel, st, &qhead)
+			ci := s.learnClause(learnt)
+			if !enq(learnt[0], ci) {
+				return false
+			}
+			st.varInc /= varDecay
+			if st.varInc > 1e100 {
+				for v := range st.activity {
+					st.activity[v] *= 1e-100
+				}
+				st.varInc *= 1e-100
+			}
+			if conflicts >= conflictBudget {
+				// Restart: keep learnt clauses, drop the trail.
+				conflicts = 0
+				conflictBudget += conflictBudget / 2
+				s.backtrackTo(0, st, &qhead)
+				break
+			}
+		}
+	}
+}
+
+// propagateCDCL is unit propagation returning the index of a conflicting
+// clause, or -1.
+func (s *Solver) propagateCDCL(qhead *int, st *searchState) int32 {
+	for *qhead < len(s.trail) {
+		l := s.trail[*qhead]
+		*qhead++
+		falsified := l.Not()
+		ws := s.watch[falsified]
+		kept := ws[:0]
+		for wi := 0; wi < len(ws); wi++ {
+			ci := ws[wi]
+			cl := s.clauses[ci]
+			if len(cl) == 1 {
+				kept = append(kept, ci)
+				kept = append(kept, ws[wi+1:]...)
+				s.watch[falsified] = kept
+				return ci
+			}
+			if cl[0] == falsified {
+				cl[0], cl[1] = cl[1], cl[0]
+			}
+			if s.litValue(cl[0]) == vTrue {
+				kept = append(kept, ci)
+				continue
+			}
+			moved := false
+			for k := 2; k < len(cl); k++ {
+				if s.litValue(cl[k]) != vFalse {
+					cl[1], cl[k] = cl[k], cl[1]
+					s.watch[cl[1]] = append(s.watch[cl[1]], ci)
+					moved = true
+					break
+				}
+			}
+			if moved {
+				continue
+			}
+			kept = append(kept, ci)
+			if s.litValue(cl[0]) == vFalse {
+				kept = append(kept, ws[wi+1:]...)
+				s.watch[falsified] = kept
+				return ci
+			}
+			// Unit: imply cl[0].
+			s.enqueue(cl[0])
+			v := cl[0].Var()
+			st.level[v] = int32(len(s.trailLim))
+			st.reason[v] = ci
+		}
+		s.watch[falsified] = kept
+	}
+	return -1
+}
+
+// analyze derives the first-UIP clause from a conflict and the level to
+// backjump to. learnt[0] is the asserting literal.
+func (s *Solver) analyze(conflict int32, st *searchState) ([]Lit, int) {
+	curLevel := int32(len(s.trailLim))
+	learnt := []Lit{0} // slot 0 for the asserting literal
+	counter := 0
+	idx := len(s.trail) - 1
+	var p Lit
+	haveP := false
+	cl := s.clauses[conflict]
+	for {
+		for _, q := range cl {
+			if haveP && q == p {
+				continue
+			}
+			v := q.Var()
+			if st.seen[v] || st.level[v] == 0 {
+				continue
+			}
+			st.seen[v] = true
+			st.activity[v] += st.varInc
+			if st.level[v] == curLevel {
+				counter++
+			} else {
+				learnt = append(learnt, q)
+			}
+		}
+		for !st.seen[s.trail[idx].Var()] {
+			idx--
+		}
+		p = s.trail[idx]
+		haveP = true
+		st.seen[p.Var()] = false
+		counter--
+		if counter == 0 {
+			break
+		}
+		cl = s.clauses[st.reason[p.Var()]]
+		idx--
+	}
+	learnt[0] = p.Not()
+	// Clear seen flags and find the backjump level.
+	back := 0
+	for _, q := range learnt[1:] {
+		st.seen[q.Var()] = false
+		if int(st.level[q.Var()]) > back {
+			back = int(st.level[q.Var()])
+		}
+	}
+	return learnt, back
+}
+
+// backtrackTo unwinds the trail to the given decision level.
+func (s *Solver) backtrackTo(level int, st *searchState, qhead *int) {
+	if len(s.trailLim) <= level {
+		return
+	}
+	bound := s.trailLim[level]
+	for len(s.trail) > bound {
+		l := s.trail[len(s.trail)-1]
+		s.trail = s.trail[:len(s.trail)-1]
+		s.assign[l.Var()] = unassigned
+	}
+	s.trailLim = s.trailLim[:level]
+	if *qhead > len(s.trail) {
+		*qhead = len(s.trail)
+	}
+}
+
+// learnClause installs a learnt clause with proper watches: learnt[0] is the
+// asserting literal and learnt[1] (when present) a highest-level literal.
+func (s *Solver) learnClause(learnt []Lit) int32 {
+	if len(learnt) > 1 {
+		// Move a literal of the backjump level into the second watch slot.
+		best := 1
+		for i := 2; i < len(learnt); i++ {
+			if s.litValue(learnt[i]) != vFalse {
+				best = i
+				break
+			}
+		}
+		learnt[1], learnt[best] = learnt[best], learnt[1]
+	}
+	ci := int32(len(s.clauses))
+	s.clauses = append(s.clauses, append([]Lit(nil), learnt...))
+	s.watch[learnt[0]] = append(s.watch[learnt[0]], ci)
+	if len(learnt) > 1 {
+		s.watch[learnt[1]] = append(s.watch[learnt[1]], ci)
+	}
+	return ci
+}

@@ -1,0 +1,192 @@
+// Package sat implements a CNF satisfiability solver: conflict-driven
+// clause learning (CDCL) with two-literal watching, first-UIP conflict
+// analysis, backjumping, activity-based decisions and restarts (cdcl.go).
+//
+// It serves two customers: the SAT backend for reset-state justification
+// (the paper uses BDDs; SAT is what a modern implementation would reach
+// for) and the bounded equivalence checker in internal/bmc, whose
+// unsatisfiable miters are what demand clause learning. The solver also
+// supports the greedy don't-care lifting justification wants: after a model
+// is found, Lift withdraws assignments that no clause needs, maximizing
+// unassigned variables.
+package sat
+
+import "fmt"
+
+// Lit is a literal: variable index v encoded as 2v (positive) or 2v+1
+// (negated).
+type Lit int32
+
+// L builds a literal from a variable and sign.
+func L(v int, neg bool) Lit {
+	l := Lit(v << 1)
+	if neg {
+		l |= 1
+	}
+	return l
+}
+
+// Var returns the literal's variable.
+func (l Lit) Var() int { return int(l >> 1) }
+
+// Neg reports whether the literal is negated.
+func (l Lit) Neg() bool { return l&1 == 1 }
+
+// Not returns the complementary literal.
+func (l Lit) Not() Lit { return l ^ 1 }
+
+func (l Lit) String() string {
+	if l.Neg() {
+		return fmt.Sprintf("¬x%d", l.Var())
+	}
+	return fmt.Sprintf("x%d", l.Var())
+}
+
+// value of a variable.
+type value int8
+
+const (
+	unassigned value = iota
+	vTrue
+	vFalse
+)
+
+// Solver holds a CNF instance.
+type Solver struct {
+	nvars   int
+	clauses [][]Lit
+	watch   [][]int32 // literal -> clause indices watching it
+	assign  []value
+	trail   []Lit
+	// trailLim marks decision levels in the trail.
+	trailLim []int
+	empty    bool // an empty clause was added: trivially unsat
+}
+
+// New returns a solver over nvars variables. Literals referencing higher
+// variables grow the solver automatically.
+func New(nvars int) *Solver {
+	return &Solver{
+		nvars:  nvars,
+		watch:  make([][]int32, 2*nvars),
+		assign: make([]value, nvars),
+	}
+}
+
+// ensure grows the solver to cover variable v.
+func (s *Solver) ensure(v int) {
+	if v < s.nvars {
+		return
+	}
+	s.nvars = v + 1
+	for len(s.assign) < s.nvars {
+		s.assign = append(s.assign, unassigned)
+	}
+	for len(s.watch) < 2*s.nvars {
+		s.watch = append(s.watch, nil)
+	}
+}
+
+// AddClause adds a disjunction of literals. An empty clause makes the
+// instance unsatisfiable.
+func (s *Solver) AddClause(lits ...Lit) {
+	// Dedup and tautology check.
+	seen := make(map[Lit]bool, len(lits))
+	out := lits[:0]
+	for _, l := range lits {
+		s.ensure(l.Var())
+		if seen[l.Not()] {
+			return // tautology
+		}
+		if !seen[l] {
+			seen[l] = true
+			out = append(out, l)
+		}
+	}
+	if len(out) == 0 {
+		s.empty = true
+		return
+	}
+	idx := int32(len(s.clauses))
+	s.clauses = append(s.clauses, append([]Lit(nil), out...))
+	s.watch[out[0]] = append(s.watch[out[0]], idx)
+	if len(out) > 1 {
+		s.watch[out[1]] = append(s.watch[out[1]], idx)
+	}
+}
+
+func (s *Solver) litValue(l Lit) value {
+	v := s.assign[l.Var()]
+	if v == unassigned {
+		return unassigned
+	}
+	if (v == vTrue) != l.Neg() {
+		return vTrue
+	}
+	return vFalse
+}
+
+// enqueue assigns l true; returns false on conflict.
+func (s *Solver) enqueue(l Lit) bool {
+	switch s.litValue(l) {
+	case vTrue:
+		return true
+	case vFalse:
+		return false
+	}
+	if l.Neg() {
+		s.assign[l.Var()] = vFalse
+	} else {
+		s.assign[l.Var()] = vTrue
+	}
+	s.trail = append(s.trail, l)
+	return true
+}
+
+// Value returns the model value of variable v after a successful Solve.
+func (s *Solver) Value(v int) bool { return s.assign[v] == vTrue }
+
+// Lift greedily withdraws variable assignments that no clause needs,
+// returning the set of variables that must stay assigned and their values.
+// A variable can be lifted when every clause still contains a literal that
+// is definitely true without it. Variables in keep are never lifted.
+func (s *Solver) Lift(keep map[int]bool) map[int]bool {
+	model := make(map[int]bool, s.nvars)
+	for v := 0; v < s.nvars; v++ {
+		if s.assign[v] != unassigned {
+			model[v] = s.assign[v] == vTrue
+		}
+	}
+	for v := 0; v < s.nvars; v++ {
+		if keep[v] {
+			continue
+		}
+		if _, ok := model[v]; !ok {
+			continue
+		}
+		saved := model[v]
+		delete(model, v)
+		if !s.modelSatisfies(model) {
+			model[v] = saved
+		}
+	}
+	return model
+}
+
+// modelSatisfies checks that every clause has a literal made true by the
+// partial model.
+func (s *Solver) modelSatisfies(model map[int]bool) bool {
+	for _, cl := range s.clauses {
+		sat := false
+		for _, l := range cl {
+			if val, ok := model[l.Var()]; ok && val != l.Neg() {
+				sat = true
+				break
+			}
+		}
+		if !sat {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,233 @@
+package sat
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestTrivial(t *testing.T) {
+	s := New(1)
+	s.AddClause(L(0, false))
+	if !s.Solve() {
+		t.Fatal("x0 unsat?")
+	}
+	if !s.Value(0) {
+		t.Error("model wrong")
+	}
+	s.AddClause(L(0, true))
+	if s.Solve() {
+		t.Fatal("x0 & !x0 sat?")
+	}
+}
+
+func TestEmptyClauseUnsat(t *testing.T) {
+	s := New(1)
+	s.AddClause()
+	if s.Solve() {
+		t.Fatal("empty clause sat?")
+	}
+}
+
+func TestTautologyDropped(t *testing.T) {
+	s := New(1)
+	s.AddClause(L(0, false), L(0, true))
+	if !s.Solve() {
+		t.Fatal("tautology made instance unsat")
+	}
+}
+
+func TestUnitChain(t *testing.T) {
+	// x0 ; !x0|x1 ; !x1|x2 — forces all true.
+	s := New(3)
+	s.AddClause(L(0, false))
+	s.AddClause(L(0, true), L(1, false))
+	s.AddClause(L(1, true), L(2, false))
+	if !s.Solve() {
+		t.Fatal("unsat?")
+	}
+	for v := 0; v < 3; v++ {
+		if !s.Value(v) {
+			t.Errorf("x%d = false, want true", v)
+		}
+	}
+}
+
+func TestAssumptions(t *testing.T) {
+	s := New(2)
+	s.AddClause(L(0, false), L(1, false)) // x0 | x1
+	if !s.Solve(L(0, true)) {             // assume !x0
+		t.Fatal("unsat under assumption !x0")
+	}
+	if !s.Value(1) {
+		t.Error("x1 must be true when x0 assumed false")
+	}
+	s.AddClause(L(1, true)) // !x1
+	if s.Solve(L(0, true)) {
+		t.Fatal("sat under contradictory assumptions")
+	}
+}
+
+func TestPigeonhole3x2(t *testing.T) {
+	// 3 pigeons, 2 holes: var p*2+h means pigeon p in hole h. Unsat.
+	s := New(6)
+	for p := 0; p < 3; p++ {
+		s.AddClause(L(p*2, false), L(p*2+1, false))
+	}
+	for h := 0; h < 2; h++ {
+		for p1 := 0; p1 < 3; p1++ {
+			for p2 := p1 + 1; p2 < 3; p2++ {
+				s.AddClause(L(p1*2+h, true), L(p2*2+h, true))
+			}
+		}
+	}
+	if s.Solve() {
+		t.Fatal("pigeonhole 3/2 sat?")
+	}
+}
+
+// Random 3-SAT cross-checked against brute force.
+func TestRandomAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for iter := 0; iter < 300; iter++ {
+		nv := 3 + rng.Intn(8)
+		nc := 2 + rng.Intn(4*nv)
+		clauses := make([][]Lit, nc)
+		s := New(nv)
+		for i := range clauses {
+			n := 1 + rng.Intn(3)
+			cl := make([]Lit, n)
+			for j := range cl {
+				cl[j] = L(rng.Intn(nv), rng.Intn(2) == 0)
+			}
+			clauses[i] = cl
+			s.AddClause(cl...)
+		}
+		got := s.Solve()
+
+		want := false
+		for m := 0; m < 1<<nv && !want; m++ {
+			all := true
+			for _, cl := range clauses {
+				cSat := false
+				for _, l := range cl {
+					if (m>>l.Var()&1 == 1) != l.Neg() {
+						cSat = true
+						break
+					}
+				}
+				if !cSat {
+					all = false
+					break
+				}
+			}
+			want = all
+		}
+		if got != want {
+			t.Fatalf("iter %d: solver=%v brute=%v", iter, got, want)
+		}
+		if got {
+			// Model must satisfy every clause.
+			for ci, cl := range clauses {
+				ok := false
+				for _, l := range cl {
+					if s.Value(l.Var()) != l.Neg() {
+						ok = true
+						break
+					}
+				}
+				if !ok {
+					t.Fatalf("iter %d: model falsifies clause %d", iter, ci)
+				}
+			}
+		}
+	}
+}
+
+func TestLiftMaximizesDontCares(t *testing.T) {
+	// (x0 | x1 | x2): one literal suffices; the others lift.
+	s := New(3)
+	s.AddClause(L(0, false), L(1, false), L(2, false))
+	if !s.Solve() {
+		t.Fatal("unsat?")
+	}
+	model := s.Lift(nil)
+	if len(model) != 1 {
+		t.Errorf("lifted model = %v, want exactly one assignment", model)
+	}
+	// And the remaining assignment satisfies the clause.
+	ok := false
+	for v, val := range model {
+		_ = v
+		if val {
+			ok = true
+		}
+	}
+	if !ok {
+		t.Errorf("lifted model %v does not satisfy the clause", model)
+	}
+}
+
+func TestLiftKeepsProtectedVars(t *testing.T) {
+	s := New(2)
+	s.AddClause(L(0, false), L(1, false))
+	if !s.Solve() {
+		t.Fatal("unsat?")
+	}
+	model := s.Lift(map[int]bool{0: true, 1: true})
+	if len(model) != 2 {
+		t.Errorf("protected vars lifted: %v", model)
+	}
+}
+
+// Lift must always return a model that satisfies all clauses under every
+// completion of the lifted (unassigned) variables.
+func TestLiftSoundness(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	for iter := 0; iter < 100; iter++ {
+		nv := 3 + rng.Intn(5)
+		s := New(nv)
+		var clauses [][]Lit
+		for i := 0; i < 2+rng.Intn(8); i++ {
+			n := 1 + rng.Intn(3)
+			cl := make([]Lit, n)
+			for j := range cl {
+				cl[j] = L(rng.Intn(nv), rng.Intn(2) == 0)
+			}
+			clauses = append(clauses, cl)
+			s.AddClause(cl...)
+		}
+		if !s.Solve() {
+			continue
+		}
+		model := s.Lift(nil)
+		// Check all completions.
+		var free []int
+		for v := 0; v < nv; v++ {
+			if _, ok := model[v]; !ok {
+				free = append(free, v)
+			}
+		}
+		for m := 0; m < 1<<len(free); m++ {
+			full := make(map[int]bool, nv)
+			for k, v := range model {
+				full[k] = v
+			}
+			for j, v := range free {
+				full[v] = m>>j&1 == 1
+			}
+			for ci, cl := range clauses {
+				ok := false
+				for _, l := range cl {
+					if full[l.Var()] != l.Neg() {
+						ok = true
+						break
+					}
+				}
+				if !ok {
+					t.Fatalf("iter %d: lifted model %v + completion %b falsifies clause %d",
+						iter, model, m, ci)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,179 @@
+// Package sim provides a cycle-based three-valued simulator for netlists
+// with generic registers.
+//
+// Semantics per cycle: primary inputs are applied, the combinational logic
+// is evaluated, outputs can be sampled, and Step advances every register by
+// one clock edge using the generic-register priority
+//
+//	async set/clear  >  sync set/clear  >  load enable  >  hold.
+//
+// The asynchronous control is sampled at the edge together with everything
+// else (a cycle-based approximation of level sensitivity: an asserted AR
+// forces Q for the whole following cycle). Both the original and the retimed
+// circuit are simulated under the same semantics, which is what the
+// equivalence harness in internal/verify relies on.
+//
+// The third value X models unknown state: registers power up at X and become
+// known once reset sequences or loaded data determine them.
+package sim
+
+import (
+	"fmt"
+
+	"mcretiming/internal/logic"
+	"mcretiming/internal/netlist"
+)
+
+// Sim is a simulator instance bound to one circuit. The circuit must not be
+// structurally modified while the simulator is in use.
+type Sim struct {
+	C     *netlist.Circuit
+	order []netlist.GateID
+	vals  []logic.Bit // per signal, value in the current cycle
+	q     []logic.Bit // per register ID, current state
+	inBuf []logic.Bit // scratch for gate input gathering
+}
+
+// New builds a simulator for c. All register states start at X.
+func New(c *netlist.Circuit) (*Sim, error) {
+	order, err := c.TopoGates()
+	if err != nil {
+		return nil, fmt.Errorf("sim: %w", err)
+	}
+	s := &Sim{
+		C:     c,
+		order: order,
+		vals:  make([]logic.Bit, len(c.Signals)),
+		q:     make([]logic.Bit, len(c.Regs)),
+		inBuf: make([]logic.Bit, 8),
+	}
+	s.SetAllQ(logic.BX)
+	return s, nil
+}
+
+// SetAllQ sets every register state to b.
+func (s *Sim) SetAllQ(b logic.Bit) {
+	for i := range s.q {
+		s.q[i] = b
+	}
+}
+
+// SetQ sets the state of register r.
+func (s *Sim) SetQ(r netlist.RegID, b logic.Bit) { s.q[r] = b }
+
+// Q returns the current state of register r.
+func (s *Sim) Q(r netlist.RegID) logic.Bit { return s.q[r] }
+
+// Eval applies the primary-input values (in c.PIs order) and evaluates the
+// combinational logic for the current cycle. It panics if len(pi) does not
+// match the number of primary inputs.
+func (s *Sim) Eval(pi []logic.Bit) {
+	if len(pi) != len(s.C.PIs) {
+		panic(fmt.Sprintf("sim: %d PI values for %d inputs", len(pi), len(s.C.PIs)))
+	}
+	for i := range s.vals {
+		s.vals[i] = logic.BX
+	}
+	for i, p := range s.C.PIs {
+		s.vals[p] = pi[i]
+	}
+	s.C.LiveRegs(func(r *netlist.Reg) {
+		s.vals[r.Q] = s.q[r.ID]
+	})
+	for _, gid := range s.order {
+		g := &s.C.Gates[gid]
+		in := s.inBuf[:0]
+		for _, sig := range g.In {
+			in = append(in, s.vals[sig])
+		}
+		s.vals[g.Out] = g.Eval3(in)
+	}
+}
+
+// Val returns the value of sig in the current cycle (after Eval).
+func (s *Sim) Val(sig netlist.SignalID) logic.Bit { return s.vals[sig] }
+
+// Outputs returns the current values of the primary outputs, in c.POs order.
+func (s *Sim) Outputs() []logic.Bit {
+	out := make([]logic.Bit, len(s.C.POs))
+	for i, po := range s.C.POs {
+		out[i] = s.vals[po]
+	}
+	return out
+}
+
+// Step advances every register by one clock edge using the values of the
+// current cycle (Eval must have been called first).
+func (s *Sim) Step() {
+	next := make([]logic.Bit, 0, 16)
+	ids := make([]netlist.RegID, 0, 16)
+	s.C.LiveRegs(func(r *netlist.Reg) {
+		ids = append(ids, r.ID)
+		next = append(next, s.nextQ(r))
+	})
+	for i, id := range ids {
+		s.q[id] = next[i]
+	}
+}
+
+// nextQ computes the next state of r under the generic-register priority.
+func (s *Sim) nextQ(r *netlist.Reg) logic.Bit {
+	cur := s.q[r.ID]
+
+	// Synchronous behaviour at the edge.
+	sync := func() logic.Bit {
+		if r.HasSR() {
+			switch s.vals[r.SR] {
+			case logic.B1:
+				return r.SRVal
+			case logic.BX:
+				return merge(r.SRVal, s.loadOrHold(r, cur))
+			}
+		}
+		return s.loadOrHold(r, cur)
+	}
+
+	if r.HasAR() {
+		switch s.vals[r.AR] {
+		case logic.B1:
+			return r.ARVal
+		case logic.BX:
+			return merge(r.ARVal, sync())
+		}
+	}
+	return sync()
+}
+
+// loadOrHold resolves the EN priority level.
+func (s *Sim) loadOrHold(r *netlist.Reg, cur logic.Bit) logic.Bit {
+	if !r.HasEN() {
+		return s.vals[r.D]
+	}
+	switch s.vals[r.EN] {
+	case logic.B1:
+		return s.vals[r.D]
+	case logic.B0:
+		return cur
+	}
+	return merge(s.vals[r.D], cur)
+}
+
+// merge returns a if both alternatives agree and are known, else X.
+func merge(a, b logic.Bit) logic.Bit {
+	if a == b && a.Known() {
+		return a
+	}
+	return logic.BX
+}
+
+// Run evaluates and steps the circuit over a sequence of input vectors and
+// returns the primary-output values sampled each cycle before the edge.
+func (s *Sim) Run(inputs [][]logic.Bit) [][]logic.Bit {
+	out := make([][]logic.Bit, len(inputs))
+	for i, pi := range inputs {
+		s.Eval(pi)
+		out[i] = s.Outputs()
+		s.Step()
+	}
+	return out
+}

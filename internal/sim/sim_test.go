@@ -1,0 +1,164 @@
+package sim
+
+import (
+	"testing"
+
+	"mcretiming/internal/logic"
+	"mcretiming/internal/netlist"
+)
+
+// buildDFF returns a circuit with one register d->q and handles to decorate it.
+func buildDFF(t *testing.T) (*netlist.Circuit, netlist.RegID, netlist.SignalID, netlist.SignalID) {
+	t.Helper()
+	c := netlist.New("dff")
+	d := c.AddInput("d")
+	clk := c.AddInput("clk")
+	r, q := c.AddReg("ff", d, clk)
+	c.MarkOutput(q)
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return c, r, d, q
+}
+
+func run1(t *testing.T, s *Sim, pi ...logic.Bit) logic.Bit {
+	t.Helper()
+	s.Eval(pi)
+	out := s.Outputs()[0]
+	s.Step()
+	return out
+}
+
+func TestPlainDFF(t *testing.T) {
+	c, _, _, _ := buildDFF(t)
+	s, err := New(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cycle 0: X state visible; after loading 1 it appears next cycle.
+	if got := run1(t, s, logic.B1, logic.B0); got != logic.BX {
+		t.Errorf("cycle 0 out = %v, want X", got)
+	}
+	if got := run1(t, s, logic.B0, logic.B0); got != logic.B1 {
+		t.Errorf("cycle 1 out = %v, want 1", got)
+	}
+	if got := run1(t, s, logic.B0, logic.B0); got != logic.B0 {
+		t.Errorf("cycle 2 out = %v, want 0", got)
+	}
+}
+
+func TestEnableHolds(t *testing.T) {
+	c, r, _, _ := buildDFF(t)
+	en := c.AddInput("en")
+	c.Regs[r].EN = en
+	s, _ := New(c)
+	s.SetQ(r, logic.B0)
+	// en=0: D=1 ignored.
+	if got := run1(t, s, logic.B1, logic.B0, logic.B0); got != logic.B0 {
+		t.Errorf("with en=0 out = %v, want 0 held", got)
+	}
+	if got := run1(t, s, logic.B1, logic.B0, logic.B1); got != logic.B0 {
+		t.Errorf("before load out = %v, want 0", got)
+	}
+	if got := run1(t, s, logic.B0, logic.B0, logic.B0); got != logic.B1 {
+		t.Errorf("after en=1 load out = %v, want 1", got)
+	}
+}
+
+func TestSyncClearBeatsEnable(t *testing.T) {
+	c, r, _, _ := buildDFF(t)
+	en := c.AddInput("en")
+	sr := c.AddInput("rst")
+	c.Regs[r].EN = en
+	c.Regs[r].SR = sr
+	c.Regs[r].SRVal = logic.B0
+	s, _ := New(c)
+	s.SetQ(r, logic.B1)
+	// rst=1 with en=0 still clears (sync reset has priority over enable hold).
+	if got := run1(t, s, logic.B1, logic.B0, logic.B0, logic.B1); got != logic.B1 {
+		t.Errorf("pre-clear out = %v, want 1", got)
+	}
+	if got := run1(t, s, logic.B1, logic.B0, logic.B1, logic.B0); got != logic.B0 {
+		t.Errorf("post-clear out = %v, want 0", got)
+	}
+}
+
+func TestAsyncSetBeatsEverything(t *testing.T) {
+	c, r, _, _ := buildDFF(t)
+	sr := c.AddInput("rst")
+	ar := c.AddInput("aset")
+	c.Regs[r].SR = sr
+	c.Regs[r].SRVal = logic.B0
+	c.Regs[r].AR = ar
+	c.Regs[r].ARVal = logic.B1
+	s, _ := New(c)
+	s.SetQ(r, logic.B0)
+	// aset=1 and rst=1 together: async wins, next state 1.
+	run1(t, s, logic.B0, logic.B0, logic.B1, logic.B1)
+	if got := s.Q(r); got != logic.B1 {
+		t.Errorf("Q after async set = %v, want 1", got)
+	}
+}
+
+func TestXPropagationThroughEnable(t *testing.T) {
+	c, r, _, _ := buildDFF(t)
+	en := c.AddInput("en")
+	c.Regs[r].EN = en
+	s, _ := New(c)
+	s.SetQ(r, logic.B0)
+	// en=X, D=1, Q=0: next state unknown.
+	run1(t, s, logic.B1, logic.B0, logic.BX)
+	if got := s.Q(r); got != logic.BX {
+		t.Errorf("Q = %v, want X", got)
+	}
+	// en=X but D == Q: state stays known.
+	s.SetQ(r, logic.B1)
+	run1(t, s, logic.B1, logic.B0, logic.BX)
+	if got := s.Q(r); got != logic.B1 {
+		t.Errorf("Q = %v, want 1 (D==Q under unknown enable)", got)
+	}
+}
+
+func TestCombEvaluation(t *testing.T) {
+	c := netlist.New("comb")
+	a := c.AddInput("a")
+	b := c.AddInput("b")
+	_, x := c.AddGate("x", Xor2, []netlist.SignalID{a, b}, 0)
+	c.MarkOutput(x)
+	s, _ := New(c)
+	s.Eval([]logic.Bit{logic.B1, logic.B0})
+	if got := s.Outputs()[0]; got != logic.B1 {
+		t.Errorf("xor(1,0) = %v", got)
+	}
+	s.Eval([]logic.Bit{logic.B1, logic.BX})
+	if got := s.Outputs()[0]; got != logic.BX {
+		t.Errorf("xor(1,X) = %v, want X", got)
+	}
+}
+
+// Xor2 aliases the netlist gate type for readability in this test file.
+const Xor2 = netlist.Xor
+
+func TestRunPipelineShiftsByTwo(t *testing.T) {
+	c := netlist.New("shift2")
+	d := c.AddInput("d")
+	clk := c.AddInput("clk")
+	r1, q1 := c.AddReg("r1", d, clk)
+	r2, q2 := c.AddReg("r2", q1, clk)
+	c.MarkOutput(q2)
+	s, _ := New(c)
+	s.SetQ(r1, logic.B0)
+	s.SetQ(r2, logic.B0)
+	seq := []logic.Bit{logic.B1, logic.B0, logic.B1, logic.B1, logic.B0}
+	var ins [][]logic.Bit
+	for _, v := range seq {
+		ins = append(ins, []logic.Bit{v, logic.B0})
+	}
+	outs := s.Run(ins)
+	want := []logic.Bit{logic.B0, logic.B0, logic.B1, logic.B0, logic.B1}
+	for i := range want {
+		if outs[i][0] != want[i] {
+			t.Errorf("cycle %d: out = %v, want %v", i, outs[i][0], want[i])
+		}
+	}
+}

@@ -1,0 +1,111 @@
+// Package vcd dumps simulation traces in Value Change Dump format
+// (IEEE 1364), viewable in GTKWave and every commercial waveform viewer.
+// It is the debugging companion of internal/sim: a recorder samples chosen
+// signals each cycle and writes changes only, with X rendered as 'x'.
+package vcd
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"time"
+
+	"mcretiming/internal/logic"
+	"mcretiming/internal/netlist"
+	"mcretiming/internal/sim"
+)
+
+// Recorder accumulates per-cycle values for a set of signals.
+type Recorder struct {
+	c       *netlist.Circuit
+	signals []netlist.SignalID
+	names   []string
+	history [][]logic.Bit // per cycle, per signal
+}
+
+// NewRecorder traces the given signals of c (all primary inputs and outputs
+// when none are given).
+func NewRecorder(c *netlist.Circuit, signals ...netlist.SignalID) *Recorder {
+	if len(signals) == 0 {
+		signals = append(signals, c.PIs...)
+		signals = append(signals, c.POs...)
+	}
+	names := c.UniqueSignalNames()
+	r := &Recorder{c: c, signals: signals}
+	for _, s := range signals {
+		r.names = append(r.names, names[s])
+	}
+	return r
+}
+
+// Sample records the current values from a simulator (call after Eval).
+func (r *Recorder) Sample(s *sim.Sim) {
+	row := make([]logic.Bit, len(r.signals))
+	for i, sig := range r.signals {
+		row[i] = s.Val(sig)
+	}
+	r.history = append(r.history, row)
+}
+
+// Cycles returns the number of samples recorded.
+func (r *Recorder) Cycles() int { return len(r.history) }
+
+// Write emits the trace as VCD with one timestep per cycle.
+func (r *Recorder) Write(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "$date %s $end\n", time.Time{}.Format("2006-01-02"))
+	fmt.Fprintln(bw, "$version mcretiming sim $end")
+	fmt.Fprintln(bw, "$timescale 1ns $end")
+	fmt.Fprintf(bw, "$scope module %s $end\n", r.c.Name)
+	for i, name := range r.names {
+		fmt.Fprintf(bw, "$var wire 1 %s %s $end\n", code(i), name)
+	}
+	fmt.Fprintln(bw, "$upscope $end")
+	fmt.Fprintln(bw, "$enddefinitions $end")
+
+	prev := make([]logic.Bit, len(r.signals))
+	for i := range prev {
+		prev[i] = logic.Bit(255) // sentinel: always dump at t=0
+	}
+	for cyc, row := range r.history {
+		headed := false
+		for i, v := range row {
+			if v == prev[i] {
+				continue
+			}
+			if !headed {
+				fmt.Fprintf(bw, "#%d\n", cyc)
+				headed = true
+			}
+			fmt.Fprintf(bw, "%s%s\n", vcdBit(v), code(i))
+			prev[i] = v
+		}
+	}
+	fmt.Fprintf(bw, "#%d\n", len(r.history))
+	return bw.Flush()
+}
+
+// code assigns printable short identifiers (! " # ... per VCD convention).
+func code(i int) string {
+	const base = 94 // printable ASCII 33..126
+	var out []byte
+	for {
+		out = append(out, byte(33+i%base))
+		i /= base
+		if i == 0 {
+			break
+		}
+		i--
+	}
+	return string(out)
+}
+
+func vcdBit(b logic.Bit) string {
+	switch b {
+	case logic.B0:
+		return "0"
+	case logic.B1:
+		return "1"
+	}
+	return "x"
+}

@@ -1,0 +1,96 @@
+package vcd
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"mcretiming/internal/logic"
+	"mcretiming/internal/netlist"
+	"mcretiming/internal/sim"
+)
+
+func buildAndRun(t *testing.T) *Recorder {
+	t.Helper()
+	c := netlist.New("trace")
+	d := c.AddInput("d")
+	clk := c.AddInput("clk")
+	r, q := c.AddReg("ff", d, clk)
+	c.MarkOutput(q)
+	s, err := sim.New(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetQ(r, logic.B0)
+	rec := NewRecorder(c)
+	seq := []logic.Bit{logic.B1, logic.B0, logic.B1, logic.BX}
+	for _, v := range seq {
+		s.Eval([]logic.Bit{v, logic.B0})
+		rec.Sample(s)
+		s.Step()
+	}
+	return rec
+}
+
+func TestVCDStructure(t *testing.T) {
+	rec := buildAndRun(t)
+	if rec.Cycles() != 4 {
+		t.Fatalf("cycles = %d, want 4", rec.Cycles())
+	}
+	var buf bytes.Buffer
+	if err := rec.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"$timescale", "$enddefinitions", "$var wire 1 ! d $end", "#0", "#4",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("VCD missing %q:\n%s", want, out)
+		}
+	}
+	// The X input in cycle 3 must appear as an x value change.
+	if !strings.Contains(out, "x!") {
+		t.Errorf("no x value dumped:\n%s", out)
+	}
+}
+
+func TestOnlyChangesDumped(t *testing.T) {
+	c := netlist.New("const")
+	a := c.AddInput("a")
+	c.MarkOutput(a)
+	s, _ := sim.New(c)
+	rec := NewRecorder(c)
+	for i := 0; i < 5; i++ {
+		s.Eval([]logic.Bit{logic.B1})
+		rec.Sample(s)
+		s.Step()
+	}
+	var buf bytes.Buffer
+	if err := rec.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// One initial dump at #0, then silence until the trailing timestamp.
+	if n := strings.Count(buf.String(), "1!"); n != 1 {
+		t.Errorf("value dumped %d times, want 1:\n%s", n, buf.String())
+	}
+}
+
+func TestShortIDCodes(t *testing.T) {
+	if code(0) != "!" {
+		t.Errorf("code(0) = %q", code(0))
+	}
+	seen := map[string]bool{}
+	for i := 0; i < 500; i++ {
+		c := code(i)
+		if seen[c] {
+			t.Fatalf("code collision at %d: %q", i, c)
+		}
+		seen[c] = true
+		for _, ch := range c {
+			if ch < 33 || ch > 126 {
+				t.Fatalf("non-printable id char in %q", c)
+			}
+		}
+	}
+}

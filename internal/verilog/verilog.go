@@ -1,0 +1,246 @@
+// Package verilog writes circuits as synthesizable structural Verilog-2001,
+// the hand-off artifact a downstream flow (simulation, FPGA tools) expects.
+//
+// Combinational gates become continuous assignments (LUT truth tables are
+// expanded to sum-of-products); generic registers become always blocks with
+// the paper's priority — asynchronous set/clear over synchronous set/clear
+// over load enable. Undefined reset values emit 1'bx.
+package verilog
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"regexp"
+	"strings"
+
+	"mcretiming/internal/logic"
+	"mcretiming/internal/netlist"
+)
+
+var identRe = regexp.MustCompile(`^[A-Za-z_][A-Za-z0-9_$]*$`)
+
+// Write emits c as a Verilog module.
+func Write(w io.Writer, c *netlist.Circuit) error {
+	bw := bufio.NewWriter(w)
+	raw := c.UniqueSignalNames()
+	names := make([]string, len(raw))
+	used := make(map[string]bool)
+	for i, n := range raw {
+		n = sanitizeIdent(n)
+		for used[n] {
+			n += "_"
+		}
+		used[n] = true
+		names[i] = n
+	}
+	name := func(sig netlist.SignalID) string { return names[sig] }
+
+	fmt.Fprintf(bw, "module %s (\n", sanitizeIdent(c.Name))
+	var ports []string
+	for _, pi := range c.PIs {
+		ports = append(ports, "  input  wire "+name(pi))
+	}
+	for _, po := range c.POs {
+		ports = append(ports, "  output wire "+name(po))
+	}
+	fmt.Fprintln(bw, strings.Join(ports, ",\n"))
+	fmt.Fprintln(bw, ");")
+
+	// Declarations: every driven non-port signal.
+	isPort := make(map[netlist.SignalID]bool)
+	for _, pi := range c.PIs {
+		isPort[pi] = true
+	}
+	poDriver := make(map[netlist.SignalID]bool)
+	for _, po := range c.POs {
+		poDriver[po] = true
+	}
+	declared := make(map[netlist.SignalID]bool)
+	decl := func(sig netlist.SignalID, reg bool) {
+		if isPort[sig] || declared[sig] {
+			return
+		}
+		declared[sig] = true
+		kind := "wire"
+		if reg {
+			kind = "reg "
+		}
+		if poDriver[sig] && reg {
+			// Output ports driven by registers need a reg-typed shadow.
+			fmt.Fprintf(bw, "  reg  %s_r;\n  assign %s = %s_r;\n", name(sig), name(sig), name(sig))
+			return
+		}
+		fmt.Fprintf(bw, "  %s %s;\n", kind, name(sig))
+	}
+	c.LiveGates(func(g *netlist.Gate) { decl(g.Out, false) })
+	regShadow := make(map[netlist.SignalID]bool)
+	c.LiveRegs(func(r *netlist.Reg) {
+		if poDriver[r.Q] {
+			regShadow[r.Q] = true
+		}
+		decl(r.Q, true)
+	})
+	qName := func(sig netlist.SignalID) string {
+		if regShadow[sig] {
+			return name(sig) + "_r"
+		}
+		return name(sig)
+	}
+
+	// Combinational logic.
+	var werr error
+	c.LiveGates(func(g *netlist.Gate) {
+		if werr != nil {
+			return
+		}
+		expr, err := gateExpr(g, name)
+		if err != nil {
+			werr = err
+			return
+		}
+		fmt.Fprintf(bw, "  assign %s = %s;\n", name(g.Out), expr)
+	})
+	if werr != nil {
+		return werr
+	}
+
+	// Registers.
+	c.LiveRegs(func(r *netlist.Reg) {
+		q := qName(r.Q)
+		sens := fmt.Sprintf("posedge %s", name(r.Clk))
+		if r.HasAR() {
+			sens += fmt.Sprintf(" or posedge %s", name(r.AR))
+		}
+		fmt.Fprintf(bw, "  always @(%s) begin\n", sens)
+		indent := "    "
+		closeCount := 0
+		if r.HasAR() {
+			fmt.Fprintf(bw, "%sif (%s) %s <= %s;\n%selse begin\n",
+				indent, name(r.AR), q, vbit(r.ARVal), indent)
+			indent += "  "
+			closeCount++
+		}
+		if r.HasSR() {
+			fmt.Fprintf(bw, "%sif (%s) %s <= %s;\n%selse begin\n",
+				indent, name(r.SR), q, vbit(r.SRVal), indent)
+			indent += "  "
+			closeCount++
+		}
+		if r.HasEN() {
+			fmt.Fprintf(bw, "%sif (%s) %s <= %s;\n", indent, name(r.EN), q, name(r.D))
+		} else {
+			fmt.Fprintf(bw, "%s%s <= %s;\n", indent, q, name(r.D))
+		}
+		for i := 0; i < closeCount; i++ {
+			indent = indent[:len(indent)-2]
+			fmt.Fprintf(bw, "%send\n", indent)
+		}
+		fmt.Fprintln(bw, "  end")
+	})
+
+	fmt.Fprintln(bw, "endmodule")
+	return bw.Flush()
+}
+
+// gateExpr renders a gate as a Verilog expression over its input names.
+func gateExpr(g *netlist.Gate, name func(netlist.SignalID) string) (string, error) {
+	in := make([]string, len(g.In))
+	for i, s := range g.In {
+		in[i] = name(s)
+	}
+	join := func(op string) string { return strings.Join(in, " "+op+" ") }
+	switch g.Type {
+	case netlist.Buf:
+		return in[0], nil
+	case netlist.Not:
+		return "~" + in[0], nil
+	case netlist.And:
+		return join("&"), nil
+	case netlist.Or:
+		return join("|"), nil
+	case netlist.Nand:
+		return "~(" + join("&") + ")", nil
+	case netlist.Nor:
+		return "~(" + join("|") + ")", nil
+	case netlist.Xor:
+		return join("^"), nil
+	case netlist.Xnor:
+		return "~(" + join("^") + ")", nil
+	case netlist.Mux:
+		return fmt.Sprintf("%s ? %s : %s", in[0], in[2], in[1]), nil
+	case netlist.Carry:
+		return fmt.Sprintf("(%s & %s) | (%s & %s) | (%s & %s)",
+			in[0], in[1], in[0], in[2], in[1], in[2]), nil
+	case netlist.Const0:
+		return "1'b0", nil
+	case netlist.Const1:
+		return "1'b1", nil
+	case netlist.Lut:
+		return lutSOP(g, in)
+	}
+	return "", fmt.Errorf("verilog: unsupported gate type %v", g.Type)
+}
+
+// lutSOP expands a LUT truth table into a sum of products (1'b0 / 1'b1 for
+// constants).
+func lutSOP(g *netlist.Gate, in []string) (string, error) {
+	tt := g.TruthTable()
+	n := len(in)
+	full := uint64(1)<<(1<<n) - 1
+	switch tt {
+	case 0:
+		return "1'b0", nil
+	case full:
+		return "1'b1", nil
+	}
+	var terms []string
+	for m := 0; m < 1<<n; m++ {
+		if tt>>m&1 == 0 {
+			continue
+		}
+		var lits []string
+		for b := 0; b < n; b++ {
+			if m>>b&1 == 1 {
+				lits = append(lits, in[b])
+			} else {
+				lits = append(lits, "~"+in[b])
+			}
+		}
+		terms = append(terms, "("+strings.Join(lits, " & ")+")")
+	}
+	return strings.Join(terms, " | "), nil
+}
+
+func vbit(b logic.Bit) string {
+	switch b {
+	case logic.B0:
+		return "1'b0"
+	case logic.B1:
+		return "1'b1"
+	}
+	return "1'bx"
+}
+
+// sanitizeIdent rewrites a name into a legal Verilog identifier.
+func sanitizeIdent(s string) string {
+	if s == "" {
+		return "unnamed"
+	}
+	var sb strings.Builder
+	for i, r := range s {
+		ok := r == '_' || r == '$' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(i > 0 && r >= '0' && r <= '9')
+		if ok {
+			sb.WriteRune(r)
+		} else {
+			sb.WriteByte('_')
+		}
+	}
+	out := sb.String()
+	if !identRe.MatchString(out) {
+		out = "s" + out
+	}
+	return out
+}

@@ -1,0 +1,133 @@
+package verilog
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"mcretiming/internal/gen"
+	"mcretiming/internal/logic"
+	"mcretiming/internal/netlist"
+	"mcretiming/internal/xc4000"
+)
+
+func TestBasicModule(t *testing.T) {
+	c := netlist.New("top")
+	a := c.AddInput("a")
+	b := c.AddInput("b")
+	en := c.AddInput("en")
+	rst := c.AddInput("rst")
+	arst := c.AddInput("arst")
+	clk := c.AddInput("clk")
+	_, x := c.AddGate("g1", netlist.Nand, []netlist.SignalID{a, b}, 100)
+	r, q := c.AddReg("ff", x, clk)
+	c.Regs[r].EN = en
+	c.Regs[r].SR = rst
+	c.Regs[r].SRVal = logic.B0
+	c.Regs[r].AR = arst
+	c.Regs[r].ARVal = logic.B1
+	c.MarkOutput(q)
+
+	var buf bytes.Buffer
+	if err := Write(&buf, c); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"module top (",
+		"input  wire a",
+		"output wire",
+		"assign",
+		"~(a & b)",
+		"always @(posedge clk or posedge arst)",
+		"if (arst)",
+		"<= 1'b1;",
+		"if (rst)",
+		"<= 1'b0;",
+		"if (en)",
+		"endmodule",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in output:\n%s", want, out)
+		}
+	}
+}
+
+func TestLutSOP(t *testing.T) {
+	c := netlist.New("lut")
+	a := c.AddInput("a")
+	b := c.AddInput("b")
+	// XOR as a LUT.
+	_, y := c.AddLut("x", []netlist.SignalID{a, b}, 0b0110, 100)
+	c.MarkOutput(y)
+	var buf bytes.Buffer
+	if err := Write(&buf, c); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "(a & ~b)") || !strings.Contains(out, "(~a & b)") {
+		t.Errorf("XOR SOP wrong:\n%s", out)
+	}
+}
+
+func TestConstantLuts(t *testing.T) {
+	c := netlist.New("k")
+	a := c.AddInput("a")
+	_, y0 := c.AddLut("z", []netlist.SignalID{a}, 0b00, 0)
+	_, y1 := c.AddLut("o", []netlist.SignalID{a}, 0b11, 0)
+	c.MarkOutput(y0)
+	c.MarkOutput(y1)
+	var buf bytes.Buffer
+	if err := Write(&buf, c); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "1'b0") || !strings.Contains(buf.String(), "1'b1") {
+		t.Errorf("constants not folded:\n%s", buf.String())
+	}
+}
+
+func TestRegisterDrivingOutputUsesShadow(t *testing.T) {
+	c := netlist.New("shadow")
+	d := c.AddInput("d")
+	clk := c.AddInput("clk")
+	_, q := c.AddReg("r", d, clk)
+	c.MarkOutput(q)
+	var buf bytes.Buffer
+	if err := Write(&buf, c); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "_r;") || !strings.Contains(out, "assign") {
+		t.Errorf("no reg shadow for output port:\n%s", out)
+	}
+}
+
+func TestSanitizeIdent(t *testing.T) {
+	cases := map[string]string{
+		"ctrl:sig": "ctrl_sig",
+		"9abc":     "_abc",
+		"":         "unnamed",
+		"ok_name$": "ok_name$",
+	}
+	for in, want := range cases {
+		if got := sanitizeIdent(in); got != want {
+			t.Errorf("sanitize(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// The whole mapped suite circuit must serialize without error and contain
+// one always block per register.
+func TestGeneratedCircuitEmits(t *testing.T) {
+	c, err := xc4000.Map(xc4000.DecomposeSyncResets(gen.Circuit(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, c); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(buf.String(), "always @"); got != c.NumRegs() {
+		t.Errorf("always blocks = %d, want %d", got, c.NumRegs())
+	}
+}

@@ -1,0 +1,41 @@
+package xc4000
+
+import "mcretiming/internal/netlist"
+
+// CLBEstimate approximates XC4000E configurable-logic-block usage: each CLB
+// provides two 4-input function generators (F and G) and two flip-flops,
+// with the flip-flops placeable independently of the LUTs. Carry cells ride
+// the dedicated chain inside the CLBs that compute their operands, so they
+// pair one-to-one with LUTs where possible.
+type CLBEstimate struct {
+	CLBs     int
+	LUTPairs int // CLBs limited by function generators
+	FFPairs  int // CLBs limited by flip-flops
+}
+
+// EstimateCLBs computes the packing estimate for a mapped circuit.
+func EstimateCLBs(c *netlist.Circuit) CLBEstimate {
+	luts := c.NumLUTs()
+	carry := 0
+	c.LiveGates(func(g *netlist.Gate) {
+		if g.Type == netlist.Carry {
+			carry++
+		}
+	})
+	// A carry cell shares a CLB with one LUT (the sum XOR of the same bit);
+	// unpaired carries consume half a CLB's logic.
+	logicUnits := luts
+	if carry > luts {
+		logicUnits += carry - luts
+	}
+	ffs := c.NumRegs()
+	e := CLBEstimate{
+		LUTPairs: (logicUnits + 1) / 2,
+		FFPairs:  (ffs + 1) / 2,
+	}
+	e.CLBs = e.LUTPairs
+	if e.FFPairs > e.CLBs {
+		e.CLBs = e.FFPairs
+	}
+	return e
+}

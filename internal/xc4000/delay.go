@@ -1,0 +1,68 @@
+// Package xc4000 is the FPGA technology substrate standing in for the
+// paper's Synopsys FPGA synthesis flow targeting the Xilinx XC4000E: a
+// 4-input-LUT technology mapper, an analytic delay model, a post-mapping
+// timing report, and the decomposition passes the paper's experiments rely
+// on (synchronous set/clear into logic because XC4000E flip-flops lack the
+// pins, and load-enables into feedback multiplexers for the Table 3
+// baseline).
+//
+// Absolute numbers differ from Xilinx timing analysis; what matters for the
+// reproduction is that retiming sees per-gate delays of realistic shape:
+// LUTs cost a logic-block traversal plus general routing, carry cells ride
+// the fast hardwired chain.
+package xc4000
+
+import (
+	"mcretiming/internal/netlist"
+)
+
+// Delay model, picoseconds (XC4000E-flavoured: a LUT traversal plus average
+// general-purpose routing; the carry chain is hardwired and fast).
+const (
+	DelayLUT   int64 = 1500 // LUT logic delay
+	DelayRoute int64 = 2000 // average general routing per net
+	DelayCarry int64 = 700  // hardwired carry chain hop
+	DelayBuf   int64 = 0    // buffers vanish in mapping
+)
+
+// GateDelay returns the delay this substrate assigns to a gate kind.
+func GateDelay(t netlist.GateType) int64 {
+	switch t {
+	case netlist.Carry:
+		return DelayCarry
+	case netlist.Buf, netlist.Const0, netlist.Const1:
+		return DelayBuf
+	case netlist.Lut:
+		return DelayLUT + DelayRoute
+	default:
+		// Unmapped simple gates are priced like a LUT so pre-map timing is
+		// comparable.
+		return DelayLUT + DelayRoute
+	}
+}
+
+// Period returns the maximum combinational path delay of the circuit: the
+// longest register-to-register / port-to-port delay, which is the minimum
+// clock period before retiming.
+func Period(c *netlist.Circuit) (int64, error) {
+	order, err := c.TopoGates()
+	if err != nil {
+		return 0, err
+	}
+	arrival := make([]int64, len(c.Signals))
+	var worst int64
+	for _, gid := range order {
+		g := &c.Gates[gid]
+		var in int64
+		for _, sig := range g.In {
+			if arrival[sig] > in {
+				in = arrival[sig]
+			}
+		}
+		arrival[g.Out] = in + g.Delay
+		if arrival[g.Out] > worst {
+			worst = arrival[g.Out]
+		}
+	}
+	return worst, nil
+}

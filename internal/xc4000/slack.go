@@ -1,0 +1,82 @@
+package xc4000
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"mcretiming/internal/netlist"
+)
+
+// SlackEntry is the timing slack of one endpoint (a register D pin or a
+// primary output) against a target period.
+type SlackEntry struct {
+	Endpoint string // register name or output signal name
+	IsReg    bool
+	Arrival  int64 // data arrival time, ps
+	Slack    int64 // target − arrival; negative = violated
+}
+
+// SlackReport computes per-endpoint setup slacks against the target period,
+// worst first. With target 0 the circuit's own maximum delay is used, so the
+// worst slack is exactly zero.
+func SlackReport(c *netlist.Circuit, target int64) ([]SlackEntry, error) {
+	order, err := c.TopoGates()
+	if err != nil {
+		return nil, err
+	}
+	arrival := make([]int64, len(c.Signals))
+	for _, gid := range order {
+		g := &c.Gates[gid]
+		var in int64
+		for _, sig := range g.In {
+			if arrival[sig] > in {
+				in = arrival[sig]
+			}
+		}
+		arrival[g.Out] = in + g.Delay
+	}
+	if target == 0 {
+		for _, a := range arrival {
+			if a > target {
+				target = a
+			}
+		}
+	}
+	var out []SlackEntry
+	c.LiveRegs(func(r *netlist.Reg) {
+		a := arrival[r.D]
+		out = append(out, SlackEntry{
+			Endpoint: r.Name, IsReg: true, Arrival: a, Slack: target - a,
+		})
+	})
+	for _, po := range c.POs {
+		a := arrival[po]
+		out = append(out, SlackEntry{
+			Endpoint: c.SignalName(po), Arrival: a, Slack: target - a,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Slack < out[j].Slack })
+	return out, nil
+}
+
+// PrintSlackReport writes the worst n endpoints (all when n <= 0).
+func PrintSlackReport(w io.Writer, c *netlist.Circuit, target int64, n int) error {
+	entries, err := SlackReport(c, target)
+	if err != nil {
+		return err
+	}
+	if n > 0 && n < len(entries) {
+		entries = entries[:n]
+	}
+	fmt.Fprintf(w, "%-20s %-5s %10s %10s\n", "endpoint", "kind", "arrival", "slack")
+	for _, e := range entries {
+		kind := "out"
+		if e.IsReg {
+			kind = "reg"
+		}
+		fmt.Fprintf(w, "%-20s %-5s %8.2fns %8.2fns\n",
+			e.Endpoint, kind, float64(e.Arrival)/1000, float64(e.Slack)/1000)
+	}
+	return nil
+}

@@ -1,0 +1,89 @@
+package xc4000
+
+import (
+	"fmt"
+	"io"
+
+	"mcretiming/internal/netlist"
+)
+
+// PathElement is one gate on a critical path with its arrival time.
+type PathElement struct {
+	Gate    netlist.GateID
+	Name    string
+	Type    netlist.GateType
+	Arrival int64 // ps, inclusive of the gate's own delay
+}
+
+// CriticalPath returns the slowest register-to-register / port-to-port
+// combinational path of c, source first, along with the path delay.
+func CriticalPath(c *netlist.Circuit) ([]PathElement, int64, error) {
+	order, err := c.TopoGates()
+	if err != nil {
+		return nil, 0, err
+	}
+	arrival := make([]int64, len(c.Signals))
+	from := make([]netlist.GateID, len(c.Signals))
+	for i := range from {
+		from[i] = netlist.NoGate
+	}
+	var worstSig netlist.SignalID = netlist.NoSignal
+	var worst int64 = -1
+	for _, gid := range order {
+		g := &c.Gates[gid]
+		var in int64
+		for _, sig := range g.In {
+			if arrival[sig] > in {
+				in = arrival[sig]
+			}
+		}
+		arrival[g.Out] = in + g.Delay
+		from[g.Out] = gid
+		if arrival[g.Out] > worst {
+			worst = arrival[g.Out]
+			worstSig = g.Out
+		}
+	}
+	if worstSig == netlist.NoSignal {
+		return nil, 0, nil // purely sequential or empty
+	}
+	// Trace back through the max-arrival predecessors.
+	var rev []PathElement
+	sig := worstSig
+	for sig != netlist.NoSignal && from[sig] != netlist.NoGate {
+		g := &c.Gates[from[sig]]
+		rev = append(rev, PathElement{
+			Gate: g.ID, Name: g.Name, Type: g.Type, Arrival: arrival[g.Out],
+		})
+		var next netlist.SignalID = netlist.NoSignal
+		var best int64 = -1
+		for _, in := range g.In {
+			if arrival[in] > best {
+				best = arrival[in]
+				next = in
+			}
+		}
+		if best <= 0 {
+			break
+		}
+		sig = next
+	}
+	path := make([]PathElement, len(rev))
+	for i := range rev {
+		path[i] = rev[len(rev)-1-i]
+	}
+	return path, worst, nil
+}
+
+// PrintCriticalPath writes a human-readable timing report.
+func PrintCriticalPath(w io.Writer, c *netlist.Circuit) error {
+	path, total, err := CriticalPath(c)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "critical path of %s: %.2f ns, %d stages\n", c.Name, float64(total)/1000, len(path))
+	for _, pe := range path {
+		fmt.Fprintf(w, "  %8.2f ns  %-6s %s\n", float64(pe.Arrival)/1000, pe.Type, pe.Name)
+	}
+	return nil
+}

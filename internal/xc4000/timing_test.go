@@ -1,0 +1,163 @@
+package xc4000
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"mcretiming/internal/netlist"
+)
+
+func TestCriticalPathTrace(t *testing.T) {
+	c := netlist.New("cp")
+	a := c.AddInput("a")
+	clk := c.AddInput("clk")
+	// Fast branch: 1 gate; slow branch: 3 gates. Both join at the output.
+	_, fast := c.AddGate("fast", netlist.Not, []netlist.SignalID{a}, 1000)
+	s1 := a
+	names := []string{"s1", "s2", "s3"}
+	for _, n := range names {
+		_, s1 = c.AddGate(n, netlist.Not, []netlist.SignalID{s1}, 2000)
+	}
+	_, join := c.AddGate("join", netlist.And, []netlist.SignalID{fast, s1}, 1000)
+	_, q := c.AddReg("r", join, clk)
+	c.MarkOutput(q)
+
+	path, total, err := CriticalPath(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != 7000 {
+		t.Errorf("critical delay = %d, want 7000", total)
+	}
+	// Path = s1, s2, s3, join.
+	if len(path) != 4 {
+		t.Fatalf("path length = %d, want 4 (%+v)", len(path), path)
+	}
+	want := []string{"s1", "s2", "s3", "join"}
+	for i, pe := range path {
+		if pe.Name != want[i] {
+			t.Errorf("path[%d] = %s, want %s", i, pe.Name, want[i])
+		}
+	}
+	if path[len(path)-1].Arrival != total {
+		t.Error("last arrival != total")
+	}
+
+	var buf bytes.Buffer
+	if err := PrintCriticalPath(&buf, c); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "7.00 ns") {
+		t.Errorf("report missing total:\n%s", buf.String())
+	}
+}
+
+func TestCriticalPathPureSequential(t *testing.T) {
+	c := netlist.New("seq")
+	d := c.AddInput("d")
+	clk := c.AddInput("clk")
+	_, q := c.AddReg("r", d, clk)
+	c.MarkOutput(q)
+	path, total, err := CriticalPath(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(path) != 0 || total != 0 {
+		t.Errorf("pure sequential circuit: path=%v total=%d", path, total)
+	}
+}
+
+func TestEstimateCLBs(t *testing.T) {
+	c := netlist.New("clb")
+	a := c.AddInput("a")
+	b := c.AddInput("b")
+	clk := c.AddInput("clk")
+	// 3 LUTs, 5 FFs, 1 carry.
+	var luts []netlist.SignalID
+	for i := 0; i < 3; i++ {
+		_, o := c.AddLut("", []netlist.SignalID{a, b}, 0b0110, DelayLUT)
+		luts = append(luts, o)
+	}
+	_, carry := c.AddGate("cc", netlist.Carry, []netlist.SignalID{a, b, luts[0]}, DelayCarry)
+	var qs []netlist.SignalID
+	for i := 0; i < 5; i++ {
+		src := luts[i%3]
+		if i == 4 {
+			src = carry
+		}
+		_, q := c.AddReg("", src, clk)
+		qs = append(qs, q)
+	}
+	for _, q := range qs {
+		c.MarkOutput(q)
+	}
+	e := EstimateCLBs(c)
+	// LUT pairs: 3 LUTs (carry shares) -> 2; FF pairs: 5 -> 3. CLBs = 3.
+	if e.LUTPairs != 2 || e.FFPairs != 3 || e.CLBs != 3 {
+		t.Errorf("estimate = %+v, want LUTPairs 2, FFPairs 3, CLBs 3", e)
+	}
+}
+
+func TestEstimateCLBsCarryHeavy(t *testing.T) {
+	c := netlist.New("carry")
+	a := c.AddInput("a")
+	b := c.AddInput("b")
+	ci := c.AddInput("ci")
+	for i := 0; i < 4; i++ {
+		_, co := c.AddGate("", netlist.Carry, []netlist.SignalID{a, b, ci}, DelayCarry)
+		c.MarkOutput(co)
+	}
+	e := EstimateCLBs(c)
+	// 0 LUTs, 4 carries: logic units = 4 -> 2 CLBs.
+	if e.CLBs != 2 {
+		t.Errorf("CLBs = %d, want 2", e.CLBs)
+	}
+}
+
+func TestSlackReport(t *testing.T) {
+	c := netlist.New("slack")
+	a := c.AddInput("a")
+	clk := c.AddInput("clk")
+	_, fast := c.AddGate("f", netlist.Not, []netlist.SignalID{a}, 1000)
+	_, s1 := c.AddGate("s1", netlist.Not, []netlist.SignalID{a}, 3000)
+	_, slow := c.AddGate("s2", netlist.Not, []netlist.SignalID{s1}, 3000)
+	_, qf := c.AddReg("rf", fast, clk)
+	_, qs := c.AddReg("rs", slow, clk)
+	c.MarkOutput(qf)
+	c.MarkOutput(qs)
+
+	entries, err := SlackReport(c, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Auto target = 6000; rs arrival 6000 slack 0; rf arrival 1000 slack 5000.
+	if entries[0].Endpoint != "rs" || entries[0].Slack != 0 {
+		t.Errorf("worst entry = %+v, want rs with slack 0", entries[0])
+	}
+	found := false
+	for _, e := range entries {
+		if e.Endpoint == "rf" && e.Slack == 5000 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("rf slack missing: %+v", entries)
+	}
+
+	// Explicit tighter target: negative slack reported.
+	entries, err = SlackReport(c, 4000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if entries[0].Slack != -2000 {
+		t.Errorf("violated slack = %d, want -2000", entries[0].Slack)
+	}
+	var buf bytes.Buffer
+	if err := PrintSlackReport(&buf, c, 0, 2); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "rs") {
+		t.Error("report missing worst endpoint")
+	}
+}

@@ -1,0 +1,232 @@
+package xc4000
+
+import (
+	"math/rand"
+	"testing"
+
+	"mcretiming/internal/logic"
+	"mcretiming/internal/netlist"
+	"mcretiming/internal/verify"
+)
+
+// randomCombCircuit builds a random register-bounded circuit of simple gates.
+func randomCombCircuit(rng *rand.Rand, nGates int) *netlist.Circuit {
+	c := netlist.New("rand")
+	clk := c.AddInput("clk")
+	var pool []netlist.SignalID
+	for i := 0; i < 4; i++ {
+		pool = append(pool, c.AddInput("in"+string(rune('a'+i))))
+	}
+	types := []netlist.GateType{
+		netlist.And, netlist.Or, netlist.Nand, netlist.Nor,
+		netlist.Xor, netlist.Xnor, netlist.Not, netlist.Buf, netlist.Mux,
+	}
+	for i := 0; i < nGates; i++ {
+		gt := types[rng.Intn(len(types))]
+		var n int
+		switch gt {
+		case netlist.Not, netlist.Buf:
+			n = 1
+		case netlist.Mux:
+			n = 3
+		default:
+			n = 2 + rng.Intn(5) // up to 6-input: exercises splitWide
+		}
+		in := make([]netlist.SignalID, n)
+		for j := range in {
+			in[j] = pool[rng.Intn(len(pool))]
+		}
+		_, o := c.AddGate("", gt, in, DelayLUT+DelayRoute)
+		pool = append(pool, o)
+		if rng.Intn(4) == 0 {
+			_, q := c.AddReg("", o, clk)
+			pool = append(pool, q)
+		}
+	}
+	// Outputs: a handful of recent signals.
+	for i := 0; i < 3; i++ {
+		c.MarkOutput(pool[len(pool)-1-i])
+	}
+	return c
+}
+
+func TestMapPreservesBehaviour(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for iter := 0; iter < 25; iter++ {
+		c := randomCombCircuit(rng, 20+rng.Intn(30))
+		if err := c.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		mapped, err := Map(c)
+		if err != nil {
+			t.Fatalf("iter %d: %v", iter, err)
+		}
+		// Every LUT obeys the width limit.
+		mapped.LiveGates(func(g *netlist.Gate) {
+			if g.Type == netlist.Lut && len(g.In) > MaxLutIn {
+				t.Errorf("iter %d: %d-input LUT", iter, len(g.In))
+			}
+		})
+		if _, err := verify.Equivalent(c, mapped, verify.Stimulus{
+			Cycles: 24, Seqs: 4, Skip: 0, Seed: int64(iter),
+		}); err != nil {
+			t.Fatalf("iter %d: %v", iter, err)
+		}
+	}
+}
+
+func TestMapPacksChains(t *testing.T) {
+	// A chain of three inverters collapses into one LUT (four would cancel
+	// to the identity and be aliased away entirely).
+	c := netlist.New("chain")
+	a := c.AddInput("a")
+	sig := a
+	for i := 0; i < 3; i++ {
+		_, sig = c.AddGate("", netlist.Not, []netlist.SignalID{sig}, 1000)
+	}
+	c.MarkOutput(sig)
+	mapped, err := Map(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := mapped.NumLUTs(); got != 1 {
+		t.Errorf("LUTs = %d, want 1", got)
+	}
+}
+
+func TestMapKeepsSharedLogic(t *testing.T) {
+	// g1 feeds two sinks: it must not be duplicated into both cones.
+	c := netlist.New("share")
+	a := c.AddInput("a")
+	b := c.AddInput("b")
+	x := c.AddInput("x")
+	y := c.AddInput("y")
+	z := c.AddInput("z")
+	_, g1 := c.AddGate("g1", netlist.Xor, []netlist.SignalID{a, b}, 1000)
+	_, o1 := c.AddGate("o1", netlist.And, []netlist.SignalID{g1, x, y, z}, 1000)
+	_, o2 := c.AddGate("o2", netlist.Or, []netlist.SignalID{g1, x, y, z}, 1000)
+	c.MarkOutput(o1)
+	c.MarkOutput(o2)
+	mapped, err := Map(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// g1 has two readers and o1/o2 are full: 3 LUTs, not 2 with duplicated XOR.
+	if got := mapped.NumLUTs(); got != 3 {
+		t.Errorf("LUTs = %d, want 3", got)
+	}
+}
+
+func TestSplitWideEquivalence(t *testing.T) {
+	c := netlist.New("wide")
+	var in []netlist.SignalID
+	for i := 0; i < 9; i++ {
+		in = append(in, c.AddInput("i"+string(rune('0'+i))))
+	}
+	_, o := c.AddGate("big", netlist.Nand, in, 1000)
+	c.MarkOutput(o)
+	mapped, err := Map(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := verify.Equivalent(c, mapped, verify.Stimulus{
+		Cycles: 40, Seqs: 6, Seed: 5,
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCarryChainPassesThrough(t *testing.T) {
+	c := netlist.New("carry")
+	a := c.AddInput("a")
+	b := c.AddInput("b")
+	ci := c.AddInput("ci")
+	_, co := c.AddGate("cc", netlist.Carry, []netlist.SignalID{a, b, ci}, DelayCarry)
+	_, s := c.AddGate("sum", netlist.Xor, []netlist.SignalID{a, b, ci}, 1000)
+	c.MarkOutput(co)
+	c.MarkOutput(s)
+	mapped, err := Map(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := Report(mapped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Carry != 1 {
+		t.Errorf("carry cells = %d, want 1", st.Carry)
+	}
+	if st.LUTs != 1 {
+		t.Errorf("LUTs = %d, want 1", st.LUTs)
+	}
+}
+
+func TestDecomposeEnables(t *testing.T) {
+	c := netlist.New("en")
+	d := c.AddInput("d")
+	en := c.AddInput("en")
+	clk := c.AddInput("clk")
+	r, q := c.AddReg("r", d, clk)
+	c.Regs[r].EN = en
+	c.MarkOutput(q)
+	orig := c.Clone()
+
+	DecomposeEnables(c)
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if c.Regs[r].HasEN() {
+		t.Error("enable pin survived decomposition")
+	}
+	if c.NumGates() != 1 {
+		t.Errorf("gates = %d, want 1 (the feedback mux)", c.NumGates())
+	}
+	if _, err := verify.Equivalent(orig, c, verify.Stimulus{
+		Cycles: 40, Seqs: 8, Skip: 1, Seed: 9, Bias: map[string]float64{"en": 0.6},
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecomposeSyncResets(t *testing.T) {
+	c := netlist.New("sr")
+	d := c.AddInput("d")
+	rst := c.AddInput("rst")
+	clk := c.AddInput("clk")
+	r, q := c.AddReg("r", d, clk)
+	c.Regs[r].SR = rst
+	c.Regs[r].SRVal = logic.B1
+	c.MarkOutput(q)
+	orig := c.Clone()
+
+	DecomposeSyncResets(c)
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if c.Regs[r].HasSR() {
+		t.Error("sync reset pin survived decomposition")
+	}
+	if _, err := verify.Equivalent(orig, c, verify.Stimulus{
+		Cycles: 40, Seqs: 8, Skip: 1, Seed: 10, Bias: map[string]float64{"rst": 0.4},
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPeriodComputation(t *testing.T) {
+	c := netlist.New("p")
+	a := c.AddInput("a")
+	clk := c.AddInput("clk")
+	_, x := c.AddGate("", netlist.Not, []netlist.SignalID{a}, 3000)
+	_, q := c.AddReg("", x, clk)
+	_, y := c.AddGate("", netlist.Not, []netlist.SignalID{q}, 4000)
+	_, z := c.AddGate("", netlist.Not, []netlist.SignalID{y}, 4000)
+	c.MarkOutput(z)
+	got, err := Period(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 8000 {
+		t.Errorf("period = %d, want 8000", got)
+	}
+}

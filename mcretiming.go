@@ -1,0 +1,228 @@
+// Package mcretiming is a from-scratch implementation of multiple-class
+// retiming (Eckl, Madre, Zepter, Legl: "A Practical Approach to
+// Multiple-Class Retiming", DAC 1999): minimum-period and minimum-area
+// retiming for synchronous circuits whose registers carry synchronous load
+// enables and synchronous/asynchronous set/clear inputs.
+//
+// Registers are classified by the signals on their control pins; a layer of
+// registers moves across a gate only when all its registers are compatible
+// (same class). Per-vertex retiming bounds derived by maximal backward and
+// forward retiming reduce the problem to basic (Leiserson–Saxe) retiming,
+// solved here with lazily generated period constraints and a min-cost-flow
+// minarea engine; equivalent reset states are computed move-by-move with
+// BDD justification.
+//
+// The package is a façade over the internal packages:
+//
+//	netlist   circuit model with generic registers
+//	mcgraph   the multiple-class retiming graph (classes, bounds, sharing)
+//	graph     basic retiming graph, feasibility, minperiod
+//	retime    minimum-area retiming (min-cost-flow dual)
+//	justify   BDD reset-state justification (local + global)
+//	core      the six-step mc-retiming flow
+//	xc4000    4-LUT FPGA mapper, delay model, decomposition baselines
+//	sim       three-valued cycle simulator
+//	verify    sequential equivalence by random simulation
+//	hdlio     textual netlist reader/writer
+//	gen       synthetic benchmark suite (the paper's C1–C10 stand-ins)
+//	bench     the paper's Tables 1–3 and Fig. 1 experiment pipelines
+//
+// Quick start:
+//
+//	c := mcretiming.NewCircuit("dff")
+//	d := c.AddInput("d")
+//	clk := c.AddInput("clk")
+//	_, q := c.AddReg("r", d, clk)
+//	c.MarkOutput(q)
+//	out, rep, err := mcretiming.Retime(c, mcretiming.Options{})
+package mcretiming
+
+import (
+	"io"
+
+	"mcretiming/internal/blif"
+	"mcretiming/internal/bmc"
+	"mcretiming/internal/core"
+	"mcretiming/internal/hdlio"
+	"mcretiming/internal/logic"
+	"mcretiming/internal/netlist"
+	"mcretiming/internal/opt"
+	"mcretiming/internal/verify"
+	"mcretiming/internal/verilog"
+	"mcretiming/internal/xc4000"
+)
+
+// Circuit is a gate-level netlist with generic registers (D, Q, clock,
+// optional EN / synchronous / asynchronous set-clear pins).
+type Circuit = netlist.Circuit
+
+// NewCircuit returns an empty circuit.
+func NewCircuit(name string) *Circuit { return netlist.New(name) }
+
+// Re-exported netlist types and identifiers.
+type (
+	// SignalID names a wire within a Circuit.
+	SignalID = netlist.SignalID
+	// GateID names a gate within a Circuit.
+	GateID = netlist.GateID
+	// RegID names a register within a Circuit.
+	RegID = netlist.RegID
+	// Gate is a combinational gate instance.
+	Gate = netlist.Gate
+	// Reg is a generic register instance.
+	Reg = netlist.Reg
+	// GateType enumerates combinational gate kinds.
+	GateType = netlist.GateType
+	// Bit is a ternary logic value (0, 1, X).
+	Bit = logic.Bit
+)
+
+// Gate type constants.
+const (
+	Buf    = netlist.Buf
+	Not    = netlist.Not
+	And    = netlist.And
+	Or     = netlist.Or
+	Nand   = netlist.Nand
+	Nor    = netlist.Nor
+	Xor    = netlist.Xor
+	Xnor   = netlist.Xnor
+	Mux    = netlist.Mux
+	Lut    = netlist.Lut
+	Carry  = netlist.Carry
+	Const0 = netlist.Const0
+	Const1 = netlist.Const1
+)
+
+// Logic values.
+const (
+	B0 = logic.B0
+	B1 = logic.B1
+	BX = logic.BX
+)
+
+// NoSignal marks an unconnected optional register pin.
+const NoSignal = netlist.NoSignal
+
+// Options configures Retime.
+type Options = core.Options
+
+// Report summarizes a retiming run.
+type Report = core.Report
+
+// Objective selects the optimization goal.
+type Objective = core.Objective
+
+// Objectives.
+const (
+	// MinPeriod minimizes the clock period.
+	MinPeriod = core.MinPeriod
+	// MinAreaAtMinPeriod minimizes registers at the minimum feasible period
+	// (the paper's "minimal area for best delay").
+	MinAreaAtMinPeriod = core.MinAreaAtMinPeriod
+	// MinAreaAtPeriod minimizes registers at Options.TargetPeriod.
+	MinAreaAtPeriod = core.MinAreaAtPeriod
+)
+
+// Retime applies multiple-class retiming to c and returns the retimed
+// circuit and a report. c is not modified.
+func Retime(c *Circuit, opts Options) (*Circuit, *Report, error) {
+	return core.Retime(c, opts)
+}
+
+// ReadNetlist parses the textual netlist format.
+func ReadNetlist(r io.Reader) (*Circuit, error) { return hdlio.Read(r) }
+
+// WriteNetlist serializes c in the textual netlist format.
+func WriteNetlist(w io.Writer, c *Circuit) error { return hdlio.Write(w, c) }
+
+// ReadBLIF parses a Berkeley Logic Interchange Format model (generic
+// register controls round-trip through the "# .mcreg" comment extension).
+func ReadBLIF(r io.Reader) (*Circuit, error) { return blif.Read(r) }
+
+// WriteBLIF serializes c as BLIF.
+func WriteBLIF(w io.Writer, c *Circuit) error { return blif.Write(w, c) }
+
+// WriteVerilog emits c as a synthesizable structural Verilog module.
+func WriteVerilog(w io.Writer, c *Circuit) error { return verilog.Write(w, c) }
+
+// CleanResult reports what Clean removed.
+type CleanResult = opt.Result
+
+// Clean runs constant folding, buffer sweeping and dead-logic removal to a
+// fixpoint, returning a fresh circuit.
+func Clean(c *Circuit) (*Circuit, *CleanResult, error) { return opt.Clean(c) }
+
+// Strash merges structurally identical gates (structural hashing) and
+// returns the fresh circuit with the number of gates merged.
+func Strash(c *Circuit) (*Circuit, int, error) { return opt.Strash(c) }
+
+// CLBEstimate approximates XC4000E configurable-logic-block usage.
+type CLBEstimate = xc4000.CLBEstimate
+
+// EstimateCLBs computes CLB packing for a mapped circuit.
+func EstimateCLBs(c *Circuit) CLBEstimate { return xc4000.EstimateCLBs(c) }
+
+// MapXC4000 technology-maps c into 4-input LUTs with the XC4000E-flavoured
+// delay model. It also serves as the post-retiming "remap".
+func MapXC4000(c *Circuit) (*Circuit, error) { return xc4000.Map(c) }
+
+// DecomposeEnables rewrites load enables into feedback multiplexers (the
+// conventional-flow baseline). c is modified in place and returned.
+func DecomposeEnables(c *Circuit) *Circuit { return xc4000.DecomposeEnables(c) }
+
+// DecomposeSyncResets rewrites synchronous set/clear pins into logic (the
+// XC4000E has none). c is modified in place and returned.
+func DecomposeSyncResets(c *Circuit) *Circuit { return xc4000.DecomposeSyncResets(c) }
+
+// FPGAStats is a mapped circuit's area/timing summary.
+type FPGAStats = xc4000.Stats
+
+// ReportFPGA computes area and timing statistics for a circuit.
+func ReportFPGA(c *Circuit) (FPGAStats, error) { return xc4000.Report(c) }
+
+// Stimulus configures Equivalent.
+type Stimulus = verify.Stimulus
+
+// EquivalenceResult summarizes an equivalence run.
+type EquivalenceResult = verify.Result
+
+// Equivalent checks sequential equivalence of two circuits by three-valued
+// random simulation (see internal/verify for the exact guarantee).
+func Equivalent(a, b *Circuit, st Stimulus) (*EquivalenceResult, error) {
+	return verify.Equivalent(a, b, st)
+}
+
+// BMCOptions configures ProveEquivalent.
+type BMCOptions = bmc.Options
+
+// BMCResult reports a bounded equivalence check.
+type BMCResult = bmc.Result
+
+// ProveEquivalent unrolls both circuits Depth cycles into one SAT instance
+// and decides — exhaustively over all input sequences — whether a
+// known-vs-known output mismatch is reachable. Equivalent=true is a proof
+// up to the depth, not a sample.
+func ProveEquivalent(a, b *Circuit, opts BMCOptions) (*BMCResult, error) {
+	return bmc.Check(a, b, opts)
+}
+
+// Verdict is the outcome of ProveEquivalentUnbounded.
+type Verdict = bmc.Verdict
+
+// Verdicts.
+const (
+	Proven         = bmc.Proven
+	Counterexample = bmc.Counterexample
+	Unknown        = bmc.Unknown
+)
+
+// ProveResult reports an unbounded equivalence attempt.
+type ProveResult = bmc.ProveResult
+
+// ProveEquivalentUnbounded attempts k-induction: a bounded base case plus
+// an inductive step over arbitrary states. Verdict Proven holds for all
+// time; Unknown means only that this induction depth was insufficient.
+func ProveEquivalentUnbounded(a, b *Circuit, opts BMCOptions) (*ProveResult, error) {
+	return bmc.Prove(a, b, opts)
+}

@@ -1,0 +1,96 @@
+package mcretiming_test
+
+import (
+	"bytes"
+	"testing"
+
+	"mcretiming"
+)
+
+// The public façade: build, retime, verify, serialize — the full user
+// workflow through exported API only.
+func TestPublicAPIWorkflow(t *testing.T) {
+	c := mcretiming.NewCircuit("api")
+	a := c.AddInput("a")
+	b := c.AddInput("b")
+	en := c.AddInput("en")
+	clk := c.AddInput("clk")
+	r1, q1 := c.AddReg("r1", a, clk)
+	r2, q2 := c.AddReg("r2", b, clk)
+	c.Regs[r1].EN = en
+	c.Regs[r2].EN = en
+	_, x := c.AddGate("g1", mcretiming.And, []mcretiming.SignalID{q1, q2}, 1000)
+	_, y := c.AddGate("g2", mcretiming.Xor, []mcretiming.SignalID{x, a}, 8000)
+	c.MarkOutput(y)
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	out, rep, err := mcretiming.Retime(c, mcretiming.Options{
+		Objective: mcretiming.MinAreaAtMinPeriod,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.PeriodAfter >= rep.PeriodBefore {
+		t.Errorf("period %d -> %d, want improvement", rep.PeriodBefore, rep.PeriodAfter)
+	}
+	if out.NumRegs() != 1 {
+		t.Errorf("registers = %d, want 1 (forward-shared enable layer)", out.NumRegs())
+	}
+
+	res, err := mcretiming.Equivalent(c, out, mcretiming.Stimulus{
+		Cycles: 48, Seqs: 6, Skip: 4, Seed: 1, Bias: map[string]float64{"en": 0.8},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Compared == 0 {
+		t.Error("equivalence compared nothing")
+	}
+
+	var buf bytes.Buffer
+	if err := mcretiming.WriteNetlist(&buf, out); err != nil {
+		t.Fatal(err)
+	}
+	back, err := mcretiming.ReadNetlist(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumRegs() != out.NumRegs() {
+		t.Error("serialization round trip changed register count")
+	}
+}
+
+func TestPublicMapAndDecompose(t *testing.T) {
+	c := mcretiming.NewCircuit("mapapi")
+	a := c.AddInput("a")
+	en := c.AddInput("en")
+	rst := c.AddInput("rst")
+	clk := c.AddInput("clk")
+	_, x := c.AddGate("g", mcretiming.Not, []mcretiming.SignalID{a}, 1000)
+	r, q := c.AddReg("r", x, clk)
+	c.Regs[r].EN = en
+	c.Regs[r].SR = rst
+	c.Regs[r].SRVal = mcretiming.B0
+	c.MarkOutput(q)
+
+	work := mcretiming.DecomposeSyncResets(c.Clone())
+	work = mcretiming.DecomposeEnables(work)
+	mapped, err := mcretiming.MapXC4000(work)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := mcretiming.ReportFPGA(mapped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.FFs != 1 {
+		t.Errorf("FFs = %d, want 1", st.FFs)
+	}
+	mapped.LiveRegs(func(r *mcretiming.Reg) {
+		if r.HasEN() || r.HasSR() {
+			t.Error("decomposition left control pins")
+		}
+	})
+}
