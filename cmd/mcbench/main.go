@@ -3,9 +3,10 @@
 //
 // Usage:
 //
-//	mcbench [-table 1|2|3] [-fig1] [-all]
+//	mcbench [-table 1|2|3] [-fig1] [-passes]
 //
-// With no flags it runs everything.
+// With no flags it runs everything. -passes adds the per-pass runtime
+// breakdown of the retiming pipeline under Table 2.
 package main
 
 import (
@@ -19,6 +20,7 @@ import (
 func main() {
 	table := flag.Int("table", 0, "print only this table (1, 2 or 3)")
 	fig1 := flag.Bool("fig1", false, "print only the Fig. 1 comparison")
+	passes := flag.Bool("passes", false, "also print the per-pass retiming runtime breakdown")
 	flag.Parse()
 
 	if *fig1 {
@@ -39,6 +41,10 @@ func main() {
 	case 2:
 		bench.PrintTable2(os.Stdout, rows)
 		bench.PrintJustifyStats(os.Stdout, rows)
+		if *passes {
+			fmt.Println()
+			bench.PrintPassTimes(os.Stdout, rows)
+		}
 	case 3:
 		bench.PrintTable3(os.Stdout, rows)
 	case 0:
@@ -46,6 +52,10 @@ func main() {
 		fmt.Println()
 		bench.PrintTable2(os.Stdout, rows)
 		bench.PrintJustifyStats(os.Stdout, rows)
+		if *passes {
+			fmt.Println()
+			bench.PrintPassTimes(os.Stdout, rows)
+		}
 		fmt.Println()
 		bench.PrintTable3(os.Stdout, rows)
 		fmt.Println()

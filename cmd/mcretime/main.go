@@ -2,15 +2,23 @@
 //
 // Usage:
 //
-//	mcretime [-minperiod | -period NS] [-o out] [-map] [-verify] [-critical] [-slack N] [-blif] in.{mcn,blif}
+//	mcretime [-minperiod | -period NS] [-o out] [-map] [-verify] [-critical] [-slack N] [-blif] [-trace out.json] [-timeout D] in.{mcn,blif}
 //
 // The default objective is minimum area at the minimum feasible period (the
 // paper's "minimal area for best delay"). With -map the input is first
 // technology-mapped to 4-input LUTs and the result remapped, mirroring the
 // paper's experimental flow.
+//
+// -trace writes the retiming pipeline's spans and counters as Chrome
+// trace-event JSON (open in chrome://tracing or https://ui.perfetto.dev) and
+// prints an indented text summary to stderr; the file is written even when
+// the run fails, so partial runs can be inspected. -timeout cancels the
+// retiming after the given duration (e.g. 30s, 2m).
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -20,6 +28,13 @@ import (
 )
 
 func main() {
+	// Any unexpected panic still exits with a clean one-line error: the
+	// driver contract is "non-zero status, no stack trace" on bad input.
+	defer func() {
+		if r := recover(); r != nil {
+			fatal(fmt.Errorf("internal error: %v", r))
+		}
+	}()
 	minperiod := flag.Bool("minperiod", false, "minimize the clock period only")
 	periodNS := flag.Float64("period", 0, "minimize area at this period (ns) instead of the minimum")
 	outFile := flag.String("o", "", "write the retimed netlist here (default: stdout)")
@@ -29,6 +44,8 @@ func main() {
 	slackN := flag.Int("slack", 0, "print the N worst endpoint slacks of the retimed circuit")
 	blifOut := flag.Bool("blif", false, "write the result as BLIF instead of the textual netlist format")
 	showClasses := flag.Bool("classes", false, "print the register class table")
+	traceFile := flag.String("trace", "", "write Chrome trace-event JSON of the retiming pipeline here")
+	timeout := flag.Duration("timeout", 0, "abort retiming after this long (e.g. 30s; 0 = no limit)")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: mcretime [flags] in.mcn")
@@ -67,8 +84,30 @@ func main() {
 		opts.TargetPeriod = int64(*periodNS * 1000)
 	}
 
-	out, rep, err := mcretiming.Retime(work, opts)
+	var rec *mcretiming.TraceRecorder
+	if *traceFile != "" {
+		rec = mcretiming.NewTraceRecorder()
+		opts.Trace = rec
+	}
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	out, rep, err := mcretiming.RetimeCtx(ctx, work, opts)
+	if rec != nil {
+		// Write the trace even on failure — a timed-out run's spans show
+		// where the time went.
+		if werr := writeTrace(*traceFile, rec); werr != nil && err == nil {
+			err = werr
+		}
+	}
 	if err != nil {
+		if errors.Is(err, context.DeadlineExceeded) {
+			fatal(fmt.Errorf("timed out after %v", *timeout))
+		}
 		fatal(err)
 	}
 	if *doMap {
@@ -89,6 +128,12 @@ func main() {
 	if rep.JustifyLocal+rep.JustifyGlobal > 0 {
 		fmt.Fprintf(os.Stderr, "justifications: %d local, %d global, %d re-retimings\n",
 			rep.JustifyLocal, rep.JustifyGlobal, rep.Retries)
+	}
+	if rec != nil {
+		fmt.Fprintf(os.Stderr, "trace: wrote %s; pass summary:\n", *traceFile)
+		if err := rec.WriteText(os.Stderr); err != nil {
+			fatal(err)
+		}
 	}
 
 	if *doVerify {
@@ -127,6 +172,19 @@ func main() {
 	if err := write(w, out); err != nil {
 		fatal(err)
 	}
+}
+
+// writeTrace dumps the recorder as Chrome trace-event JSON.
+func writeTrace(path string, rec *mcretiming.TraceRecorder) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := rec.WriteChromeTrace(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func fatal(err error) {

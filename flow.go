@@ -1,6 +1,7 @@
 package mcretiming
 
 import (
+	"context"
 	"io"
 
 	"mcretiming/internal/core"
@@ -20,6 +21,9 @@ type FlowOptions struct {
 	// Retime configures the retiming step (zero value = minarea at best
 	// period, all paper mechanisms on).
 	Retime Options
+	// Trace, when non-nil, receives the retiming step's spans and counters
+	// (it overrides Retime.Trace). The mapping phases are not traced.
+	Trace TraceSink
 }
 
 // FlowResult carries every intermediate artifact of a flow run.
@@ -33,6 +37,12 @@ type FlowResult struct {
 
 // RunFlow runs the full experimental flow on c (which is not modified).
 func RunFlow(c *Circuit, opts FlowOptions) (*FlowResult, error) {
+	return RunFlowCtx(context.Background(), c, opts)
+}
+
+// RunFlowCtx is RunFlow with cooperative cancellation of the retiming step
+// (the mapping phases are fast and run to completion).
+func RunFlowCtx(ctx context.Context, c *Circuit, opts FlowOptions) (*FlowResult, error) {
 	work := c.Clone()
 	if opts.Clean {
 		var err error
@@ -55,7 +65,11 @@ func RunFlow(c *Circuit, opts FlowOptions) (*FlowResult, error) {
 	if res.Before, err = ReportFPGA(mapped); err != nil {
 		return nil, err
 	}
-	retimed, rep, err := core.Retime(mapped, opts.Retime)
+	ropts := opts.Retime
+	if opts.Trace != nil {
+		ropts.Trace = opts.Trace
+	}
+	retimed, rep, err := core.RetimeCtx(ctx, mapped, ropts)
 	if err != nil {
 		return nil, err
 	}

@@ -43,6 +43,9 @@ type Row struct {
 	TimeModel     time.Duration
 	TimeSolve     time.Duration
 	TimeVerify    time.Duration
+	// PassTimes holds the per-pass wall-clock breakdown of the Table 2
+	// retiming run; TimeModel/TimeSolve/TimeVerify are its coarse aggregates.
+	PassTimes []core.PassTime
 
 	// Table 3: enables decomposed before retiming.
 	FF3    int
@@ -95,6 +98,7 @@ func RunCircuit(c *netlist.Circuit) (*Row, error) {
 	row.JustifyLocal, row.JustifyGlobal = rep.JustifyLocal, rep.JustifyGlobal
 	row.Retries = rep.Retries
 	row.TimeModel, row.TimeSolve, row.TimeVerify = rep.TimeModel, rep.TimeSolve, rep.TimeVerify
+	row.PassTimes = rep.PassTimes
 
 	// Table 3 flow: decompose the enables first, then retime and remap.
 	noen, err := xc4000.Map(xc4000.DecomposeEnables(xc4000.DecomposeSyncResets(c.Clone())))
@@ -232,4 +236,48 @@ func pct(d, tot time.Duration) float64 {
 		return 0
 	}
 	return 100 * float64(d) / float64(tot)
+}
+
+// PrintPassTimes writes the per-pass wall-clock breakdown of the Table 2
+// retiming runs: one column per pipeline pass, one row per circuit. The
+// column set is the union over all rows, in first-seen pipeline order, so
+// the table stays correct if a pass is skipped for some circuit.
+func PrintPassTimes(w io.Writer, rows []*Row) {
+	var order []string
+	seen := make(map[string]bool)
+	for _, r := range rows {
+		for _, pt := range r.PassTimes {
+			if !seen[pt.Name] {
+				seen[pt.Name] = true
+				order = append(order, pt.Name)
+			}
+		}
+	}
+	if len(order) == 0 {
+		return
+	}
+	fmt.Fprintln(w, "Per-pass retiming runtime (ms)")
+	fmt.Fprintf(w, "%-6s", "Name")
+	for _, name := range order {
+		fmt.Fprintf(w, " %*s", max(9, len(name)), name)
+	}
+	fmt.Fprintln(w)
+	totals := make(map[string]time.Duration)
+	for _, r := range rows {
+		byName := make(map[string]time.Duration, len(r.PassTimes))
+		for _, pt := range r.PassTimes {
+			byName[pt.Name] = pt.Wall
+			totals[pt.Name] += pt.Wall
+		}
+		fmt.Fprintf(w, "%-6s", r.Name)
+		for _, name := range order {
+			fmt.Fprintf(w, " %*.2f", max(9, len(name)), float64(byName[name].Microseconds())/1000)
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintf(w, "%-6s", "Totals")
+	for _, name := range order {
+		fmt.Fprintf(w, " %*.2f", max(9, len(name)), float64(totals[name].Microseconds())/1000)
+	}
+	fmt.Fprintln(w)
 }

@@ -15,6 +15,7 @@
 package bmc
 
 import (
+	"context"
 	"fmt"
 
 	"mcretiming/internal/netlist"
@@ -77,6 +78,15 @@ type Result struct {
 // have matching input names (as in verify.Equivalent) and equally many
 // outputs.
 func Check(a, b *netlist.Circuit, opts Options) (*Result, error) {
+	return CheckCtx(context.Background(), a, b, opts)
+}
+
+// CheckCtx is Check with cooperative cancellation: ctx is polled once per
+// unrolled cycle and throughout the SAT search, and its error returned.
+func CheckCtx(ctx context.Context, a, b *netlist.Circuit, opts Options) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if opts.Depth <= 0 {
 		return nil, fmt.Errorf("bmc: depth must be positive")
 	}
@@ -107,6 +117,9 @@ func Check(a, b *netlist.Circuit, opts Options) (*Result, error) {
 	type diffRef struct{ cycle, output int }
 	var diffRefs []diffRef
 	for cyc := 0; cyc < opts.Depth; cyc++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		ins := make([]rail, len(a.PIs))
 		for i := range a.PIs {
 			v := bld.freshLit()
@@ -145,7 +158,11 @@ func Check(a, b *netlist.Circuit, opts Options) (*Result, error) {
 	}
 	// Miter: at least one difference.
 	bld.s.AddClause(diffLits...)
-	if !bld.s.Solve() {
+	satisfiable, err := bld.s.SolveCtx(ctx)
+	if err != nil {
+		return nil, err
+	}
+	if !satisfiable {
 		return &Result{Equivalent: true}, nil
 	}
 	res := &Result{Equivalent: false, Cycle: -1}

@@ -1,0 +1,49 @@
+package bmc
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestCheckCtxAlreadyCancelled(t *testing.T) {
+	a := pipeline("a", false)
+	b := pipeline("b", false)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := CheckCtx(ctx, a, b, Options{Depth: 6})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if res != nil {
+		t.Error("cancelled check returned a result")
+	}
+}
+
+func TestProveCtxAlreadyCancelled(t *testing.T) {
+	a := pipeline("a", false)
+	b := pipeline("b", false)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := ProveCtx(ctx, a, b, Options{Depth: 4}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// An expired deadline must abort the SAT search itself, not only the unroll
+// loop: a deep unroll of non-trivial circuits spends its time in Solve.
+func TestCheckCtxExpiredDeadline(t *testing.T) {
+	a := pipeline("a", false)
+	b := pipeline("b", false)
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Millisecond))
+	defer cancel()
+	start := time.Now()
+	_, err := CheckCtx(ctx, a, b, Options{Depth: 64})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Errorf("cancelled check took %v, want prompt abort", elapsed)
+	}
+}

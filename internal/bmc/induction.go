@@ -1,6 +1,8 @@
 package bmc
 
 import (
+	"context"
+
 	"mcretiming/internal/netlist"
 	"mcretiming/internal/sat"
 )
@@ -46,14 +48,23 @@ type ProveResult struct {
 // time. The step over-approximates reachable states, so failure of the step
 // yields Unknown, not a counterexample.
 func Prove(a, b *netlist.Circuit, opts Options) (*ProveResult, error) {
-	base, err := Check(a, b, opts)
+	return ProveCtx(context.Background(), a, b, opts)
+}
+
+// ProveCtx is Prove with cooperative cancellation: ctx is polled while
+// unrolling and throughout both SAT searches, and its error returned.
+func ProveCtx(ctx context.Context, a, b *netlist.Circuit, opts Options) (*ProveResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	base, err := CheckCtx(ctx, a, b, opts)
 	if err != nil {
 		return nil, err
 	}
 	if !base.Equivalent {
 		return &ProveResult{Verdict: Counterexample, Cycle: base.Cycle, Output: base.Output}, nil
 	}
-	ok, err := inductiveStep(a, b, opts.Depth)
+	ok, err := inductiveStep(ctx, a, b, opts.Depth)
 	if err != nil {
 		return nil, err
 	}
@@ -65,7 +76,7 @@ func Prove(a, b *netlist.Circuit, opts Options) (*ProveResult, error) {
 
 // inductiveStep checks: for arbitrary (possibly unreachable) joint states,
 // Depth mismatch-free cycles imply the next cycle is mismatch-free too.
-func inductiveStep(a, b *netlist.Circuit, depth int) (bool, error) {
+func inductiveStep(ctx context.Context, a, b *netlist.Circuit, depth int) (bool, error) {
 	mapB, err := matchPIs(a, b)
 	if err != nil {
 		return false, err
@@ -102,6 +113,9 @@ func inductiveStep(a, b *netlist.Circuit, depth int) (bool, error) {
 	}
 
 	for cyc := 0; cyc <= depth; cyc++ {
+		if err := ctx.Err(); err != nil {
+			return false, err
+		}
 		ins := make([]rail, len(a.PIs))
 		for i := range a.PIs {
 			v := bld.freshLit()
@@ -130,5 +144,9 @@ func inductiveStep(a, b *netlist.Circuit, depth int) (bool, error) {
 		}
 		bld.s.AddClause(goal...)
 	}
-	return !bld.s.Solve(), nil
+	satisfiable, err := bld.s.SolveCtx(ctx)
+	if err != nil {
+		return false, err
+	}
+	return !satisfiable, nil
 }

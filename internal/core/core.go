@@ -12,18 +12,20 @@
 // the offending vertex's backward bound is tightened to what was achieved
 // and a new retiming is computed (§5.2) — the paper never needed this on its
 // benchmark set, and neither do ours, but the loop is there.
+//
+// The flow runs on the pass pipeline of internal/pass: each step is an
+// individually named, individually timed Pass, the §5.2 loop is the Retry
+// combinator, cancellation arrives through a context.Context, and structured
+// spans/counters flow into an internal/trace Sink (see pipeline.go).
 package core
 
 import (
-	"errors"
-	"fmt"
+	"context"
 	"time"
 
-	"mcretiming/internal/graph"
-	"mcretiming/internal/justify"
 	"mcretiming/internal/mcgraph"
 	"mcretiming/internal/netlist"
-	"mcretiming/internal/retime"
+	"mcretiming/internal/trace"
 )
 
 // Objective selects what Retime optimizes.
@@ -36,6 +38,12 @@ const (
 	MinAreaAtMinPeriod
 	MinAreaAtPeriod
 )
+
+// DefaultMaxRetries bounds the §5.2 re-retiming loop when Options.MaxRetries
+// is zero. The paper reports its benchmark set never needed a single retry;
+// a handful is plenty because every relocation pass harvests all of its
+// conflicts at once.
+const DefaultMaxRetries = 8
 
 // Options configures Retime. The zero value asks for minimum area at the
 // minimum feasible period with all paper mechanisms enabled.
@@ -59,8 +67,30 @@ type Options struct {
 	// cost; this is the conservative mode that avoids them entirely.
 	ForwardOnly bool
 	// MaxRetries bounds the re-retiming loop on justification conflicts.
-	// 0 means the default (8).
+	// 0 means the default (DefaultMaxRetries, i.e. 8).
 	MaxRetries int
+
+	// Trace receives the structured spans and counters of the run: one span
+	// per pipeline pass (nested under the retry combinator for steps 4-6)
+	// and counters for classes, bounds tightened, cuts generated,
+	// justification local/global/conflict counts and flow augmentations.
+	// nil means no tracing.
+	Trace trace.Sink
+}
+
+// effectiveMaxRetries resolves the §5.2 retry budget of o.
+func effectiveMaxRetries(o Options) int {
+	if o.MaxRetries == 0 {
+		return DefaultMaxRetries
+	}
+	return o.MaxRetries
+}
+
+// PassTime is one pipeline pass's accumulated wall time (summed over §5.2
+// retries for the passes inside the retry combinator).
+type PassTime struct {
+	Name string
+	Wall time.Duration
 }
 
 // Report describes one retiming run, mirroring the paper's Table 2 columns
@@ -78,6 +108,11 @@ type Report struct {
 	JustifyLocal, JustifyGlobal, JustifyConflicts int
 	Retries                                       int
 
+	// PassTimes is the per-pass wall-time breakdown, in pipeline order. The
+	// three coarse aggregates below are sums over it and are kept for
+	// Table 2 compatibility.
+	PassTimes []PassTime
+
 	TimeModel  time.Duration // steps 1-3: mc-graph, classes, bounds, sharing
 	TimeSolve  time.Duration // steps 4-5: minperiod + minarea
 	TimeVerify time.Duration // step 6: relocation + reset states
@@ -86,128 +121,5 @@ type Report struct {
 // Retime applies multiple-class retiming to c and returns the retimed
 // circuit with a report. c itself is never modified.
 func Retime(c *netlist.Circuit, opts Options) (*netlist.Circuit, *Report, error) {
-	rep := &Report{}
-	maxRetries := opts.MaxRetries
-	if maxRetries == 0 {
-		maxRetries = 64
-	}
-
-	// Steps 1-3.
-	t0 := time.Now()
-	m, err := mcgraph.Build(c)
-	if err != nil {
-		return nil, nil, err
-	}
-	info := m.ComputeBounds()
-	var g *graph.Graph
-	var bounds *graph.Bounds
-	if opts.DisableSharing {
-		g = m.ToGraph()
-		bounds = info.GraphBounds(m)
-	} else {
-		g, bounds = m.AreaGraph(info)
-	}
-	if opts.ForwardOnly {
-		for v := range bounds.Max {
-			if bounds.Max[v] > 0 || bounds.Max[v] == graph.NoUpper {
-				bounds.Max[v] = 0
-			}
-		}
-	}
-	rep.NumClasses = len(m.Classes)
-	rep.ClassTable = m.ClassSummary()
-	rep.StepsPossible = info.StepsPossible
-	rep.RegsBefore = c.NumRegs()
-	rep.TimeModel = time.Since(t0)
-
-	if rep.PeriodBefore, err = g.Period(nil); err != nil {
-		return nil, nil, fmt.Errorf("core: %w", err)
-	}
-
-	pool := &graph.CutPool{}
-	for {
-		// Steps 4-5.
-		t1 := time.Now()
-		r, phi, err := solve(g, bounds, opts, pool)
-		if err != nil {
-			return nil, nil, err
-		}
-		rep.TimeSolve += time.Since(t1)
-
-		// Step 6.
-		t2 := time.Now()
-		work := m.Clone()
-		var hooks mcgraph.Hooks
-		var j *justify.Justifier
-		if opts.DisableJustify {
-			hooks = mcgraph.NaiveHooks{}
-		} else {
-			j = justify.New(work)
-			if opts.SATJustify {
-				j.Engine = justify.EngineSAT
-			}
-			hooks = j
-		}
-		stats, err := work.Relocate(r, hooks)
-		rep.TimeVerify += time.Since(t2)
-		if err != nil {
-			var je *mcgraph.ErrJustify
-			if errors.As(err, &je) && rep.Retries < maxRetries {
-				// §5.2: forbid the non-justifiable backward moves and
-				// compute a new retiming. All conflicts of the pass are
-				// harvested at once, so a handful of retries suffices.
-				rep.Retries++
-				for _, cf := range je.Conflicts {
-					if cf.Achieved < bounds.Max[cf.V] {
-						bounds.Max[cf.V] = cf.Achieved
-					}
-				}
-				continue
-			}
-			return nil, nil, err
-		}
-
-		if j != nil {
-			rep.JustifyLocal = j.Stats.LocalSteps
-			rep.JustifyGlobal = j.Stats.GlobalSteps
-			rep.JustifyConflicts = j.Stats.Conflicts
-		}
-		rep.BackwardSteps = stats.BackwardSteps
-		rep.ForwardSteps = stats.ForwardSteps
-		rep.StepsMoved = stats.LayersMoved
-		rep.PeriodAfter = phi
-
-		out, err := work.Rebuild(c.Name + "_retimed")
-		if err != nil {
-			return nil, nil, err
-		}
-		rep.RegsAfter = out.NumRegs()
-		return out, rep, nil
-	}
-}
-
-// solve runs steps 4 and 5 on the prepared graph and returns the retiming
-// (over all solver vertices, separation vertices included) and the achieved
-// period. Period constraints are generated lazily; pool persists the cuts
-// across justification-conflict retries (bounds change, cuts stay valid).
-func solve(g *graph.Graph, bounds *graph.Bounds, opts Options, pool *graph.CutPool) ([]int32, int64, error) {
-	switch opts.Objective {
-	case MinPeriod:
-		phi, r, err := g.MinPeriodLazy(bounds, pool)
-		return r, phi, err
-	case MinAreaAtMinPeriod:
-		phi, _, err := g.MinPeriodLazy(bounds, pool)
-		if err != nil {
-			return nil, 0, err
-		}
-		r, err := retime.MinAreaLazy(g, phi, bounds, pool)
-		return r, phi, err
-	case MinAreaAtPeriod:
-		if _, ok := g.FeasibleLazy(opts.TargetPeriod, bounds, pool); !ok {
-			return nil, 0, fmt.Errorf("core: target period %d infeasible", opts.TargetPeriod)
-		}
-		r, err := retime.MinAreaLazy(g, opts.TargetPeriod, bounds, pool)
-		return r, opts.TargetPeriod, err
-	}
-	return nil, 0, fmt.Errorf("core: unknown objective %d", opts.Objective)
+	return RetimeCtx(context.Background(), c, opts)
 }

@@ -1,0 +1,263 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"mcretiming/internal/graph"
+	"mcretiming/internal/justify"
+	"mcretiming/internal/mcgraph"
+	"mcretiming/internal/netlist"
+	"mcretiming/internal/pass"
+	"mcretiming/internal/retime"
+	"mcretiming/internal/trace"
+)
+
+// Pass names: the six steps of paper §5 plus the §5.2 retry combinator
+// wrapping steps 4-6. These are the span names a trace sink sees and the
+// keys of Report.PassTimes.
+const (
+	PassBuild     = "build-mcgraph" // step 1: circuit -> mc-graph, classes
+	PassBounds    = "bounds"        // step 2: maximal backward/forward retiming
+	PassShare     = "share"         // step 3: sharing modification, solver graph
+	PassMinPeriod = "minperiod"     // step 4: minimum feasible clock period
+	PassMinArea   = "minarea"       // step 5: minimum-area retiming at the period
+	PassRelocate  = "relocate"      // step 6: relocation + equivalent reset states
+	PassRetry     = "solve+implement"
+)
+
+// flowState is the shared state the pipeline passes read and mutate.
+type flowState struct {
+	in   *netlist.Circuit
+	opts Options
+	rep  *Report
+
+	m      *mcgraph.MC
+	info   *mcgraph.BoundsInfo
+	g      *graph.Graph
+	bounds *graph.Bounds
+	pool   *graph.CutPool
+
+	r   []int32 // candidate retiming over all solver vertices
+	phi int64   // achieved/target period of r
+
+	out *netlist.Circuit
+}
+
+// RetimeCtx is Retime with cancellation: ctx aborts the long-running solver
+// loops (lazy cut generation, min-cost-flow augmentation, justification)
+// promptly with the context's error, leaving c unmodified.
+func RetimeCtx(ctx context.Context, c *netlist.Circuit, opts Options) (*netlist.Circuit, *Report, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	sink := opts.Trace
+	if sink == nil {
+		sink = trace.Nop()
+	}
+	st := &flowState{in: c, opts: opts, rep: &Report{}, pool: &graph.CutPool{}}
+	pc := pass.NewContext(trace.With(ctx, sink), sink, st)
+	pc.Observe = st.observe
+	if err := pipeline(opts).Run(pc); err != nil {
+		return nil, nil, err
+	}
+	return st.out, st.rep, nil
+}
+
+// pipeline assembles the retiming flow for opts: steps 1-3, then the §5.2
+// retry combinator around steps 4-6.
+func pipeline(opts Options) pass.Pipeline[flowState] {
+	return pass.Pipeline[flowState]{
+		{Name: PassBuild, Run: runBuild},
+		{Name: PassBounds, Run: runBounds},
+		{Name: PassShare, Run: runShare},
+		pass.Retry(PassRetry, effectiveMaxRetries(opts),
+			pass.Pipeline[flowState]{
+				{Name: PassMinPeriod, Run: runMinPeriod},
+				{Name: PassMinArea, Run: runMinArea},
+				{Name: PassRelocate, Run: runRelocate},
+			},
+			recoverJustifyConflict),
+	}
+}
+
+// observe folds per-pass wall times into the report: the named breakdown
+// plus the coarse Table 2 aggregates. Combinator wrappers are skipped — their
+// children already account for the time.
+func (s *flowState) observe(name string, wall time.Duration) {
+	switch name {
+	case PassBuild, PassBounds, PassShare:
+		s.rep.TimeModel += wall
+	case PassMinPeriod, PassMinArea:
+		s.rep.TimeSolve += wall
+	case PassRelocate:
+		s.rep.TimeVerify += wall
+	default:
+		return
+	}
+	for i := range s.rep.PassTimes {
+		if s.rep.PassTimes[i].Name == name {
+			s.rep.PassTimes[i].Wall += wall
+			return
+		}
+	}
+	s.rep.PassTimes = append(s.rep.PassTimes, PassTime{Name: name, Wall: wall})
+}
+
+// runBuild is step 1: the mc-graph and the register classes.
+func runBuild(pc *pass.Context[flowState]) error {
+	s := pc.State
+	m, err := mcgraph.Build(s.in)
+	if err != nil {
+		return err
+	}
+	s.m = m
+	s.rep.NumClasses = len(m.Classes)
+	s.rep.ClassTable = m.ClassSummary()
+	s.rep.RegsBefore = s.in.NumRegs()
+	pc.Sink.Add("classes", int64(len(m.Classes)))
+	return nil
+}
+
+// runBounds is step 2: per-vertex retiming bounds by maximal backward and
+// forward retiming.
+func runBounds(pc *pass.Context[flowState]) error {
+	s := pc.State
+	s.info = s.m.ComputeBounds()
+	s.rep.StepsPossible = s.info.StepsPossible
+	pc.Sink.Add("steps-possible", s.info.StepsPossible)
+	return nil
+}
+
+// runShare is step 3: the sharing modification (§4.2 separation vertices)
+// and the basic-retiming solver graph, plus the baseline period.
+func runShare(pc *pass.Context[flowState]) error {
+	s := pc.State
+	if s.opts.DisableSharing {
+		s.g = s.m.ToGraph()
+		s.bounds = s.info.GraphBounds(s.m)
+	} else {
+		s.g, s.bounds = s.m.AreaGraph(s.info)
+	}
+	if s.opts.ForwardOnly {
+		for v := range s.bounds.Max {
+			if s.bounds.Max[v] > 0 || s.bounds.Max[v] == graph.NoUpper {
+				s.bounds.Max[v] = 0
+			}
+		}
+	}
+	var err error
+	if s.rep.PeriodBefore, err = s.g.Period(nil); err != nil {
+		return fmt.Errorf("core: %w", err)
+	}
+	return nil
+}
+
+// runMinPeriod is step 4: the minimum feasible clock period under the
+// bounds — or, for MinAreaAtPeriod, the feasibility probe of the target.
+func runMinPeriod(pc *pass.Context[flowState]) error {
+	s := pc.State
+	switch s.opts.Objective {
+	case MinPeriod, MinAreaAtMinPeriod:
+		phi, r, err := s.g.MinPeriodLazyCtx(pc.Ctx(), s.bounds, s.pool)
+		if err != nil {
+			return err
+		}
+		s.phi, s.r = phi, r
+	case MinAreaAtPeriod:
+		r, ok, err := s.g.FeasibleLazyCtx(pc.Ctx(), s.opts.TargetPeriod, s.bounds, s.pool)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return fmt.Errorf("core: target period %d infeasible", s.opts.TargetPeriod)
+		}
+		s.phi, s.r = s.opts.TargetPeriod, r
+	default:
+		return fmt.Errorf("core: unknown objective %d", s.opts.Objective)
+	}
+	return nil
+}
+
+// runMinArea is step 5: minimum shared-register area at the period. For the
+// MinPeriod objective the feasible retiming of step 4 already is the result.
+func runMinArea(pc *pass.Context[flowState]) error {
+	s := pc.State
+	if s.opts.Objective == MinPeriod {
+		return nil
+	}
+	r, err := retime.MinAreaLazyCtx(pc.Ctx(), s.g, s.phi, s.bounds, s.pool)
+	if err != nil {
+		return err
+	}
+	s.r = r
+	return nil
+}
+
+// runRelocate is step 6: implement the retiming on a clone of the mc-graph,
+// computing equivalent reset states move by move, and rebuild the circuit.
+func runRelocate(pc *pass.Context[flowState]) error {
+	s := pc.State
+	work := s.m.Clone()
+	var hooks mcgraph.Hooks
+	var j *justify.Justifier
+	if s.opts.DisableJustify {
+		hooks = mcgraph.NaiveHooks{}
+	} else {
+		j = justify.New(work)
+		j.Ctx = pc.Ctx()
+		if s.opts.SATJustify {
+			j.Engine = justify.EngineSAT
+		}
+		hooks = j
+	}
+	stats, err := work.Relocate(s.r, hooks)
+	if j != nil {
+		// Counters accumulate across retries; the Report keeps the final
+		// attempt's totals, as before the pipeline refactor.
+		pc.Sink.Add("justify-local", int64(j.Stats.LocalSteps))
+		pc.Sink.Add("justify-global", int64(j.Stats.GlobalSteps))
+		pc.Sink.Add("justify-conflicts", int64(j.Stats.Conflicts))
+		s.rep.JustifyLocal = j.Stats.LocalSteps
+		s.rep.JustifyGlobal = j.Stats.GlobalSteps
+		s.rep.JustifyConflicts = j.Stats.Conflicts
+	}
+	if err != nil {
+		return err
+	}
+	s.rep.BackwardSteps = stats.BackwardSteps
+	s.rep.ForwardSteps = stats.ForwardSteps
+	s.rep.StepsMoved = stats.LayersMoved
+	s.rep.PeriodAfter = s.phi
+
+	out, err := work.Rebuild(s.in.Name + "_retimed")
+	if err != nil {
+		return err
+	}
+	s.rep.RegsAfter = out.NumRegs()
+	s.out = out
+	return nil
+}
+
+// recoverJustifyConflict implements §5.2: on an ErrJustify from relocation,
+// forbid the non-justifiable backward moves by tightening the offending
+// vertices' bounds and ask for a re-solve. All conflicts of a pass are
+// harvested at once, so a handful of retries suffices. The pooled period
+// cuts stay valid — only the bounds changed.
+func recoverJustifyConflict(pc *pass.Context[flowState], err error) bool {
+	var je *mcgraph.ErrJustify
+	if !errors.As(err, &je) {
+		return false
+	}
+	s := pc.State
+	s.rep.Retries++
+	for _, cf := range je.Conflicts {
+		if cf.Achieved < s.bounds.Max[cf.V] {
+			s.bounds.Max[cf.V] = cf.Achieved
+			pc.Sink.Add("bounds-tightened", 1)
+		}
+	}
+	return true
+}

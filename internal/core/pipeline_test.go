@@ -1,0 +1,144 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+
+	"mcretiming/internal/trace"
+)
+
+func TestDefaultMaxRetriesIsEight(t *testing.T) {
+	if DefaultMaxRetries != 8 {
+		t.Fatalf("DefaultMaxRetries = %d, want 8 (the documented default)", DefaultMaxRetries)
+	}
+	if got := effectiveMaxRetries(Options{}); got != 8 {
+		t.Errorf("effectiveMaxRetries(zero) = %d, want 8", got)
+	}
+	if got := effectiveMaxRetries(Options{MaxRetries: 3}); got != 3 {
+		t.Errorf("effectiveMaxRetries(3) = %d, want 3", got)
+	}
+}
+
+// The recorder's per-pass span totals must match the Report's coarse
+// aggregates: both are derived from the same pass executions, so they may
+// differ only by per-pass clock-read jitter.
+func TestTraceSpansMatchReportAggregates(t *testing.T) {
+	c := fig1Circuit(t)
+	rec := trace.NewRecorder()
+	_, rep, err := Retime(c, Options{Objective: MinAreaAtMinPeriod, Trace: rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, name := range []string{PassBuild, PassBounds, PassShare, PassRetry,
+		PassMinPeriod, PassMinArea, PassRelocate} {
+		found := false
+		for _, sp := range rec.Spans() {
+			if sp.Name == name {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("no span named %q recorded", name)
+		}
+	}
+	// Solver passes nest under the retry combinator.
+	spans := rec.Spans()
+	for i, sp := range spans {
+		if sp.Name == PassMinPeriod {
+			if sp.Parent < 0 || spans[sp.Parent].Name != PassRetry {
+				t.Errorf("span %d (%s) parent = %d, want the %s span", i, sp.Name, sp.Parent, PassRetry)
+			}
+		}
+	}
+
+	// PassTimes sums exactly reproduce the aggregates (same measurements).
+	var model, solve, verify time.Duration
+	for _, pt := range rep.PassTimes {
+		switch pt.Name {
+		case PassBuild, PassBounds, PassShare:
+			model += pt.Wall
+		case PassMinPeriod, PassMinArea:
+			solve += pt.Wall
+		case PassRelocate:
+			verify += pt.Wall
+		}
+	}
+	if model != rep.TimeModel || solve != rep.TimeSolve || verify != rep.TimeVerify {
+		t.Errorf("PassTimes sums %v/%v/%v != aggregates %v/%v/%v",
+			model, solve, verify, rep.TimeModel, rep.TimeSolve, rep.TimeVerify)
+	}
+
+	// Recorder spans measure the same intervals on their own clock; allow
+	// scheduling jitter per pass.
+	const tol = 5 * time.Millisecond
+	checks := []struct {
+		name  string
+		spans time.Duration
+		rep   time.Duration
+	}{
+		{"model", rec.Total(PassBuild) + rec.Total(PassBounds) + rec.Total(PassShare), rep.TimeModel},
+		{"solve", rec.Total(PassMinPeriod) + rec.Total(PassMinArea), rep.TimeSolve},
+		{"verify", rec.Total(PassRelocate), rep.TimeVerify},
+	}
+	for _, ck := range checks {
+		diff := ck.spans - ck.rep
+		if diff < 0 {
+			diff = -diff
+		}
+		if diff > tol {
+			t.Errorf("%s: span total %v vs report %v (diff %v > %v)",
+				ck.name, ck.spans, ck.rep, diff, tol)
+		}
+	}
+}
+
+func TestTracedRunEmitsChromeTrace(t *testing.T) {
+	c := fig1Circuit(t)
+	rec := trace.NewRecorder()
+	if _, _, err := Retime(c, Options{Objective: MinAreaAtMinPeriod, Trace: rec}); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := rec.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+		t.Fatalf("chrome trace is not valid JSON: %v", err)
+	}
+	names := make(map[string]bool)
+	for _, ev := range events {
+		if name, ok := ev["name"].(string); ok {
+			names[name] = true
+		}
+	}
+	for _, want := range []string{PassBuild, PassMinPeriod, PassRelocate} {
+		if !names[want] {
+			t.Errorf("chrome trace missing event %q", want)
+		}
+	}
+}
+
+// The solver counters must reach the sink: a traced fig1 run exercises the
+// cutting planes and the flow engine.
+func TestTraceCounters(t *testing.T) {
+	c := fig1Circuit(t)
+	rec := trace.NewRecorder()
+	_, rep, err := Retime(c, Options{Objective: MinAreaAtMinPeriod, Trace: rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rec.Counter("classes"); got != int64(rep.NumClasses) {
+		t.Errorf("classes counter = %d, want %d", got, rep.NumClasses)
+	}
+	if got := rec.Counter("steps-possible"); got != rep.StepsPossible {
+		t.Errorf("steps-possible counter = %d, want %d", got, rep.StepsPossible)
+	}
+	if rec.Counter("minperiod-probes") == 0 {
+		t.Error("no minperiod probes counted")
+	}
+}

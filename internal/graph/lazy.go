@@ -1,6 +1,11 @@
 package graph
 
-import "fmt"
+import (
+	"context"
+	"fmt"
+
+	"mcretiming/internal/trace"
+)
 
 // This file implements lazily-generated period constraints. The dense
 // formulation emits r(u) − r(v) ≤ W(u,v) − 1 for every pair with
@@ -140,13 +145,26 @@ func (g *Graph) PeriodCuts(r []int32, phi int64) ([]Cut, error) {
 // reusing (and extending) pool. On success it returns a legal retiming with
 // r[Host] = 0.
 func (g *Graph) FeasibleLazy(phi int64, bounds *Bounds, pool *CutPool) ([]int32, bool) {
+	r, ok, _ := g.FeasibleLazyCtx(context.Background(), phi, bounds, pool)
+	return r, ok
+}
+
+// FeasibleLazyCtx is FeasibleLazy with cooperative cancellation: ctx is
+// polled once per cutting-plane round and its error returned. Cuts generated
+// along the way bump the "cuts-generated" counter of any trace sink carried
+// by ctx.
+func (g *Graph) FeasibleLazyCtx(ctx context.Context, phi int64, bounds *Bounds, pool *CutPool) ([]int32, bool, error) {
+	sink := trace.From(ctx)
 	n := g.NumVertices()
 	base := g.BaseConstraints(bounds)
 	cons := append(base, pool.ForPeriod(phi)...)
 	for {
+		if err := ctx.Err(); err != nil {
+			return nil, false, err
+		}
 		r, ok := SolveDifference(n, cons)
 		if !ok {
-			return nil, false
+			return nil, false, nil
 		}
 		h := r[Host]
 		for i := range r {
@@ -154,11 +172,12 @@ func (g *Graph) FeasibleLazy(phi int64, bounds *Bounds, pool *CutPool) ([]int32,
 		}
 		cuts, err := g.PeriodCuts(r, phi)
 		if err != nil {
-			return nil, false
+			return nil, false, nil
 		}
 		if len(cuts) == 0 {
-			return r, true
+			return r, true, nil
 		}
+		sink.Add("cuts-generated", int64(len(cuts)))
 		pool.Add(cuts)
 		for _, c := range cuts {
 			cons = append(cons, c.Constraint)
@@ -170,9 +189,18 @@ func (g *Graph) FeasibleLazy(phi int64, bounds *Bounds, pool *CutPool) ([]int32,
 // with lazy cuts. pool accumulates the generated cuts (nil for a private
 // pool) and can seed a subsequent minarea solve at the same period.
 func (g *Graph) MinPeriodLazy(bounds *Bounds, pool *CutPool) (int64, []int32, error) {
+	return g.MinPeriodLazyCtx(context.Background(), bounds, pool)
+}
+
+// MinPeriodLazyCtx is MinPeriodLazy with cooperative cancellation: ctx is
+// polled per feasibility probe and per cutting-plane round, and its error
+// returned. Probes bump the "minperiod-probes" counter of any trace sink
+// carried by ctx.
+func (g *Graph) MinPeriodLazyCtx(ctx context.Context, bounds *Bounds, pool *CutPool) (int64, []int32, error) {
 	if pool == nil {
 		pool = &CutPool{}
 	}
+	sink := trace.From(ctx)
 	hi, err := g.Period(nil)
 	if err != nil {
 		return 0, nil, err
@@ -184,19 +212,31 @@ func (g *Graph) MinPeriodLazy(bounds *Bounds, pool *CutPool) (int64, []int32, er
 		}
 	}
 	bestPhi, bestR := hi, make([]int32, g.NumVertices())
-	if r, ok := g.FeasibleLazy(hi, bounds, pool); ok {
-		bestR = r
-	} else {
+	sink.Add("minperiod-probes", 1)
+	r, ok, err := g.FeasibleLazyCtx(ctx, hi, bounds, pool)
+	if err != nil {
+		return 0, nil, err
+	}
+	if !ok {
 		return 0, nil, fmt.Errorf("graph: original period %d infeasible (conflicting bounds?)", hi)
 	}
+	bestR = r
 	// The achieved period of a feasible retiming tightens the search much
 	// faster than bisection alone.
 	if p, err := g.Period(bestR); err == nil && p < bestPhi {
 		bestPhi = p
 	}
 	for lo < bestPhi {
+		if err := ctx.Err(); err != nil {
+			return 0, nil, err
+		}
 		mid := lo + (bestPhi-lo)/2
-		if r, ok := g.FeasibleLazy(mid, bounds, pool); ok {
+		sink.Add("minperiod-probes", 1)
+		r, ok, err := g.FeasibleLazyCtx(ctx, mid, bounds, pool)
+		if err != nil {
+			return 0, nil, err
+		}
+		if ok {
 			bestR = r
 			if p, err := g.Period(r); err == nil && p <= mid {
 				bestPhi = p

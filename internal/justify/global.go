@@ -169,6 +169,9 @@ func (j *Justifier) solveBDD(comp *component, dom domain, fixed func(int64) bool
 		}
 	}
 	for _, r := range comp.recs {
+		if j.ctxErr() != nil {
+			return nil, false // Backward surfaces the context error
+		}
 		pins := make([]int, len(r.fanin))
 		for i, s := range r.fanin {
 			pins[i] = varOf[s]
@@ -241,8 +244,9 @@ func (j *Justifier) solveSAT(comp *component, dom domain, fixed func(int64) bool
 			}
 		}
 	}
-	if !s.Solve() {
-		return nil, false
+	ok, err := s.SolveCtx(j.context())
+	if !ok || err != nil {
+		return nil, false // a context error is surfaced by Backward
 	}
 	model := s.Lift(keep)
 	assign := make(map[int64]logic.Bit, len(comp.serials))

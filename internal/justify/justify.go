@@ -22,6 +22,7 @@
 package justify
 
 import (
+	"context"
 	"fmt"
 
 	"mcretiming/internal/bdd"
@@ -80,6 +81,10 @@ type Justifier struct {
 	Stats Stats
 	// Engine selects the global-justification backend (default EngineBDD).
 	Engine Engine
+	// Ctx carries cancellation into the per-move justification work: it is
+	// polled on every hook call and inside the global BDD/SAT search, and
+	// its error aborts the relocation. nil means no cancellation.
+	Ctx context.Context
 
 	vals      map[int64][2]logic.Bit // serial -> {sync, async} value
 	origin    map[int64]bool         // serial is an original register
@@ -106,6 +111,23 @@ func New(m *mcgraph.MC) *Justifier {
 	return j
 }
 
+// ctxErr returns the cancellation error of j.Ctx, or nil when no context
+// was attached.
+func (j *Justifier) ctxErr() error {
+	if j.Ctx == nil {
+		return nil
+	}
+	return j.Ctx.Err()
+}
+
+// context returns j.Ctx, defaulting to the background context.
+func (j *Justifier) context() context.Context {
+	if j.Ctx == nil {
+		return context.Background()
+	}
+	return j.Ctx
+}
+
 func (j *Justifier) gateOf(v graph.VertexID) (*netlist.Gate, error) {
 	vert := &j.M.Verts[v]
 	if vert.Kind != mcgraph.KGate {
@@ -117,6 +139,9 @@ func (j *Justifier) gateOf(v graph.VertexID) (*netlist.Gate, error) {
 // Forward implements mcgraph.Hooks: the created register's reset values are
 // the gate function applied to the consumed layer's values, per domain.
 func (j *Justifier) Forward(v graph.VertexID, removed []mcgraph.RegInst, inserted mcgraph.RegInst) (mcgraph.RegInst, error) {
+	if err := j.ctxErr(); err != nil {
+		return inserted, err
+	}
 	g, err := j.gateOf(v)
 	if err != nil {
 		return inserted, err
@@ -148,6 +173,9 @@ func (j *Justifier) Forward(v graph.VertexID, removed []mcgraph.RegInst, inserte
 // Backward implements mcgraph.Hooks: justify the removed layer's values
 // across v's gate onto the inserted fanin layer.
 func (j *Justifier) Backward(v graph.VertexID, removed, inserted []mcgraph.RegInst) ([]mcgraph.RegInst, error) {
+	if err := j.ctxErr(); err != nil {
+		return inserted, err
+	}
 	g, err := j.gateOf(v)
 	if err != nil {
 		return inserted, err
@@ -184,6 +212,11 @@ func (j *Justifier) Backward(v graph.VertexID, removed, inserted []mcgraph.RegIn
 		okS := j.globalJustify(rec, domSync, cls.HasSR())
 		okA := okS && j.globalJustify(rec, domAsync, cls.HasAR())
 		if !okS || !okA {
+			// Cancellation aborts the search from inside; it must surface as
+			// the context's error, not as a justification conflict.
+			if err := j.ctxErr(); err != nil {
+				return inserted, err
+			}
 			// The record is NOT registered: the caller undoes the step, so
 			// it must not haunt later global systems.
 			j.Stats.Conflicts++

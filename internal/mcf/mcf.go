@@ -17,9 +17,12 @@
 package mcf
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
+
+	"mcretiming/internal/trace"
 )
 
 // Inf is the capacity used for uncapacitated arcs.
@@ -77,6 +80,14 @@ var ErrInfeasible = errors.New("mcf: infeasible (supply cannot reach demand)")
 // Bellman–Ford (SPFA) absorbs negative arc costs into the potentials; every
 // augmentation after that is a Dijkstra over nonnegative reduced costs.
 func (s *Solver) Solve() (int64, error) {
+	return s.SolveCtx(context.Background())
+}
+
+// SolveCtx is Solve with cooperative cancellation: ctx is polled before
+// every augmentation and its error returned. Each augmentation bumps the
+// "flow-augmentations" counter of any trace sink carried by ctx.
+func (s *Solver) SolveCtx(ctx context.Context) (int64, error) {
+	sink := trace.From(ctx)
 	var total int64
 	for _, b := range s.supply {
 		total += b
@@ -94,6 +105,9 @@ func (s *Solver) Solve() (int64, error) {
 	prevNode := make([]int32, s.n)
 	prevArc := make([]int32, s.n)
 	for {
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
 		src := -1
 		for v, e := range excess {
 			if e > 0 {
@@ -104,38 +118,39 @@ func (s *Solver) Solve() (int64, error) {
 		if src == -1 {
 			return cost, nil
 		}
-		sink := s.dijkstra(src, pi, excess, dist, prevNode, prevArc)
-		if sink == -1 {
+		sink.Add("flow-augmentations", 1)
+		deficit := s.dijkstra(src, pi, excess, dist, prevNode, prevArc)
+		if deficit == -1 {
 			return 0, ErrInfeasible
 		}
 		// Fold the new distances into the potentials (unreached nodes keep
-		// their old potential relative to the sink's distance).
+		// their old potential relative to the deficit node's distance).
 		for v := 0; v < s.n; v++ {
-			if dist[v] < math.MaxInt64 && dist[v] < dist[sink] {
+			if dist[v] < math.MaxInt64 && dist[v] < dist[deficit] {
 				pi[v] += dist[v]
 			} else {
-				pi[v] += dist[sink]
+				pi[v] += dist[deficit]
 			}
 		}
 		// Bottleneck along the path.
 		amt := excess[src]
-		if -excess[sink] < amt {
-			amt = -excess[sink]
+		if -excess[deficit] < amt {
+			amt = -excess[deficit]
 		}
-		for v := sink; v != src; v = int(prevNode[v]) {
+		for v := deficit; v != src; v = int(prevNode[v]) {
 			a := &s.adj[prevNode[v]][prevArc[v]]
 			if a.cap < amt {
 				amt = a.cap
 			}
 		}
-		for v := sink; v != src; v = int(prevNode[v]) {
+		for v := deficit; v != src; v = int(prevNode[v]) {
 			a := &s.adj[prevNode[v]][prevArc[v]]
 			a.cap -= amt
 			s.adj[v][a.rev].cap += amt
 			cost += amt * a.cost
 		}
 		excess[src] -= amt
-		excess[sink] += amt
+		excess[deficit] += amt
 	}
 }
 

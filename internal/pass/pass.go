@@ -1,0 +1,102 @@
+// Package pass defines the pass-pipeline architecture the retiming flow is
+// built on: a Pass is one named, individually timed step over a shared flow
+// state; a Pipeline runs passes in order under a context.Context, emitting
+// one trace span per pass; Retry is the combinator expressing the §5.2
+// re-retiming loop (re-run a body pipeline while a recovery function can
+// repair the error).
+//
+// The package is generic over the state type so it stays free of any
+// dependency on the flow's concrete data structures; internal/core
+// instantiates it with the mc-retiming flow state.
+package pass
+
+import (
+	"context"
+	"time"
+
+	"mcretiming/internal/trace"
+)
+
+// Pass is one named step of a pipeline over state S.
+type Pass[S any] struct {
+	Name string
+	Run  func(*Context[S]) error
+}
+
+// Context carries what every pass sees: the cancellation context, the event
+// sink, and the shared flow state.
+type Context[S any] struct {
+	ctx   context.Context
+	Sink  trace.Sink
+	State *S
+	// Observe, when set, is called after every pass with its name and wall
+	// time — the hook aggregate reports are built from.
+	Observe func(pass string, wall time.Duration)
+}
+
+// NewContext returns a Context over state. A nil ctx means
+// context.Background(); a nil sink means the no-op sink.
+func NewContext[S any](ctx context.Context, sink trace.Sink, state *S) *Context[S] {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if sink == nil {
+		sink = trace.Nop()
+	}
+	return &Context[S]{ctx: ctx, Sink: sink, State: state}
+}
+
+// Ctx returns the cancellation context of the run.
+func (c *Context[S]) Ctx() context.Context { return c.ctx }
+
+// Err returns the context's error (non-nil once cancelled or past its
+// deadline).
+func (c *Context[S]) Err() error { return c.ctx.Err() }
+
+// Pipeline is a sequence of passes run in order.
+type Pipeline[S any] []Pass[S]
+
+// Run executes the passes in order, wrapping each in a trace span, and stops
+// at the first error. A cancelled context aborts before the next pass starts
+// (passes themselves poll the context inside their long-running loops).
+func (p Pipeline[S]) Run(c *Context[S]) error {
+	for _, ps := range p {
+		if err := c.Err(); err != nil {
+			return err
+		}
+		if err := runOne(c, ps); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func runOne[S any](c *Context[S], ps Pass[S]) error {
+	c.Sink.BeginSpan(ps.Name)
+	start := time.Now()
+	err := ps.Run(c)
+	wall := time.Since(start)
+	c.Sink.EndSpan()
+	if c.Observe != nil {
+		c.Observe(ps.Name, wall)
+	}
+	return err
+}
+
+// Retry wraps body as a single named pass implementing a bounded retry loop:
+// when the body fails with an error for which recover returns true (after
+// repairing the state, e.g. tightening a retiming bound), the body is re-run,
+// up to max retries. Cancellation is never retried.
+func Retry[S any](name string, max int, body Pipeline[S], recover func(*Context[S], error) bool) Pass[S] {
+	return Pass[S]{Name: name, Run: func(c *Context[S]) error {
+		for retries := 0; ; retries++ {
+			err := body.Run(c)
+			if err == nil {
+				return nil
+			}
+			if c.Err() != nil || retries >= max || !recover(c, err) {
+				return err
+			}
+		}
+	}}
+}

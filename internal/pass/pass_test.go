@@ -1,0 +1,144 @@
+package pass
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"mcretiming/internal/trace"
+)
+
+type state struct{ log []string }
+
+func step(name string, err error) Pass[state] {
+	return Pass[state]{Name: name, Run: func(c *Context[state]) error {
+		c.State.log = append(c.State.log, name)
+		return err
+	}}
+}
+
+func TestPipelineRunsInOrder(t *testing.T) {
+	c := NewContext(nil, nil, &state{})
+	p := Pipeline[state]{step("a", nil), step("b", nil), step("c", nil)}
+	if err := p.Run(c); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.State.log; len(got) != 3 || got[0] != "a" || got[1] != "b" || got[2] != "c" {
+		t.Errorf("order = %v", got)
+	}
+}
+
+func TestPipelineStopsOnError(t *testing.T) {
+	boom := errors.New("boom")
+	c := NewContext(nil, nil, &state{})
+	p := Pipeline[state]{step("a", nil), step("b", boom), step("c", nil)}
+	if err := p.Run(c); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if got := c.State.log; len(got) != 2 {
+		t.Errorf("ran %v, want a b only", got)
+	}
+}
+
+func TestPipelineEmitsSpansAndObserve(t *testing.T) {
+	rec := trace.NewRecorder()
+	c := NewContext(context.Background(), rec, &state{})
+	var names []string
+	c.Observe = func(name string, _ time.Duration) { names = append(names, name) }
+	p := Pipeline[state]{step("a", nil), step("b", nil)}
+	if err := p.Run(c); err != nil {
+		t.Fatal(err)
+	}
+	spans := rec.Spans()
+	if len(spans) != 2 || spans[0].Name != "a" || spans[1].Name != "b" {
+		t.Errorf("spans = %+v", spans)
+	}
+	if len(names) != 2 || names[0] != "a" || names[1] != "b" {
+		t.Errorf("observed = %v", names)
+	}
+}
+
+func TestPipelineHonorsCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	c := NewContext(ctx, nil, &state{})
+	ran := 0
+	p := Pipeline[state]{
+		{Name: "a", Run: func(*Context[state]) error { ran++; cancel(); return nil }},
+		{Name: "b", Run: func(*Context[state]) error { ran++; return nil }},
+	}
+	err := p.Run(c)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if ran != 1 {
+		t.Errorf("ran %d passes after cancellation, want 1", ran)
+	}
+}
+
+func TestRetrySucceedsAfterRecovery(t *testing.T) {
+	boom := errors.New("conflict")
+	attempts := 0
+	body := Pipeline[state]{{Name: "solve", Run: func(*Context[state]) error {
+		attempts++
+		if attempts < 3 {
+			return boom
+		}
+		return nil
+	}}}
+	recoveries := 0
+	p := Retry("retry", 8, body, func(*Context[state], error) bool { recoveries++; return true })
+	c := NewContext(nil, nil, &state{})
+	if err := (Pipeline[state]{p}).Run(c); err != nil {
+		t.Fatal(err)
+	}
+	if attempts != 3 || recoveries != 2 {
+		t.Errorf("attempts=%d recoveries=%d, want 3 and 2", attempts, recoveries)
+	}
+}
+
+func TestRetryExhaustsBudget(t *testing.T) {
+	boom := errors.New("conflict")
+	attempts := 0
+	body := Pipeline[state]{{Name: "solve", Run: func(*Context[state]) error { attempts++; return boom }}}
+	p := Retry("retry", 2, body, func(*Context[state], error) bool { return true })
+	c := NewContext(nil, nil, &state{})
+	if err := (Pipeline[state]{p}).Run(c); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if attempts != 3 { // initial try + 2 retries
+		t.Errorf("attempts = %d, want 3", attempts)
+	}
+}
+
+func TestRetryStopsWhenRecoverDeclines(t *testing.T) {
+	boom := errors.New("conflict")
+	attempts := 0
+	body := Pipeline[state]{{Name: "solve", Run: func(*Context[state]) error { attempts++; return boom }}}
+	p := Retry("retry", 8, body, func(*Context[state], error) bool { return false })
+	c := NewContext(nil, nil, &state{})
+	if err := (Pipeline[state]{p}).Run(c); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if attempts != 1 {
+		t.Errorf("attempts = %d, want 1", attempts)
+	}
+}
+
+func TestRetryNeverRetriesCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	attempts := 0
+	body := Pipeline[state]{{Name: "solve", Run: func(c *Context[state]) error {
+		attempts++
+		cancel()
+		return c.Err()
+	}}}
+	p := Retry("retry", 8, body, func(*Context[state], error) bool { return true })
+	c := NewContext(ctx, nil, &state{})
+	if err := (Pipeline[state]{p}).Run(c); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if attempts != 1 {
+		t.Errorf("attempts = %d, want 1 (no retry after cancel)", attempts)
+	}
+}

@@ -1,10 +1,12 @@
 package retime
 
 import (
+	"context"
 	"fmt"
 
 	"mcretiming/internal/graph"
 	"mcretiming/internal/mcf"
+	"mcretiming/internal/trace"
 )
 
 // MinAreaLazy computes a minimum-register retiming at period phi using
@@ -12,14 +14,34 @@ import (
 // dense W/D constraint matrix. pool may carry cuts from the minperiod
 // search; it is extended in place. phi must be feasible.
 func MinAreaLazy(g *graph.Graph, phi int64, bounds *graph.Bounds, pool *graph.CutPool) ([]int32, error) {
+	return MinAreaLazyCtx(context.Background(), g, phi, bounds, pool)
+}
+
+// MinAreaLazyCtx is MinAreaLazy with cooperative cancellation: ctx is polled
+// per cutting-plane round and inside the min-cost-flow augmentation loop,
+// and its error returned. Rounds and generated cuts bump the
+// "minarea-rounds"/"cuts-generated" counters of any trace sink carried by
+// ctx.
+func MinAreaLazyCtx(ctx context.Context, g *graph.Graph, phi int64, bounds *graph.Bounds, pool *graph.CutPool) ([]int32, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if pool == nil {
 		pool = &graph.CutPool{}
 	}
+	sink := trace.From(ctx)
 	prob := buildAreaProblem(g, bounds)
 	cuts := pool.ForPeriod(phi)
 	for round := 0; ; round++ {
-		r, err := prob.solve(g, cuts)
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		sink.Add("minarea-rounds", 1)
+		r, err := prob.solve(ctx, g, cuts)
 		if err != nil {
+			if ctx.Err() != nil {
+				return nil, ctx.Err()
+			}
 			return nil, fmt.Errorf("retime: minarea (lazy, round %d) at period %d: %w", round, phi, err)
 		}
 		newCuts, err := g.PeriodCuts(r, phi)
@@ -35,6 +57,7 @@ func MinAreaLazy(g *graph.Graph, phi int64, bounds *graph.Bounds, pool *graph.Cu
 			}
 			return r, nil
 		}
+		sink.Add("cuts-generated", int64(len(newCuts)))
 		pool.Add(newCuts)
 		for _, c := range newCuts {
 			cuts = append(cuts, c.Constraint)
@@ -113,7 +136,7 @@ func buildAreaProblem(g *graph.Graph, bounds *graph.Bounds) *areaProblem {
 
 // solve runs the min-cost-flow dual over the base constraints plus the given
 // period constraints and recovers the retiming from residual potentials.
-func (p *areaProblem) solve(g *graph.Graph, period []graph.Constraint) ([]int32, error) {
+func (p *areaProblem) solve(ctx context.Context, g *graph.Graph, period []graph.Constraint) ([]int32, error) {
 	s := mcf.New(p.nvars)
 	for _, c := range p.base {
 		s.AddArc(c.y, c.x, mcf.Inf, c.b)
@@ -124,7 +147,7 @@ func (p *areaProblem) solve(g *graph.Graph, period []graph.Constraint) ([]int32,
 	for v := 0; v < p.nvars; v++ {
 		s.AddSupply(v, p.cost[v])
 	}
-	if _, err := s.Solve(); err != nil {
+	if _, err := s.SolveCtx(ctx); err != nil {
 		return nil, err
 	}
 	pi, err := s.ResidualPotentials()

@@ -1,5 +1,7 @@
 package sat
 
+import "context"
+
 // Conflict-driven clause learning: the search core of Solve. The solver
 // keeps an implication graph (a reason clause per assigned variable),
 // analyzes each conflict to the first unique implication point, learns the
@@ -34,8 +36,16 @@ func (s *Solver) initSearch() *searchState {
 // Value. Assumptions are enqueued at decision level 0, so a conflict with
 // them is final UNSAT.
 func (s *Solver) Solve(assumptions ...Lit) bool {
+	ok, _ := s.SolveCtx(context.Background(), assumptions...)
+	return ok
+}
+
+// SolveCtx is Solve with cooperative cancellation: ctx is polled at every
+// decision and conflict, and its (non-nil) error is returned with sat=false.
+// Callers must distinguish cancellation from UNSAT via the error.
+func (s *Solver) SolveCtx(ctx context.Context, assumptions ...Lit) (bool, error) {
 	if s.empty {
-		return false
+		return false, nil
 	}
 	for i := range s.assign {
 		s.assign[i] = unassigned
@@ -61,23 +71,26 @@ func (s *Solver) Solve(assumptions ...Lit) bool {
 	for ci, cl := range s.clauses {
 		if len(cl) == 1 {
 			if !enq(cl[0], int32(ci)) {
-				return false
+				return false, nil
 			}
 		}
 	}
 	for _, a := range assumptions {
 		if !enq(a, noReason) {
-			return false
+			return false, nil
 		}
 	}
 	qhead := 0
 	if conflict := s.propagateCDCL(&qhead, st); conflict >= 0 {
-		return false
+		return false, nil
 	}
 
 	conflictBudget := 128
 	conflicts := 0
 	for {
+		if err := ctx.Err(); err != nil {
+			return false, err
+		}
 		// Decision.
 		pick := -1
 		best := -1.0
@@ -88,7 +101,7 @@ func (s *Solver) Solve(assumptions ...Lit) bool {
 			}
 		}
 		if pick == -1 {
-			return true
+			return true, nil
 		}
 		s.trailLim = append(s.trailLim, len(s.trail))
 		enq(L(pick, true), noReason) // negative polarity first: cheap for miters
@@ -98,15 +111,18 @@ func (s *Solver) Solve(assumptions ...Lit) bool {
 			if conflict < 0 {
 				break
 			}
+			if err := ctx.Err(); err != nil {
+				return false, err
+			}
 			conflicts++
 			if len(s.trailLim) == 0 {
-				return false
+				return false, nil
 			}
 			learnt, backLevel := s.analyze(conflict, st)
 			s.backtrackTo(backLevel, st, &qhead)
 			ci := s.learnClause(learnt)
 			if !enq(learnt[0], ci) {
-				return false
+				return false, nil
 			}
 			st.varInc /= varDecay
 			if st.varInc > 1e100 {

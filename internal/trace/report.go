@@ -1,0 +1,99 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// WriteText renders the span tree as an indented human-readable report with
+// per-span wall times and counters.
+func (r *Recorder) WriteText(w io.Writer) error {
+	spans := r.Spans()
+	var total time.Duration
+	for _, sp := range spans {
+		if sp.Parent == -1 {
+			total += sp.Duration
+		}
+	}
+	if _, err := fmt.Fprintf(w, "trace: %d spans, %v total\n", len(spans), total.Round(time.Microsecond)); err != nil {
+		return err
+	}
+	for _, sp := range spans {
+		if _, err := fmt.Fprintf(w, "%*s%-24s %10v%s\n", 2+2*sp.Depth, "",
+			sp.Name, sp.Duration.Round(time.Microsecond), formatCounters(sp.Counters)); err != nil {
+			return err
+		}
+	}
+	if root := r.RootCounters(); len(root) > 0 {
+		if _, err := fmt.Fprintf(w, "  counters:%s\n", formatCounters(root)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func formatCounters(c map[string]int64) string {
+	if len(c) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(c))
+	for k := range c {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := ""
+	for _, k := range keys {
+		out += fmt.Sprintf("  %s=%d", k, c[k])
+	}
+	return out
+}
+
+// chromeEvent is one entry of the Chrome trace-event JSON array format.
+// Complete events ("ph":"X") carry ts/dur in microseconds; counter events
+// ("ph":"C") carry instantaneous values in args.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// WriteChromeTrace writes the recorded spans as a Chrome trace-event JSON
+// array (the format chrome://tracing and ui.perfetto.dev load): one complete
+// event per span, its counters attached as args, plus one counter event per
+// root counter.
+func (r *Recorder) WriteChromeTrace(w io.Writer) error {
+	spans := r.Spans()
+	events := make([]chromeEvent, 0, len(spans)+1)
+	for _, sp := range spans {
+		ev := chromeEvent{
+			Name: sp.Name,
+			Ph:   "X",
+			Ts:   float64(sp.Start) / float64(time.Microsecond),
+			Dur:  float64(sp.Duration) / float64(time.Microsecond),
+			Pid:  1,
+			Tid:  1,
+		}
+		if len(sp.Counters) > 0 {
+			ev.Args = make(map[string]any, len(sp.Counters))
+			for k, v := range sp.Counters {
+				ev.Args[k] = v
+			}
+		}
+		events = append(events, ev)
+	}
+	for name, v := range r.RootCounters() {
+		events = append(events, chromeEvent{
+			Name: name, Ph: "C", Ts: 0, Pid: 1, Tid: 1,
+			Args: map[string]any{"value": v},
+		})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(events)
+}

@@ -1,0 +1,161 @@
+package trace
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRecorderSpanTree(t *testing.T) {
+	r := NewRecorder()
+	r.BeginSpan("outer")
+	r.Add("widgets", 2)
+	r.BeginSpan("inner")
+	r.Add("widgets", 3)
+	r.EndSpan()
+	r.EndSpan()
+	r.BeginSpan("second")
+	r.EndSpan()
+
+	spans := r.Spans()
+	if len(spans) != 3 {
+		t.Fatalf("got %d spans, want 3", len(spans))
+	}
+	outer, inner, second := spans[0], spans[1], spans[2]
+	if outer.Name != "outer" || outer.Parent != -1 || outer.Depth != 0 {
+		t.Errorf("outer = %+v", outer)
+	}
+	if inner.Name != "inner" || inner.Parent != 0 || inner.Depth != 1 {
+		t.Errorf("inner = %+v", inner)
+	}
+	if second.Name != "second" || second.Parent != -1 || second.Depth != 0 {
+		t.Errorf("second = %+v", second)
+	}
+	if outer.Counters["widgets"] != 2 || inner.Counters["widgets"] != 3 {
+		t.Errorf("counters: outer=%v inner=%v", outer.Counters, inner.Counters)
+	}
+	if r.Counter("widgets") != 5 {
+		t.Errorf("Counter(widgets) = %d, want 5", r.Counter("widgets"))
+	}
+	if outer.Duration < inner.Duration {
+		t.Errorf("outer (%v) shorter than nested inner (%v)", outer.Duration, inner.Duration)
+	}
+}
+
+func TestRecorderRootCountersAndUnbalancedEnd(t *testing.T) {
+	r := NewRecorder()
+	r.EndSpan() // unbalanced: must be ignored
+	r.Add("loose", 7)
+	if got := r.RootCounters()["loose"]; got != 7 {
+		t.Errorf("root counter = %d, want 7", got)
+	}
+	if got := r.Counter("loose"); got != 7 {
+		t.Errorf("Counter = %d, want 7", got)
+	}
+}
+
+func TestRecorderTotalSumsRepeats(t *testing.T) {
+	r := NewRecorder()
+	for i := 0; i < 3; i++ {
+		r.BeginSpan("pass")
+		time.Sleep(time.Millisecond)
+		r.EndSpan()
+	}
+	var sum time.Duration
+	for _, sp := range r.Spans() {
+		sum += sp.Duration
+	}
+	if got := r.Total("pass"); got != sum {
+		t.Errorf("Total = %v, want %v", got, sum)
+	}
+	if got := r.Total("absent"); got != 0 {
+		t.Errorf("Total(absent) = %v, want 0", got)
+	}
+}
+
+func TestOpenSpanReportedWithRunningDuration(t *testing.T) {
+	r := NewRecorder()
+	r.BeginSpan("open")
+	time.Sleep(time.Millisecond)
+	spans := r.Spans()
+	if len(spans) != 1 || spans[0].Duration <= 0 {
+		t.Fatalf("open span not reported with running duration: %+v", spans)
+	}
+}
+
+func TestWriteChromeTraceValidJSON(t *testing.T) {
+	r := NewRecorder()
+	r.Add("root-counter", 4)
+	r.BeginSpan("a")
+	r.BeginSpan("b")
+	r.Add("cuts", 9)
+	r.EndSpan()
+	r.EndSpan()
+
+	var buf bytes.Buffer
+	if err := r.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+		t.Fatalf("not valid JSON: %v\n%s", err, buf.String())
+	}
+	var xEvents, cEvents int
+	for _, ev := range events {
+		switch ev["ph"] {
+		case "X":
+			xEvents++
+			if _, ok := ev["ts"].(float64); !ok {
+				t.Errorf("X event without numeric ts: %v", ev)
+			}
+		case "C":
+			cEvents++
+		default:
+			t.Errorf("unexpected phase %v", ev["ph"])
+		}
+	}
+	if xEvents != 2 || cEvents != 1 {
+		t.Errorf("got %d X + %d C events, want 2 + 1", xEvents, cEvents)
+	}
+}
+
+func TestWriteText(t *testing.T) {
+	r := NewRecorder()
+	r.BeginSpan("outer")
+	r.Add("n", 1)
+	r.BeginSpan("inner")
+	r.EndSpan()
+	r.EndSpan()
+	var buf bytes.Buffer
+	if err := r.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"outer", "inner", "n=1", "2 spans"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestContextCarry(t *testing.T) {
+	if From(context.Background()) != Nop() {
+		t.Error("From on a bare context is not the no-op sink")
+	}
+	r := NewRecorder()
+	ctx := With(context.Background(), r)
+	if From(ctx) != Sink(r) {
+		t.Error("From did not return the stored sink")
+	}
+	if From(With(context.Background(), nil)) != Nop() {
+		t.Error("With(nil) did not store the no-op sink")
+	}
+	// The no-op sink accepts events without effect.
+	s := Nop()
+	s.BeginSpan("x")
+	s.Add("c", 1)
+	s.EndSpan()
+}

@@ -38,6 +38,7 @@
 package mcretiming
 
 import (
+	"context"
 	"io"
 
 	"mcretiming/internal/blif"
@@ -47,6 +48,7 @@ import (
 	"mcretiming/internal/logic"
 	"mcretiming/internal/netlist"
 	"mcretiming/internal/opt"
+	"mcretiming/internal/trace"
 	"mcretiming/internal/verify"
 	"mcretiming/internal/verilog"
 	"mcretiming/internal/xc4000"
@@ -124,11 +126,43 @@ const (
 	MinAreaAtPeriod = core.MinAreaAtPeriod
 )
 
+// PassTime is one pipeline pass's wall-clock time within a Report.
+type PassTime = core.PassTime
+
 // Retime applies multiple-class retiming to c and returns the retimed
 // circuit and a report. c is not modified.
 func Retime(c *Circuit, opts Options) (*Circuit, *Report, error) {
 	return core.Retime(c, opts)
 }
+
+// RetimeCtx is Retime with cooperative cancellation: ctx is polled between
+// pipeline passes and inside every long-running solver loop (cutting-plane
+// rounds, min-cost-flow augmentations, SAT/BDD justification), and its error
+// is returned when it fires. Attach a TraceSink via Options.Trace for
+// per-pass spans and solver counters.
+func RetimeCtx(ctx context.Context, c *Circuit, opts Options) (*Circuit, *Report, error) {
+	return core.RetimeCtx(ctx, c, opts)
+}
+
+// TraceSink receives hierarchical spans and counters from an instrumented
+// run. Pass a *TraceRecorder (or any custom implementation) in
+// Options.Trace / FlowOptions.Trace.
+type TraceSink = trace.Sink
+
+// TraceRecorder is the in-memory TraceSink: it builds a span tree that can
+// be rendered as an indented text report (WriteText) or as Chrome trace-event
+// JSON (WriteChromeTrace, load in chrome://tracing or Perfetto).
+type TraceRecorder = trace.Recorder
+
+// TraceSpan is one completed (or still-open) span in a TraceRecorder.
+type TraceSpan = trace.Span
+
+// NewTraceRecorder returns an empty recorder ready to use as a TraceSink.
+func NewTraceRecorder() *TraceRecorder { return trace.NewRecorder() }
+
+// NopTraceSink returns a sink that discards everything — the default when
+// no trace is requested.
+func NopTraceSink() TraceSink { return trace.Nop() }
 
 // ReadNetlist parses the textual netlist format.
 func ReadNetlist(r io.Reader) (*Circuit, error) { return hdlio.Read(r) }
@@ -207,6 +241,12 @@ func ProveEquivalent(a, b *Circuit, opts BMCOptions) (*BMCResult, error) {
 	return bmc.Check(a, b, opts)
 }
 
+// ProveEquivalentCtx is ProveEquivalent with cooperative cancellation: ctx
+// is polled once per unrolled cycle and throughout the SAT search.
+func ProveEquivalentCtx(ctx context.Context, a, b *Circuit, opts BMCOptions) (*BMCResult, error) {
+	return bmc.CheckCtx(ctx, a, b, opts)
+}
+
 // Verdict is the outcome of ProveEquivalentUnbounded.
 type Verdict = bmc.Verdict
 
@@ -225,4 +265,10 @@ type ProveResult = bmc.ProveResult
 // time; Unknown means only that this induction depth was insufficient.
 func ProveEquivalentUnbounded(a, b *Circuit, opts BMCOptions) (*ProveResult, error) {
 	return bmc.Prove(a, b, opts)
+}
+
+// ProveEquivalentUnboundedCtx is ProveEquivalentUnbounded with cooperative
+// cancellation across both the base case and the inductive step.
+func ProveEquivalentUnboundedCtx(ctx context.Context, a, b *Circuit, opts BMCOptions) (*ProveResult, error) {
+	return bmc.ProveCtx(ctx, a, b, opts)
 }
