@@ -25,12 +25,25 @@ func mapBaseline(b *testing.B, c *netlist.Circuit) *netlist.Circuit {
 	return mapped
 }
 
+// genCircuit builds benchmark circuit i, failing the benchmark on error.
+func genCircuit(tb testing.TB, i int) *netlist.Circuit {
+	tb.Helper()
+	c, err := gen.Circuit(i)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return c
+}
+
 // BenchmarkTable1Baseline measures the baseline characterization flow
 // (decompose sync set/clear + map + timing) per circuit.
 func BenchmarkTable1Baseline(b *testing.B) {
 	for _, p := range gen.Profiles {
 		b.Run(p.Name, func(b *testing.B) {
-			c := p.Build()
+			c, err := p.Build()
+			if err != nil {
+				b.Fatal(err)
+			}
 			for i := 0; i < b.N; i++ {
 				mapped := mapBaseline(b, c)
 				st, err := xc4000.Report(mapped)
@@ -50,7 +63,10 @@ func BenchmarkTable1Baseline(b *testing.B) {
 func BenchmarkTable2MCRetime(b *testing.B) {
 	for _, p := range gen.Profiles {
 		b.Run(p.Name, func(b *testing.B) {
-			c := p.Build()
+			c, err := p.Build()
+			if err != nil {
+				b.Fatal(err)
+			}
 			mapped := mapBaseline(b, c)
 			before, err := xc4000.Report(mapped)
 			if err != nil {
@@ -83,7 +99,10 @@ func BenchmarkTable2MCRetime(b *testing.B) {
 func BenchmarkTable3NoEnable(b *testing.B) {
 	for _, p := range gen.Profiles {
 		b.Run(p.Name, func(b *testing.B) {
-			c := p.Build()
+			c, err := p.Build()
+			if err != nil {
+				b.Fatal(err)
+			}
 			mapped := mapBaseline(b, c)
 			before, err := xc4000.Report(mapped)
 			if err != nil {
@@ -136,7 +155,7 @@ func BenchmarkAblationSharing(b *testing.B) {
 		disable bool
 	}{{"separation", false}, {"naive", true}} {
 		b.Run(variant.name, func(b *testing.B) {
-			c := gen.Circuit(7) // many classes: sharing conflicts abound
+			c := genCircuit(b, 7) // many classes: sharing conflicts abound
 			mapped := mapBaseline(b, c)
 			for i := 0; i < b.N; i++ {
 				out, _, err := core.Retime(mapped, core.Options{
@@ -161,7 +180,7 @@ func BenchmarkAblationJustify(b *testing.B) {
 		disable bool
 	}{{"bdd-justify", false}, {"naive", true}} {
 		b.Run(variant.name, func(b *testing.B) {
-			c := gen.Circuit(6)
+			c := genCircuit(b, 6)
 			mapped := mapBaseline(b, c)
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
@@ -184,7 +203,7 @@ func BenchmarkAblationJustifyEngine(b *testing.B) {
 		sat  bool
 	}{{"bdd", false}, {"sat", true}} {
 		b.Run(variant.name, func(b *testing.B) {
-			c := gen.Circuit(6)
+			c := genCircuit(b, 6)
 			mapped := mapBaseline(b, c)
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
@@ -203,7 +222,7 @@ func BenchmarkAblationJustifyEngine(b *testing.B) {
 // constraints against the dense W/D formulation on a mapped circuit — the
 // implementation choice that makes the suite tractable.
 func BenchmarkAblationLazyVsDense(b *testing.B) {
-	c := gen.Circuit(1)
+	c := genCircuit(b, 1)
 	mapped := mapBaseline(b, c)
 	m, err := mcgraph.Build(mapped)
 	if err != nil {
@@ -231,7 +250,7 @@ func BenchmarkAblationLazyVsDense(b *testing.B) {
 // BenchmarkBoundsComputation measures step 2 (maximal backward/forward
 // retiming) alone — the paper reports it as a few percent of total runtime.
 func BenchmarkBoundsComputation(b *testing.B) {
-	c := gen.Circuit(6) // register-dominated: worst case for bounds
+	c := genCircuit(b, 6) // register-dominated: worst case for bounds
 	mapped := mapBaseline(b, c)
 	m, err := mcgraph.Build(mapped)
 	if err != nil {

@@ -7,20 +7,36 @@
 //
 // With no flags it runs everything. -passes adds the per-pass runtime
 // breakdown of the retiming pipeline under Table 2.
+//
+// Exit codes: 0 success, 2 period infeasible, 3 malformed input, 4 resource
+// budget exceeded, 1 any other failure.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 
 	"mcretiming/internal/bench"
+	"mcretiming/internal/rterr"
 )
 
 func main() {
 	table := flag.Int("table", 0, "print only this table (1, 2 or 3)")
 	fig1 := flag.Bool("fig1", false, "print only the Fig. 1 comparison")
 	passes := flag.Bool("passes", false, "also print the per-pass retiming runtime breakdown")
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: mcbench [-table 1|2|3] [-fig1] [-passes]")
+		flag.PrintDefaults()
+		fmt.Fprintln(os.Stderr, `
+exit codes:
+  0  success
+  2  period infeasible
+  3  malformed input circuit
+  4  resource budget exceeded
+  1  any other failure`)
+	}
 	flag.Parse()
 
 	if *fig1 {
@@ -71,5 +87,13 @@ func main() {
 
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "mcbench:", err)
+	switch {
+	case errors.Is(err, rterr.ErrInfeasiblePeriod):
+		os.Exit(2)
+	case errors.Is(err, rterr.ErrMalformedInput):
+		os.Exit(3)
+	case errors.Is(err, rterr.ErrBudgetExceeded):
+		os.Exit(4)
+	}
 	os.Exit(1)
 }

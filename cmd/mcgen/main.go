@@ -34,7 +34,10 @@ func main() {
 		if *only != 0 && i+1 != *only {
 			continue
 		}
-		c := p.Build()
+		c, err := p.Build()
+		if err != nil {
+			fatal(err)
+		}
 		if *mapped {
 			var err error
 			if c, err = mcretiming.MapXC4000(mcretiming.DecomposeSyncResets(c)); err != nil {

@@ -14,6 +14,9 @@
 // prints an indented text summary to stderr; the file is written even when
 // the run fails, so partial runs can be inspected. -timeout cancels the
 // retiming after the given duration (e.g. 30s, 2m).
+//
+// Exit codes: 0 success, 2 target period infeasible, 3 malformed input,
+// 4 resource budget or timeout exceeded, 1 any other failure.
 package main
 
 import (
@@ -26,6 +29,22 @@ import (
 
 	"mcretiming"
 )
+
+// exitCode classifies err by the package's error taxonomy so scripts can
+// distinguish "your circuit is infeasible" from "your file is broken" from
+// "give it more budget" without parsing messages.
+func exitCode(err error) int {
+	switch {
+	case errors.Is(err, mcretiming.ErrInfeasiblePeriod):
+		return 2
+	case errors.Is(err, mcretiming.ErrMalformedInput):
+		return 3
+	case errors.Is(err, mcretiming.ErrBudgetExceeded),
+		errors.Is(err, context.DeadlineExceeded):
+		return 4
+	}
+	return 1
+}
 
 func main() {
 	// Any unexpected panic still exits with a clean one-line error: the
@@ -46,11 +65,21 @@ func main() {
 	showClasses := flag.Bool("classes", false, "print the register class table")
 	traceFile := flag.String("trace", "", "write Chrome trace-event JSON of the retiming pipeline here")
 	timeout := flag.Duration("timeout", 0, "abort retiming after this long (e.g. 30s; 0 = no limit)")
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: mcretime [flags] in.{mcn,blif}")
+		flag.PrintDefaults()
+		fmt.Fprintln(os.Stderr, `
+exit codes:
+  0  success
+  2  target period infeasible
+  3  malformed input circuit or file
+  4  resource budget or timeout exceeded
+  1  any other failure`)
+	}
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: mcretime [flags] in.mcn")
-		flag.PrintDefaults()
-		os.Exit(2)
+		flag.Usage()
+		os.Exit(1)
 	}
 
 	f, err := os.Open(flag.Arg(0))
@@ -106,7 +135,7 @@ func main() {
 	}
 	if err != nil {
 		if errors.Is(err, context.DeadlineExceeded) {
-			fatal(fmt.Errorf("timed out after %v", *timeout))
+			fatal(fmt.Errorf("timed out after %v: %w", *timeout, err))
 		}
 		fatal(err)
 	}
@@ -189,5 +218,5 @@ func writeTrace(path string, rec *mcretiming.TraceRecorder) error {
 
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "mcretime:", err)
-	os.Exit(1)
+	os.Exit(exitCode(err))
 }

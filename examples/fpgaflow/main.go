@@ -23,7 +23,10 @@ func main() {
 		log.Fatalf("circuit index %d out of range 1-10", *idx)
 	}
 
-	rtl := gen.Circuit(*idx)
+	rtl, err := gen.Circuit(*idx)
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("circuit %s: %d gates, %d registers (RT level)\n",
 		rtl.Name, rtl.NumGates(), rtl.NumRegs())
 

@@ -7,10 +7,20 @@ import (
 
 	"mcretiming"
 	"mcretiming/internal/gen"
+	"mcretiming/internal/netlist"
 )
 
+func genCircuit(t *testing.T, i int) *netlist.Circuit {
+	t.Helper()
+	c, err := gen.Circuit(i)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
 func TestRunFlowImprovesDelay(t *testing.T) {
-	c := gen.Circuit(3)
+	c := genCircuit(t, 3)
 	res, err := mcretiming.RunFlow(c, mcretiming.FlowOptions{Clean: true})
 	if err != nil {
 		t.Fatal(err)
@@ -31,7 +41,7 @@ func TestRunFlowImprovesDelay(t *testing.T) {
 }
 
 func TestRunFlowEnableBaselineCostsMore(t *testing.T) {
-	c := gen.Circuit(3) // enable-rich circuit
+	c := genCircuit(t, 3) // enable-rich circuit
 	mc, err := mcretiming.RunFlow(c, mcretiming.FlowOptions{})
 	if err != nil {
 		t.Fatal(err)
@@ -51,7 +61,7 @@ func TestRunFlowEnableBaselineCostsMore(t *testing.T) {
 }
 
 func TestCriticalPathReport(t *testing.T) {
-	c := gen.Circuit(2)
+	c := genCircuit(t, 2)
 	mapped, err := mcretiming.MapXC4000(mcretiming.DecomposeSyncResets(c.Clone()))
 	if err != nil {
 		t.Fatal(err)

@@ -16,6 +16,8 @@ import (
 	"fmt"
 	"math"
 	"sort"
+
+	"mcretiming/internal/rterr"
 )
 
 // Ref is a handle to a BDD node owned by a Manager.
@@ -39,11 +41,23 @@ type iteKey struct{ f, g, h Ref }
 
 // Manager owns BDD nodes. Variables are dense indices 0..n-1 ordered by
 // index (no dynamic reordering).
+//
+// A Manager fails softly instead of crashing: misuse (a negative variable,
+// a too-wide truth table) or blowing through MaxNodes records an error and
+// makes subsequent constructions collapse to False. Callers must check Err
+// before trusting any result built since the last check; the justification
+// engine treats a failed manager as "this system is beyond the budget" and
+// climbs its degradation ladder.
 type Manager struct {
 	nodes  []node
 	unique map[node]Ref
 	ite    map[iteKey]Ref
 	nvars  int
+
+	// MaxNodes caps the live node count; 0 means unlimited. Once exceeded,
+	// the manager records a budget error and stops growing.
+	MaxNodes int
+	err      error
 }
 
 // New returns an empty manager with the two terminal nodes.
@@ -59,6 +73,19 @@ func New() *Manager {
 // NumNodes returns the number of live nodes including terminals.
 func (m *Manager) NumNodes() int { return len(m.nodes) }
 
+// Err returns the first failure recorded by the manager (nil when healthy):
+// a budget overrun wrapping rterr.ErrBudgetExceeded, or misuse wrapping
+// rterr.ErrInternal. Results constructed after the first failure are
+// unreliable and must be discarded.
+func (m *Manager) Err() error { return m.err }
+
+// fail records the manager's first error.
+func (m *Manager) fail(err error) {
+	if m.err == nil {
+		m.err = err
+	}
+}
+
 // NumVars returns the highest variable index ever used plus one.
 func (m *Manager) NumVars() int { return m.nvars }
 
@@ -71,6 +98,10 @@ func (m *Manager) mk(level int32, lo, hi Ref) Ref {
 	if r, ok := m.unique[n]; ok {
 		return r
 	}
+	if m.MaxNodes > 0 && len(m.nodes) >= m.MaxNodes {
+		m.fail(fmt.Errorf("bdd: node budget %d exceeded: %w", m.MaxNodes, rterr.ErrBudgetExceeded))
+		return False
+	}
 	r := Ref(len(m.nodes))
 	m.nodes = append(m.nodes, n)
 	m.unique[n] = r
@@ -80,7 +111,8 @@ func (m *Manager) mk(level int32, lo, hi Ref) Ref {
 // Var returns the function of variable v.
 func (m *Manager) Var(v int) Ref {
 	if v < 0 {
-		panic(fmt.Sprintf("bdd: negative variable %d", v))
+		m.fail(fmt.Errorf("bdd: negative variable %d: %w", v, rterr.ErrInternal))
+		return False
 	}
 	if v >= m.nvars {
 		m.nvars = v + 1
@@ -90,6 +122,10 @@ func (m *Manager) Var(v int) Ref {
 
 // NVar returns the complement of variable v.
 func (m *Manager) NVar(v int) Ref {
+	if v < 0 {
+		m.fail(fmt.Errorf("bdd: negative variable %d: %w", v, rterr.ErrInternal))
+		return False
+	}
 	if v >= m.nvars {
 		m.nvars = v + 1
 	}
@@ -217,10 +253,12 @@ func (m *Manager) Exists(f Ref, v int) Ref {
 }
 
 // FromTruth builds the function whose value for the input pattern i (bit j
-// of i being the value of vars[j]) is bit i of tt. len(vars) must be ≤ 16.
+// of i being the value of vars[j]) is bit i of tt. len(vars) must be ≤ 16;
+// wider calls record an error on the manager and return False.
 func (m *Manager) FromTruth(tt uint64, vars []int) Ref {
 	if len(vars) > 16 {
-		panic("bdd: FromTruth with more than 16 variables")
+		m.fail(fmt.Errorf("bdd: FromTruth with %d variables (max 16): %w", len(vars), rterr.ErrInternal))
+		return False
 	}
 	var rec func(prefix, depth int) Ref
 	rec = func(prefix, depth int) Ref {
@@ -264,7 +302,7 @@ func (m *Manager) Sat(f Ref) bool { return f != False }
 // "select as many don't cares as possible" backward-justification policy of
 // paper §5.2.
 func (m *Manager) MinAssignment(f Ref) (assign map[int]bool, ok bool) {
-	if f == False {
+	if f == False || m.err != nil {
 		return nil, false
 	}
 	const inf = math.MaxInt32

@@ -123,8 +123,12 @@ func RunCircuit(c *netlist.Circuit) (*Row, error) {
 
 // RunSuite executes the pipeline over the whole generated suite.
 func RunSuite() ([]*Row, error) {
+	suite, err := gen.Suite()
+	if err != nil {
+		return nil, err
+	}
 	var rows []*Row
-	for _, c := range gen.Suite() {
+	for _, c := range suite {
 		row, err := RunCircuit(c)
 		if err != nil {
 			return nil, err

@@ -10,7 +10,11 @@ import (
 
 // One small circuit through the whole three-table pipeline.
 func TestRunCircuitPipeline(t *testing.T) {
-	row, err := RunCircuit(gen.Circuit(2))
+	c2, err := gen.Circuit(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	row, err := RunCircuit(c2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -36,7 +40,11 @@ func TestRunCircuitPipeline(t *testing.T) {
 }
 
 func TestPrintTablesRender(t *testing.T) {
-	row, err := RunCircuit(gen.Circuit(2))
+	c2, err := gen.Circuit(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	row, err := RunCircuit(c2)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -25,13 +25,28 @@ package blif
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"io"
 	"strings"
 
 	"mcretiming/internal/logic"
 	"mcretiming/internal/netlist"
+	"mcretiming/internal/rterr"
 )
+
+// Reader limits: a single line (after continuation joining this bounds one
+// statement) and the number of lines accepted before the input is rejected
+// as hostile rather than merely large.
+const (
+	maxLineBytes = 1 << 20
+	maxLines     = 1 << 20
+)
+
+// malformed wraps a reader diagnosis in the taxonomy's bad-input sentinel.
+func malformed(format string, args ...any) error {
+	return fmt.Errorf("blif: "+format+": %w", append(args, rterr.ErrMalformedInput)...)
+}
 
 // Write serializes c as BLIF.
 func Write(w io.Writer, c *netlist.Circuit) error {
@@ -81,7 +96,11 @@ func Write(w io.Writer, c *netlist.Circuit) error {
 			fmt.Fprintf(bw, " %s", name(in))
 		}
 		fmt.Fprintf(bw, " %s\n", name(g.Out))
-		tt := g.TruthTable()
+		tt, terr := g.TruthTable()
+		if terr != nil {
+			werr = terr
+			return
+		}
 		n := len(g.In)
 		for m := 0; m < 1<<n; m++ {
 			if tt>>m&1 == 0 {
@@ -136,9 +155,14 @@ func Read(r io.Reader) (*netlist.Circuit, error) {
 	// Logical lines: join continuations, keep "# .mcreg" comments.
 	var lines []string
 	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	sc.Buffer(make([]byte, 64<<10), maxLineBytes)
 	var cont string
+	raw := 0
 	for sc.Scan() {
+		raw++
+		if raw > maxLines {
+			return nil, malformed("more than %d lines", maxLines)
+		}
 		line := strings.TrimSpace(sc.Text())
 		if strings.HasPrefix(line, "#") {
 			if strings.HasPrefix(line, "# .mcreg") {
@@ -148,16 +172,22 @@ func Read(r io.Reader) (*netlist.Circuit, error) {
 		}
 		if strings.HasSuffix(line, "\\") {
 			cont += strings.TrimSuffix(line, "\\") + " "
+			if len(cont) > maxLineBytes {
+				return nil, malformed("continued statement longer than %d bytes", maxLineBytes)
+			}
 			continue
 		}
-		line = cont + line
+		line = strings.TrimSpace(cont + line)
 		cont = ""
 		if line != "" {
 			lines = append(lines, line)
 		}
 	}
 	if err := sc.Err(); err != nil {
-		return nil, err
+		if errors.Is(err, bufio.ErrTooLong) {
+			return nil, malformed("line longer than %d bytes", maxLineBytes)
+		}
+		return nil, fmt.Errorf("blif: %w", err)
 	}
 
 	type names struct {
@@ -192,6 +222,9 @@ func Read(r io.Reader) (*netlist.Circuit, error) {
 			flush()
 			for _, name := range fields[1:] {
 				id := sig(name)
+				if c.Signals[id].Driver.Kind != netlist.DriverNone {
+					return nil, malformed("line %d: duplicate input %q", i+1, name)
+				}
 				c.Signals[id].Driver = netlist.Driver{Kind: netlist.DriverInput}
 				c.PIs = append(c.PIs, id)
 			}
@@ -201,13 +234,13 @@ func Read(r io.Reader) (*netlist.Circuit, error) {
 		case ".names":
 			flush()
 			if len(fields) < 2 {
-				return nil, fmt.Errorf("blif: line %d: .names needs an output", i+1)
+				return nil, malformed("line %d: .names needs an output", i+1)
 			}
 			pending = &names{args: fields[1:]}
 		case ".latch":
 			flush()
 			if len(fields) < 3 {
-				return nil, fmt.Errorf("blif: line %d: .latch needs input and output", i+1)
+				return nil, malformed("line %d: .latch needs input and output", i+1)
 			}
 			l := latch{d: fields[1], q: fields[2], init: '3'}
 			rest := fields[3:]
@@ -247,7 +280,7 @@ func Read(r io.Reader) (*netlist.Circuit, error) {
 			flush()
 		default:
 			if pending == nil {
-				return nil, fmt.Errorf("blif: line %d: unexpected %q", i+1, fields[0])
+				return nil, malformed("line %d: unexpected %q", i+1, fields[0])
 			}
 			pending.rows = append(pending.rows, line)
 		}
@@ -255,7 +288,12 @@ func Read(r io.Reader) (*netlist.Circuit, error) {
 	flush()
 
 	// Latches first so .names outputs never collide with register Qs.
+	driven := make(map[string]bool)
 	for _, l := range latches {
+		if driven[l.q] {
+			return nil, malformed("latch output %q driven twice", l.q)
+		}
+		driven[l.q] = true
 		d, q := sig(l.d), sig(l.q)
 		var clk netlist.SignalID = netlist.NoSignal
 		if l.clk != "" {
@@ -291,12 +329,16 @@ func Read(r io.Reader) (*netlist.Circuit, error) {
 	for _, nm := range allNames {
 		out := nm.args[len(nm.args)-1]
 		ins := nm.args[:len(nm.args)-1]
+		if driven[out] {
+			return nil, malformed(".names output %q driven twice", out)
+		}
+		driven[out] = true
 		if len(ins) > netlist.MaxLutInputs {
-			return nil, fmt.Errorf("blif: .names %s has %d inputs (max %d)", out, len(ins), netlist.MaxLutInputs)
+			return nil, malformed(".names %s has %d inputs (max %d)", out, len(ins), netlist.MaxLutInputs)
 		}
 		tt, err := coverToTruth(nm.rows, len(ins))
 		if err != nil {
-			return nil, fmt.Errorf("blif: .names %s: %w", out, err)
+			return nil, malformed(".names %s: %v", out, err)
 		}
 		in := make([]netlist.SignalID, len(ins))
 		for i, name := range ins {
@@ -308,12 +350,14 @@ func Read(r io.Reader) (*netlist.Circuit, error) {
 	for _, name := range outputs {
 		id, ok := sigs[name]
 		if !ok {
-			return nil, fmt.Errorf("blif: output %q never defined", name)
+			return nil, malformed("output %q never defined", name)
 		}
 		c.MarkOutput(id)
 	}
+	// Validate catches what the statement scan cannot see locally: dangling
+	// nets, residual double drivers, arity violations, combinational cycles.
 	if err := c.Validate(); err != nil {
-		return nil, fmt.Errorf("blif: %w", err)
+		return nil, malformed("%v", err)
 	}
 	return c, nil
 }

@@ -113,7 +113,11 @@ func TestMcregExtensionRoundTrip(t *testing.T) {
 
 // A mapped generated circuit survives BLIF round trip.
 func TestGeneratedCircuitRoundTrip(t *testing.T) {
-	c, err := xc4000.Map(xc4000.DecomposeSyncResets(gen.Circuit(2)))
+	rtl, err := gen.Circuit(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := xc4000.Map(xc4000.DecomposeSyncResets(rtl))
 	if err != nil {
 		t.Fatal(err)
 	}

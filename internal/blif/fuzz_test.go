@@ -1,0 +1,43 @@
+package blif
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	"mcretiming/internal/rterr"
+)
+
+// FuzzRead throws arbitrary bytes at the BLIF reader. The contract under
+// fuzzing: the reader never crashes, every rejection wraps ErrMalformedInput
+// (so callers can classify it), and every accepted circuit validates and
+// survives a Write→Read round trip.
+func FuzzRead(f *testing.F) {
+	f.Add([]byte(sampleBlif))
+	f.Add([]byte(".model m\n.inputs a\n.outputs y\n.names a y\n1 1\n.end\n"))
+	f.Add([]byte(".model m\n.inputs d clk\n.outputs q\n.latch d q re clk 0\n.end\n"))
+	f.Add([]byte(".model m\n.inputs a b\n.outputs y\n.names a b y\n1- 1\n-1 1\n.end\n"))
+	f.Add([]byte("# just a comment\n"))
+	f.Add([]byte(".model \\\nsplit\n.end\n"))
+	f.Add([]byte(".names y\n.latch y y re c 3\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		c, err := Read(bytes.NewReader(data))
+		if err != nil {
+			if !errors.Is(err, rterr.ErrMalformedInput) {
+				t.Fatalf("rejection %v does not wrap ErrMalformedInput", err)
+			}
+			return
+		}
+		if err := c.Validate(); err != nil {
+			t.Fatalf("accepted circuit does not validate: %v", err)
+		}
+		var buf strings.Builder
+		if err := Write(&buf, c); err != nil {
+			t.Fatalf("write-back failed: %v", err)
+		}
+		if _, err := Read(strings.NewReader(buf.String())); err != nil {
+			t.Fatalf("round trip rejected our own output: %v\n%s", err, buf.String())
+		}
+	})
+}

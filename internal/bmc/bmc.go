@@ -153,6 +153,12 @@ func CheckCtx(ctx context.Context, a, b *netlist.Circuit, opts Options) (*Result
 			diffRefs = append(diffRefs, diffRef{cycle: cyc, output: k})
 		}
 	}
+	if err := ua.err; err != nil {
+		return nil, err
+	}
+	if err := ub.err; err != nil {
+		return nil, err
+	}
 	if len(diffLits) == 0 {
 		return &Result{Equivalent: true}, nil
 	}

@@ -144,6 +144,12 @@ func inductiveStep(ctx context.Context, a, b *netlist.Circuit, depth int) (bool,
 		}
 		bld.s.AddClause(goal...)
 	}
+	if err := ua.err; err != nil {
+		return false, err
+	}
+	if err := ub.err; err != nil {
+		return false, err
+	}
 	satisfiable, err := bld.s.SolveCtx(ctx)
 	if err != nil {
 		return false, err

@@ -5,6 +5,7 @@ import (
 
 	"mcretiming/internal/logic"
 	"mcretiming/internal/netlist"
+	"mcretiming/internal/rterr"
 	"mcretiming/internal/sat"
 )
 
@@ -16,6 +17,10 @@ type unroller struct {
 	order []netlist.GateID
 	state map[netlist.RegID]rail
 	xRail rail
+	// err records the first encoding failure (an unsupported gate, a gate
+	// too wide to tabulate). The affected rails degrade to X; callers must
+	// check err after unrolling and not trust the encoding if it is set.
+	err error
 }
 
 func newUnroller(c *netlist.Circuit, b *builder) (*unroller, error) {
@@ -118,7 +123,15 @@ func (u *unroller) gateRail(g *netlist.Gate, in []rail) rail {
 	case netlist.Lut, netlist.Carry:
 		return u.cubeRail(g, in)
 	}
-	panic("bmc: unsupported gate type " + g.Type.String())
+	u.fail(fmt.Errorf("bmc: unsupported gate type %s: %w", g.Type.String(), rterr.ErrInternal))
+	return u.xRail
+}
+
+// fail records the unroller's first error.
+func (u *unroller) fail(err error) {
+	if u.err == nil {
+		u.err = err
+	}
 }
 
 // defAnd returns a fresh literal defined as the conjunction of lits.
@@ -215,7 +228,11 @@ func (u *unroller) mux(sel, a, b rail) rail {
 // inputs exclude the entire off-set, and definitely 0 iff they exclude the
 // on-set.
 func (u *unroller) cubeRail(g *netlist.Gate, in []rail) rail {
-	tt := g.TruthTable()
+	tt, err := g.TruthTable()
+	if err != nil {
+		u.fail(fmt.Errorf("bmc: %w", err))
+		return u.xRail
+	}
 	n := len(in)
 	excludes := func(wantOn bool) sat.Lit {
 		var terms []sat.Lit

@@ -1,0 +1,124 @@
+// Package check implements the flow's invariant checker: structural
+// well-formedness of the retiming graphs and the properties a claimed
+// retiming solution must satisfy (legal nonnegative register counts, class
+// bounds, the target period, Eq. 2 class compatibility of shared register
+// layers, zero-delay separation vertices).
+//
+// Every violation wraps rterr.ErrInvariant, so a pipeline caller can
+// distinguish "the engine broke its own contract" from infeasibility or bad
+// input. The core flow runs these checks after every pass when
+// Options.CheckInvariants is set; the test suite always turns them on.
+package check
+
+import (
+	"fmt"
+
+	"mcretiming/internal/graph"
+	"mcretiming/internal/mcgraph"
+	"mcretiming/internal/netlist"
+	"mcretiming/internal/rterr"
+)
+
+// violation tags an invariant failure with the taxonomy sentinel.
+func violation(format string, args ...any) error {
+	return fmt.Errorf("check: "+format+": %w", append(args, rterr.ErrInvariant)...)
+}
+
+// Graph verifies structural well-formedness of a retiming graph: the host
+// vertex exists with zero delay, every edge connects vertices in range,
+// delays and register counts are nonnegative, and separation vertices
+// (inserted by the §4.2 sharing modification, named "sep") carry zero delay.
+func Graph(g *graph.Graph) error {
+	n := g.NumVertices()
+	if n == 0 {
+		return violation("graph has no host vertex")
+	}
+	if g.Delay[graph.Host] != 0 {
+		return violation("host vertex has delay %d, want 0", g.Delay[graph.Host])
+	}
+	for v := 0; v < n; v++ {
+		if g.Delay[v] < 0 {
+			return violation("vertex %d (%s) has negative delay %d", v, g.Name[v], g.Delay[v])
+		}
+		if g.Name[v] == "sep" && g.Delay[v] != 0 {
+			return violation("separation vertex %d has delay %d, want 0", v, g.Delay[v])
+		}
+	}
+	for i, e := range g.Edges {
+		if e.From < 0 || int(e.From) >= n || e.To < 0 || int(e.To) >= n {
+			return violation("edge %d (%d→%d) out of vertex range %d", i, e.From, e.To, n)
+		}
+		if e.W < 0 {
+			return violation("edge %d (%s→%s) has negative weight %d",
+				i, g.Name[e.From], g.Name[e.To], e.W)
+		}
+	}
+	return nil
+}
+
+// Solution verifies a claimed retiming solution r of g: the retiming is
+// legal (host pinned, every retimed edge weight nonnegative), it respects
+// the class bounds, and the retimed graph meets the claimed period phi.
+// bounds may be nil (basic retiming).
+func Solution(g *graph.Graph, r []int32, bounds *graph.Bounds, phi int64) error {
+	if err := g.CheckLegal(r); err != nil {
+		return violation("illegal retiming: %v", err)
+	}
+	if err := bounds.Check(r); err != nil {
+		return violation("bounds violated: %v", err)
+	}
+	got, err := g.Period(r)
+	if err != nil {
+		return violation("retimed graph has no period: %v", err)
+	}
+	if got > phi {
+		return violation("claimed period %d not met: retimed graph has period %d", phi, got)
+	}
+	return nil
+}
+
+// MC verifies the mc-graph model invariants: every register instance names a
+// class in range, and instances sharing a physical register layer (a serial)
+// agree on class and both reset values — the Eq. 2 compatibility condition
+// register sharing relies on. Edges must connect vertices in range.
+func MC(m *mcgraph.MC) error {
+	nv := len(m.Verts)
+	type layer struct {
+		cls  mcgraph.ClassID
+		s, a string
+		edge int
+	}
+	seen := make(map[int64]layer)
+	for i := range m.Edges {
+		e := &m.Edges[i]
+		if e.From < 0 || int(e.From) >= nv || e.To < 0 || int(e.To) >= nv {
+			return violation("mc edge %d (%d→%d) out of vertex range %d", i, e.From, e.To, nv)
+		}
+		for _, inst := range e.Regs {
+			if inst.Class < 0 || int(inst.Class) >= len(m.Classes) {
+				return violation("mc edge %d carries register of unknown class %d", i, inst.Class)
+			}
+			cur := layer{cls: inst.Class, s: inst.S.String(), a: inst.A.String(), edge: i}
+			if prev, ok := seen[inst.Serial]; ok {
+				if prev.cls != cur.cls || prev.s != cur.s || prev.a != cur.a {
+					return violation(
+						"register layer %d inconsistent across fanout: edge %d has l^%d(s=%s,a=%s), edge %d has l^%d(s=%s,a=%s)",
+						inst.Serial, prev.edge, prev.cls, prev.s, prev.a, i, cur.cls, cur.s, cur.a)
+				}
+			} else {
+				seen[inst.Serial] = cur
+			}
+		}
+	}
+	return nil
+}
+
+// Circuit verifies a netlist: it must validate (single drivers, no
+// combinational cycles, pins in range). Used after rebuild to confirm the
+// engine handed back a well-formed circuit.
+func Circuit(c *netlist.Circuit) error {
+	if err := c.Validate(); err != nil {
+		return violation("invalid circuit %s: %v", c.Name, err)
+	}
+	return nil
+}

@@ -1,0 +1,152 @@
+package check
+
+import (
+	"errors"
+	"testing"
+
+	"mcretiming/internal/graph"
+	"mcretiming/internal/logic"
+	"mcretiming/internal/mcgraph"
+	"mcretiming/internal/netlist"
+	"mcretiming/internal/rterr"
+)
+
+// correlator is the standard three-stage pipeline used across the test
+// suite: one registered path host → g1 → g2 → host.
+func testCircuit(t *testing.T) *netlist.Circuit {
+	t.Helper()
+	c := netlist.New("chk")
+	a := c.AddInput("a")
+	b := c.AddInput("b")
+	clk := c.AddInput("clk")
+	_, x := c.AddGate("g1", netlist.And, []netlist.SignalID{a, b}, 100)
+	_, q := c.AddReg("ff1", x, clk)
+	_, y := c.AddGate("g2", netlist.Not, []netlist.SignalID{q}, 50)
+	_, q2 := c.AddReg("ff2", y, clk)
+	c.MarkOutput(q2)
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func testGraph() *graph.Graph {
+	g := graph.New()
+	v1 := g.AddVertex("g1", 100)
+	v2 := g.AddVertex("g2", 50)
+	g.AddEdge(graph.Host, v1, 0)
+	g.AddEdge(v1, v2, 1)
+	g.AddEdge(v2, graph.Host, 1)
+	return g
+}
+
+func TestGraphAcceptsWellFormed(t *testing.T) {
+	if err := Graph(testGraph()); err != nil {
+		t.Fatalf("well-formed graph rejected: %v", err)
+	}
+}
+
+func TestGraphRejectsNegativeWeight(t *testing.T) {
+	g := testGraph()
+	g.Edges[1].W = -1
+	err := Graph(g)
+	if err == nil {
+		t.Fatal("negative edge weight accepted")
+	}
+	if !errors.Is(err, rterr.ErrInvariant) {
+		t.Fatalf("error %v does not wrap ErrInvariant", err)
+	}
+}
+
+func TestGraphRejectsDelayedSeparationVertex(t *testing.T) {
+	g := testGraph()
+	s := g.AddVertex("sep", 0)
+	g.AddEdge(graph.Host, s, 0)
+	if err := Graph(g); err != nil {
+		t.Fatalf("zero-delay sep vertex rejected: %v", err)
+	}
+	g.Delay[s] = 7
+	if err := Graph(g); !errors.Is(err, rterr.ErrInvariant) {
+		t.Fatalf("delayed sep vertex not flagged: %v", err)
+	}
+}
+
+func TestSolution(t *testing.T) {
+	g := testGraph()
+	r := make([]int32, g.NumVertices())
+	if err := Solution(g, r, nil, 150); err != nil {
+		t.Fatalf("identity retiming at slack period rejected: %v", err)
+	}
+	if err := Solution(g, r, nil, 99); !errors.Is(err, rterr.ErrInvariant) {
+		t.Fatalf("unmet period not flagged: %v", err)
+	}
+	r[1] = -1 // pulls edge host→g1 weight to -1
+	if err := Solution(g, r, nil, 1000); !errors.Is(err, rterr.ErrInvariant) {
+		t.Fatalf("negative retimed weight not flagged: %v", err)
+	}
+	r[1] = 0
+	b := graph.NewBounds(g.NumVertices())
+	b.Max[2] = 0
+	r[2] = 1
+	if err := Solution(g, r, b, 1000); !errors.Is(err, rterr.ErrInvariant) {
+		t.Fatalf("bounds violation not flagged: %v", err)
+	}
+}
+
+func TestMCSerialConsistency(t *testing.T) {
+	m, err := mcgraph.Build(testCircuit(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := MC(m); err != nil {
+		t.Fatalf("freshly built mc-graph rejected: %v", err)
+	}
+	// Corrupt one register instance's reset value on a copied layer.
+	for i := range m.Edges {
+		if len(m.Edges[i].Regs) == 0 {
+			continue
+		}
+		serial := m.Edges[i].Regs[0].Serial
+		m.Edges = append(m.Edges, mcgraph.Edge{
+			From: m.Edges[i].From, To: m.Edges[i].To,
+			Regs: []mcgraph.RegInst{{
+				Class: m.Edges[i].Regs[0].Class, S: logic.B1, A: logic.B0, Serial: serial,
+			}},
+		})
+		m.Edges[i].Regs[0].S = logic.B0
+		break
+	}
+	if err := MC(m); !errors.Is(err, rterr.ErrInvariant) {
+		t.Fatalf("inconsistent shared layer not flagged: %v", err)
+	}
+}
+
+func TestMCRejectsUnknownClass(t *testing.T) {
+	m, err := mcgraph.Build(testCircuit(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range m.Edges {
+		if len(m.Edges[i].Regs) > 0 {
+			m.Edges[i].Regs[0].Class = 99
+			break
+		}
+	}
+	if err := MC(m); !errors.Is(err, rterr.ErrInvariant) {
+		t.Fatalf("unknown class not flagged: %v", err)
+	}
+}
+
+func TestCircuit(t *testing.T) {
+	c := testCircuit(t)
+	if err := Circuit(c); err != nil {
+		t.Fatalf("valid circuit rejected: %v", err)
+	}
+	c.Gates = append(c.Gates, netlist.Gate{
+		ID: netlist.GateID(len(c.Gates)), Name: "dup", Type: netlist.Buf,
+		In: []netlist.SignalID{c.PIs[0]}, Out: c.Gates[0].Out,
+	})
+	if err := Circuit(c); !errors.Is(err, rterr.ErrInvariant) {
+		t.Fatalf("double driver not flagged: %v", err)
+	}
+}

@@ -56,12 +56,15 @@ func TestRetimeCtxAlreadyCancelled(t *testing.T) {
 // A deadline that has already passed must abort a large circuit promptly —
 // well before the seconds a full solve would take.
 func TestRetimeCtxExpiredDeadline(t *testing.T) {
-	c := gen.Circuit(9) // C9: the logic-heavy deep profile
+	c, err := gen.Circuit(9) // C9: the logic-heavy deep profile
+	if err != nil {
+		t.Fatal(err)
+	}
 	before := snapshot(t, c)
 	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Millisecond))
 	defer cancel()
 	start := time.Now()
-	_, _, err := RetimeCtx(ctx, c, Options{Objective: MinAreaAtMinPeriod})
+	_, _, err = RetimeCtx(ctx, c, Options{Objective: MinAreaAtMinPeriod})
 	if !errors.Is(err, context.DeadlineExceeded) {
 		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
 	}

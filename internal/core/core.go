@@ -70,6 +70,18 @@ type Options struct {
 	// 0 means the default (DefaultMaxRetries, i.e. 8).
 	MaxRetries int
 
+	// CheckInvariants runs the internal/check invariant checker after every
+	// pipeline pass: graph well-formedness, nonnegative retimed weights,
+	// class compatibility of shared register layers (Eq. 2), zero-delay
+	// separation vertices, and the claimed period. A violation aborts the
+	// flow with an error wrapping rterr.ErrInvariant. The package's own test
+	// binary forces this on; production callers opt in.
+	CheckInvariants bool
+
+	// Budgets bounds the flow's solvers; exhaustion triggers the degradation
+	// ladder (see Budgets) instead of unbounded work.
+	Budgets Budgets
+
 	// Trace receives the structured spans and counters of the run: one span
 	// per pipeline pass (nested under the retry combinator for steps 4-6)
 	// and counters for classes, bounds tightened, cuts generated,
@@ -77,6 +89,30 @@ type Options struct {
 	// nil means no tracing.
 	Trace trace.Sink
 }
+
+// Budgets bounds the work of the flow's solvers. A zero field means the
+// solver package's default; a negative one means unlimited.
+//
+// Exhaustion degrades rather than fails where a sound fallback exists:
+// a blown BDD node budget escalates that global justification to SAT; a
+// blown SAT conflict budget counts as an unresolved conflict, which sends
+// the flow down the paper's §5.2 add-bound-and-re-solve path; a blown
+// min-cost-flow or round budget in minarea keeps the feasible minperiod
+// retiming and records the downgrade in Report.Degraded.
+type Budgets struct {
+	BDDNodes          int // nodes per global-justification BDD (justify.DefaultBDDNodes)
+	SATConflicts      int // conflicts per SAT solve (justify.DefaultSATConflicts)
+	FlowAugmentations int // augmentations per min-cost-flow solve (retime.DefaultFlowAugmentations)
+	MinAreaRounds     int // cutting-plane rounds per minarea solve (retime.DefaultMaxRounds)
+}
+
+// checkInvariantsDefault force-enables the invariant checker regardless of
+// Options; the package's own test binary turns it on so every test run is
+// checked.
+var checkInvariantsDefault bool
+
+// checksEnabled reports whether the post-pass invariant checker should run.
+func (o Options) checksEnabled() bool { return o.CheckInvariants || checkInvariantsDefault }
 
 // effectiveMaxRetries resolves the §5.2 retry budget of o.
 func effectiveMaxRetries(o Options) int {
@@ -107,6 +143,14 @@ type Report struct {
 	BackwardSteps, ForwardSteps                   int
 	JustifyLocal, JustifyGlobal, JustifyConflicts int
 	Retries                                       int
+	// JustifyEscalations counts global justifications whose BDD blew its
+	// node budget and were re-solved with the SAT backend.
+	JustifyEscalations int
+
+	// Degraded records every point where a solver budget forced the flow
+	// onto a fallback path (e.g. minarea kept the feasible minperiod
+	// retiming). Empty means the full-quality result.
+	Degraded []string
 
 	// PassTimes is the per-pass wall-time breakdown, in pipeline order. The
 	// three coarse aggregates below are sums over it and are kept for

@@ -1,0 +1,161 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"mcretiming/internal/logic"
+	"mcretiming/internal/netlist"
+	"mcretiming/internal/rterr"
+	"mcretiming/internal/verify"
+)
+
+// checkInvariantsDefault is forced on for the whole core test binary: every
+// Retime call in these tests runs the internal/check invariant checker after
+// each pipeline pass.
+func init() { checkInvariantsDefault = true }
+
+// conflictCircuit is the paper's Fig. 5 scenario as a flow input: the slow
+// gate u1 upstream of v2 makes the minperiod solution move the output
+// registers backward through v3/v4 and then v2 (period 110 beats the 120 of
+// stopping at the v2 fanout), where the local justification choices of v3
+// (z=1) and v4 (z=0) collide and global justification must repair them. It
+// is the smallest circuit that exercises the global-justification ladder
+// through the public entry point.
+func conflictCircuit(t *testing.T) *netlist.Circuit {
+	t.Helper()
+	c := netlist.New("fig5flow")
+	a := c.AddInput("a")
+	b := c.AddInput("b")
+	cc := c.AddInput("c")
+	clk := c.AddInput("clk")
+	rst := c.AddInput("rst")
+	_, u := c.AddGate("u1", netlist.Buf, []netlist.SignalID{a}, 100)
+	_, z := c.AddGate("v2", netlist.And, []netlist.SignalID{u, b}, 10)
+	_, o3 := c.AddGate("v3", netlist.Or, []netlist.SignalID{z, cc}, 10)
+	_, o4 := c.AddGate("v4", netlist.Not, []netlist.SignalID{z}, 10)
+	r3, q3 := c.AddReg("r3", o3, clk)
+	c.Regs[r3].SR = rst
+	c.Regs[r3].SRVal = logic.B1
+	r4, q4 := c.AddReg("r4", o4, clk)
+	c.Regs[r4].SR = rst
+	c.Regs[r4].SRVal = logic.B1
+	c.MarkOutput(q3)
+	c.MarkOutput(q4)
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// assertEquivalent random-checks in/out sequential equivalence with enough
+// warm-up to flush the unknown initial state.
+func assertEquivalent(t *testing.T, in, out *netlist.Circuit, seed int64) {
+	t.Helper()
+	skip := in.NumRegs() + out.NumRegs() + 2
+	if _, err := verify.Equivalent(in, out, verify.Stimulus{
+		Cycles: skip + 48, Seqs: 4, Skip: skip, Seed: seed,
+		Bias: map[string]float64{"rst": 0.2},
+	}); err != nil {
+		t.Fatalf("degraded result not equivalent: %v", err)
+	}
+}
+
+// The degradation ladder, rung by rung: starving each solver's budget must
+// never fail the flow or break equivalence — it must escalate (BDD→SAT),
+// re-solve with tightened bounds (SAT exhaustion), or keep the feasible
+// minperiod retiming (minarea budgets), and say so in the report.
+func TestBudgetDegradationLadder(t *testing.T) {
+	baselineOut, baseline, err := Retime(conflictCircuit(t), Options{Objective: MinAreaAtMinPeriod})
+	if err != nil {
+		t.Fatalf("baseline: %v", err)
+	}
+	assertEquivalent(t, conflictCircuit(t), baselineOut, 1)
+	if baseline.JustifyGlobal == 0 {
+		t.Fatal("conflict circuit did not exercise global justification; ladder tests are vacuous")
+	}
+
+	cases := []struct {
+		name string
+		opts Options
+		// checks on the report beyond success + equivalence
+		verify func(t *testing.T, rep *Report)
+	}{
+		{
+			// One BDD node is never enough: every global solve must blow the
+			// budget and escalate to the SAT backend.
+			name: "bdd-nodes-starved-escalates-to-sat",
+			opts: Options{Objective: MinAreaAtMinPeriod, Budgets: Budgets{BDDNodes: 1}},
+			verify: func(t *testing.T, rep *Report) {
+				if rep.JustifyEscalations == 0 {
+					t.Error("no BDD→SAT escalation recorded")
+				}
+			},
+		},
+		{
+			// SAT primary with a starved conflict budget: exhaustion counts
+			// as an unresolved conflict and the flow takes the paper's §5.2
+			// add-bound-and-re-solve path. On this tiny instance the solver
+			// may finish without a single conflict, so only success and
+			// equivalence are asserted unconditionally.
+			name: "sat-conflicts-starved-resolves",
+			opts: Options{Objective: MinAreaAtMinPeriod, SATJustify: true, Budgets: Budgets{SATConflicts: 1}},
+			verify: func(t *testing.T, rep *Report) {
+				if rep.JustifyConflicts > 0 && rep.Retries == 0 {
+					t.Error("conflicts reported but no §5.2 re-solve happened")
+				}
+			},
+		},
+		{
+			// One flow augmentation cannot solve the minarea dual: the pass
+			// must degrade to the feasible minperiod retiming and say so.
+			name: "minarea-flow-starved-degrades",
+			opts: Options{Objective: MinAreaAtMinPeriod, Budgets: Budgets{FlowAugmentations: 1}},
+			verify: func(t *testing.T, rep *Report) {
+				if len(rep.Degraded) == 0 {
+					t.Error("minarea budget blown but Report.Degraded is empty")
+				}
+				if rep.PeriodAfter != baseline.PeriodAfter {
+					t.Errorf("degraded run period %d, want the minperiod %d",
+						rep.PeriodAfter, baseline.PeriodAfter)
+				}
+			},
+		},
+	}
+	for i, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			in := conflictCircuit(t)
+			out, rep, err := Retime(in, tc.opts)
+			if err != nil {
+				t.Fatalf("flow failed instead of degrading: %v", err)
+			}
+			assertEquivalent(t, in, out, int64(100+i))
+			tc.verify(t, rep)
+		})
+	}
+}
+
+// Infeasible targets must be detectable with errors.Is across the public
+// entry point.
+func TestInfeasiblePeriodError(t *testing.T) {
+	_, _, err := Retime(conflictCircuit(t), Options{Objective: MinAreaAtPeriod, TargetPeriod: 1})
+	if err == nil {
+		t.Fatal("1ps target accepted")
+	}
+	if !errors.Is(err, rterr.ErrInfeasiblePeriod) {
+		t.Fatalf("error %v does not wrap ErrInfeasiblePeriod", err)
+	}
+}
+
+// Malformed circuits must surface as ErrMalformedInput, not crash the flow.
+func TestMalformedInputError(t *testing.T) {
+	c := netlist.New("bad")
+	s1 := c.AddSignal("s1")
+	s2 := c.AddSignal("s2")
+	c.AddGateTo("g1", netlist.Not, []netlist.SignalID{s2}, s1, 0)
+	c.AddGateTo("g2", netlist.Not, []netlist.SignalID{s1}, s2, 0) // comb cycle
+	_, _, err := Retime(c, Options{Objective: MinAreaAtMinPeriod})
+	if !errors.Is(err, rterr.ErrMalformedInput) {
+		t.Fatalf("error %v does not wrap ErrMalformedInput", err)
+	}
+}

@@ -1,120 +1,13 @@
 package core
 
 import (
-	"fmt"
 	"math/rand"
 	"testing"
 
 	"mcretiming/internal/bmc"
-	"mcretiming/internal/logic"
-	"mcretiming/internal/netlist"
+	"mcretiming/internal/gen"
 	"mcretiming/internal/verify"
 )
-
-// randomSequentialCircuit builds a random synchronous circuit with a mix of
-// register classes (plain, enabled, sync-reset, async-reset, combinations),
-// every register output consumed, and no dangling logic.
-func randomSequentialCircuit(rng *rand.Rand, nGates int) *netlist.Circuit {
-	c := netlist.New(fmt.Sprintf("fuzz%d", rng.Int31()))
-	clk := c.AddInput("clk")
-	en1 := c.AddInput("en1")
-	en2 := c.AddInput("en2")
-	rst := c.AddInput("rst")
-	arst := c.AddInput("arst")
-
-	pool := []netlist.SignalID{
-		c.AddInput("a"), c.AddInput("b"), c.AddInput("c"), c.AddInput("d"),
-	}
-	types := []netlist.GateType{
-		netlist.And, netlist.Or, netlist.Nand, netlist.Nor,
-		netlist.Xor, netlist.Xnor, netlist.Not, netlist.Mux,
-	}
-	randBit := func() logic.Bit { return logic.Bit(rng.Intn(3)) }
-
-	for i := 0; i < nGates; i++ {
-		gt := types[rng.Intn(len(types))]
-		var n int
-		switch gt {
-		case netlist.Not:
-			n = 1
-		case netlist.Mux:
-			n = 3
-		default:
-			n = 2 + rng.Intn(2)
-		}
-		in := make([]netlist.SignalID, n)
-		for j := range in {
-			in[j] = pool[rng.Intn(len(pool))]
-		}
-		_, o := c.AddGate("", gt, in, int64(1000+rng.Intn(8)*1000))
-		pool = append(pool, o)
-
-		if rng.Intn(3) == 0 {
-			rid, q := c.AddReg("", o, clk)
-			r := &c.Regs[rid]
-			switch rng.Intn(6) {
-			case 0: // plain
-			case 1:
-				r.EN = en1
-			case 2:
-				r.EN = en2
-				r.SR = rst
-				r.SRVal = randBit()
-			case 3:
-				r.SR = rst
-				r.SRVal = randBit()
-			case 4:
-				r.AR = arst
-				r.ARVal = randBit()
-			case 5:
-				r.EN = en1
-				r.AR = arst
-				r.ARVal = randBit()
-			}
-			pool = append(pool, q)
-		}
-	}
-	// Consume everything: every otherwise-unused signal feeds an output
-	// reduction so no register dangles.
-	used := make([]bool, len(c.Signals))
-	c.LiveGates(func(g *netlist.Gate) {
-		for _, in := range g.In {
-			used[in] = true
-		}
-	})
-	c.LiveRegs(func(r *netlist.Reg) { used[r.D] = true })
-	var loose []netlist.SignalID
-	for i := range c.Signals {
-		sig := netlist.SignalID(i)
-		d := c.Signals[i].Driver
-		if !used[i] && (d.Kind == netlist.DriverGate || d.Kind == netlist.DriverReg) {
-			loose = append(loose, sig)
-		}
-	}
-	for len(loose) > 1 {
-		var next []netlist.SignalID
-		for i := 0; i < len(loose); i += 3 {
-			end := i + 3
-			if end > len(loose) {
-				end = len(loose)
-			}
-			if end-i == 1 {
-				next = append(next, loose[i])
-				continue
-			}
-			_, o := c.AddGate("", netlist.Xor, loose[i:end], 1000)
-			next = append(next, o)
-		}
-		loose = next
-	}
-	if len(loose) == 1 {
-		c.MarkOutput(loose[0])
-	}
-	// Plus a couple of direct taps.
-	c.MarkOutput(pool[len(pool)-1])
-	c.MarkOutput(pool[len(pool)/2])
-	return c
-}
 
 // The central correctness property of the whole system: any circuit the
 // generator produces, retimed under any objective, must remain sequentially
@@ -128,7 +21,7 @@ func TestRandomCircuitsRetimeEquivalent(t *testing.T) {
 		iters = 12
 	}
 	for iter := 0; iter < iters; iter++ {
-		c := randomSequentialCircuit(rng, 25+rng.Intn(50))
+		c := gen.Random(rng.Int63(), 25+rng.Intn(50))
 		if err := c.Validate(); err != nil {
 			t.Fatalf("iter %d: generator bug: %v", iter, err)
 		}
@@ -169,12 +62,54 @@ func TestRandomCircuitsRetimeEquivalent(t *testing.T) {
 	}
 }
 
+// FuzzRetimeVerify is the retime-then-verify round-trip fuzzer: a seed and a
+// size drive the internal/gen random sequential circuit generator, the
+// circuit is retimed under a fuzzer-chosen objective and budget starvation,
+// and the result must be sequentially equivalent to the input. The engine
+// may degrade under tiny budgets but may neither crash nor return a wrong
+// circuit; invariant checking is forced on by this test binary.
+func FuzzRetimeVerify(f *testing.F) {
+	f.Add(int64(1), uint8(30), uint8(0))
+	f.Add(int64(2026), uint8(60), uint8(1))
+	f.Add(int64(-7), uint8(12), uint8(2))
+	f.Add(int64(424242), uint8(90), uint8(3))
+	f.Fuzz(func(t *testing.T, seed int64, size, mode uint8) {
+		c := gen.Random(seed, 10+int(size)%80)
+		if c.NumRegs() == 0 {
+			t.Skip("no registers to move")
+		}
+		opts := Options{Objective: MinAreaAtMinPeriod}
+		switch mode % 4 {
+		case 1:
+			opts.Objective = MinPeriod
+		case 2:
+			opts.SATJustify = true
+		case 3:
+			opts.Budgets = Budgets{BDDNodes: 64, SATConflicts: 64, FlowAugmentations: 256, MinAreaRounds: 4}
+		}
+		out, rep, err := Retime(c, opts)
+		if err != nil {
+			t.Fatalf("%s (mode %d): %v", c.Name, mode%4, err)
+		}
+		if rep.PeriodAfter > rep.PeriodBefore {
+			t.Fatalf("%s: period worsened %d -> %d", c.Name, rep.PeriodBefore, rep.PeriodAfter)
+		}
+		skip := c.NumRegs() + out.NumRegs() + 2
+		if _, err := verify.Equivalent(c, out, verify.Stimulus{
+			Cycles: skip + 32, Seqs: 2, Skip: skip, Seed: seed,
+			Bias: map[string]float64{"en1": 0.8, "en2": 0.7, "rst": 0.2, "arst": 0.15},
+		}); err != nil {
+			t.Fatalf("%s (mode %d): NOT EQUIVALENT: %v", c.Name, mode%4, err)
+		}
+	})
+}
+
 // Retiming twice must keep equivalence and never worsen the period
 // (idempotence of the fixpoint).
 func TestRetimeTwiceStable(t *testing.T) {
 	rng := rand.New(rand.NewSource(7))
 	for iter := 0; iter < 10; iter++ {
-		c := randomSequentialCircuit(rng, 40)
+		c := gen.Random(rng.Int63(), 40)
 		if c.NumRegs() == 0 {
 			continue
 		}

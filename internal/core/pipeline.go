@@ -6,12 +6,15 @@ import (
 	"fmt"
 	"time"
 
+	"mcretiming/internal/check"
 	"mcretiming/internal/graph"
 	"mcretiming/internal/justify"
+	"mcretiming/internal/mcf"
 	"mcretiming/internal/mcgraph"
 	"mcretiming/internal/netlist"
 	"mcretiming/internal/pass"
 	"mcretiming/internal/retime"
+	"mcretiming/internal/rterr"
 	"mcretiming/internal/trace"
 )
 
@@ -67,20 +70,61 @@ func RetimeCtx(ctx context.Context, c *netlist.Circuit, opts Options) (*netlist.
 }
 
 // pipeline assembles the retiming flow for opts: steps 1-3, then the §5.2
-// retry combinator around steps 4-6.
+// retry combinator around steps 4-6. Every pass is wrapped by the invariant
+// checker, active when opts enables it.
 func pipeline(opts Options) pass.Pipeline[flowState] {
 	return pass.Pipeline[flowState]{
-		{Name: PassBuild, Run: runBuild},
-		{Name: PassBounds, Run: runBounds},
-		{Name: PassShare, Run: runShare},
+		checked(pass.Pass[flowState]{Name: PassBuild, Run: runBuild}),
+		checked(pass.Pass[flowState]{Name: PassBounds, Run: runBounds}),
+		checked(pass.Pass[flowState]{Name: PassShare, Run: runShare}),
 		pass.Retry(PassRetry, effectiveMaxRetries(opts),
 			pass.Pipeline[flowState]{
-				{Name: PassMinPeriod, Run: runMinPeriod},
-				{Name: PassMinArea, Run: runMinArea},
-				{Name: PassRelocate, Run: runRelocate},
+				checked(pass.Pass[flowState]{Name: PassMinPeriod, Run: runMinPeriod}),
+				checked(pass.Pass[flowState]{Name: PassMinArea, Run: runMinArea}),
+				checked(pass.Pass[flowState]{Name: PassRelocate, Run: runRelocate}),
 			},
 			recoverJustifyConflict),
 	}
+}
+
+// checked wraps a pass so the invariant checker of internal/check runs after
+// a successful execution when Options.CheckInvariants asks for it.
+func checked(p pass.Pass[flowState]) pass.Pass[flowState] {
+	return pass.Pass[flowState]{Name: p.Name, Run: func(pc *pass.Context[flowState]) error {
+		if err := p.Run(pc); err != nil {
+			return err
+		}
+		s := pc.State
+		if !s.opts.checksEnabled() {
+			return nil
+		}
+		if err := s.checkAfter(p.Name); err != nil {
+			return fmt.Errorf("core: after pass %s: %w", p.Name, err)
+		}
+		return nil
+	}}
+}
+
+// checkAfter runs the invariants that are meaningful once the named pass has
+// produced its part of the flow state.
+func (s *flowState) checkAfter(name string) error {
+	switch name {
+	case PassBuild, PassBounds:
+		return check.MC(s.m)
+	case PassShare:
+		return check.Graph(s.g)
+	case PassMinPeriod, PassMinArea:
+		if s.r == nil {
+			return nil // MinPeriod objective skips step 5's re-solve
+		}
+		if err := check.Graph(s.g); err != nil {
+			return err
+		}
+		return check.Solution(s.g, s.r, s.bounds, s.phi)
+	case PassRelocate:
+		return check.Circuit(s.out)
+	}
+	return nil
 }
 
 // observe folds per-pass wall times into the report: the named breakdown
@@ -172,7 +216,7 @@ func runMinPeriod(pc *pass.Context[flowState]) error {
 			return err
 		}
 		if !ok {
-			return fmt.Errorf("core: target period %d infeasible", s.opts.TargetPeriod)
+			return fmt.Errorf("core: target period %d infeasible: %w", s.opts.TargetPeriod, rterr.ErrInfeasiblePeriod)
 		}
 		s.phi, s.r = s.opts.TargetPeriod, r
 	default:
@@ -183,13 +227,31 @@ func runMinPeriod(pc *pass.Context[flowState]) error {
 
 // runMinArea is step 5: minimum shared-register area at the period. For the
 // MinPeriod objective the feasible retiming of step 4 already is the result.
+//
+// The minarea solve is optional quality: if its flow or round budget blows,
+// or the min-cost-flow dual fails, the pass degrades to the feasible
+// minperiod retiming of step 4 and records the downgrade in Report.Degraded
+// instead of failing the whole flow.
 func runMinArea(pc *pass.Context[flowState]) error {
 	s := pc.State
 	if s.opts.Objective == MinPeriod {
 		return nil
 	}
-	r, err := retime.MinAreaLazyCtx(pc.Ctx(), s.g, s.phi, s.bounds, s.pool)
+	lim := retime.Limits{
+		MaxRounds:         s.opts.Budgets.MinAreaRounds,
+		FlowAugmentations: s.opts.Budgets.FlowAugmentations,
+	}
+	r, err := retime.MinAreaLazyBudget(pc.Ctx(), s.g, s.phi, s.bounds, s.pool, lim)
 	if err != nil {
+		if pc.Err() != nil {
+			return err
+		}
+		if errors.Is(err, rterr.ErrBudgetExceeded) || errors.Is(err, mcf.ErrInfeasible) {
+			s.rep.Degraded = append(s.rep.Degraded,
+				fmt.Sprintf("minarea at period %d: %v; keeping the feasible minperiod retiming", s.phi, err))
+			pc.Sink.Add("minarea-degraded", 1)
+			return nil // s.r still holds step 4's feasible retiming
+		}
 		return err
 	}
 	s.r = r
@@ -208,6 +270,8 @@ func runRelocate(pc *pass.Context[flowState]) error {
 	} else {
 		j = justify.New(work)
 		j.Ctx = pc.Ctx()
+		j.BDDNodes = s.opts.Budgets.BDDNodes
+		j.SATConflicts = s.opts.Budgets.SATConflicts
 		if s.opts.SATJustify {
 			j.Engine = justify.EngineSAT
 		}
@@ -220,9 +284,11 @@ func runRelocate(pc *pass.Context[flowState]) error {
 		pc.Sink.Add("justify-local", int64(j.Stats.LocalSteps))
 		pc.Sink.Add("justify-global", int64(j.Stats.GlobalSteps))
 		pc.Sink.Add("justify-conflicts", int64(j.Stats.Conflicts))
+		pc.Sink.Add("justify-escalations", int64(j.Stats.Escalations))
 		s.rep.JustifyLocal = j.Stats.LocalSteps
 		s.rep.JustifyGlobal = j.Stats.GlobalSteps
 		s.rep.JustifyConflicts = j.Stats.Conflicts
+		s.rep.JustifyEscalations += j.Stats.Escalations
 	}
 	if err != nil {
 		return err

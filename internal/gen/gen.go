@@ -188,9 +188,9 @@ func (b *builder) markOutputs(bus ...[]netlist.SignalID) {
 	}
 }
 
-func (b *builder) finish() *netlist.Circuit {
+func (b *builder) finish() (*netlist.Circuit, error) {
 	if err := b.c.Validate(); err != nil {
-		panic("gen: generated circuit invalid: " + err.Error())
+		return nil, fmt.Errorf("gen: generated circuit %s invalid: %w", b.c.Name, err)
 	}
-	return b.c
+	return b.c, nil
 }

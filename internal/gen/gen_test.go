@@ -11,7 +11,10 @@ import (
 
 func TestSuiteValidatesAndMaps(t *testing.T) {
 	for _, p := range Profiles {
-		c := p.Build()
+		c, err := p.Build()
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name, err)
+		}
 		if err := c.Validate(); err != nil {
 			t.Fatalf("%s: %v", p.Name, err)
 		}
@@ -40,7 +43,10 @@ func TestClassCountsMatchProfile(t *testing.T) {
 		if !ok {
 			continue
 		}
-		c := p.Build()
+		c, err := p.Build()
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name, err)
+		}
 		m, err := mcgraph.Build(c)
 		if err != nil {
 			t.Fatalf("%s: %v", p.Name, err)
@@ -52,8 +58,14 @@ func TestClassCountsMatchProfile(t *testing.T) {
 }
 
 func TestDeterministicGeneration(t *testing.T) {
-	a := Circuit(1)
-	b := Circuit(1)
+	a, err := Circuit(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Circuit(1)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(a.Gates) != len(b.Gates) || len(a.Regs) != len(b.Regs) {
 		t.Fatal("generation is not deterministic")
 	}
@@ -70,7 +82,10 @@ func TestSmallCircuitsRetimeEquivalent(t *testing.T) {
 	for _, idx := range []int{1, 2, 3, 5} {
 		p := Profiles[idx-1]
 		t.Run(p.Name, func(t *testing.T) {
-			c := p.Build()
+			c, err := p.Build()
+			if err != nil {
+				t.Fatal(err)
+			}
 			mapped, err := xc4000.Map(xc4000.DecomposeSyncResets(c.Clone()))
 			if err != nil {
 				t.Fatal(err)

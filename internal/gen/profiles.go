@@ -24,10 +24,12 @@ func (b *builder) pipe(bus []netlist.SignalID, depths []int, ct ctrl) []netlist.
 	return bus
 }
 
-// Profile identifies one synthetic benchmark circuit.
+// Profile identifies one synthetic benchmark circuit. Build reports an
+// error when the generated circuit fails validation — a programming error
+// in the generator, surfaced instead of crashing the caller.
 type Profile struct {
 	Name  string
-	Build func() *netlist.Circuit
+	Build func() (*netlist.Circuit, error)
 }
 
 // Profiles lists the ten circuits in Table 1 order.
@@ -38,21 +40,28 @@ var Profiles = []Profile{
 }
 
 // Circuit builds the i-th (1-based) benchmark circuit.
-func Circuit(i int) *netlist.Circuit {
+func Circuit(i int) (*netlist.Circuit, error) {
+	if i < 1 || i > len(Profiles) {
+		return nil, fmt.Errorf("gen: no profile %d (have C1..C%d)", i, len(Profiles))
+	}
 	return Profiles[i-1].Build()
 }
 
 // Suite builds all ten circuits.
-func Suite() []*netlist.Circuit {
+func Suite() ([]*netlist.Circuit, error) {
 	out := make([]*netlist.Circuit, len(Profiles))
 	for i, p := range Profiles {
-		out[i] = p.Build()
+		c, err := p.Build()
+		if err != nil {
+			return nil, err
+		}
+		out[i] = c
 	}
-	return out
+	return out, nil
 }
 
 // C1: small control+datapath with load enables and async clears (35 FF).
-func buildC1() *netlist.Circuit {
+func buildC1() (*netlist.Circuit, error) {
 	b := newBuilder("C1", 101)
 	en := b.c.AddInput("en")
 	ar := b.c.AddInput("arst")
@@ -65,7 +74,7 @@ func buildC1() *netlist.Circuit {
 }
 
 // C2: tiny datapath, enables + async set/clear (12 FF).
-func buildC2() *netlist.Circuit {
+func buildC2() (*netlist.Circuit, error) {
 	b := newBuilder("C2", 102)
 	en := b.c.AddInput("en")
 	ar := b.c.AddInput("arst")
@@ -81,7 +90,7 @@ func buildC2() *netlist.Circuit {
 }
 
 // C3: enable-only shifter/datapath (26 FF).
-func buildC3() *netlist.Circuit {
+func buildC3() (*netlist.Circuit, error) {
 	b := newBuilder("C3", 103)
 	en := b.c.AddInput("en")
 	in := b.inputBus("d", 13)
@@ -98,7 +107,7 @@ func buildC3() *netlist.Circuit {
 // C4: the big datapath: eight enabled pipelines with distinct enables, two
 // 24-bit carry-chain adders, a counter — 11 register classes, ~300 FF, the
 // deepest logic of the suite.
-func buildC4() *netlist.Circuit {
+func buildC4() (*netlist.Circuit, error) {
 	b := newBuilder("C4", 104)
 	in := b.inputBus("d", 10)
 	var outs [][]netlist.SignalID
@@ -130,7 +139,7 @@ func buildC4() *netlist.Circuit {
 }
 
 // C5: many independently reset blocks: 15 register classes, async only.
-func buildC5() *netlist.Circuit {
+func buildC5() (*netlist.Circuit, error) {
 	b := newBuilder("C5", 105)
 	in := b.inputBus("d", 6)
 	var outs [][]netlist.SignalID
@@ -154,7 +163,7 @@ func buildC5() *netlist.Circuit {
 // C6: register-dominated: a deep 64-bit shift pipeline with one shared
 // async clear (a single class) threaded through occasional logic and one
 // long carry chain — over a thousand flip-flops.
-func buildC6() *netlist.Circuit {
+func buildC6() (*netlist.Circuit, error) {
 	b := newBuilder("C6", 106)
 	ar := b.c.AddInput("arst")
 	ct := ctrl{en: netlist.NoSignal, ar: ar, arVal: logic.B0, sr: netlist.NoSignal}
@@ -178,7 +187,7 @@ func buildC6() *netlist.Circuit {
 
 // C7: a sea of small channels, each with its own (enable, async) pairing:
 // 40 register classes.
-func buildC7() *netlist.Circuit {
+func buildC7() (*netlist.Circuit, error) {
 	b := newBuilder("C7", 107)
 	in := b.inputBus("d", 4)
 	ens := make([]netlist.SignalID, 8)
@@ -203,7 +212,7 @@ func buildC7() *netlist.Circuit {
 }
 
 // C8: plain flip-flops only (the no-complex-registers control case).
-func buildC8() *netlist.Circuit {
+func buildC8() (*netlist.Circuit, error) {
 	b := newBuilder("C8", 108)
 	in := b.inputBus("d", 19)
 	s1 := b.logicStage(in, 1)
@@ -220,7 +229,7 @@ func buildC8() *netlist.Circuit {
 }
 
 // C9: logic-heavy and deep (the worst delay per FF): enables + asyncs.
-func buildC9() *netlist.Circuit {
+func buildC9() (*netlist.Circuit, error) {
 	b := newBuilder("C9", 109)
 	en := b.c.AddInput("en")
 	ar := b.c.AddInput("arst")
@@ -241,7 +250,7 @@ func buildC9() *netlist.Circuit {
 
 // C10: medium mixed design: four enabled+cleared pipelines with distinct
 // controls plus a counter — 5 classes.
-func buildC10() *netlist.Circuit {
+func buildC10() (*netlist.Circuit, error) {
 	b := newBuilder("C10", 110)
 	in := b.inputBus("d", 16)
 	var outs [][]netlist.SignalID

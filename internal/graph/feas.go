@@ -1,6 +1,10 @@
 package graph
 
-import "fmt"
+import (
+	"fmt"
+
+	"mcretiming/internal/rterr"
+)
 
 // FEAS is the Leiserson–Saxe feasibility algorithm (their Algorithm FEAS,
 // restated in paper §2): starting from r = 0, repeat |V|−1 times — compute
@@ -64,7 +68,7 @@ func (g *Graph) MinPeriodFEAS(wd *WD) (int64, []int32, error) {
 	bestPhi := cands[hi]
 	bestR, ok := g.FEAS(bestPhi)
 	if !ok {
-		return 0, nil, fmt.Errorf("graph: FEAS rejects the maximum candidate %d", bestPhi)
+		return 0, nil, fmt.Errorf("graph: FEAS rejects the maximum candidate %d: %w", bestPhi, rterr.ErrInfeasiblePeriod)
 	}
 	for lo < hi {
 		mid := (lo + hi) / 2

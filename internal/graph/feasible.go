@@ -3,6 +3,8 @@ package graph
 import (
 	"fmt"
 	"math"
+
+	"mcretiming/internal/rterr"
 )
 
 // Unbounded sentinels for Bounds entries.
@@ -160,7 +162,7 @@ func (g *Graph) MinPeriod(wd *WD, bounds *Bounds) (int64, []int32, error) {
 	if r, ok := g.Feasible(bestPhi, wd, bounds); ok {
 		bestR = r
 	} else {
-		return 0, nil, fmt.Errorf("graph: even period %d infeasible (conflicting bounds?)", bestPhi)
+		return 0, nil, fmt.Errorf("graph: even period %d infeasible (conflicting bounds?): %w", bestPhi, rterr.ErrInfeasiblePeriod)
 	}
 	for lo < hi {
 		mid := (lo + hi) / 2

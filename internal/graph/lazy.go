@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 
+	"mcretiming/internal/rterr"
 	"mcretiming/internal/trace"
 )
 
@@ -218,7 +219,7 @@ func (g *Graph) MinPeriodLazyCtx(ctx context.Context, bounds *Bounds, pool *CutP
 		return 0, nil, err
 	}
 	if !ok {
-		return 0, nil, fmt.Errorf("graph: original period %d infeasible (conflicting bounds?)", hi)
+		return 0, nil, fmt.Errorf("graph: original period %d infeasible (conflicting bounds?): %w", hi, rterr.ErrInfeasiblePeriod)
 	}
 	bestR = r
 	// The achieved period of a feasible retiming tightens the search much

@@ -1,0 +1,41 @@
+package hdlio
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	"mcretiming/internal/rterr"
+)
+
+// FuzzRead throws arbitrary bytes at the netlist reader. The contract under
+// fuzzing: the reader never crashes, every rejection wraps ErrMalformedInput,
+// and every accepted circuit validates and survives a Write→Read round trip.
+func FuzzRead(f *testing.F) {
+	f.Add([]byte("circuit c\ninput a\ngate g not o a delay=5\noutput o\n"))
+	f.Add([]byte("circuit c\ninput d\ninput clk\nreg ff q d clk=clk\noutput q\n"))
+	f.Add([]byte("circuit c\ninput d\ninput clk\ninput en\ninput rst\nreg ff q d clk=clk en=en sr=rst:1\ngate g not o q delay=3500\noutput o\n"))
+	f.Add([]byte("circuit c\ninput a\ninput b\ngate g lut o a b tt=8 delay=1\noutput o\n"))
+	f.Add([]byte("# comment only\n"))
+	f.Add([]byte("reg r q d\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		c, err := Read(bytes.NewReader(data))
+		if err != nil {
+			if !errors.Is(err, rterr.ErrMalformedInput) {
+				t.Fatalf("rejection %v does not wrap ErrMalformedInput", err)
+			}
+			return
+		}
+		if err := c.Validate(); err != nil {
+			t.Fatalf("accepted circuit does not validate: %v", err)
+		}
+		var buf strings.Builder
+		if err := Write(&buf, c); err != nil {
+			t.Fatalf("write-back failed: %v", err)
+		}
+		if _, err := Read(strings.NewReader(buf.String())); err != nil {
+			t.Fatalf("round trip rejected our own output: %v\n%s", err, buf.String())
+		}
+	})
+}

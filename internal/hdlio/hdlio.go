@@ -16,6 +16,7 @@ package hdlio
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"io"
 	"strconv"
@@ -23,6 +24,14 @@ import (
 
 	"mcretiming/internal/logic"
 	"mcretiming/internal/netlist"
+	"mcretiming/internal/rterr"
+)
+
+// Reader limits: one statement per line, so these bound both statement size
+// and statement count before the input is rejected as hostile.
+const (
+	maxLineBytes = 1 << 20
+	maxLines     = 1 << 20
 )
 
 var typeByName = map[string]netlist.GateType{}
@@ -89,17 +98,20 @@ func Read(r io.Reader) (*netlist.Circuit, error) {
 		return id
 	}
 	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	sc.Buffer(make([]byte, 64<<10), maxLineBytes)
 	lineNo := 0
 	for sc.Scan() {
 		lineNo++
+		if lineNo > maxLines {
+			return nil, fmt.Errorf("hdlio: more than %d lines: %w", maxLines, rterr.ErrMalformedInput)
+		}
 		line := strings.TrimSpace(sc.Text())
 		if line == "" || strings.HasPrefix(line, "#") {
 			continue
 		}
 		fields := strings.Fields(line)
 		bad := func(format string, args ...any) error {
-			return fmt.Errorf("hdlio: line %d: %s", lineNo, fmt.Sprintf(format, args...))
+			return fmt.Errorf("hdlio: line %d: %s: %w", lineNo, fmt.Sprintf(format, args...), rterr.ErrMalformedInput)
 		}
 		switch fields[0] {
 		case "circuit":
@@ -112,6 +124,9 @@ func Read(r io.Reader) (*netlist.Circuit, error) {
 				return nil, bad("input wants a signal")
 			}
 			id := sig(fields[1])
+			if c.Signals[id].Driver.Kind != netlist.DriverNone {
+				return nil, bad("duplicate driver for input %q", fields[1])
+			}
 			c.Signals[id].Driver = netlist.Driver{Kind: netlist.DriverInput}
 			c.PIs = append(c.PIs, id)
 		case "output":
@@ -198,10 +213,15 @@ func Read(r io.Reader) (*netlist.Circuit, error) {
 		}
 	}
 	if err := sc.Err(); err != nil {
-		return nil, err
-	}
-	if err := c.Validate(); err != nil {
+		if errors.Is(err, bufio.ErrTooLong) {
+			return nil, fmt.Errorf("hdlio: line longer than %d bytes: %w", maxLineBytes, rterr.ErrMalformedInput)
+		}
 		return nil, fmt.Errorf("hdlio: %w", err)
+	}
+	// Validate catches what the line scan cannot see locally: dangling nets,
+	// double drivers, arity violations, combinational cycles.
+	if err := c.Validate(); err != nil {
+		return nil, fmt.Errorf("hdlio: %v: %w", err, rterr.ErrMalformedInput)
 	}
 	return c, nil
 }

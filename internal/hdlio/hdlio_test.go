@@ -52,7 +52,10 @@ func TestRoundTripSmall(t *testing.T) {
 
 func TestRoundTripGeneratedSuite(t *testing.T) {
 	for _, p := range gen.Profiles[:4] {
-		c := p.Build()
+		c, err := p.Build()
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name, err)
+		}
 		var buf bytes.Buffer
 		if err := Write(&buf, c); err != nil {
 			t.Fatalf("%s: %v", p.Name, err)

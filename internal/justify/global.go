@@ -1,20 +1,38 @@
 package justify
 
 import (
+	"errors"
+
 	"mcretiming/internal/bdd"
 	"mcretiming/internal/logic"
+	"mcretiming/internal/rterr"
 	"mcretiming/internal/sat"
 )
 
-// maxGlobalVars caps the size of a global justification system, and
-// maxGlobalNodes bounds the BDD while it is built; beyond either the
-// conflict is treated as unresolvable (the caller re-retimes with a
-// tightened bound). Real conflict regions are tiny — the paper reports
-// global justification for <1% of steps — so the caps only guard blowup.
+// maxGlobalVars caps the size of a global justification system;
+// DefaultBDDNodes and DefaultSATConflicts are the per-solve budgets used
+// when the Justifier's fields are zero. Beyond the caps the degradation
+// ladder runs: a blown BDD escalates to SAT, a blown SAT solve counts as an
+// unresolved conflict (the caller re-retimes with a tightened bound). Real
+// conflict regions are tiny — the paper reports global justification for
+// <1% of steps — so the budgets only guard blowup.
 const (
-	maxGlobalVars  = 512
-	maxGlobalNodes = 1 << 20
+	maxGlobalVars       = 512
+	DefaultBDDNodes     = 1 << 20
+	DefaultSATConflicts = 1 << 20
 )
+
+// budgetOf resolves a user budget field: 0 = the default, negative =
+// unlimited (expressed as 0 to the solver).
+func budgetOf(v, def int) int {
+	if v < 0 {
+		return 0
+	}
+	if v == 0 {
+		return def
+	}
+	return v
+}
 
 // Engine selects the global-justification backend.
 type Engine int
@@ -112,7 +130,15 @@ func (j *Justifier) globalJustify(seed *record, dom domain, active bool) bool {
 	if j.Engine == EngineSAT && !hasQuantified {
 		assign, ok = j.solveSAT(comp, dom, fixed)
 	} else {
-		assign, ok = j.solveBDD(comp, dom, fixed)
+		var overBudget bool
+		assign, ok, overBudget = j.solveBDD(comp, dom, fixed)
+		// Degradation ladder: a blown node budget says nothing about
+		// satisfiability, so retry with the SAT backend — unless the system
+		// has quantified unknowns, which plain SAT cannot express.
+		if !ok && overBudget && !hasQuantified && j.ctxErr() == nil {
+			j.Stats.Escalations++
+			assign, ok = j.solveSAT(comp, dom, fixed)
+		}
 	}
 	if !ok {
 		return false
@@ -146,9 +172,15 @@ func (j *Justifier) globalJustify(seed *record, dom domain, active bool) bool {
 }
 
 // solveBDD builds the conjunction of the component's gate constraints as a
-// BDD and extracts a minimum satisfying assignment.
-func (j *Justifier) solveBDD(comp *component, dom domain, fixed func(int64) bool) (map[int64]logic.Bit, bool) {
+// BDD and extracts a minimum satisfying assignment. overBudget reports that
+// a failure was caused by the node budget rather than unsatisfiability, so
+// the caller can escalate to SAT.
+func (j *Justifier) solveBDD(comp *component, dom domain, fixed func(int64) bool) (assign map[int64]logic.Bit, ok, overBudget bool) {
 	m := bdd.New()
+	m.MaxNodes = budgetOf(j.BDDNodes, DefaultBDDNodes)
+	fail := func() (map[int64]logic.Bit, bool, bool) {
+		return nil, false, errors.Is(m.Err(), rterr.ErrBudgetExceeded)
+	}
 	varOf := make(map[int64]int, len(comp.serials))
 	order := make([]int64, 0, len(comp.serials))
 	for s := range comp.serials {
@@ -170,17 +202,21 @@ func (j *Justifier) solveBDD(comp *component, dom domain, fixed func(int64) bool
 	}
 	for _, r := range comp.recs {
 		if j.ctxErr() != nil {
-			return nil, false // Backward surfaces the context error
+			return nil, false, false // Backward surfaces the context error
+		}
+		tt, err := r.gate.TruthTable()
+		if err != nil {
+			return nil, false, false // untabulatable gate: genuinely stuck
 		}
 		pins := make([]int, len(r.fanin))
 		for i, s := range r.fanin {
 			pins[i] = varOf[s]
 		}
-		gf := m.FromTruth(r.gate.TruthTable(), pins)
+		gf := m.FromTruth(tt, pins)
 		for _, out := range r.out {
 			system = m.And(system, m.Xnor(gf, m.Var(varOf[out])))
-			if system == bdd.False || m.NumNodes() > maxGlobalNodes {
-				return nil, false
+			if system == bdd.False || m.Err() != nil {
+				return fail()
 			}
 		}
 	}
@@ -188,15 +224,15 @@ func (j *Justifier) solveBDD(comp *component, dom domain, fixed func(int64) bool
 	for _, s := range quantify {
 		v := varOf[s]
 		system = m.And(m.Restrict(system, v, false), m.Restrict(system, v, true))
-		if system == bdd.False || m.NumNodes() > maxGlobalNodes {
-			return nil, false
+		if system == bdd.False || m.Err() != nil {
+			return fail()
 		}
 	}
 	raw, ok := m.MinAssignment(system)
 	if !ok {
-		return nil, false
+		return fail()
 	}
-	assign := make(map[int64]logic.Bit, len(comp.serials))
+	assign = make(map[int64]logic.Bit, len(comp.serials))
 	for s, v := range varOf {
 		if b, ok := raw[v]; ok {
 			assign[s] = logic.FromBool(b)
@@ -204,7 +240,7 @@ func (j *Justifier) solveBDD(comp *component, dom domain, fixed func(int64) bool
 			assign[s] = logic.BX
 		}
 	}
-	return assign, true
+	return assign, true, false
 }
 
 // solveSAT encodes the component as CNF: one clause per gate input pattern
@@ -216,6 +252,7 @@ func (j *Justifier) solveSAT(comp *component, dom domain, fixed func(int64) bool
 		varOf[s] = len(varOf)
 	}
 	s := sat.New(len(varOf))
+	s.MaxConflicts = budgetOf(j.SATConflicts, DefaultSATConflicts)
 	keep := make(map[int]bool)
 	for ser := range comp.serials {
 		if !fixed(ser) {
@@ -229,7 +266,10 @@ func (j *Justifier) solveSAT(comp *component, dom domain, fixed func(int64) bool
 		keep[varOf[ser]] = true
 	}
 	for _, r := range comp.recs {
-		tt := r.gate.TruthTable()
+		tt, err := r.gate.TruthTable()
+		if err != nil {
+			return nil, false // untabulatable gate: genuinely stuck
+		}
 		n := len(r.fanin)
 		for m := 0; m < 1<<n; m++ {
 			outVal := tt>>m&1 == 1

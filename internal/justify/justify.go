@@ -73,6 +73,7 @@ type Stats struct {
 	GlobalSteps int // backward steps that needed global justification
 	Conflicts   int // unresolvable conflicts (ErrJustify returned)
 	ForwardImpl int // forward steps resolved by implication
+	Escalations int // global solves escalated from BDD to SAT on budget
 }
 
 // Justifier implements mcgraph.Hooks over one relocation run.
@@ -85,6 +86,15 @@ type Justifier struct {
 	// polled on every hook call and inside the global BDD/SAT search, and
 	// its error aborts the relocation. nil means no cancellation.
 	Ctx context.Context
+	// BDDNodes caps each global-justification BDD. 0 means the package
+	// default (DefaultBDDNodes); negative means unlimited. When the cap is
+	// hit and the system has no quantified unknowns, the solve escalates
+	// to the SAT backend instead of failing outright.
+	BDDNodes int
+	// SATConflicts caps each SAT solve the same way (0 = default,
+	// negative = unlimited). Exhaustion counts as an unresolved conflict,
+	// which sends the caller down the §5.2 add-bound-and-re-solve path.
+	SATConflicts int
 
 	vals      map[int64][2]logic.Bit // serial -> {sync, async} value
 	origin    map[int64]bool         // serial is an original register
@@ -256,12 +266,18 @@ func (j *Justifier) localBackward(g *netlist.Gate, outSerials []int64, npins int
 	if target == logic.BX {
 		return allX(npins), true
 	}
+	tt, err := g.TruthTable()
+	if err != nil {
+		// A gate too wide to tabulate cannot be justified across; the caller
+		// bounds the vertex, which is the conservative correct outcome.
+		return nil, false
+	}
 	m := bdd.New()
 	vars := make([]int, npins)
 	for i := range vars {
 		vars[i] = i
 	}
-	f := m.FromTruth(g.TruthTable(), vars)
+	f := m.FromTruth(tt, vars)
 	if target == logic.B0 {
 		f = m.Not(f)
 	}

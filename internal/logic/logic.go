@@ -42,16 +42,9 @@ func FromBool(v bool) Bit {
 	return B0
 }
 
-// Bool converts a known Bit to a Go bool; it panics on BX.
-func (b Bit) Bool() bool {
-	switch b {
-	case B0:
-		return false
-	case B1:
-		return true
-	}
-	panic("logic: Bool() on unknown Bit")
-}
+// Bool converts a Bit to a Go bool. BX maps to false — callers that must
+// distinguish the unknown value check Known first.
+func (b Bit) Bool() bool { return b == B1 }
 
 // Not returns the ternary complement of b.
 func Not(b Bit) Bit {

@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"math"
 
+	"mcretiming/internal/rterr"
 	"mcretiming/internal/trace"
 )
 
@@ -42,6 +43,11 @@ type Solver struct {
 	supply []int64
 	// arcRef locates user arcs: (node, index) of the forward arc.
 	arcRef [][2]int32
+
+	// MaxAugmentations caps the number of shortest-path augmentations a
+	// single Solve may perform; 0 means unlimited. On exhaustion SolveCtx
+	// returns an error wrapping rterr.ErrBudgetExceeded.
+	MaxAugmentations int
 }
 
 // New returns a solver over n nodes.
@@ -104,6 +110,7 @@ func (s *Solver) SolveCtx(ctx context.Context) (int64, error) {
 	dist := make([]int64, s.n)
 	prevNode := make([]int32, s.n)
 	prevArc := make([]int32, s.n)
+	augmentations := 0
 	for {
 		if err := ctx.Err(); err != nil {
 			return 0, err
@@ -117,6 +124,10 @@ func (s *Solver) SolveCtx(ctx context.Context) (int64, error) {
 		}
 		if src == -1 {
 			return cost, nil
+		}
+		augmentations++
+		if s.MaxAugmentations > 0 && augmentations > s.MaxAugmentations {
+			return 0, fmt.Errorf("mcf: augmentation budget %d exhausted: %w", s.MaxAugmentations, rterr.ErrBudgetExceeded)
 		}
 		sink.Add("flow-augmentations", 1)
 		deficit := s.dijkstra(src, pi, excess, dist, prevNode, prevArc)

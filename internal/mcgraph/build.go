@@ -6,6 +6,7 @@ import (
 	"mcretiming/internal/graph"
 	"mcretiming/internal/logic"
 	"mcretiming/internal/netlist"
+	"mcretiming/internal/rterr"
 )
 
 // VKind classifies mc-graph vertices.
@@ -74,10 +75,11 @@ type MC struct {
 	nextSerial   int64
 }
 
-// Build constructs the mc-graph of c. The circuit must validate.
+// Build constructs the mc-graph of c. The circuit must validate; a failure
+// wraps rterr.ErrMalformedInput.
 func Build(c *netlist.Circuit) (*MC, error) {
 	if err := c.Validate(); err != nil {
-		return nil, fmt.Errorf("mcgraph: %w", err)
+		return nil, fmt.Errorf("mcgraph: %v: %w", err, rterr.ErrMalformedInput)
 	}
 	m := &MC{
 		Ckt:          c,

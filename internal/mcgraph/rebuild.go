@@ -5,6 +5,7 @@ import (
 
 	"mcretiming/internal/logic"
 	"mcretiming/internal/netlist"
+	"mcretiming/internal/rterr"
 )
 
 // Rebuild materializes the mc-graph's current register placement as a new
@@ -102,7 +103,9 @@ func (m *MC) Rebuild(name string) (*netlist.Circuit, error) {
 	}
 
 	if err := c.Validate(); err != nil {
-		return nil, fmt.Errorf("mcgraph: rebuilt netlist invalid: %w", err)
+		// A relocation produced a broken circuit: a programming error, not a
+		// property of the input.
+		return nil, fmt.Errorf("mcgraph: rebuilt netlist invalid: %v: %w", err, rterr.ErrInternal)
 	}
 	return c, nil
 }

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"mcretiming/internal/graph"
+	"mcretiming/internal/rterr"
 )
 
 // Hooks supplies reset values for the register layers created while a
@@ -29,7 +30,7 @@ type Hooks interface {
 // values for the step. Relocate undoes the step, freezes the vertex, keeps
 // going to harvest every other conflict in the same pass, and reports them
 // all in one ErrJustify so the caller re-solves once.
-var ErrUnjustifiable = fmt.Errorf("mcgraph: reset values not justifiable")
+var ErrUnjustifiable = fmt.Errorf("mcgraph: reset values not justifiable: %w", rterr.ErrJustifyConflict)
 
 // Conflict is one unjustifiable backward move: vertex V managed Achieved
 // backward steps before the failing one.
@@ -49,6 +50,10 @@ func (e *ErrJustify) Error() string {
 	return fmt.Sprintf("mcgraph: %d unjustifiable backward moves (first at vertex %d, achieved %d)",
 		len(e.Conflicts), e.Conflicts[0].V, e.Conflicts[0].Achieved)
 }
+
+// Unwrap ties the aggregate into the error taxonomy so callers can match it
+// with errors.Is(err, rterr.ErrJustifyConflict).
+func (e *ErrJustify) Unwrap() error { return rterr.ErrJustifyConflict }
 
 // NaiveHooks implements Hooks with no justification: created registers keep
 // unknown (X) reset values. Useful for classes without reset controls, for

@@ -127,21 +127,19 @@ func (c *Circuit) RemoveReg(id RegID) {
 }
 
 // Const returns the constant-0 or constant-1 signal, creating the backing
-// Const gate on first use. Const(BX) panics.
+// Const gate on first use. Const(BX) refines the don't-care to 0, which is
+// always a sound choice for a value nothing observes.
 func (c *Circuit) Const(b logic.Bit) SignalID {
-	switch b {
-	case logic.B0:
-		if c.const0 == NoSignal {
-			_, c.const0 = c.AddGate("const0", Const0, nil, 0)
-		}
-		return c.const0
-	case logic.B1:
+	if b == logic.B1 {
 		if c.const1 == NoSignal {
 			_, c.const1 = c.AddGate("const1", Const1, nil, 0)
 		}
 		return c.const1
 	}
-	panic("netlist: Const(BX)")
+	if c.const0 == NoSignal {
+		_, c.const0 = c.AddGate("const0", Const0, nil, 0)
+	}
+	return c.const0
 }
 
 // IsConst reports whether sig is driven by a constant gate, and its value.

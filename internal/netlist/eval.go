@@ -1,12 +1,20 @@
 package netlist
 
-import "mcretiming/internal/logic"
+import (
+	"fmt"
+
+	"mcretiming/internal/logic"
+	"mcretiming/internal/rterr"
+)
 
 // Eval computes the two-valued output of gate g given its input values,
-// which must be in the same order as g.In. It panics on arity mismatch.
+// which must be in the same order as g.In. Arity mismatches and unknown
+// gate types degrade to false: Circuit.Validate enforces well-formedness
+// upstream, so these paths are unreachable for validated circuits, and a
+// defensive constant beats crashing mid-pass.
 func (g *Gate) Eval(in []bool) bool {
 	if len(in) != len(g.In) {
-		panic("netlist: Eval arity mismatch for gate " + g.Name)
+		return false
 	}
 	switch g.Type {
 	case Buf:
@@ -80,14 +88,15 @@ func (g *Gate) Eval(in []bool) bool {
 	case Const1:
 		return true
 	}
-	panic("netlist: Eval on unknown gate type")
+	return false
 }
 
 // Eval3 computes the three-valued output of gate g given ternary inputs.
 // The result is X only when the known inputs do not determine the output.
+// Arity mismatches and unknown gate types degrade to X (see Eval).
 func (g *Gate) Eval3(in []logic.Bit) logic.Bit {
 	if len(in) != len(g.In) {
-		panic("netlist: Eval3 arity mismatch for gate " + g.Name)
+		return logic.BX
 	}
 	switch g.Type {
 	case Buf:
@@ -139,20 +148,23 @@ func (g *Gate) Eval3(in []logic.Bit) logic.Bit {
 	case Const1:
 		return logic.B1
 	}
-	panic("netlist: Eval3 on unknown gate type")
+	return logic.BX
 }
 
 // TruthTable returns the truth table of gate g as a bitmask over its input
-// patterns (bit i = output for pattern i, input 0 being the LSB). It panics
-// if the gate has more than MaxLutInputs inputs.
-func (g *Gate) TruthTable() uint64 {
+// patterns (bit i = output for pattern i, input 0 being the LSB). Gates
+// wider than MaxLutInputs have no 64-bit table; the error wraps
+// rterr.ErrMalformedInput since such gates reach here only through inputs
+// the LUT-oriented paths cannot represent.
+func (g *Gate) TruthTable() (uint64, error) {
 	n := len(g.In)
 	if n > MaxLutInputs {
-		panic("netlist: TruthTable on gate wider than MaxLutInputs")
+		return 0, fmt.Errorf("netlist: gate %s has %d inputs, truth table supports at most %d: %w",
+			g.Name, n, MaxLutInputs, rterr.ErrMalformedInput)
 	}
 	if g.Type == Lut {
 		mask := uint64(1)<<(1<<n) - 1
-		return g.TT & mask
+		return g.TT & mask, nil
 	}
 	var tt uint64
 	in := make([]bool, n)
@@ -164,5 +176,5 @@ func (g *Gate) TruthTable() uint64 {
 			tt |= 1 << m
 		}
 	}
-	return tt
+	return tt, nil
 }

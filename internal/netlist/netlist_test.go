@@ -241,7 +241,10 @@ func TestEval3ConsistentWithEval(t *testing.T) {
 func TestTruthTableMatchesEval(t *testing.T) {
 	f := func(tt uint16, a, b, c bool) bool {
 		g := &Gate{Type: Lut, In: make([]SignalID, 3), TT: uint64(tt)}
-		want := g.TruthTable()
+		want, err := g.TruthTable()
+		if err != nil {
+			return false
+		}
 		idx := 0
 		for i, v := range []bool{a, b, c} {
 			if v {
@@ -257,12 +260,12 @@ func TestTruthTableMatchesEval(t *testing.T) {
 
 func TestTruthTableOfNamedGates(t *testing.T) {
 	and2 := &Gate{Type: And, In: make([]SignalID, 2)}
-	if tt := and2.TruthTable(); tt != 0b1000 {
-		t.Errorf("and2 TT = %04b, want 1000", tt)
+	if tt, err := and2.TruthTable(); err != nil || tt != 0b1000 {
+		t.Errorf("and2 TT = %04b (err %v), want 1000", tt, err)
 	}
 	nor2 := &Gate{Type: Nor, In: make([]SignalID, 2)}
-	if tt := nor2.TruthTable(); tt != 0b0001 {
-		t.Errorf("nor2 TT = %04b, want 0001", tt)
+	if tt, err := nor2.TruthTable(); err != nil || tt != 0b0001 {
+		t.Errorf("nor2 TT = %04b (err %v), want 0001", tt, err)
 	}
 }
 

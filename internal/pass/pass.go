@@ -12,8 +12,11 @@ package pass
 
 import (
 	"context"
+	"fmt"
+	"runtime/debug"
 	"time"
 
+	"mcretiming/internal/rterr"
 	"mcretiming/internal/trace"
 )
 
@@ -32,6 +35,14 @@ type Context[S any] struct {
 	// Observe, when set, is called after every pass with its name and wall
 	// time — the hook aggregate reports are built from.
 	Observe func(pass string, wall time.Duration)
+
+	trail []string // names of the passes currently on the stack
+}
+
+// Trail returns the names of the passes currently executing, outermost
+// first (combinator wrappers included). The returned slice is a copy.
+func (c *Context[S]) Trail() []string {
+	return append([]string(nil), c.trail...)
 }
 
 // NewContext returns a Context over state. A nil ctx means
@@ -71,17 +82,48 @@ func (p Pipeline[S]) Run(c *Context[S]) error {
 	return nil
 }
 
-func runOne[S any](c *Context[S], ps Pass[S]) error {
+func runOne[S any](c *Context[S], ps Pass[S]) (err error) {
 	c.Sink.BeginSpan(ps.Name)
+	c.trail = append(c.trail, ps.Name)
 	start := time.Now()
-	err := ps.Run(c)
-	wall := time.Since(start)
-	c.Sink.EndSpan()
-	if c.Observe != nil {
-		c.Observe(ps.Name, wall)
-	}
-	return err
+	defer func() {
+		if r := recover(); r != nil {
+			err = &PanicError{
+				Pass:  ps.Name,
+				Trail: append([]string(nil), c.trail...),
+				Value: r,
+				Stack: debug.Stack(),
+			}
+		}
+		c.trail = c.trail[:len(c.trail)-1]
+		c.Sink.EndSpan()
+		if c.Observe != nil {
+			c.Observe(ps.Name, time.Since(start))
+		}
+	}()
+	return ps.Run(c)
 }
+
+// PanicError is the error a crashing pass is converted into at the pipeline
+// boundary: instead of taking the process down, the crash surfaces as a
+// diagnosable error carrying the pass name, the span trail leading to it,
+// the recovered value, and the goroutine stack at the crash site.
+//
+// It wraps rterr.ErrInternal, so errors.Is(err, rterr.ErrInternal) detects
+// engine crashes without depending on this package.
+type PanicError struct {
+	Pass  string   // the pass that crashed
+	Trail []string // pass names on the stack, outermost first
+	Value any      // the recovered value
+	Stack []byte   // debug.Stack() captured at recovery
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("pass %q crashed (trail %v): %v", e.Pass, e.Trail, e.Value)
+}
+
+// Unwrap ties pass crashes into the error taxonomy.
+func (e *PanicError) Unwrap() error { return rterr.ErrInternal }
 
 // Retry wraps body as a single named pass implementing a bounded retry loop:
 // when the body fails with an error for which recover returns true (after

@@ -6,6 +6,7 @@ import (
 	"testing"
 	"time"
 
+	"mcretiming/internal/rterr"
 	"mcretiming/internal/trace"
 )
 
@@ -122,6 +123,60 @@ func TestRetryStopsWhenRecoverDeclines(t *testing.T) {
 	}
 	if attempts != 1 {
 		t.Errorf("attempts = %d, want 1", attempts)
+	}
+}
+
+func TestCrashingPassBecomesPanicError(t *testing.T) {
+	c := NewContext(nil, nil, &state{})
+	p := Pipeline[state]{
+		step("a", nil),
+		{Name: "boom", Run: func(*Context[state]) error {
+			var zero []int
+			_ = zero[3] // out-of-range: crashes the pass
+			return nil
+		}},
+		step("c", nil),
+	}
+	err := p.Run(c)
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v, want *PanicError", err)
+	}
+	if pe.Pass != "boom" {
+		t.Errorf("Pass = %q, want boom", pe.Pass)
+	}
+	if len(pe.Trail) != 1 || pe.Trail[0] != "boom" {
+		t.Errorf("Trail = %v, want [boom]", pe.Trail)
+	}
+	if len(pe.Stack) == 0 {
+		t.Error("no stack captured")
+	}
+	if !errors.Is(err, rterr.ErrInternal) {
+		t.Error("PanicError does not wrap rterr.ErrInternal")
+	}
+	if got := c.State.log; len(got) != 1 || got[0] != "a" {
+		t.Errorf("ran %v, want a only", got)
+	}
+	if len(c.Trail()) != 0 {
+		t.Errorf("trail not unwound: %v", c.Trail())
+	}
+}
+
+func TestCrashInsideRetryCarriesFullTrail(t *testing.T) {
+	body := Pipeline[state]{{Name: "solve", Run: func(*Context[state]) error {
+		var m map[string]int
+		m["w"] = 1 // nil-map write: crashes the pass
+		return nil
+	}}}
+	p := Retry("retry", 8, body, func(*Context[state], error) bool { return false })
+	c := NewContext(nil, nil, &state{})
+	err := (Pipeline[state]{p}).Run(c)
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v, want *PanicError", err)
+	}
+	if len(pe.Trail) != 2 || pe.Trail[0] != "retry" || pe.Trail[1] != "solve" {
+		t.Errorf("Trail = %v, want [retry solve]", pe.Trail)
 	}
 }
 

@@ -6,8 +6,42 @@ import (
 
 	"mcretiming/internal/graph"
 	"mcretiming/internal/mcf"
+	"mcretiming/internal/rterr"
 	"mcretiming/internal/trace"
 )
+
+// Limits bounds the work of one lazy minarea solve. A zero field means the
+// package default; a negative one means unlimited. Exhausting either budget
+// returns an error wrapping rterr.ErrBudgetExceeded, which the caller can
+// treat as "keep the feasible minperiod solution" (the degradation ladder).
+type Limits struct {
+	// MaxRounds caps the cutting-plane rounds. The loop provably terminates
+	// (each round adds at least one violated period cut from a finite set),
+	// but the bound is astronomically loose; this keeps a pathological
+	// instance diagnosable.
+	MaxRounds int
+	// FlowAugmentations caps the augmentation steps of each min-cost-flow
+	// solve inside a round.
+	FlowAugmentations int
+}
+
+// Default budgets for Limits zero fields.
+const (
+	DefaultMaxRounds         = 10000
+	DefaultFlowAugmentations = 1 << 22
+)
+
+// capOf resolves a Limits field: 0 = the default, negative = unlimited
+// (expressed as 0 to the solver loop).
+func capOf(v, def int) int {
+	if v < 0 {
+		return 0
+	}
+	if v == 0 {
+		return def
+	}
+	return v
+}
 
 // MinAreaLazy computes a minimum-register retiming at period phi using
 // lazily generated period cuts (see graph.FeasibleLazy) instead of the
@@ -23,18 +57,29 @@ func MinAreaLazy(g *graph.Graph, phi int64, bounds *graph.Bounds, pool *graph.Cu
 // "minarea-rounds"/"cuts-generated" counters of any trace sink carried by
 // ctx.
 func MinAreaLazyCtx(ctx context.Context, g *graph.Graph, phi int64, bounds *graph.Bounds, pool *graph.CutPool) ([]int32, error) {
+	return MinAreaLazyBudget(ctx, g, phi, bounds, pool, Limits{})
+}
+
+// MinAreaLazyBudget is MinAreaLazyCtx under explicit work limits.
+func MinAreaLazyBudget(ctx context.Context, g *graph.Graph, phi int64, bounds *graph.Bounds, pool *graph.CutPool, lim Limits) ([]int32, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
 	if pool == nil {
 		pool = &graph.CutPool{}
 	}
+	maxRounds := capOf(lim.MaxRounds, DefaultMaxRounds)
 	sink := trace.From(ctx)
 	prob := buildAreaProblem(g, bounds)
+	prob.maxAug = capOf(lim.FlowAugmentations, DefaultFlowAugmentations)
 	cuts := pool.ForPeriod(phi)
 	for round := 0; ; round++ {
 		if err := ctx.Err(); err != nil {
 			return nil, err
+		}
+		if maxRounds > 0 && round >= maxRounds {
+			return nil, fmt.Errorf("retime: minarea round budget %d exhausted at period %d: %w",
+				maxRounds, phi, rterr.ErrBudgetExceeded)
 		}
 		sink.Add("minarea-rounds", 1)
 		r, err := prob.solve(ctx, g, cuts)
@@ -69,9 +114,10 @@ func MinAreaLazyCtx(ctx context.Context, g *graph.Graph, phi int64, bounds *grap
 // vertices plus fanout mirrors), cost coefficients, and the constraints that
 // do not depend on the period.
 type areaProblem struct {
-	nvars int
-	cost  []int64
-	base  []dcon
+	nvars  int
+	cost   []int64
+	base   []dcon
+	maxAug int // augmentation cap per flow solve; 0 = unlimited
 }
 
 type dcon struct {
@@ -138,6 +184,7 @@ func buildAreaProblem(g *graph.Graph, bounds *graph.Bounds) *areaProblem {
 // period constraints and recovers the retiming from residual potentials.
 func (p *areaProblem) solve(ctx context.Context, g *graph.Graph, period []graph.Constraint) ([]int32, error) {
 	s := mcf.New(p.nvars)
+	s.MaxAugmentations = p.maxAug
 	for _, c := range p.base {
 		s.AddArc(c.y, c.x, mcf.Inf, c.b)
 	}

@@ -1,0 +1,51 @@
+// Package rterr defines the error taxonomy of the retiming engine: a small
+// set of sentinel errors that every public entry point wraps its failures
+// in, so callers can dispatch with errors.Is instead of matching strings.
+//
+// The sentinels mirror the failure classes of the paper's flow and its
+// solver stack:
+//
+//   - ErrMalformedInput: a parser or circuit validator rejected the input.
+//   - ErrInfeasiblePeriod: no legal retiming meets the requested period.
+//   - ErrBudgetExceeded: a solver hit its resource budget (BDD nodes, SAT
+//     conflicts, flow augmentations, cutting-plane rounds). Budget errors
+//     are usually absorbed by the degradation ladder — BDD escalates to
+//     SAT, SAT falls back to bound-tightening re-solve, minarea falls back
+//     to the feasible minperiod retiming — and surface only when every rung
+//     is exhausted.
+//   - ErrJustifyConflict: equivalent reset states could not be computed even
+//     after the §5.2 re-retiming loop.
+//   - ErrInvariant: an internal consistency check (internal/check) failed
+//     after a pass; the result cannot be trusted.
+//   - ErrInternal: a pass crashed or reached a state the code considers
+//     impossible; recovered at the pipeline boundary.
+//
+// The package sits below every other internal package and must not import
+// any of them.
+package rterr
+
+import "errors"
+
+// Sentinel errors. Match with errors.Is.
+var (
+	// ErrMalformedInput marks rejected input: parse errors, structural
+	// validation failures, hostile or truncated files.
+	ErrMalformedInput = errors.New("malformed input")
+
+	// ErrInfeasiblePeriod marks a clock period no legal retiming can meet
+	// under the current bounds.
+	ErrInfeasiblePeriod = errors.New("infeasible clock period")
+
+	// ErrBudgetExceeded marks a solver resource budget running out.
+	ErrBudgetExceeded = errors.New("resource budget exceeded")
+
+	// ErrJustifyConflict marks reset-state justification failing for good:
+	// the §5.2 ladder (local → global → tighten bound and re-solve) ran dry.
+	ErrJustifyConflict = errors.New("reset-state justification conflict")
+
+	// ErrInvariant marks a failed internal consistency check.
+	ErrInvariant = errors.New("pass invariant violated")
+
+	// ErrInternal marks a recovered crash or an impossible state.
+	ErrInternal = errors.New("internal error")
+)

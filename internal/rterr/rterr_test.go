@@ -1,0 +1,32 @@
+package rterr
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func TestSentinelsAreDistinct(t *testing.T) {
+	all := []error{
+		ErrMalformedInput, ErrInfeasiblePeriod, ErrBudgetExceeded,
+		ErrJustifyConflict, ErrInvariant, ErrInternal,
+	}
+	for i, a := range all {
+		for j, b := range all {
+			if i != j && errors.Is(a, b) {
+				t.Errorf("sentinel %v matches %v", a, b)
+			}
+		}
+	}
+}
+
+func TestWrappingSurvivesIs(t *testing.T) {
+	err := fmt.Errorf("blif: line 3: %w", ErrMalformedInput)
+	if !errors.Is(err, ErrMalformedInput) {
+		t.Error("wrapped sentinel lost")
+	}
+	deep := fmt.Errorf("core: %w", fmt.Errorf("retime: %w", ErrBudgetExceeded))
+	if !errors.Is(deep, ErrBudgetExceeded) {
+		t.Error("doubly wrapped sentinel lost")
+	}
+}

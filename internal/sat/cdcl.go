@@ -1,6 +1,11 @@
 package sat
 
-import "context"
+import (
+	"context"
+	"fmt"
+
+	"mcretiming/internal/rterr"
+)
 
 // Conflict-driven clause learning: the search core of Solve. The solver
 // keeps an implication graph (a reason clause per assigned variable),
@@ -87,6 +92,7 @@ func (s *Solver) SolveCtx(ctx context.Context, assumptions ...Lit) (bool, error)
 
 	conflictBudget := 128
 	conflicts := 0
+	totalConflicts := 0
 	for {
 		if err := ctx.Err(); err != nil {
 			return false, err
@@ -115,6 +121,10 @@ func (s *Solver) SolveCtx(ctx context.Context, assumptions ...Lit) (bool, error)
 				return false, err
 			}
 			conflicts++
+			totalConflicts++
+			if s.MaxConflicts > 0 && totalConflicts >= s.MaxConflicts {
+				return false, fmt.Errorf("sat: conflict budget %d exhausted: %w", s.MaxConflicts, rterr.ErrBudgetExceeded)
+			}
 			if len(s.trailLim) == 0 {
 				return false, nil
 			}

@@ -61,6 +61,12 @@ type Solver struct {
 	// trailLim marks decision levels in the trail.
 	trailLim []int
 	empty    bool // an empty clause was added: trivially unsat
+
+	// MaxConflicts caps the total number of conflicts a single Solve may
+	// analyze across restarts; 0 means unlimited. When the budget runs out,
+	// SolveCtx returns sat=false with an error wrapping
+	// rterr.ErrBudgetExceeded, which callers must distinguish from UNSAT.
+	MaxConflicts int
 }
 
 // New returns a solver over nvars variables. Literals referencing higher

@@ -65,17 +65,16 @@ func (s *Sim) SetQ(r netlist.RegID, b logic.Bit) { s.q[r] = b }
 func (s *Sim) Q(r netlist.RegID) logic.Bit { return s.q[r] }
 
 // Eval applies the primary-input values (in c.PIs order) and evaluates the
-// combinational logic for the current cycle. It panics if len(pi) does not
-// match the number of primary inputs.
+// combinational logic for the current cycle. A short pi leaves the missing
+// inputs at X; extra values are ignored.
 func (s *Sim) Eval(pi []logic.Bit) {
-	if len(pi) != len(s.C.PIs) {
-		panic(fmt.Sprintf("sim: %d PI values for %d inputs", len(pi), len(s.C.PIs)))
-	}
 	for i := range s.vals {
 		s.vals[i] = logic.BX
 	}
 	for i, p := range s.C.PIs {
-		s.vals[p] = pi[i]
+		if i < len(pi) {
+			s.vals[p] = pi[i]
+		}
 	}
 	s.C.LiveRegs(func(r *netlist.Reg) {
 		s.vals[r.Q] = s.q[r.ID]

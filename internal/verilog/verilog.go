@@ -185,7 +185,10 @@ func gateExpr(g *netlist.Gate, name func(netlist.SignalID) string) (string, erro
 // lutSOP expands a LUT truth table into a sum of products (1'b0 / 1'b1 for
 // constants).
 func lutSOP(g *netlist.Gate, in []string) (string, error) {
-	tt := g.TruthTable()
+	tt, err := g.TruthTable()
+	if err != nil {
+		return "", fmt.Errorf("verilog: %w", err)
+	}
 	n := len(in)
 	full := uint64(1)<<(1<<n) - 1
 	switch tt {

@@ -119,7 +119,11 @@ func TestSanitizeIdent(t *testing.T) {
 // The whole mapped suite circuit must serialize without error and contain
 // one always block per register.
 func TestGeneratedCircuitEmits(t *testing.T) {
-	c, err := xc4000.Map(xc4000.DecomposeSyncResets(gen.Circuit(3)))
+	rtl, err := gen.Circuit(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := xc4000.Map(xc4000.DecomposeSyncResets(rtl))
 	if err != nil {
 		t.Fatal(err)
 	}

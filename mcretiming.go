@@ -48,6 +48,7 @@ import (
 	"mcretiming/internal/logic"
 	"mcretiming/internal/netlist"
 	"mcretiming/internal/opt"
+	"mcretiming/internal/rterr"
 	"mcretiming/internal/trace"
 	"mcretiming/internal/verify"
 	"mcretiming/internal/verilog"
@@ -109,6 +110,11 @@ const NoSignal = netlist.NoSignal
 // Options configures Retime.
 type Options = core.Options
 
+// Budgets caps solver resources (Options.Budgets). A blown budget degrades —
+// BDD justification escalates to SAT, minarea falls back to the feasible
+// minperiod retiming (noted in Report.Degraded) — it never crashes the flow.
+type Budgets = core.Budgets
+
 // Report summarizes a retiming run.
 type Report = core.Report
 
@@ -128,6 +134,26 @@ const (
 
 // PassTime is one pipeline pass's wall-clock time within a Report.
 type PassTime = core.PassTime
+
+// Error taxonomy: every error escaping a public entry point wraps exactly one
+// of these sentinels, so callers classify failures with errors.Is instead of
+// string matching.
+var (
+	// ErrInfeasiblePeriod: no retiming meets the requested clock period.
+	ErrInfeasiblePeriod = rterr.ErrInfeasiblePeriod
+	// ErrBudgetExceeded: a solver resource budget was exhausted and no
+	// degradation path could absorb it.
+	ErrBudgetExceeded = rterr.ErrBudgetExceeded
+	// ErrJustifyConflict: equivalent reset states do not exist for the chosen
+	// register moves, even after the §5.2 re-retiming retries.
+	ErrJustifyConflict = rterr.ErrJustifyConflict
+	// ErrMalformedInput: the input circuit or file is not well-formed.
+	ErrMalformedInput = rterr.ErrMalformedInput
+	// ErrInvariant: an internal consistency check failed after a pass.
+	ErrInvariant = rterr.ErrInvariant
+	// ErrInternal: a programming error, including a recovered pass crash.
+	ErrInternal = rterr.ErrInternal
+)
 
 // Retime applies multiple-class retiming to c and returns the retimed
 // circuit and a report. c is not modified.
