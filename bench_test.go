@@ -5,6 +5,8 @@
 package mcretiming
 
 import (
+	"context"
+	"fmt"
 	"testing"
 
 	"mcretiming/internal/bench"
@@ -58,39 +60,70 @@ func BenchmarkTable1Baseline(b *testing.B) {
 	}
 }
 
-// BenchmarkTable2MCRetime measures multiple-class retiming (minarea at best
-// delay) + remap per circuit, reporting the paper's ratio columns.
-func BenchmarkTable2MCRetime(b *testing.B) {
-	for _, p := range gen.Profiles {
-		b.Run(p.Name, func(b *testing.B) {
-			c, err := p.Build()
-			if err != nil {
-				b.Fatal(err)
-			}
-			mapped := mapBaseline(b, c)
-			before, err := xc4000.Report(mapped)
-			if err != nil {
-				b.Fatal(err)
-			}
+// BenchmarkComputeWD measures the W/D matrix computation on a ≥2000-vertex
+// random profile at engine parallelism 1 and 8. The two variants produce
+// bit-identical matrices; the wall-time gap is the row-sharding speedup,
+// which tracks the cores actually available (GOMAXPROCS).
+func BenchmarkComputeWD(b *testing.B) {
+	m, err := mcgraph.Build(gen.Random(1, 2600))
+	if err != nil {
+		b.Fatal(err)
+	}
+	g := m.ToGraph()
+	if n := g.NumVertices(); n < 2000 {
+		b.Fatalf("profile has %d vertices, want >= 2000", n)
+	}
+	for _, j := range []int{1, 8} {
+		b.Run(fmt.Sprintf("j%d", j), func(b *testing.B) {
+			ctx := context.Background()
+			b.ReportMetric(float64(g.NumVertices()), "vertices")
+			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				retimed, rep, err := core.Retime(mapped, core.Options{Objective: core.MinAreaAtMinPeriod})
-				if err != nil {
+				if _, err := g.ComputeWDPar(ctx, j); err != nil {
 					b.Fatal(err)
 				}
-				remapped, err := xc4000.Map(retimed)
-				if err != nil {
-					b.Fatal(err)
-				}
-				after, err := xc4000.Report(remapped)
-				if err != nil {
-					b.Fatal(err)
-				}
-				b.ReportMetric(float64(rep.NumClasses), "classes")
-				b.ReportMetric(float64(rep.StepsMoved), "steps-moved")
-				b.ReportMetric(float64(after.LUTs+after.Carry)/float64(before.LUTs+before.Carry), "Rlut")
-				b.ReportMetric(float64(after.Delay)/float64(before.Delay), "Rdelay")
 			}
 		})
+	}
+}
+
+// BenchmarkTable2MCRetime measures multiple-class retiming (minarea at best
+// delay) + remap per circuit, reporting the paper's ratio columns. The j1/j8
+// variants run the identical flow at engine parallelism 1 and 8 — same
+// retiming bit for bit, different wall time on multicore hosts.
+func BenchmarkTable2MCRetime(b *testing.B) {
+	for _, p := range gen.Profiles {
+		for _, j := range []int{1, 8} {
+			b.Run(fmt.Sprintf("%s/j%d", p.Name, j), func(b *testing.B) {
+				c, err := p.Build()
+				if err != nil {
+					b.Fatal(err)
+				}
+				mapped := mapBaseline(b, c)
+				before, err := xc4000.Report(mapped)
+				if err != nil {
+					b.Fatal(err)
+				}
+				for i := 0; i < b.N; i++ {
+					retimed, rep, err := core.Retime(mapped, core.Options{Objective: core.MinAreaAtMinPeriod, Parallelism: j})
+					if err != nil {
+						b.Fatal(err)
+					}
+					remapped, err := xc4000.Map(retimed)
+					if err != nil {
+						b.Fatal(err)
+					}
+					after, err := xc4000.Report(remapped)
+					if err != nil {
+						b.Fatal(err)
+					}
+					b.ReportMetric(float64(rep.NumClasses), "classes")
+					b.ReportMetric(float64(rep.StepsMoved), "steps-moved")
+					b.ReportMetric(float64(after.LUTs+after.Carry)/float64(before.LUTs+before.Carry), "Rlut")
+					b.ReportMetric(float64(after.Delay)/float64(before.Delay), "Rdelay")
+				}
+			})
+		}
 	}
 }
 

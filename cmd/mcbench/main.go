@@ -3,10 +3,15 @@
 //
 // Usage:
 //
-//	mcbench [-table 1|2|3] [-fig1] [-passes]
+//	mcbench [-table 1|2|3] [-fig1] [-passes] [-j N] [-json out.json [-pr label]]
 //
 // With no flags it runs everything. -passes adds the per-pass runtime
-// breakdown of the retiming pipeline under Table 2.
+// breakdown of the retiming pipeline under Table 2. -j sets the engine
+// parallelism of the retiming runs (0 = GOMAXPROCS); results are identical
+// at every setting. -json skips the tables and instead writes a
+// machine-readable performance snapshot — W/D and full-suite wall times at
+// worker counts 1, 2 and GOMAXPROCS, with speedups and a determinism check —
+// seeding the cross-PR benchmark trajectory; -pr labels the snapshot.
 //
 // Exit codes: 0 success, 2 period infeasible, 3 malformed input, 4 resource
 // budget exceeded, 1 any other failure.
@@ -17,6 +22,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"mcretiming/internal/bench"
 	"mcretiming/internal/rterr"
@@ -26,8 +32,11 @@ func main() {
 	table := flag.Int("table", 0, "print only this table (1, 2 or 3)")
 	fig1 := flag.Bool("fig1", false, "print only the Fig. 1 comparison")
 	passes := flag.Bool("passes", false, "also print the per-pass retiming runtime breakdown")
+	jobs := flag.Int("j", 0, "engine parallelism for the retiming runs (0 = GOMAXPROCS)")
+	jsonOut := flag.String("json", "", "write a performance snapshot (JSON) here instead of printing tables")
+	prLabel := flag.String("pr", "", "label recorded in the -json snapshot")
 	flag.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: mcbench [-table 1|2|3] [-fig1] [-passes]")
+		fmt.Fprintln(os.Stderr, "usage: mcbench [-table 1|2|3] [-fig1] [-passes] [-j N] [-json out.json [-pr label]]")
 		flag.PrintDefaults()
 		fmt.Fprintln(os.Stderr, `
 exit codes:
@@ -39,6 +48,46 @@ exit codes:
 	}
 	flag.Parse()
 
+	if *jsonOut != "" {
+		counts := []int{1, 2}
+		if gm := runtime.GOMAXPROCS(0); gm != 1 && gm != 2 {
+			counts = append(counts, gm)
+		}
+		p, err := bench.MeasurePerf(counts)
+		if err != nil {
+			fatal(err)
+		}
+		p.PR = *prLabel
+		f, err := os.Create(*jsonOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := p.WriteJSON(f); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		diverged := false
+		for _, pt := range p.WD {
+			fmt.Fprintf(os.Stderr, "wd     j=%-2d %8.2fms  speedup %.2fx  identical=%v\n",
+				pt.Workers, float64(pt.WallNS)/1e6, pt.SpeedupVs1, pt.Identical)
+			diverged = diverged || !pt.Identical
+		}
+		for _, pt := range p.Table2 {
+			fmt.Fprintf(os.Stderr, "table2 j=%-2d %8.2fms  speedup %.2fx  identical=%v\n",
+				pt.Workers, float64(pt.WallNS)/1e6, pt.SpeedupVs1, pt.Identical)
+			diverged = diverged || !pt.Identical
+		}
+		// Timing is advisory, determinism is the contract: a parallel run
+		// whose result differs from serial is a hard failure.
+		if diverged {
+			fatal(fmt.Errorf("parallel result diverged from the serial reference"))
+		}
+		return
+	}
+
 	if *fig1 {
 		r, err := bench.RunFig1()
 		if err != nil {
@@ -47,7 +96,7 @@ exit codes:
 		bench.PrintFig1(os.Stdout, r)
 		return
 	}
-	rows, err := bench.RunSuite()
+	rows, err := bench.RunSuitePar(*jobs)
 	if err != nil {
 		fatal(err)
 	}

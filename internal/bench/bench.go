@@ -62,8 +62,16 @@ func (r *Row) Rdelay2() float64 { return ratio64(r.Delay2, r.Delay1) }
 func ratio(a, b int) float64     { return float64(a) / float64(b) }
 func ratio64(a, b int64) float64 { return float64(a) / float64(b) }
 
-// RunCircuit executes the full experiment pipeline on one generated circuit.
+// RunCircuit executes the full experiment pipeline on one generated circuit
+// at the default engine parallelism (GOMAXPROCS).
 func RunCircuit(c *netlist.Circuit) (*Row, error) {
+	return RunCircuitPar(c, 0)
+}
+
+// RunCircuitPar is RunCircuit with both retiming runs at the given engine
+// parallelism (0 = GOMAXPROCS, 1 = serial). Results are identical at every
+// setting; only the timing columns change.
+func RunCircuitPar(c *netlist.Circuit, workers int) (*Row, error) {
 	row := &Row{Name: c.Name}
 
 	// Table 1 flow: decompose synchronous set/clear (XC4000E registers have
@@ -80,7 +88,7 @@ func RunCircuit(c *netlist.Circuit) (*Row, error) {
 	row.FF1, row.LUT1, row.Delay1 = st1.FFs, st1.LUTs+st1.Carry, st1.Delay
 
 	// Table 2 flow: "retime" on the mapped netlist, then "remap".
-	retimed, rep, err := core.Retime(mapped, core.Options{Objective: core.MinAreaAtMinPeriod})
+	retimed, rep, err := core.Retime(mapped, core.Options{Objective: core.MinAreaAtMinPeriod, Parallelism: workers})
 	if err != nil {
 		return nil, fmt.Errorf("%s: retime: %w", c.Name, err)
 	}
@@ -105,7 +113,7 @@ func RunCircuit(c *netlist.Circuit) (*Row, error) {
 	if err != nil {
 		return nil, fmt.Errorf("%s: %w", c.Name, err)
 	}
-	noenRetimed, _, err := core.Retime(noen, core.Options{Objective: core.MinAreaAtMinPeriod})
+	noenRetimed, _, err := core.Retime(noen, core.Options{Objective: core.MinAreaAtMinPeriod, Parallelism: workers})
 	if err != nil {
 		return nil, fmt.Errorf("%s: no-enable retime: %w", c.Name, err)
 	}
@@ -121,15 +129,21 @@ func RunCircuit(c *netlist.Circuit) (*Row, error) {
 	return row, nil
 }
 
-// RunSuite executes the pipeline over the whole generated suite.
+// RunSuite executes the pipeline over the whole generated suite at the
+// default engine parallelism.
 func RunSuite() ([]*Row, error) {
+	return RunSuitePar(0)
+}
+
+// RunSuitePar is RunSuite at the given engine parallelism (see RunCircuitPar).
+func RunSuitePar(workers int) ([]*Row, error) {
 	suite, err := gen.Suite()
 	if err != nil {
 		return nil, err
 	}
 	var rows []*Row
 	for _, c := range suite {
-		row, err := RunCircuit(c)
+		row, err := RunCircuitPar(c, workers)
 		if err != nil {
 			return nil, err
 		}

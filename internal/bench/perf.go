@@ -1,0 +1,205 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"mcretiming/internal/gen"
+	"mcretiming/internal/graph"
+	"mcretiming/internal/mcgraph"
+)
+
+// PerfSchema identifies the JSON layout of Perf for downstream tooling that
+// tracks the benchmark trajectory across PRs.
+const PerfSchema = "mcretiming-perf/v1"
+
+// PerfPoint is one measurement of a stage at one worker count.
+type PerfPoint struct {
+	Workers    int     `json:"workers"`
+	WallNS     int64   `json:"wall_ns"`
+	SpeedupVs1 float64 `json:"speedup_vs_1"`
+	// Identical reports that the result matched the serial (workers=1) run
+	// bit for bit — the engine's core determinism guarantee.
+	Identical bool `json:"identical_to_serial"`
+}
+
+// Perf is the machine-readable performance snapshot cmd/mcbench -json writes.
+// GoMaxProcs/NumCPU pin down the host: measured speedup tracks the cores
+// actually available, so a 1-core container reports ~1.0 at every worker
+// count while the determinism column must hold everywhere.
+type Perf struct {
+	Schema     string      `json:"schema"`
+	PR         string      `json:"pr,omitempty"`
+	GoMaxProcs int         `json:"gomaxprocs"`
+	NumCPU     int         `json:"numcpu"`
+	WDVertices int         `json:"wd_vertices"`
+	WD         []PerfPoint `json:"wd"`
+	Table2     []PerfPoint `json:"table2"`
+}
+
+// perfGraph builds the ≥2000-vertex random profile the W/D scaling
+// measurement (and BenchmarkComputeWD) runs on.
+func perfGraph() (*graph.Graph, error) {
+	m, err := mcgraph.Build(gen.Random(1, 2600))
+	if err != nil {
+		return nil, fmt.Errorf("bench: perf profile: %w", err)
+	}
+	g := m.ToGraph()
+	if n := g.NumVertices(); n < 2000 {
+		return nil, fmt.Errorf("bench: perf profile has %d vertices, want ≥ 2000", n)
+	}
+	return g, nil
+}
+
+// wdEqual reports bit-identical W/D matrices.
+func wdEqual(a, b *graph.WD) bool {
+	if a.N != b.N || len(a.W) != len(b.W) || len(a.D) != len(b.D) {
+		return false
+	}
+	for i := range a.W {
+		if a.W[i] != b.W[i] {
+			return false
+		}
+	}
+	for i := range a.D {
+		if a.D[i] != b.D[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// rowsEqual compares the result columns (not the timing columns) of two
+// suite runs.
+func rowsEqual(a, b []*Row) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		x, y := a[i], b[i]
+		if x.Name != y.Name || x.Classes != y.Classes ||
+			x.Moved != y.Moved || x.Possible != y.Possible ||
+			x.FF2 != y.FF2 || x.LUT2 != y.LUT2 || x.Delay2 != y.Delay2 ||
+			x.FF3 != y.FF3 || x.LUT3 != y.LUT3 || x.Delay3 != y.Delay3 {
+			return false
+		}
+	}
+	return true
+}
+
+// bestOf runs fn reps times and returns the minimum wall time — single-shot
+// timings are dominated by GC and page-fault noise here (a ComputeWD run on
+// the perf profile allocates ~80 MB of W/D matrices), and the engine is
+// deterministic so every repetition does identical work.
+func bestOf(reps int, fn func() error) (time.Duration, error) {
+	var best time.Duration
+	for i := 0; i < reps; i++ {
+		t0 := time.Now()
+		if err := fn(); err != nil {
+			return 0, err
+		}
+		if d := time.Since(t0); i == 0 || d < best {
+			best = d
+		}
+	}
+	return best, nil
+}
+
+// MeasurePerf runs the two trajectory measurements at each worker count:
+// ComputeWD over the ≥2000-vertex random profile, and the full Table 2 suite
+// through the retiming engine. Workers=1 is measured first as the serial
+// reference; every other point records wall time (best of a few repetitions,
+// after a warm-up), speedup vs the reference, and whether its result matched
+// the reference exactly.
+func MeasurePerf(workerCounts []int) (*Perf, error) {
+	p := &Perf{
+		Schema:     PerfSchema,
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+	}
+	ctx := context.Background()
+
+	g, err := perfGraph()
+	if err != nil {
+		return nil, err
+	}
+	p.WDVertices = g.NumVertices()
+	const wdReps = 3
+	if _, err := g.ComputeWDPar(ctx, 1); err != nil { // warm-up: grow the heap once
+		return nil, err
+	}
+	var refWD *graph.WD
+	wdRef, err := bestOf(wdReps, func() error {
+		wd, err := g.ComputeWDPar(ctx, 1)
+		refWD = wd
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	p.WD = append(p.WD, PerfPoint{Workers: 1, WallNS: wdRef.Nanoseconds(), SpeedupVs1: 1, Identical: true})
+	for _, w := range workerCounts {
+		if w == 1 {
+			continue
+		}
+		var wd *graph.WD
+		wall, err := bestOf(wdReps, func() error {
+			res, err := g.ComputeWDPar(ctx, w)
+			wd = res
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+		p.WD = append(p.WD, PerfPoint{
+			Workers:    w,
+			WallNS:     wall.Nanoseconds(),
+			SpeedupVs1: float64(wdRef) / float64(wall),
+			Identical:  wdEqual(refWD, wd),
+		})
+	}
+
+	const suiteReps = 2
+	var refRows []*Row
+	suiteRef, err := bestOf(suiteReps, func() error {
+		rows, err := RunSuitePar(1)
+		refRows = rows
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	p.Table2 = append(p.Table2, PerfPoint{Workers: 1, WallNS: suiteRef.Nanoseconds(), SpeedupVs1: 1, Identical: true})
+	for _, w := range workerCounts {
+		if w == 1 {
+			continue
+		}
+		var rows []*Row
+		wall, err := bestOf(suiteReps, func() error {
+			res, err := RunSuitePar(w)
+			rows = res
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+		p.Table2 = append(p.Table2, PerfPoint{
+			Workers:    w,
+			WallNS:     wall.Nanoseconds(),
+			SpeedupVs1: float64(suiteRef) / float64(wall),
+			Identical:  rowsEqual(refRows, rows),
+		})
+	}
+	return p, nil
+}
+
+// WriteJSON writes the snapshot as indented JSON.
+func (p *Perf) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(p)
+}

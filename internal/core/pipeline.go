@@ -12,6 +12,7 @@ import (
 	"mcretiming/internal/mcf"
 	"mcretiming/internal/mcgraph"
 	"mcretiming/internal/netlist"
+	"mcretiming/internal/par"
 	"mcretiming/internal/pass"
 	"mcretiming/internal/retime"
 	"mcretiming/internal/rterr"
@@ -43,6 +44,9 @@ type flowState struct {
 	bounds *graph.Bounds
 	pool   *graph.CutPool
 
+	workers int           // resolved Options.Parallelism
+	eng     *graph.Engine // worker pool + SolveCache over s.g (set in runShare)
+
 	r   []int32 // candidate retiming over all solver vertices
 	phi int64   // achieved/target period of r
 
@@ -61,6 +65,9 @@ func RetimeCtx(ctx context.Context, c *netlist.Circuit, opts Options) (*netlist.
 		sink = trace.Nop()
 	}
 	st := &flowState{in: c, opts: opts, rep: &Report{}, pool: &graph.CutPool{}}
+	st.workers = par.Workers(opts.Parallelism)
+	st.rep.Workers = st.workers
+	sink.Add("workers", int64(st.workers))
 	pc := pass.NewContext(trace.With(ctx, sink), sink, st)
 	pc.Observe = st.observe
 	if err := pipeline(opts).Run(pc); err != nil {
@@ -166,10 +173,14 @@ func runBuild(pc *pass.Context[flowState]) error {
 }
 
 // runBounds is step 2: per-vertex retiming bounds by maximal backward and
-// forward retiming.
+// forward retiming — the two sweeps run concurrently under s.workers.
 func runBounds(pc *pass.Context[flowState]) error {
 	s := pc.State
-	s.info = s.m.ComputeBounds()
+	info, err := s.m.ComputeBoundsPar(pc.Ctx(), s.workers)
+	if err != nil {
+		return err
+	}
+	s.info = info
 	s.rep.StepsPossible = s.info.StepsPossible
 	pc.Sink.Add("steps-possible", s.info.StepsPossible)
 	return nil
@@ -183,8 +194,18 @@ func runShare(pc *pass.Context[flowState]) error {
 		s.g = s.m.ToGraph()
 		s.bounds = s.info.GraphBounds(s.m)
 	} else {
-		s.g, s.bounds = s.m.AreaGraph(s.info)
+		g, bounds, err := s.m.AreaGraphPar(pc.Ctx(), s.info, s.workers)
+		if err != nil {
+			return err
+		}
+		s.g, s.bounds = g, bounds
 	}
+	// The solver graph is final from here on: bind the cross-retry cache to
+	// it. The §5.2 retries and the minperiod→minarea two-phase solve reuse
+	// its circuit constraints and share its cut pool instead of recomputing.
+	cache := graph.NewSolveCache(s.g)
+	s.eng = &graph.Engine{Workers: s.workers, Cache: cache}
+	s.pool = cache.Pool(s.g)
 	if s.opts.ForwardOnly {
 		for v := range s.bounds.Max {
 			if s.bounds.Max[v] > 0 || s.bounds.Max[v] == graph.NoUpper {
@@ -205,13 +226,13 @@ func runMinPeriod(pc *pass.Context[flowState]) error {
 	s := pc.State
 	switch s.opts.Objective {
 	case MinPeriod, MinAreaAtMinPeriod:
-		phi, r, err := s.g.MinPeriodLazyCtx(pc.Ctx(), s.bounds, s.pool)
+		phi, r, err := s.g.MinPeriodLazyEng(pc.Ctx(), s.bounds, s.pool, s.eng)
 		if err != nil {
 			return err
 		}
 		s.phi, s.r = phi, r
 	case MinAreaAtPeriod:
-		r, ok, err := s.g.FeasibleLazyCtx(pc.Ctx(), s.opts.TargetPeriod, s.bounds, s.pool)
+		r, ok, err := s.g.FeasibleLazyEng(pc.Ctx(), s.opts.TargetPeriod, s.bounds, s.pool, s.eng)
 		if err != nil {
 			return err
 		}
@@ -240,6 +261,7 @@ func runMinArea(pc *pass.Context[flowState]) error {
 	lim := retime.Limits{
 		MaxRounds:         s.opts.Budgets.MinAreaRounds,
 		FlowAugmentations: s.opts.Budgets.FlowAugmentations,
+		Workers:           s.workers,
 	}
 	r, err := retime.MinAreaLazyBudget(pc.Ctx(), s.g, s.phi, s.bounds, s.pool, lim)
 	if err != nil {
@@ -272,6 +294,7 @@ func runRelocate(pc *pass.Context[flowState]) error {
 		j.Ctx = pc.Ctx()
 		j.BDDNodes = s.opts.Budgets.BDDNodes
 		j.SATConflicts = s.opts.Budgets.SATConflicts
+		j.Parallelism = s.workers
 		if s.opts.SATJustify {
 			j.Engine = justify.EngineSAT
 		}

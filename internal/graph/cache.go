@@ -1,0 +1,111 @@
+package graph
+
+import (
+	"context"
+	"sync"
+)
+
+// SolveCache memoizes the graph-identity-keyed artifacts the solvers
+// otherwise recompute on every call: the W/D matrices, the circuit part of
+// the base difference constraints, and the period-cut pool. The §5.2
+// add-bound-and-re-solve loop and the minperiod→minarea two-phase solve hit
+// the same graph many times — only the bounds change between retries — so
+// everything keyed purely on the graph is computed once and reused.
+//
+// The cache is keyed on graph identity (the *Graph pointer) and assumes the
+// graph is not mutated while cached — true for the retiming flow, which
+// builds its solver graph once per run. Asking a cache about a different
+// graph transparently resets it.
+//
+// All methods are safe for concurrent use.
+type SolveCache struct {
+	mu      sync.Mutex
+	g       *Graph
+	wd      *WD
+	circuit []Constraint // circuit-only constraints (bounds-independent)
+	pool    *CutPool
+}
+
+// NewSolveCache returns an empty cache bound to g.
+func NewSolveCache(g *Graph) *SolveCache {
+	return &SolveCache{g: g, pool: &CutPool{}}
+}
+
+// rebind resets the cache when asked about a graph other than the one it was
+// built for, so a stale cache can never leak artifacts across graphs.
+func (c *SolveCache) rebind(g *Graph) {
+	if c.g != g {
+		c.g = g
+		c.wd = nil
+		c.circuit = nil
+		c.pool = &CutPool{}
+	}
+}
+
+// Pool returns the cache's period-cut pool for g, shared by every
+// feasibility probe, minperiod search, and minarea solve over the graph.
+func (c *SolveCache) Pool(g *Graph) *CutPool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.rebind(g)
+	return c.pool
+}
+
+// WD returns the memoized W/D matrices of g, computing them (with workers
+// parallelism, see ComputeWDPar) on the first call.
+func (c *SolveCache) WD(ctx context.Context, g *Graph, workers int) (*WD, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.rebind(g)
+	if c.wd == nil {
+		wd, err := g.ComputeWDPar(ctx, workers)
+		if err != nil {
+			return nil, err
+		}
+		c.wd = wd
+	}
+	return c.wd, nil
+}
+
+// Base returns the base constraints of g under bounds, reusing the memoized
+// circuit part (one constraint per edge — invariant across §5.2 retries) and
+// appending the bounds part fresh, since retries tighten bounds. The
+// returned slice is newly allocated past the cached prefix; callers may
+// append to it.
+func (c *SolveCache) Base(g *Graph, bounds *Bounds) []Constraint {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.rebind(g)
+	if c.circuit == nil {
+		c.circuit = g.circuitConstraints()
+	}
+	return appendBoundsConstraints(c.circuit[:len(c.circuit):len(c.circuit)], g, bounds)
+}
+
+// circuitConstraints returns the bounds-independent constraint prefix: one
+// r(u) − r(v) ≤ w(e) constraint per edge.
+func (g *Graph) circuitConstraints() []Constraint {
+	cons := make([]Constraint, 0, len(g.Edges))
+	for _, e := range g.Edges {
+		cons = append(cons, Constraint{Y: e.To, X: e.From, B: e.W})
+	}
+	return cons
+}
+
+// appendBoundsConstraints appends the §5.1 class-bound constraints of bounds
+// (nil = none) to cons and returns the result.
+func appendBoundsConstraints(cons []Constraint, g *Graph, bounds *Bounds) []Constraint {
+	if bounds == nil {
+		return cons
+	}
+	n := g.NumVertices()
+	for v := 0; v < n; v++ {
+		if lo := bounds.Min[v]; lo != NoLower {
+			cons = append(cons, Constraint{Y: VertexID(v), X: Host, B: -lo})
+		}
+		if hi := bounds.Max[v]; hi != NoUpper {
+			cons = append(cons, Constraint{Y: Host, X: VertexID(v), B: hi})
+		}
+	}
+	return cons
+}

@@ -1,0 +1,34 @@
+package graph
+
+import "mcretiming/internal/par"
+
+// Engine bundles the execution knobs of the basic-retiming solvers: the
+// worker count for the parallel stages (W/D rows, period-cut trace-back) and
+// the cross-solve SolveCache. The zero value and a nil *Engine both mean
+// "serial, uncached", which is exactly the historical behavior — every
+// solver entry point without an Eng suffix delegates with a nil engine.
+type Engine struct {
+	// Workers is the parallelism degree: ≤ 0 means GOMAXPROCS, 1 forces the
+	// serial path.
+	Workers int
+	// Cache, when non-nil, memoizes WD matrices, circuit constraints, and
+	// the period-cut pool across solver calls on the same graph.
+	Cache *SolveCache
+}
+
+// workerCount resolves the engine's parallelism (nil-safe).
+func (e *Engine) workerCount() int {
+	if e == nil {
+		return 1
+	}
+	return par.Workers(e.Workers)
+}
+
+// base returns the base constraints of g under bounds through the engine's
+// cache when present (nil-safe).
+func (e *Engine) base(g *Graph, bounds *Bounds) []Constraint {
+	if e != nil && e.Cache != nil {
+		return e.Cache.Base(g, bounds)
+	}
+	return g.BaseConstraints(bounds)
+}

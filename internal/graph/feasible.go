@@ -54,6 +54,29 @@ type Constraint struct {
 	B    int32
 }
 
+// spfaScratch holds the working buffers of one SPFA difference-constraint
+// solve plus the constraint slice of the dense feasibility path, so the
+// minperiod binary search reuses one set of allocations across all probes.
+type spfaScratch struct {
+	cons    []Constraint // base prefix (probe-invariant) + period constraints
+	nbase   int          // length of the base prefix inside cons
+	adj     [][]int32
+	dist    []int64
+	inQueue []bool
+	relaxed []int32
+	queue   []VertexID
+}
+
+func newSPFAScratch(n int) *spfaScratch {
+	return &spfaScratch{
+		adj:     make([][]int32, n),
+		dist:    make([]int64, n),
+		inQueue: make([]bool, n),
+		relaxed: make([]int32, n),
+		queue:   make([]VertexID, 0, n),
+	}
+}
+
 // Feasible decides whether clock period phi is feasible under the circuit
 // constraints, the period constraints derived from wd, and the class bounds
 // (nil = none). On success it returns a legal retiming with r[Host] = 0.
@@ -62,24 +85,17 @@ type Constraint struct {
 // difference constraints against the host vertex, and the whole system is
 // solved as shortest paths (SPFA) from a virtual source.
 func (g *Graph) Feasible(phi int64, wd *WD, bounds *Bounds) ([]int32, bool) {
+	sc := newSPFAScratch(g.NumVertices())
+	sc.cons = g.BaseConstraints(bounds)
+	sc.nbase = len(sc.cons)
+	return g.feasibleWith(phi, wd, sc)
+}
+
+// feasibleWith is Feasible over a prepared scratch whose cons prefix
+// (sc.nbase constraints) already holds the circuit and bounds constraints.
+func (g *Graph) feasibleWith(phi int64, wd *WD, sc *spfaScratch) ([]int32, bool) {
 	n := g.NumVertices()
-	cons := make([]Constraint, 0, len(g.Edges)+2*n)
-	for _, e := range g.Edges {
-		// circuit: r(u) − r(v) ≤ w(e)
-		cons = append(cons, Constraint{Y: e.To, X: e.From, B: e.W})
-	}
-	if bounds != nil {
-		for v := 0; v < n; v++ {
-			if lo := bounds.Min[v]; lo != NoLower {
-				// r(h) − r(v) ≤ −min
-				cons = append(cons, Constraint{Y: VertexID(v), X: Host, B: -lo})
-			}
-			if hi := bounds.Max[v]; hi != NoUpper {
-				// r(v) − r(h) ≤ max
-				cons = append(cons, Constraint{Y: Host, X: VertexID(v), B: hi})
-			}
-		}
-	}
+	cons := sc.cons[:sc.nbase]
 	for u := 0; u < n; u++ {
 		row := u * n
 		for v := 0; v < n; v++ {
@@ -89,7 +105,8 @@ func (g *Graph) Feasible(phi int64, wd *WD, bounds *Bounds) ([]int32, bool) {
 			}
 		}
 	}
-	r, ok := SolveDifference(n, cons)
+	sc.cons = cons[:sc.nbase] // keep the grown backing array for the next probe
+	r, ok := solveDifferenceBuf(n, cons, sc)
 	if !ok {
 		return nil, false
 	}
@@ -106,17 +123,30 @@ func (g *Graph) Feasible(phi int64, wd *WD, bounds *Bounds) ([]int32, bool) {
 // to every variable with weight 0. It returns a solution, or ok=false if
 // the system is infeasible (negative cycle).
 func SolveDifference(n int, cons []Constraint) ([]int32, bool) {
-	adj := make([][]int32, n) // constraint indices by source y
+	return solveDifferenceBuf(n, cons, newSPFAScratch(n))
+}
+
+// solveDifferenceBuf is SolveDifference inside sc's buffers. Only the
+// returned solution slice is freshly allocated (it escapes to the caller).
+func solveDifferenceBuf(n int, cons []Constraint, sc *spfaScratch) ([]int32, bool) {
+	adj := sc.adj // constraint indices by source y
+	for i := 0; i < n; i++ {
+		adj[i] = adj[i][:0]
+	}
 	for i, c := range cons {
 		adj[c.Y] = append(adj[c.Y], int32(i))
 	}
-	dist := make([]int64, n) // virtual source: all start at 0
-	inQueue := make([]bool, n)
-	relaxed := make([]int32, n)
-	queue := make([]VertexID, 0, n)
+	dist := sc.dist // virtual source: all start at 0
+	inQueue := sc.inQueue
+	relaxed := sc.relaxed
+	for i := 0; i < n; i++ {
+		dist[i] = 0
+		inQueue[i] = true
+		relaxed[i] = 0
+	}
+	queue := sc.queue[:0]
 	for v := 0; v < n; v++ {
 		queue = append(queue, VertexID(v))
-		inQueue[v] = true
 	}
 	for len(queue) > 0 {
 		y := queue[0]
@@ -146,7 +176,9 @@ func SolveDifference(n int, cons []Constraint) ([]int32, bool) {
 
 // MinPeriod finds the minimum feasible clock period under the given bounds
 // by binary search over the candidate D values, and returns it with a legal
-// retiming achieving it. wd may be nil (computed internally).
+// retiming achieving it. wd may be nil (computed internally). The SPFA
+// buffers and the probe-invariant circuit+bounds constraints are built once
+// and shared by every probe of the search.
 func (g *Graph) MinPeriod(wd *WD, bounds *Bounds) (int64, []int32, error) {
 	if wd == nil {
 		wd = g.ComputeWD()
@@ -155,18 +187,21 @@ func (g *Graph) MinPeriod(wd *WD, bounds *Bounds) (int64, []int32, error) {
 	if len(cands) == 0 {
 		return 0, make([]int32, g.NumVertices()), nil
 	}
+	sc := newSPFAScratch(g.NumVertices())
+	sc.cons = g.BaseConstraints(bounds)
+	sc.nbase = len(sc.cons)
 	// The largest candidate is always feasible (no period constraints).
 	lo, hi := 0, len(cands)-1
 	bestPhi := cands[hi]
 	var bestR []int32
-	if r, ok := g.Feasible(bestPhi, wd, bounds); ok {
+	if r, ok := g.feasibleWith(bestPhi, wd, sc); ok {
 		bestR = r
 	} else {
 		return 0, nil, fmt.Errorf("graph: even period %d infeasible (conflicting bounds?): %w", bestPhi, rterr.ErrInfeasiblePeriod)
 	}
 	for lo < hi {
 		mid := (lo + hi) / 2
-		if r, ok := g.Feasible(cands[mid], wd, bounds); ok {
+		if r, ok := g.feasibleWith(cands[mid], wd, sc); ok {
 			bestPhi, bestR = cands[mid], r
 			hi = mid
 		} else {

@@ -121,20 +121,33 @@ func (g *Graph) Period(r []int32) (int64, error) {
 // v (inclusive of d(v)), under retiming r (nil = identity).
 func (g *Graph) arrivals(r []int32) ([]int64, error) {
 	n := g.NumVertices()
+	delta := make([]int64, n)
+	if err := g.arrivalsBuf(r, delta, make([]int32, n), make([]VertexID, 0, n)); err != nil {
+		return nil, err
+	}
+	return delta, nil
+}
+
+// arrivalsBuf is arrivals writing into caller-owned buffers (all of length
+// resp. capacity NumVertices), so hot loops — FEAS's |V|−1 iterations, the
+// minperiod binary search — reuse one allocation per buffer across calls.
+func (g *Graph) arrivalsBuf(r []int32, delta []int64, indeg []int32, queue []VertexID) error {
+	n := g.NumVertices()
 	// Kahn's algorithm over the zero-weight subgraph.
-	indeg := make([]int32, n)
+	for v := 0; v < n; v++ {
+		indeg[v] = 0
+	}
 	for _, e := range g.Edges {
 		if g.weight(e, r) == 0 {
 			indeg[e.To]++
 		}
 	}
-	queue := make([]VertexID, 0, n)
+	queue = queue[:0]
 	for v := 0; v < n; v++ {
 		if indeg[v] == 0 {
 			queue = append(queue, VertexID(v))
 		}
 	}
-	delta := make([]int64, n)
 	for v := range delta {
 		delta[v] = g.Delay[v]
 	}
@@ -158,9 +171,9 @@ func (g *Graph) arrivals(r []int32) ([]int64, error) {
 		}
 	}
 	if done != n {
-		return nil, fmt.Errorf("graph: zero-weight cycle (combinational loop) under retiming")
+		return fmt.Errorf("graph: zero-weight cycle (combinational loop) under retiming")
 	}
-	return delta, nil
+	return nil
 }
 
 func (g *Graph) weight(e Edge, r []int32) int32 {

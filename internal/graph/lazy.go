@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 
+	"mcretiming/internal/par"
 	"mcretiming/internal/rterr"
 	"mcretiming/internal/trace"
 )
@@ -59,28 +60,22 @@ func (p *CutPool) Len() int { return len(p.cuts) }
 // BaseConstraints returns the circuit constraints plus the class-bound
 // constraints of §5.1 (bounds may be nil).
 func (g *Graph) BaseConstraints(bounds *Bounds) []Constraint {
-	n := g.NumVertices()
-	cons := make([]Constraint, 0, len(g.Edges)+2*n)
-	for _, e := range g.Edges {
-		cons = append(cons, Constraint{Y: e.To, X: e.From, B: e.W})
-	}
-	if bounds != nil {
-		for v := 0; v < n; v++ {
-			if lo := bounds.Min[v]; lo != NoLower {
-				cons = append(cons, Constraint{Y: VertexID(v), X: Host, B: -lo})
-			}
-			if hi := bounds.Max[v]; hi != NoUpper {
-				cons = append(cons, Constraint{Y: Host, X: VertexID(v), B: hi})
-			}
-		}
-	}
-	return cons
+	return appendBoundsConstraints(g.circuitConstraints(), g, bounds)
 }
 
 // PeriodCuts computes the period cuts violated by retiming r at period phi:
 // one per vertex whose zero-weight arrival exceeds phi, traced back along
 // the critical parent chain. An empty result means r achieves phi.
 func (g *Graph) PeriodCuts(r []int32, phi int64) ([]Cut, error) {
+	return g.PeriodCutsPar(context.Background(), r, phi, 1)
+}
+
+// PeriodCutsPar is PeriodCuts with the per-vertex critical-path trace-back
+// sharded over a worker pool: the arrival propagation stays serial (it is a
+// topological sweep), but once delta/parent are fixed each violating vertex's
+// walk to its path root is independent. Cut i belongs to the i-th violating
+// vertex in vertex order, so the result is identical for every worker count.
+func (g *Graph) PeriodCutsPar(ctx context.Context, r []int32, phi int64, workers int) ([]Cut, error) {
 	n := g.NumVertices()
 	indeg := make([]int32, n)
 	for _, e := range g.Edges {
@@ -123,21 +118,30 @@ func (g *Graph) PeriodCuts(r []int32, phi int64) ([]Cut, error) {
 	if done != n {
 		return nil, fmt.Errorf("graph: zero-weight cycle under candidate retiming")
 	}
-	var cuts []Cut
+	var violating []VertexID
 	for v := 0; v < n; v++ {
-		if delta[v] <= phi {
-			continue
+		if delta[v] > phi {
+			violating = append(violating, VertexID(v))
 		}
-		u := VertexID(v)
+	}
+	if len(violating) == 0 {
+		return nil, nil
+	}
+	cuts := make([]Cut, len(violating))
+	if _, err := par.Run(ctx, workers, len(violating), func(_, i int) error {
+		v := violating[i]
+		u := v
 		for parent[u] != -1 {
 			u = parent[u]
 		}
 		// Path weight w(p) = r(u) − r(v) because every edge is tight.
-		b := r[u] - r[VertexID(v)] - 1
-		cuts = append(cuts, Cut{
-			Constraint: Constraint{Y: VertexID(v), X: u, B: b},
+		cuts[i] = Cut{
+			Constraint: Constraint{Y: v, X: u, B: r[u] - r[v] - 1},
 			PathDelay:  delta[v],
-		})
+		}
+		return nil
+	}); err != nil {
+		return nil, err
 	}
 	return cuts, nil
 }
@@ -155,10 +159,19 @@ func (g *Graph) FeasibleLazy(phi int64, bounds *Bounds, pool *CutPool) ([]int32,
 // along the way bump the "cuts-generated" counter of any trace sink carried
 // by ctx.
 func (g *Graph) FeasibleLazyCtx(ctx context.Context, phi int64, bounds *Bounds, pool *CutPool) ([]int32, bool, error) {
+	return g.FeasibleLazyEng(ctx, phi, bounds, pool, nil)
+}
+
+// FeasibleLazyEng is FeasibleLazyCtx under an Engine: the base constraints
+// come from the engine's cache (circuit part reused across probes and §5.2
+// retries) and the cut trace-back runs on the engine's worker pool. A nil
+// engine means serial and uncached.
+func (g *Graph) FeasibleLazyEng(ctx context.Context, phi int64, bounds *Bounds, pool *CutPool, eng *Engine) ([]int32, bool, error) {
 	sink := trace.From(ctx)
 	n := g.NumVertices()
-	base := g.BaseConstraints(bounds)
+	base := eng.base(g, bounds)
 	cons := append(base, pool.ForPeriod(phi)...)
+	workers := eng.workerCount()
 	for {
 		if err := ctx.Err(); err != nil {
 			return nil, false, err
@@ -171,8 +184,11 @@ func (g *Graph) FeasibleLazyCtx(ctx context.Context, phi int64, bounds *Bounds, 
 		for i := range r {
 			r[i] -= h
 		}
-		cuts, err := g.PeriodCuts(r, phi)
+		cuts, err := g.PeriodCutsPar(ctx, r, phi, workers)
 		if err != nil {
+			if ctx.Err() != nil {
+				return nil, false, err
+			}
 			return nil, false, nil
 		}
 		if len(cuts) == 0 {
@@ -198,6 +214,14 @@ func (g *Graph) MinPeriodLazy(bounds *Bounds, pool *CutPool) (int64, []int32, er
 // returned. Probes bump the "minperiod-probes" counter of any trace sink
 // carried by ctx.
 func (g *Graph) MinPeriodLazyCtx(ctx context.Context, bounds *Bounds, pool *CutPool) (int64, []int32, error) {
+	return g.MinPeriodLazyEng(ctx, bounds, pool, nil)
+}
+
+// MinPeriodLazyEng is MinPeriodLazyCtx under an Engine (see FeasibleLazyEng):
+// every feasibility probe of the binary search shares the engine's cached
+// circuit constraints and worker pool. A nil engine means serial and
+// uncached.
+func (g *Graph) MinPeriodLazyEng(ctx context.Context, bounds *Bounds, pool *CutPool, eng *Engine) (int64, []int32, error) {
 	if pool == nil {
 		pool = &CutPool{}
 	}
@@ -214,7 +238,7 @@ func (g *Graph) MinPeriodLazyCtx(ctx context.Context, bounds *Bounds, pool *CutP
 	}
 	bestPhi, bestR := hi, make([]int32, g.NumVertices())
 	sink.Add("minperiod-probes", 1)
-	r, ok, err := g.FeasibleLazyCtx(ctx, hi, bounds, pool)
+	r, ok, err := g.FeasibleLazyEng(ctx, hi, bounds, pool, eng)
 	if err != nil {
 		return 0, nil, err
 	}
@@ -233,7 +257,7 @@ func (g *Graph) MinPeriodLazyCtx(ctx context.Context, bounds *Bounds, pool *CutP
 		}
 		mid := lo + (bestPhi-lo)/2
 		sink.Add("minperiod-probes", 1)
-		r, ok, err := g.FeasibleLazyCtx(ctx, mid, bounds, pool)
+		r, ok, err := g.FeasibleLazyEng(ctx, mid, bounds, pool, eng)
 		if err != nil {
 			return 0, nil, err
 		}

@@ -1,7 +1,6 @@
 package graph
 
 import (
-	"container/heap"
 	"math"
 	"slices"
 )
@@ -29,69 +28,139 @@ type pqItem struct {
 	v    VertexID
 	dist int32
 }
+
+// pq is a binary min-heap of pqItems ordered by dist. It is a plain slice
+// with open-coded sift-up/sift-down: unlike container/heap there is no
+// interface boxing, so pushes during edge relaxation reuse the backing array
+// instead of allocating a fresh any per item.
 type pq []pqItem
 
-func (p pq) Len() int           { return len(p) }
-func (p pq) Less(i, j int) bool { return p[i].dist < p[j].dist }
-func (p pq) Swap(i, j int)      { p[i], p[j] = p[j], p[i] }
-func (p *pq) Push(x any)        { *p = append(*p, x.(pqItem)) }
-func (p *pq) Pop() any          { old := *p; n := len(old); it := old[n-1]; *p = old[:n-1]; return it }
+func (p *pq) push(it pqItem) {
+	h := append(*p, it)
+	// Sift up.
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if h[parent].dist <= h[i].dist {
+			break
+		}
+		h[parent], h[i] = h[i], h[parent]
+		i = parent
+	}
+	*p = h
+}
+
+func (p *pq) pop() pqItem {
+	h := *p
+	top := h[0]
+	last := len(h) - 1
+	h[0] = h[last]
+	h = h[:last]
+	// Sift down.
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < last && h[l].dist < h[small].dist {
+			small = l
+		}
+		if r < last && h[r].dist < h[small].dist {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		h[i], h[small] = h[small], h[i]
+		i = small
+	}
+	*p = h
+	return top
+}
+
+// wdScratch is one worker's reusable buffers for per-source W/D rows. Every
+// parallel worker owns one, so row computations share nothing but the
+// read-only graph and the output matrix (whose rows are disjoint per source).
+type wdScratch struct {
+	dist  []int32
+	delay []int64
+	inDag []bool
+	indeg []int32
+	queue []VertexID
+	heap  pq
+}
+
+func (g *Graph) newWDScratch() *wdScratch {
+	n := g.NumVertices()
+	return &wdScratch{
+		dist:  make([]int32, n),
+		delay: make([]int64, n),
+		inDag: make([]bool, n),
+		indeg: make([]int32, n),
+		queue: make([]VertexID, 0, n),
+		heap:  make(pq, 0, n),
+	}
+}
+
+// wdRow fills row u of m: a Dijkstra on the register weights from u followed
+// by a longest-delay DP over the tight-edge DAG, all in sc's buffers.
+func (g *Graph) wdRow(u VertexID, m *WD, sc *wdScratch) {
+	n := m.N
+	dist := sc.dist
+	for i := range dist {
+		dist[i] = InfW
+	}
+	dist[u] = 0
+	h := sc.heap[:0]
+	h.push(pqItem{u, 0})
+	for len(h) > 0 {
+		it := h.pop()
+		if it.dist > dist[it.v] {
+			continue
+		}
+		for _, ei := range g.out[it.v] {
+			e := g.Edges[ei]
+			if nd := it.dist + e.W; nd < dist[e.To] {
+				dist[e.To] = nd
+				h.push(pqItem{e.To, nd})
+			}
+		}
+	}
+	sc.heap = h
+
+	g.tightLongest(u, sc)
+
+	row := int(u) * n
+	copy(m.W[row:row+n], dist)
+	copy(m.D[row:row+n], sc.delay)
+}
 
 // ComputeWD computes the W and D matrices by, per source, a Dijkstra on the
 // register weights followed by a longest-delay DP over the tight-edge DAG
 // (the subgraph of edges on some minimum-weight path). Zero-weight cycles
 // cannot be tight in a well-formed graph — every combinational cycle is
 // rejected by Period — so the DP order is well-defined.
+//
+// This is the serial engine; ComputeWDPar shards the sources over a worker
+// pool and produces the identical matrices.
 func (g *Graph) ComputeWD() *WD {
 	n := g.NumVertices()
 	m := &WD{N: n, W: make([]int32, n*n), D: make([]int64, n*n)}
-	dist := make([]int32, n)
-	delay := make([]int64, n)
-	inDag := make([]bool, n)
-
+	sc := g.newWDScratch()
 	for u := 0; u < n; u++ {
-		// Dijkstra on register counts from u.
-		for i := range dist {
-			dist[i] = InfW
-		}
-		dist[u] = 0
-		h := pq{{VertexID(u), 0}}
-		for len(h) > 0 {
-			it := heap.Pop(&h).(pqItem)
-			if it.dist > dist[it.v] {
-				continue
-			}
-			for _, ei := range g.out[it.v] {
-				e := g.Edges[ei]
-				if nd := it.dist + e.W; nd < dist[e.To] {
-					dist[e.To] = nd
-					heap.Push(&h, pqItem{e.To, nd})
-				}
-			}
-		}
-
-		// Longest delay over tight edges, in order of increasing dist
-		// (ties resolved by propagation-to-fixpoint within a weight class:
-		// zero-weight tight edges form a DAG, so a reverse-post-order pass
-		// suffices; we use repeated relaxation over a Kahn queue instead).
-		g.tightLongest(VertexID(u), dist, delay, inDag)
-
-		row := u * n
-		for v := 0; v < n; v++ {
-			m.W[row+v] = dist[v]
-			m.D[row+v] = delay[v]
-		}
+		g.wdRow(VertexID(u), m, sc)
 	}
 	return m
 }
 
-// tightLongest fills delay[v] with the maximum path delay among paths u⇝v of
-// weight dist[v]. Vertices unreachable keep delay 0 (their W entry is InfW).
-func (g *Graph) tightLongest(u VertexID, dist []int32, delay []int64, inDag []bool) {
+// tightLongest fills sc.delay[v] with the maximum path delay among paths u⇝v
+// of weight sc.dist[v]. Vertices unreachable keep delay 0 (their W entry is
+// InfW).
+func (g *Graph) tightLongest(u VertexID, sc *wdScratch) {
 	n := g.NumVertices()
-	indeg := make([]int32, n)
+	dist, delay, inDag, indeg := sc.dist, sc.delay, sc.inDag, sc.indeg
 	for i := 0; i < n; i++ {
 		delay[i] = 0
+		indeg[i] = 0
 		inDag[i] = dist[i] != InfW
 	}
 	tight := func(e Edge) bool {
@@ -102,7 +171,7 @@ func (g *Graph) tightLongest(u VertexID, dist []int32, delay []int64, inDag []bo
 			indeg[e.To]++
 		}
 	}
-	queue := make([]VertexID, 0, n)
+	queue := sc.queue[:0]
 	for v := 0; v < n; v++ {
 		if inDag[v] && indeg[v] == 0 {
 			queue = append(queue, VertexID(v))
@@ -126,6 +195,7 @@ func (g *Graph) tightLongest(u VertexID, dist []int32, delay []int64, inDag []bo
 			}
 		}
 	}
+	sc.queue = queue
 }
 
 // Candidates returns the sorted distinct D values — the candidate clock

@@ -51,7 +51,12 @@ const (
 type component struct {
 	recs    []*record
 	serials map[int64]bool
-	inComp  map[*record]bool
+	// order lists the serials in discovery order. Solver variable numbering
+	// must come from here, not from ranging the map: map iteration order
+	// would make the BDD variable order — and with it the minimum
+	// assignment's don't-care choices — vary run to run.
+	order  []int64
+	inComp map[*record]bool
 }
 
 // closure collects the ancestor component of seed: for every consumed
@@ -68,6 +73,7 @@ func (j *Justifier) closure(seed *record) *component {
 			return
 		}
 		comp.serials[s] = true
+		comp.order = append(comp.order, s)
 		if r := j.creator[s]; r != nil && !comp.inComp[r] {
 			comp.inComp[r] = true
 			comp.recs = append(comp.recs, r)
@@ -118,7 +124,7 @@ func (j *Justifier) globalJustify(seed *record, dom domain, active bool) bool {
 
 	fixed := func(s int64) bool { return j.origin[s] || j.pinned(comp, s) }
 	var hasQuantified bool
-	for s := range comp.serials {
+	for _, s := range comp.order {
 		if fixed(s) && !j.value(s, dom).Known() {
 			hasQuantified = true
 			break
@@ -146,7 +152,7 @@ func (j *Justifier) globalJustify(seed *record, dom domain, active bool) bool {
 
 	// Write the solution back to every free serial; fixed serials keep
 	// their identities.
-	for s := range comp.serials {
+	for _, s := range comp.order {
 		if fixed(s) {
 			continue
 		}
@@ -181,16 +187,14 @@ func (j *Justifier) solveBDD(comp *component, dom domain, fixed func(int64) bool
 	fail := func() (map[int64]logic.Bit, bool, bool) {
 		return nil, false, errors.Is(m.Err(), rterr.ErrBudgetExceeded)
 	}
-	varOf := make(map[int64]int, len(comp.serials))
-	order := make([]int64, 0, len(comp.serials))
-	for s := range comp.serials {
-		varOf[s] = len(order)
-		order = append(order, s)
+	varOf := make(map[int64]int, len(comp.order))
+	for i, s := range comp.order {
+		varOf[s] = i
 	}
 
 	system := bdd.True
 	var quantify []int64
-	for s := range comp.serials {
+	for _, s := range comp.order {
 		if !fixed(s) {
 			continue
 		}
@@ -232,9 +236,9 @@ func (j *Justifier) solveBDD(comp *component, dom domain, fixed func(int64) bool
 	if !ok {
 		return fail()
 	}
-	assign = make(map[int64]logic.Bit, len(comp.serials))
-	for s, v := range varOf {
-		if b, ok := raw[v]; ok {
+	assign = make(map[int64]logic.Bit, len(comp.order))
+	for _, s := range comp.order {
+		if b, ok := raw[varOf[s]]; ok {
 			assign[s] = logic.FromBool(b)
 		} else {
 			assign[s] = logic.BX
@@ -247,14 +251,14 @@ func (j *Justifier) solveBDD(comp *component, dom domain, fixed func(int64) bool
 // ("if the inputs match pattern m, the output is tt[m]"), unit clauses for
 // fixed values, then a model with greedy don't-care lifting.
 func (j *Justifier) solveSAT(comp *component, dom domain, fixed func(int64) bool) (map[int64]logic.Bit, bool) {
-	varOf := make(map[int64]int, len(comp.serials))
-	for s := range comp.serials {
-		varOf[s] = len(varOf)
+	varOf := make(map[int64]int, len(comp.order))
+	for i, ser := range comp.order {
+		varOf[ser] = i
 	}
 	s := sat.New(len(varOf))
 	s.MaxConflicts = budgetOf(j.SATConflicts, DefaultSATConflicts)
 	keep := make(map[int]bool)
-	for ser := range comp.serials {
+	for _, ser := range comp.order {
 		if !fixed(ser) {
 			continue
 		}
@@ -289,9 +293,9 @@ func (j *Justifier) solveSAT(comp *component, dom domain, fixed func(int64) bool
 		return nil, false // a context error is surfaced by Backward
 	}
 	model := s.Lift(keep)
-	assign := make(map[int64]logic.Bit, len(comp.serials))
-	for ser, v := range varOf {
-		if b, ok := model[v]; ok {
+	assign := make(map[int64]logic.Bit, len(comp.order))
+	for _, ser := range comp.order {
+		if b, ok := model[varOf[ser]]; ok {
 			assign[ser] = logic.FromBool(b)
 		} else {
 			assign[ser] = logic.BX

@@ -1,7 +1,11 @@
 package mcgraph
 
 import (
+	"context"
+
 	"mcretiming/internal/graph"
+	"mcretiming/internal/par"
+	"mcretiming/internal/trace"
 )
 
 // BoundsInfo carries the mc-retiming bounds of §4.1 plus the bookkeeping the
@@ -29,13 +33,45 @@ type BoundsInfo struct {
 // necessarily cycled, so it is excluded from further moves and reported
 // unbounded in that direction — "arbitrarily many layers available".
 func (m *MC) ComputeBounds() *BoundsInfo {
+	info, err := m.ComputeBoundsPar(context.Background(), 1)
+	if err != nil {
+		// Unreachable: the background context never cancels and the sweeps
+		// have no other failure mode.
+		panic(err)
+	}
+	return info
+}
+
+// ComputeBoundsPar is ComputeBounds with the two independent maximal-retiming
+// sweeps — backward and forward, each on its own clone — running concurrently
+// when workers ≥ 2. The sweeps share nothing, so the result is identical to
+// the serial computation. The context is polled inside each sweep's worklist
+// loop; on cancellation its error is returned.
+func (m *MC) ComputeBoundsPar(ctx context.Context, workers int) (*BoundsInfo, error) {
 	n := len(m.Verts)
 	cap32 := int32(m.NumRegInstances()) + 1
 
-	bw := m.Clone()
-	rmax, ubMax := bw.maximalRetime(true, cap32)
-	fw := m.Clone()
-	rmin, ubMin := fw.maximalRetime(false, cap32)
+	bw, fw := m.Clone(), m.Clone()
+	var rmax, rmin []int32
+	var ubMax, ubMin []bool
+	w := par.Workers(workers)
+	err := par.Do(ctx, w,
+		func() (err error) {
+			rmax, ubMax, err = bw.maximalRetime(ctx, true, cap32)
+			return err
+		},
+		func() (err error) {
+			rmin, ubMin, err = fw.maximalRetime(ctx, false, cap32)
+			return err
+		},
+	)
+	if err != nil {
+		return nil, err
+	}
+	if w > 2 {
+		w = 2 // only two sweeps to run
+	}
+	trace.From(ctx).Add("bounds-workers", int64(w))
 
 	info := &BoundsInfo{
 		RMax: rmax, RMin: make([]int32, n),
@@ -46,13 +82,14 @@ func (m *MC) ComputeBounds() *BoundsInfo {
 		info.RMin[v] = -rmin[v]
 		info.StepsPossible += int64(rmax[v]) + int64(rmin[v])
 	}
-	return info
+	return info, nil
 }
 
 // maximalRetime applies valid mc-steps in the given direction until no more
 // apply, capping per-vertex counts, and returns the per-vertex move counts
-// and unbounded flags. The receiver is mutated.
-func (m *MC) maximalRetime(backward bool, cap32 int32) (counts []int32, unbounded []bool) {
+// and unbounded flags. The receiver is mutated. The context is polled every
+// few thousand worklist pops; cancellation aborts with its error.
+func (m *MC) maximalRetime(ctx context.Context, backward bool, cap32 int32) (counts []int32, unbounded []bool, err error) {
 	n := len(m.Verts)
 	counts = make([]int32, n)
 	unbounded = make([]bool, n)
@@ -78,7 +115,13 @@ func (m *MC) maximalRetime(backward bool, cap32 int32) (counts []int32, unbounde
 	for v := 1; v < n; v++ {
 		push(graph.VertexID(v))
 	}
+	pops := 0
 	for len(queue) > 0 {
+		if pops++; pops&0xfff == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, nil, err
+			}
+		}
 		v := queue[len(queue)-1]
 		queue = queue[:len(queue)-1]
 		inQ[v] = false
@@ -104,7 +147,7 @@ func (m *MC) maximalRetime(backward bool, cap32 int32) (counts []int32, unbounde
 			push(m.Edges[ei].To)
 		}
 	}
-	return counts, unbounded
+	return counts, unbounded, nil
 }
 
 // GraphBounds converts the mc bounds into basic-retiming bounds over the

@@ -1,7 +1,11 @@
 package mcgraph
 
 import (
+	"context"
+
 	"mcretiming/internal/graph"
+	"mcretiming/internal/par"
+	"mcretiming/internal/trace"
 )
 
 // AreaGraph builds the basic retiming graph fed to the minperiod/minarea
@@ -26,6 +30,22 @@ import (
 // values at indices ≥ len(m.Verts) are solver-internal and dropped when the
 // solution is applied to the mc-graph.
 func (m *MC) AreaGraph(info *BoundsInfo) (*graph.Graph, *graph.Bounds) {
+	g, gb, err := m.AreaGraphPar(context.Background(), info, 1)
+	if err != nil {
+		// Unreachable: the background context never cancels and the layer
+		// analysis has no other failure mode.
+		panic(err)
+	}
+	return g, gb
+}
+
+// AreaGraphPar is AreaGraph with the per-multi-fanout-vertex layer-cut
+// analysis fanned out over a worker pool. Each vertex's analysis reads only
+// the backward-retimed clone and writes τ only for that vertex's own fanout
+// edges, so the writes are disjoint and the result is identical to the
+// serial sweep. Edge emission stays serial to keep vertex/edge numbering
+// deterministic.
+func (m *MC) AreaGraphPar(ctx context.Context, info *BoundsInfo, workers int) (*graph.Graph, *graph.Bounds, error) {
 	g := graph.New()
 	for i := 1; i < len(m.Verts); i++ {
 		g.AddVertex(m.Verts[i].Name, m.Verts[i].Delay)
@@ -41,55 +61,23 @@ func (m *MC) AreaGraph(info *BoundsInfo) (*graph.Graph, *graph.Bounds) {
 
 	// Decide cuts per multi-fanout vertex on the backward-retimed graph.
 	// tau[edge index] = number of non-sharable registers (right of cut).
-	tau := make(map[int32]int32)
-	bw := info.Backward
+	tau := make([]int32, len(m.Edges))
+	var fanout []int32
 	for v := range m.Verts {
-		outs := m.out[v]
-		if len(outs) < 2 {
-			continue
-		}
-		selected := append([]int32(nil), outs...)
-		for layer := 0; ; layer++ {
-			// Group the selected edges that still have a register at this
-			// layer by the register's class.
-			groups := make(map[ClassID][]int32)
-			for _, ei := range selected {
-				regs := bw.Edges[ei].Regs
-				if layer < len(regs) {
-					groups[regs[layer].Class] = append(groups[regs[layer].Class], ei)
-				}
-			}
-			if len(groups) == 0 {
-				break // all remaining edges fully consumed: fully sharable
-			}
-			var best ClassID
-			bestN := -1
-			for cls, es := range groups {
-				if len(es) > bestN || (len(es) == bestN && cls < best) {
-					best, bestN = cls, len(es)
-				}
-			}
-			// Everything selected but outside the winning group is cut at
-			// this layer; its remaining registers are non-sharable.
-			for _, ei := range selected {
-				regs := bw.Edges[ei].Regs
-				if layer >= len(regs) {
-					continue // consumed: sharable in full
-				}
-				inBest := false
-				for _, bi := range groups[best] {
-					if bi == ei {
-						inBest = true
-						break
-					}
-				}
-				if !inBest {
-					tau[ei] = int32(len(regs) - layer)
-				}
-			}
-			selected = groups[best]
+		if len(m.out[v]) >= 2 {
+			fanout = append(fanout, int32(v))
 		}
 	}
+	st, err := par.Run(ctx, par.Workers(workers), len(fanout), func(_, item int) error {
+		m.cutFanout(info.Backward, fanout[item], tau)
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	sink := trace.From(ctx)
+	sink.Add("share-workers", int64(st.Workers))
+	sink.Add("share-fanout-vertices", int64(len(fanout)))
 
 	// Emit edges, splitting those with a cut. Host-adjacent edges are
 	// omitted (see ToGraph).
@@ -99,7 +87,7 @@ func (m *MC) AreaGraph(info *BoundsInfo) (*graph.Graph, *graph.Bounds) {
 			continue
 		}
 		w := int32(len(e.Regs))
-		t := tau[int32(i)]
+		t := tau[i]
 		if t == 0 || e.NoMove {
 			g.AddEdge(e.From, e.To, w)
 			continue
@@ -127,5 +115,53 @@ func (m *MC) AreaGraph(info *BoundsInfo) (*graph.Graph, *graph.Bounds) {
 		g.AddEdge(e.From, s, w-stub)
 		g.AddEdge(s, vi, stub)
 	}
-	return g, gb
+	return g, gb, nil
+}
+
+// cutFanout runs the §4.2 layer-cut analysis for one multi-fanout vertex v
+// on the backward-retimed clone bw, writing the non-sharable register counts
+// into tau at v's own out-edge indices only (safe for concurrent callers on
+// distinct vertices).
+func (m *MC) cutFanout(bw *MC, v int32, tau []int32) {
+	selected := append([]int32(nil), m.out[v]...)
+	for layer := 0; ; layer++ {
+		// Group the selected edges that still have a register at this
+		// layer by the register's class.
+		groups := make(map[ClassID][]int32)
+		for _, ei := range selected {
+			regs := bw.Edges[ei].Regs
+			if layer < len(regs) {
+				groups[regs[layer].Class] = append(groups[regs[layer].Class], ei)
+			}
+		}
+		if len(groups) == 0 {
+			return // all remaining edges fully consumed: fully sharable
+		}
+		var best ClassID
+		bestN := -1
+		for cls, es := range groups {
+			if len(es) > bestN || (len(es) == bestN && cls < best) {
+				best, bestN = cls, len(es)
+			}
+		}
+		// Everything selected but outside the winning group is cut at
+		// this layer; its remaining registers are non-sharable.
+		for _, ei := range selected {
+			regs := bw.Edges[ei].Regs
+			if layer >= len(regs) {
+				continue // consumed: sharable in full
+			}
+			inBest := false
+			for _, bi := range groups[best] {
+				if bi == ei {
+					inBest = true
+					break
+				}
+			}
+			if !inBest {
+				tau[ei] = int32(len(regs) - layer)
+			}
+		}
+		selected = groups[best]
+	}
 }

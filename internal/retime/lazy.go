@@ -23,6 +23,10 @@ type Limits struct {
 	// FlowAugmentations caps the augmentation steps of each min-cost-flow
 	// solve inside a round.
 	FlowAugmentations int
+	// Workers is the parallelism degree of the period-cut trace-back inside
+	// each round. Unlike the budget fields, 0 keeps the historical serial
+	// path; pass a resolved worker count to fan the trace-back out.
+	Workers int
 }
 
 // Default budgets for Limits zero fields.
@@ -69,6 +73,10 @@ func MinAreaLazyBudget(ctx context.Context, g *graph.Graph, phi int64, bounds *g
 		pool = &graph.CutPool{}
 	}
 	maxRounds := capOf(lim.MaxRounds, DefaultMaxRounds)
+	workers := lim.Workers
+	if workers <= 0 {
+		workers = 1
+	}
 	sink := trace.From(ctx)
 	prob := buildAreaProblem(g, bounds)
 	prob.maxAug = capOf(lim.FlowAugmentations, DefaultFlowAugmentations)
@@ -89,7 +97,7 @@ func MinAreaLazyBudget(ctx context.Context, g *graph.Graph, phi int64, bounds *g
 			}
 			return nil, fmt.Errorf("retime: minarea (lazy, round %d) at period %d: %w", round, phi, err)
 		}
-		newCuts, err := g.PeriodCuts(r, phi)
+		newCuts, err := g.PeriodCutsPar(ctx, r, phi, workers)
 		if err != nil {
 			return nil, err
 		}
