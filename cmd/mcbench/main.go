@@ -13,18 +13,25 @@
 // worker counts 1, 2 and GOMAXPROCS, with speedups and a determinism check —
 // seeding the cross-PR benchmark trajectory; -pr labels the snapshot.
 //
+// SIGINT/SIGTERM cancel the run context so a Ctrl-C during the suite exits
+// with code 4 instead of being killed mid-table.
+//
 // Exit codes: 0 success, 2 period infeasible, 3 malformed input, 4 resource
-// budget exceeded, 1 any other failure.
+// budget, timeout, or interrupt, 1 any other failure.
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
+	"syscall"
 
 	"mcretiming/internal/bench"
+	"mcretiming/internal/failpoint"
 	"mcretiming/internal/rterr"
 )
 
@@ -43,17 +50,22 @@ exit codes:
   0  success
   2  period infeasible
   3  malformed input circuit
-  4  resource budget exceeded
+  4  resource budget, timeout, or interrupt
   1  any other failure`)
 	}
 	flag.Parse()
+	if err := failpoint.ArmFromEnv(); err != nil {
+		fatal(err)
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	if *jsonOut != "" {
 		counts := []int{1, 2}
 		if gm := runtime.GOMAXPROCS(0); gm != 1 && gm != 2 {
 			counts = append(counts, gm)
 		}
-		p, err := bench.MeasurePerf(counts)
+		p, err := bench.MeasurePerfCtx(ctx, counts)
 		if err != nil {
 			fatal(err)
 		}
@@ -89,14 +101,14 @@ exit codes:
 	}
 
 	if *fig1 {
-		r, err := bench.RunFig1()
+		r, err := bench.RunFig1Ctx(ctx)
 		if err != nil {
 			fatal(err)
 		}
 		bench.PrintFig1(os.Stdout, r)
 		return
 	}
-	rows, err := bench.RunSuitePar(*jobs)
+	rows, err := bench.RunSuiteCtx(ctx, *jobs)
 	if err != nil {
 		fatal(err)
 	}
@@ -124,7 +136,7 @@ exit codes:
 		fmt.Println()
 		bench.PrintTable3(os.Stdout, rows)
 		fmt.Println()
-		if r, err := bench.RunFig1(); err == nil {
+		if r, err := bench.RunFig1Ctx(ctx); err == nil {
 			bench.PrintFig1(os.Stdout, r)
 		} else {
 			fatal(err)
@@ -141,7 +153,9 @@ func fatal(err error) {
 		os.Exit(2)
 	case errors.Is(err, rterr.ErrMalformedInput):
 		os.Exit(3)
-	case errors.Is(err, rterr.ErrBudgetExceeded):
+	case errors.Is(err, rterr.ErrBudgetExceeded),
+		errors.Is(err, context.DeadlineExceeded),
+		errors.Is(err, context.Canceled):
 		os.Exit(4)
 	}
 	os.Exit(1)

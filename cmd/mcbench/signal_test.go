@@ -1,0 +1,56 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// TestInterruptExitsWithCode4 is the mcbench half of the CLI signal
+// contract: SIGINT during a suite run (pinned mid-solve by a failpoint
+// sleep) cancels the run context and exits with the documented code 4.
+func TestInterruptExitsWithCode4(t *testing.T) {
+	if runtime.GOOS == "windows" {
+		t.Skip("POSIX signals")
+	}
+	if testing.Short() {
+		t.Skip("builds the binary")
+	}
+
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "mcbench")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+
+	cmd := exec.Command(bin, "-table", "2")
+	cmd.Env = append(os.Environ(), "MCRETIMING_FAILPOINTS=graph.minperiod=sleep(30s)")
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	start := time.Now()
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(500 * time.Millisecond)
+	if err := cmd.Process.Signal(os.Interrupt); err != nil {
+		t.Fatal(err)
+	}
+
+	err := cmd.Wait()
+	elapsed := time.Since(start)
+	ee, ok := err.(*exec.ExitError)
+	if !ok {
+		t.Fatalf("wait: %v (stderr: %s)", err, stderr.String())
+	}
+	if code := ee.ExitCode(); code != 4 {
+		t.Fatalf("exit code = %d, want 4 (stderr: %s)", code, stderr.String())
+	}
+	if elapsed > 10*time.Second {
+		t.Fatalf("took %v to exit after SIGINT", elapsed)
+	}
+}

@@ -15,8 +15,13 @@
 // the run fails, so partial runs can be inspected. -timeout cancels the
 // retiming after the given duration (e.g. 30s, 2m).
 //
+// SIGINT/SIGTERM cancel the run context: a Ctrl-C during a long minarea flow
+// aborts the solve cleanly (no partial netlist is written) and exits with
+// code 4. The MCRETIMING_FAILPOINTS environment variable arms fault-injection
+// sites (internal/failpoint) for chaos testing.
+//
 // Exit codes: 0 success, 2 target period infeasible, 3 malformed input,
-// 4 resource budget or timeout exceeded, 1 any other failure.
+// 4 resource budget, timeout, or interrupt, 1 any other failure.
 package main
 
 import (
@@ -25,9 +30,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"mcretiming"
+	"mcretiming/internal/failpoint"
 )
 
 // exitCode classifies err by the package's error taxonomy so scripts can
@@ -40,7 +48,8 @@ func exitCode(err error) int {
 	case errors.Is(err, mcretiming.ErrMalformedInput):
 		return 3
 	case errors.Is(err, mcretiming.ErrBudgetExceeded),
-		errors.Is(err, context.DeadlineExceeded):
+		errors.Is(err, context.DeadlineExceeded),
+		errors.Is(err, context.Canceled):
 		return 4
 	}
 	return 1
@@ -74,13 +83,16 @@ exit codes:
   0  success
   2  target period infeasible
   3  malformed input circuit or file
-  4  resource budget or timeout exceeded
+  4  resource budget, timeout, or interrupt
   1  any other failure`)
 	}
 	flag.Parse()
 	if flag.NArg() != 1 {
 		flag.Usage()
 		os.Exit(1)
+	}
+	if err := failpoint.ArmFromEnv(); err != nil {
+		fatal(err)
 	}
 
 	f, err := os.Open(flag.Arg(0))
@@ -119,7 +131,10 @@ exit codes:
 		rec = mcretiming.NewTraceRecorder()
 		opts.Trace = rec
 	}
-	ctx := context.Background()
+	// SIGINT/SIGTERM cancel the run context so the solve aborts cleanly and
+	// the process exits with the documented code instead of dying mid-write.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 	if *timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
@@ -137,6 +152,9 @@ exit codes:
 	if err != nil {
 		if errors.Is(err, context.DeadlineExceeded) {
 			fatal(fmt.Errorf("timed out after %v: %w", *timeout, err))
+		}
+		if errors.Is(err, context.Canceled) {
+			fatal(fmt.Errorf("interrupted: %w", err))
 		}
 		fatal(err)
 	}

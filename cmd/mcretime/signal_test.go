@@ -1,0 +1,94 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"testing"
+	"time"
+
+	"mcretiming/internal/blif"
+	"mcretiming/internal/netlist"
+)
+
+// TestInterruptExitsWithCode4 proves the CLI's signal contract end to end:
+// a run pinned mid-solve by a failpoint sleep receives SIGINT, cancels the
+// run context, and exits promptly with the documented code 4 — it is not
+// killed mid-write by the default signal disposition.
+func TestInterruptExitsWithCode4(t *testing.T) {
+	if runtime.GOOS == "windows" {
+		t.Skip("POSIX signals")
+	}
+	if testing.Short() {
+		t.Skip("builds the binary")
+	}
+
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "mcretime")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+
+	in := filepath.Join(dir, "in.blif")
+	if err := os.WriteFile(in, []byte(signalTestBLIF(t)), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	cmd := exec.Command(bin, "-o", filepath.Join(dir, "out.mcn"), in)
+	cmd.Env = append(os.Environ(), "MCRETIMING_FAILPOINTS=graph.minperiod=sleep(30s)")
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	start := time.Now()
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	// Let the process arm its handler and reach the failpoint sleep.
+	time.Sleep(500 * time.Millisecond)
+	if err := cmd.Process.Signal(os.Interrupt); err != nil {
+		t.Fatal(err)
+	}
+
+	err := cmd.Wait()
+	elapsed := time.Since(start)
+	ee, ok := err.(*exec.ExitError)
+	if !ok {
+		t.Fatalf("wait: %v (stderr: %s)", err, stderr.String())
+	}
+	if code := ee.ExitCode(); code != 4 {
+		t.Fatalf("exit code = %d, want 4 (stderr: %s)", code, stderr.String())
+	}
+	// Prompt exit: the 30s failpoint sleep must be cut short by cancellation.
+	if elapsed > 10*time.Second {
+		t.Fatalf("took %v to exit after SIGINT", elapsed)
+	}
+	// A cancelled run must not leave a partial netlist behind.
+	if _, err := os.Stat(filepath.Join(dir, "out.mcn")); !os.IsNotExist(err) {
+		t.Errorf("interrupted run wrote an output file (stat err: %v)", err)
+	}
+}
+
+// signalTestBLIF renders the quickstart circuit as BLIF.
+func signalTestBLIF(t *testing.T) string {
+	t.Helper()
+	c := netlist.New("quickstart")
+	a := c.AddInput("a")
+	b := c.AddInput("b")
+	en := c.AddInput("en")
+	clk := c.AddInput("clk")
+	r1, q1 := c.AddReg("r1", a, clk)
+	r2, q2 := c.AddReg("r2", b, clk)
+	c.Regs[r1].EN = en
+	c.Regs[r2].EN = en
+	_, x := c.AddGate("g1", netlist.And, []netlist.SignalID{q1, q2}, 1_000)
+	_, y := c.AddGate("g2", netlist.Xor, []netlist.SignalID{x, a}, 4_000)
+	_, z := c.AddGate("g3", netlist.Nor, []netlist.SignalID{y, b}, 4_000)
+	c.MarkOutput(z)
+	var buf bytes.Buffer
+	if err := blif.Write(&buf, c); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}

@@ -1,0 +1,106 @@
+// Command mcretimed is the long-running retiming service: an HTTP JSON API
+// over the mc-retiming engine with admission control, per-job deadlines,
+// panic isolation, budget-relaxing retries, and graceful shutdown with
+// checkpoint/resume (see internal/server).
+//
+// Usage:
+//
+//	mcretimed [-addr :8472] [-queue 64] [-workers 2] [-deadline 60s]
+//	          [-checkpoint DIR] [-retries 2] [-failpoints] [-j N]
+//
+// API:
+//
+//	POST /v1/retime        submit a job: {"blif": "...", "options": {...}}
+//	                       ?wait=1 blocks until the job finishes
+//	GET  /v1/jobs/{id}     job status/result; failed jobs answer with their
+//	                       mapped HTTP status (see README "Serving")
+//	GET  /healthz          process liveness
+//	GET  /readyz           503 while starting up or draining
+//	GET  /metrics          plaintext counters
+//
+// SIGINT/SIGTERM triggers graceful shutdown: in-flight jobs finish, queued
+// jobs checkpoint to -checkpoint (when set) and are resumed by the next
+// start. The MCRETIMING_FAILPOINTS environment variable arms process-wide
+// fault-injection sites (internal/failpoint); the -failpoints flag
+// additionally accepts per-job "failpoints" specs over the API for chaos
+// testing.
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"mcretiming/internal/failpoint"
+	"mcretiming/internal/server"
+
+	"flag"
+)
+
+func main() {
+	addr := flag.String("addr", ":8472", "listen address")
+	queue := flag.Int("queue", 64, "bounded job-queue size (admission control)")
+	workers := flag.Int("workers", 2, "concurrent job executors")
+	deadline := flag.Duration("deadline", 60*time.Second, "default per-job deadline (negative = none)")
+	checkpoint := flag.String("checkpoint", "", "directory for queued-job checkpoints on shutdown (empty = disabled)")
+	retries := flag.Int("retries", 2, "budget-relaxing retries per job on ErrBudgetExceeded")
+	allowFP := flag.Bool("failpoints", false, "accept per-job failpoint specs over the API (chaos testing only)")
+	drainTimeout := flag.Duration("drain", 30*time.Second, "how long shutdown waits for in-flight jobs")
+	flag.Parse()
+
+	if err := failpoint.ArmFromEnv(); err != nil {
+		fatal(err)
+	}
+	if *checkpoint != "" {
+		if err := os.MkdirAll(*checkpoint, 0o755); err != nil {
+			fatal(err)
+		}
+	}
+
+	srv := server.New(server.Config{
+		QueueSize:        *queue,
+		Workers:          *workers,
+		DefaultTimeout:   *deadline,
+		CheckpointDir:    *checkpoint,
+		RetryMax:         *retries,
+		EnableFailpoints: *allowFP,
+	})
+	if err := srv.Start(); err != nil {
+		fatal(err)
+	}
+
+	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "mcretimed: listening on %s\n", *addr)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-errc:
+		fatal(err)
+	case <-ctx.Done():
+	}
+	fmt.Fprintln(os.Stderr, "mcretimed: draining...")
+
+	dctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	// Stop accepting connections first, then drain the job queue.
+	if err := hs.Shutdown(dctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		fmt.Fprintln(os.Stderr, "mcretimed: http shutdown:", err)
+	}
+	if err := srv.Shutdown(dctx); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintln(os.Stderr, "mcretimed: bye")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mcretimed:", err)
+	os.Exit(1)
+}

@@ -10,6 +10,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"time"
@@ -72,6 +73,13 @@ func RunCircuit(c *netlist.Circuit) (*Row, error) {
 // parallelism (0 = GOMAXPROCS, 1 = serial). Results are identical at every
 // setting; only the timing columns change.
 func RunCircuitPar(c *netlist.Circuit, workers int) (*Row, error) {
+	return RunCircuitCtx(context.Background(), c, workers)
+}
+
+// RunCircuitCtx is RunCircuitPar under a cancellable context: cancellation
+// (e.g. Ctrl-C in cmd/mcbench) aborts the retiming runs mid-solve and
+// surfaces as a context error instead of the process dying mid-write.
+func RunCircuitCtx(ctx context.Context, c *netlist.Circuit, workers int) (*Row, error) {
 	row := &Row{Name: c.Name}
 
 	// Table 1 flow: decompose synchronous set/clear (XC4000E registers have
@@ -88,7 +96,7 @@ func RunCircuitPar(c *netlist.Circuit, workers int) (*Row, error) {
 	row.FF1, row.LUT1, row.Delay1 = st1.FFs, st1.LUTs+st1.Carry, st1.Delay
 
 	// Table 2 flow: "retime" on the mapped netlist, then "remap".
-	retimed, rep, err := core.Retime(mapped, core.Options{Objective: core.MinAreaAtMinPeriod, Parallelism: workers})
+	retimed, rep, err := core.RetimeCtx(ctx, mapped, core.Options{Objective: core.MinAreaAtMinPeriod, Parallelism: workers})
 	if err != nil {
 		return nil, fmt.Errorf("%s: retime: %w", c.Name, err)
 	}
@@ -113,7 +121,7 @@ func RunCircuitPar(c *netlist.Circuit, workers int) (*Row, error) {
 	if err != nil {
 		return nil, fmt.Errorf("%s: %w", c.Name, err)
 	}
-	noenRetimed, _, err := core.Retime(noen, core.Options{Objective: core.MinAreaAtMinPeriod, Parallelism: workers})
+	noenRetimed, _, err := core.RetimeCtx(ctx, noen, core.Options{Objective: core.MinAreaAtMinPeriod, Parallelism: workers})
 	if err != nil {
 		return nil, fmt.Errorf("%s: no-enable retime: %w", c.Name, err)
 	}
@@ -137,13 +145,22 @@ func RunSuite() ([]*Row, error) {
 
 // RunSuitePar is RunSuite at the given engine parallelism (see RunCircuitPar).
 func RunSuitePar(workers int) ([]*Row, error) {
+	return RunSuiteCtx(context.Background(), workers)
+}
+
+// RunSuiteCtx is RunSuitePar under a cancellable context; cancellation stops
+// between (and inside) circuits with a context error.
+func RunSuiteCtx(ctx context.Context, workers int) ([]*Row, error) {
 	suite, err := gen.Suite()
 	if err != nil {
 		return nil, err
 	}
 	var rows []*Row
 	for _, c := range suite {
-		row, err := RunCircuitPar(c, workers)
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		row, err := RunCircuitCtx(ctx, c, workers)
 		if err != nil {
 			return nil, err
 		}

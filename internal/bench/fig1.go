@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -47,6 +48,11 @@ func fig1Circuit() *netlist.Circuit {
 
 // RunFig1 runs both flows of Fig. 1 and returns the comparison.
 func RunFig1() (*Fig1Result, error) {
+	return RunFig1Ctx(context.Background())
+}
+
+// RunFig1Ctx is RunFig1 under a cancellable context.
+func RunFig1Ctx(ctx context.Context) (*Fig1Result, error) {
 	res := &Fig1Result{}
 
 	orig := fig1Circuit()
@@ -57,7 +63,7 @@ func RunFig1() (*Fig1Result, error) {
 	res.OrigFF, res.OrigLUT, res.OrigDelay = st.FFs, st.LUTs+countSimple(orig), st.Delay
 
 	// Multiple-class flow: retime the generic registers directly.
-	mc, _, err := core.Retime(orig, core.Options{Objective: core.MinAreaAtMinPeriod})
+	mc, _, err := core.RetimeCtx(ctx, orig, core.Options{Objective: core.MinAreaAtMinPeriod})
 	if err != nil {
 		return nil, err
 	}
@@ -73,7 +79,7 @@ func RunFig1() (*Fig1Result, error) {
 
 	// Conventional flow: decompose the enables, then basic retiming.
 	base := xc4000.DecomposeEnables(fig1Circuit())
-	baseRetimed, _, err := core.Retime(base, core.Options{Objective: core.MinAreaAtMinPeriod})
+	baseRetimed, _, err := core.RetimeCtx(ctx, base, core.Options{Objective: core.MinAreaAtMinPeriod})
 	if err != nil {
 		return nil, err
 	}

@@ -116,12 +116,17 @@ func bestOf(reps int, fn func() error) (time.Duration, error) {
 // after a warm-up), speedup vs the reference, and whether its result matched
 // the reference exactly.
 func MeasurePerf(workerCounts []int) (*Perf, error) {
+	return MeasurePerfCtx(context.Background(), workerCounts)
+}
+
+// MeasurePerfCtx is MeasurePerf under a cancellable context; cancellation
+// aborts the measurement between (and inside) repetitions.
+func MeasurePerfCtx(ctx context.Context, workerCounts []int) (*Perf, error) {
 	p := &Perf{
 		Schema:     PerfSchema,
 		GoMaxProcs: runtime.GOMAXPROCS(0),
 		NumCPU:     runtime.NumCPU(),
 	}
-	ctx := context.Background()
 
 	g, err := perfGraph()
 	if err != nil {
@@ -166,7 +171,7 @@ func MeasurePerf(workerCounts []int) (*Perf, error) {
 	const suiteReps = 2
 	var refRows []*Row
 	suiteRef, err := bestOf(suiteReps, func() error {
-		rows, err := RunSuitePar(1)
+		rows, err := RunSuiteCtx(ctx, 1)
 		refRows = rows
 		return err
 	})
@@ -180,7 +185,7 @@ func MeasurePerf(workerCounts []int) (*Perf, error) {
 		}
 		var rows []*Row
 		wall, err := bestOf(suiteReps, func() error {
-			res, err := RunSuitePar(w)
+			res, err := RunSuiteCtx(ctx, w)
 			rows = res
 			return err
 		})

@@ -23,8 +23,10 @@ import (
 	"context"
 	"time"
 
+	"mcretiming/internal/justify"
 	"mcretiming/internal/mcgraph"
 	"mcretiming/internal/netlist"
+	"mcretiming/internal/retime"
 	"mcretiming/internal/trace"
 )
 
@@ -112,6 +114,29 @@ type Budgets struct {
 	SATConflicts      int // conflicts per SAT solve (justify.DefaultSATConflicts)
 	FlowAugmentations int // augmentations per min-cost-flow solve (retime.DefaultFlowAugmentations)
 	MinAreaRounds     int // cutting-plane rounds per minarea solve (retime.DefaultMaxRounds)
+}
+
+// Relaxed returns the next rung of the budget ladder for a retry after
+// ErrBudgetExceeded: every budget doubles (a zero field is resolved to its
+// solver default first), and an already-unlimited (negative) budget stays
+// unlimited. The retiming service's backoff retry climbs this ladder until
+// the job succeeds or its retry budget runs out.
+func (b Budgets) Relaxed() Budgets {
+	relax := func(v, def int) int {
+		switch {
+		case v < 0:
+			return v
+		case v == 0:
+			return 2 * def
+		}
+		return 2 * v
+	}
+	return Budgets{
+		BDDNodes:          relax(b.BDDNodes, justify.DefaultBDDNodes),
+		SATConflicts:      relax(b.SATConflicts, justify.DefaultSATConflicts),
+		FlowAugmentations: relax(b.FlowAugmentations, retime.DefaultFlowAugmentations),
+		MinAreaRounds:     relax(b.MinAreaRounds, retime.DefaultMaxRounds),
+	}
 }
 
 // checkInvariantsDefault force-enables the invariant checker regardless of

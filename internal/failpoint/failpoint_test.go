@@ -1,0 +1,149 @@
+package failpoint
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"mcretiming/internal/rterr"
+)
+
+func TestFastPathUnarmed(t *testing.T) {
+	if err := Inject(context.Background(), "nowhere"); err != nil {
+		t.Fatalf("unarmed inject: %v", err)
+	}
+}
+
+func TestGlobalErrorAction(t *testing.T) {
+	defer Reset()
+	if err := Enable("t.site", "error(budget)"); err != nil {
+		t.Fatal(err)
+	}
+	err := Inject(context.Background(), "t.site")
+	if !errors.Is(err, rterr.ErrBudgetExceeded) {
+		t.Fatalf("want ErrBudgetExceeded, got %v", err)
+	}
+	if err := Inject(context.Background(), "t.other"); err != nil {
+		t.Fatalf("unarmed site fired: %v", err)
+	}
+	Disable("t.site")
+	if err := Inject(context.Background(), "t.site"); err != nil {
+		t.Fatalf("disabled site fired: %v", err)
+	}
+}
+
+func TestCountedAction(t *testing.T) {
+	defer Reset()
+	if err := Enable("t.counted", "2*error(conflict)"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if err := Inject(context.Background(), "t.counted"); !errors.Is(err, rterr.ErrJustifyConflict) {
+			t.Fatalf("firing %d: want ErrJustifyConflict, got %v", i, err)
+		}
+	}
+	if err := Inject(context.Background(), "t.counted"); err != nil {
+		t.Fatalf("counted action did not run dry: %v", err)
+	}
+}
+
+func TestPanicAction(t *testing.T) {
+	defer Reset()
+	if err := Enable("t.panic", "panic(boom)"); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if r := recover(); r == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	_ = Inject(context.Background(), "t.panic")
+}
+
+func TestSleepHonorsContext(t *testing.T) {
+	defer Reset()
+	if err := Enable("t.sleep", "sleep(30s)"); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	err := Inject(ctx, "t.sleep")
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("sleep ignored cancellation")
+	}
+}
+
+func TestCancelAction(t *testing.T) {
+	defer Reset()
+	if err := Enable("t.cancel", "cancel"); err != nil {
+		t.Fatal(err)
+	}
+	if err := Inject(context.Background(), "t.cancel"); !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+}
+
+func TestContextScopedSet(t *testing.T) {
+	set, err := ParseSet("t.scoped=error(malformed)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, release := With(context.Background(), set)
+	defer release()
+	if err := Inject(ctx, "t.scoped"); !errors.Is(err, rterr.ErrMalformedInput) {
+		t.Fatalf("scoped site: want ErrMalformedInput, got %v", err)
+	}
+	// The same site through a context without the set is inert.
+	if err := Inject(context.Background(), "t.scoped"); err != nil {
+		t.Fatalf("unscoped context fired: %v", err)
+	}
+	release()
+	release() // idempotent
+	if got := armed.Load(); got != 0 {
+		t.Fatalf("armed count leaked: %d", got)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, spec := range []string{
+		"nope", "error(unknown)", "sleep(xyz)", "0*panic", "-1*panic",
+		"panic(unbalanced", "=panic",
+	} {
+		var err error
+		if spec == "=panic" {
+			_, err = ParseSet(spec)
+		} else {
+			err = Enable("t.bad", spec)
+		}
+		if err == nil {
+			t.Errorf("spec %q: wanted parse error", spec)
+		}
+	}
+	Reset()
+}
+
+func TestArmFromEnv(t *testing.T) {
+	defer Reset()
+	t.Setenv(EnvVar, "t.env=error(internal); t.env2=1*cancel")
+	if err := ArmFromEnv(); err != nil {
+		t.Fatal(err)
+	}
+	if err := Inject(context.Background(), "t.env"); !errors.Is(err, rterr.ErrInternal) {
+		t.Fatalf("env site: %v", err)
+	}
+	if err := Inject(context.Background(), "t.env2"); !errors.Is(err, context.Canceled) {
+		t.Fatalf("env site 2: %v", err)
+	}
+	t.Setenv(EnvVar, "garbage")
+	if err := ArmFromEnv(); err == nil {
+		t.Fatal("malformed env accepted")
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 
+	"mcretiming/internal/failpoint"
 	"mcretiming/internal/par"
 	"mcretiming/internal/rterr"
 	"mcretiming/internal/trace"
@@ -176,6 +177,10 @@ func (g *Graph) FeasibleLazyEng(ctx context.Context, phi int64, bounds *Bounds, 
 		if err := ctx.Err(); err != nil {
 			return nil, false, err
 		}
+		// Chaos hook: one evaluation per cutting-plane round.
+		if err := failpoint.Inject(ctx, "graph.feasible"); err != nil {
+			return nil, false, err
+		}
 		r, ok := SolveDifference(n, cons)
 		if !ok {
 			return nil, false, nil
@@ -222,6 +227,11 @@ func (g *Graph) MinPeriodLazyCtx(ctx context.Context, bounds *Bounds, pool *CutP
 // circuit constraints and worker pool. A nil engine means serial and
 // uncached.
 func (g *Graph) MinPeriodLazyEng(ctx context.Context, bounds *Bounds, pool *CutPool, eng *Engine) (int64, []int32, error) {
+	// Chaos hook: the binary search's entry is the canonical "slow solver"
+	// site for latency and failure injection.
+	if err := failpoint.Inject(ctx, "graph.minperiod"); err != nil {
+		return 0, nil, err
+	}
 	if pool == nil {
 		pool = &CutPool{}
 	}

@@ -3,6 +3,7 @@ package graph
 import (
 	"context"
 
+	"mcretiming/internal/failpoint"
 	"mcretiming/internal/par"
 	"mcretiming/internal/trace"
 )
@@ -18,6 +19,10 @@ import (
 // returned. Worker count and achieved speedup land in the "wd-workers" /
 // "wd-speedup-x1000" counters of any trace sink carried by ctx.
 func (g *Graph) ComputeWDPar(ctx context.Context, workers int) (*WD, error) {
+	// Chaos hook for the heaviest precomputation of the flow.
+	if err := failpoint.Inject(ctx, "graph.wd"); err != nil {
+		return nil, err
+	}
 	n := g.NumVertices()
 	m := &WD{N: n, W: make([]int32, n*n), D: make([]int64, n*n)}
 	w := par.Workers(workers)

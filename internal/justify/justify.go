@@ -26,6 +26,7 @@ import (
 	"fmt"
 
 	"mcretiming/internal/bdd"
+	"mcretiming/internal/failpoint"
 	"mcretiming/internal/graph"
 	"mcretiming/internal/logic"
 	"mcretiming/internal/mcgraph"
@@ -192,6 +193,11 @@ func (j *Justifier) Forward(v graph.VertexID, removed []mcgraph.RegInst, inserte
 // across v's gate onto the inserted fanin layer.
 func (j *Justifier) Backward(v graph.VertexID, removed, inserted []mcgraph.RegInst) ([]mcgraph.RegInst, error) {
 	if err := j.ctxErr(); err != nil {
+		return inserted, err
+	}
+	// Chaos hook: backward moves carry all the reset-state cost, so this is
+	// where justification failures are injected.
+	if err := failpoint.Inject(j.context(), "justify.backward"); err != nil {
 		return inserted, err
 	}
 	g, err := j.gateOf(v)

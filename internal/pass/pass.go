@@ -16,6 +16,7 @@ import (
 	"runtime/debug"
 	"time"
 
+	"mcretiming/internal/failpoint"
 	"mcretiming/internal/rterr"
 	"mcretiming/internal/trace"
 )
@@ -101,6 +102,12 @@ func runOne[S any](c *Context[S], ps Pass[S]) (err error) {
 			c.Observe(ps.Name, time.Since(start))
 		}
 	}()
+	// Chaos hook: "pass.<name>" fires inside the span and inside the panic
+	// recovery above, so an injected crash surfaces as the same PanicError a
+	// real one would.
+	if err := failpoint.Inject(c.ctx, "pass."+ps.Name); err != nil {
+		return err
+	}
 	return ps.Run(c)
 }
 

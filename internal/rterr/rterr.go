@@ -49,3 +49,26 @@ var (
 	// ErrInternal marks a recovered crash or an impossible state.
 	ErrInternal = errors.New("internal error")
 )
+
+// Sentinel pairs one taxonomy error with a stable machine-readable name, for
+// enumeration-driven consumers: the HTTP error mapping of the retiming
+// service and the tests that prove every sentinel has an explicit mapping.
+type Sentinel struct {
+	Name string
+	Err  error
+}
+
+// Sentinels enumerates the complete taxonomy. Adding a sentinel above
+// without listing it here (and mapping it wherever Sentinels is consumed)
+// fails the coverage tests — new error kinds cannot silently fall through
+// to a generic 500.
+func Sentinels() []Sentinel {
+	return []Sentinel{
+		{"malformed_input", ErrMalformedInput},
+		{"infeasible_period", ErrInfeasiblePeriod},
+		{"budget_exceeded", ErrBudgetExceeded},
+		{"justify_conflict", ErrJustifyConflict},
+		{"invariant_violation", ErrInvariant},
+		{"internal", ErrInternal},
+	}
+}

@@ -20,6 +20,34 @@ func TestSentinelsAreDistinct(t *testing.T) {
 	}
 }
 
+func TestSentinelsEnumerationComplete(t *testing.T) {
+	sens := Sentinels()
+	if len(sens) != 6 {
+		t.Fatalf("Sentinels() has %d entries; update it (and every consumer) when the taxonomy changes", len(sens))
+	}
+	names := map[string]bool{}
+	errs := map[error]bool{}
+	for _, s := range sens {
+		if s.Name == "" || s.Err == nil {
+			t.Fatalf("incomplete sentinel entry %+v", s)
+		}
+		if names[s.Name] {
+			t.Errorf("duplicate sentinel name %q", s.Name)
+		}
+		if errs[s.Err] {
+			t.Errorf("duplicate sentinel error %v", s.Err)
+		}
+		names[s.Name] = true
+		errs[s.Err] = true
+	}
+	for _, e := range []error{ErrMalformedInput, ErrInfeasiblePeriod, ErrBudgetExceeded,
+		ErrJustifyConflict, ErrInvariant, ErrInternal} {
+		if !errs[e] {
+			t.Errorf("sentinel %v missing from Sentinels()", e)
+		}
+	}
+}
+
 func TestWrappingSurvivesIs(t *testing.T) {
 	err := fmt.Errorf("blif: line 3: %w", ErrMalformedInput)
 	if !errors.Is(err, ErrMalformedInput) {

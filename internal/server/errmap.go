@@ -1,0 +1,79 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"net/http"
+
+	"mcretiming/internal/rterr"
+)
+
+// ErrorBody is the stable machine-readable error envelope of the API: every
+// failed job and every rejected request carries one. Code is taken from the
+// rterr sentinel taxonomy (rterr.Sentinels) plus the transport-level codes
+// below; Detail is the human-readable error chain.
+type ErrorBody struct {
+	Code   string `json:"code"`
+	Detail string `json:"detail"`
+}
+
+// Transport-level codes that do not correspond to an engine sentinel.
+const (
+	CodeDeadlineExceeded = "deadline_exceeded" // per-job deadline fired
+	CodeCanceled         = "canceled"          // run canceled (client or shutdown)
+	CodeQueueFull        = "queue_full"        // admission control shed the job
+	CodeShuttingDown     = "shutting_down"     // server is draining
+	CodeBadRequest       = "bad_request"       // unparseable request envelope
+)
+
+// mapping is one row of the sentinel → (code, HTTP status) table.
+type mapping struct {
+	sentinel error
+	code     string
+	status   int
+}
+
+// sentinelStatus assigns each engine sentinel its HTTP status. Keyed by the
+// stable name from rterr.Sentinels so the table cannot drift from the
+// taxonomy: buildMappings fails closed (panics at init) if a sentinel has no
+// status here, and the errmap test asserts full coverage the readable way.
+var sentinelStatus = map[string]int{
+	"malformed_input":     http.StatusBadRequest,          // 400: fix the input
+	"infeasible_period":   http.StatusUnprocessableEntity, // 422: well-formed but unsatisfiable
+	"budget_exceeded":     http.StatusServiceUnavailable,  // 503: retryable with more budget
+	"justify_conflict":    http.StatusConflict,            // 409: no equivalent reset states
+	"invariant_violation": http.StatusInternalServerError, // 500: result cannot be trusted
+	"internal":            http.StatusInternalServerError, // 500: engine bug
+}
+
+// mappings is the ordered match table of MapError. Context errors come first:
+// a deadline or cancellation observed mid-solve may be wrapped alongside a
+// sentinel, and the transport cause is the more actionable one.
+var mappings = buildMappings()
+
+func buildMappings() []mapping {
+	out := []mapping{
+		{context.DeadlineExceeded, CodeDeadlineExceeded, http.StatusGatewayTimeout},
+		{context.Canceled, CodeCanceled, http.StatusServiceUnavailable},
+	}
+	for _, s := range rterr.Sentinels() {
+		status, ok := sentinelStatus[s.Name]
+		if !ok {
+			panic("server: rterr sentinel " + s.Name + " has no HTTP status mapping")
+		}
+		out = append(out, mapping{s.Err, s.Name, status})
+	}
+	return out
+}
+
+// MapError classifies err into its HTTP status and machine-readable body.
+// Unrecognized errors map to 500/"internal" — the table-driven test over
+// rterr.Sentinels guarantees no engine sentinel takes that fallback.
+func MapError(err error) (int, ErrorBody) {
+	for _, m := range mappings {
+		if errors.Is(err, m.sentinel) {
+			return m.status, ErrorBody{Code: m.code, Detail: err.Error()}
+		}
+	}
+	return http.StatusInternalServerError, ErrorBody{Code: "internal", Detail: err.Error()}
+}

@@ -1,0 +1,77 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"testing"
+
+	"mcretiming/internal/rterr"
+)
+
+// TestEverySentinelHasExplicitMapping is the satellite guarantee: every
+// rterr sentinel maps to a stable machine-readable code and a deliberate
+// HTTP status. A sentinel added to the taxonomy without a row in
+// sentinelStatus fails here (and buildMappings panics at init), so new
+// error kinds can never silently become generic 500s.
+func TestEverySentinelHasExplicitMapping(t *testing.T) {
+	sens := rterr.Sentinels()
+	if len(sentinelStatus) != len(sens) {
+		t.Fatalf("sentinelStatus has %d rows for %d sentinels", len(sentinelStatus), len(sens))
+	}
+	seenCodes := map[string]bool{}
+	for _, s := range sens {
+		status, body := MapError(fmt.Errorf("somewhere deep: %w", s.Err))
+		if body.Code != s.Name {
+			t.Errorf("%v maps to code %q, want %q", s.Err, body.Code, s.Name)
+		}
+		if want := sentinelStatus[s.Name]; status != want {
+			t.Errorf("%v maps to HTTP %d, want %d", s.Err, status, want)
+		}
+		if status == 0 {
+			t.Errorf("%v has no HTTP status", s.Err)
+		}
+		if seenCodes[body.Code] {
+			t.Errorf("duplicate code %q", body.Code)
+		}
+		seenCodes[body.Code] = true
+	}
+}
+
+func TestMapErrorStatuses(t *testing.T) {
+	cases := []struct {
+		err    error
+		status int
+		code   string
+	}{
+		{fmt.Errorf("x: %w", rterr.ErrMalformedInput), http.StatusBadRequest, "malformed_input"},
+		{fmt.Errorf("x: %w", rterr.ErrInfeasiblePeriod), http.StatusUnprocessableEntity, "infeasible_period"},
+		{fmt.Errorf("x: %w", rterr.ErrBudgetExceeded), http.StatusServiceUnavailable, "budget_exceeded"},
+		{fmt.Errorf("x: %w", rterr.ErrJustifyConflict), http.StatusConflict, "justify_conflict"},
+		{fmt.Errorf("x: %w", rterr.ErrInvariant), http.StatusInternalServerError, "invariant_violation"},
+		{fmt.Errorf("x: %w", rterr.ErrInternal), http.StatusInternalServerError, "internal"},
+		{context.DeadlineExceeded, http.StatusGatewayTimeout, CodeDeadlineExceeded},
+		{context.Canceled, http.StatusServiceUnavailable, CodeCanceled},
+		{errors.New("novel"), http.StatusInternalServerError, "internal"},
+	}
+	for _, tc := range cases {
+		status, body := MapError(tc.err)
+		if status != tc.status || body.Code != tc.code {
+			t.Errorf("MapError(%v) = %d %q, want %d %q", tc.err, status, body.Code, tc.status, tc.code)
+		}
+		if body.Detail == "" {
+			t.Errorf("MapError(%v): empty detail", tc.err)
+		}
+	}
+}
+
+// TestContextCausePrecedence: a deadline observed mid-solve wins over any
+// sentinel wrapped alongside it — the transport cause is the actionable one.
+func TestContextCausePrecedence(t *testing.T) {
+	err := fmt.Errorf("%w (while backing off after: %w)", context.DeadlineExceeded, rterr.ErrBudgetExceeded)
+	status, body := MapError(err)
+	if status != http.StatusGatewayTimeout || body.Code != CodeDeadlineExceeded {
+		t.Fatalf("got %d %q", status, body.Code)
+	}
+}

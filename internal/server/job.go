@@ -1,0 +1,209 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"mcretiming/internal/core"
+)
+
+// JobOptions is the serializable subset of core.Options a client may set.
+// The zero value asks for minimum area at the minimum feasible period — the
+// same default as the mcretime CLI.
+type JobOptions struct {
+	// Objective: "" or "min-area" (minimum area at minimum period),
+	// "min-period", or "min-area-at-period" (requires TargetPeriodPS).
+	Objective      string `json:"objective,omitempty"`
+	TargetPeriodPS int64  `json:"target_period_ps,omitempty"`
+
+	ForwardOnly     bool `json:"forward_only,omitempty"`
+	DisableSharing  bool `json:"disable_sharing,omitempty"`
+	DisableJustify  bool `json:"disable_justify,omitempty"`
+	SATJustify      bool `json:"sat_justify,omitempty"`
+	CheckInvariants bool `json:"check_invariants,omitempty"`
+	Parallelism     int  `json:"parallelism,omitempty"`
+
+	// TimeoutMS overrides the server's default per-job deadline;
+	// negative disables the deadline entirely.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+
+	Budgets BudgetSpec `json:"budgets,omitempty"`
+}
+
+// BudgetSpec mirrors core.Budgets: 0 = solver default, negative = unlimited.
+type BudgetSpec struct {
+	BDDNodes          int `json:"bdd_nodes,omitempty"`
+	SATConflicts      int `json:"sat_conflicts,omitempty"`
+	FlowAugmentations int `json:"flow_augmentations,omitempty"`
+	MinAreaRounds     int `json:"minarea_rounds,omitempty"`
+}
+
+// coreOptions translates the wire options into engine options.
+func (o JobOptions) coreOptions() (core.Options, error) {
+	opts := core.Options{
+		ForwardOnly:     o.ForwardOnly,
+		DisableSharing:  o.DisableSharing,
+		DisableJustify:  o.DisableJustify,
+		SATJustify:      o.SATJustify,
+		CheckInvariants: o.CheckInvariants,
+		Parallelism:     o.Parallelism,
+		Budgets: core.Budgets{
+			BDDNodes:          o.Budgets.BDDNodes,
+			SATConflicts:      o.Budgets.SATConflicts,
+			FlowAugmentations: o.Budgets.FlowAugmentations,
+			MinAreaRounds:     o.Budgets.MinAreaRounds,
+		},
+	}
+	switch o.Objective {
+	case "", "min-area":
+		opts.Objective = core.MinAreaAtMinPeriod
+	case "min-period":
+		opts.Objective = core.MinPeriod
+	case "min-area-at-period":
+		if o.TargetPeriodPS <= 0 {
+			return opts, fmt.Errorf("objective %q requires target_period_ps > 0", o.Objective)
+		}
+		opts.Objective = core.MinAreaAtPeriod
+		opts.TargetPeriod = o.TargetPeriodPS
+	default:
+		return opts, fmt.Errorf("unknown objective %q", o.Objective)
+	}
+	return opts, nil
+}
+
+// JobSpec is everything needed to (re-)run a job: it is what the submission
+// endpoint records and what graceful shutdown checkpoints to disk.
+type JobSpec struct {
+	ID         string     `json:"id"`
+	BLIF       string     `json:"blif"`
+	Options    JobOptions `json:"options"`
+	Failpoints string     `json:"failpoints,omitempty"` // chaos-only; gated by Config.EnableFailpoints
+}
+
+// JobStatus enumerates a job's lifecycle.
+type JobStatus string
+
+// Job states.
+const (
+	StatusQueued  JobStatus = "queued"
+	StatusRunning JobStatus = "running"
+	StatusDone    JobStatus = "done"
+	StatusFailed  JobStatus = "failed"
+)
+
+// ReportSummary is the serializable projection of core.Report returned with
+// a finished job (wall-clock fields are deliberately excluded so identical
+// inputs produce byte-identical job results).
+type ReportSummary struct {
+	Classes            int      `json:"classes"`
+	PeriodBeforePS     int64    `json:"period_before_ps"`
+	PeriodAfterPS      int64    `json:"period_after_ps"`
+	RegsBefore         int      `json:"regs_before"`
+	RegsAfter          int      `json:"regs_after"`
+	StepsMoved         int64    `json:"steps_moved"`
+	StepsPossible      int64    `json:"steps_possible"`
+	Retries            int      `json:"retries"`
+	JustifyEscalations int      `json:"justify_escalations,omitempty"`
+	Degraded           []string `json:"degraded,omitempty"`
+	Workers            int      `json:"workers"`
+}
+
+func summarize(rep *core.Report) ReportSummary {
+	return ReportSummary{
+		Classes:            rep.NumClasses,
+		PeriodBeforePS:     rep.PeriodBefore,
+		PeriodAfterPS:      rep.PeriodAfter,
+		RegsBefore:         rep.RegsBefore,
+		RegsAfter:          rep.RegsAfter,
+		StepsMoved:         rep.StepsMoved,
+		StepsPossible:      rep.StepsPossible,
+		Retries:            rep.Retries,
+		JustifyEscalations: rep.JustifyEscalations,
+		Degraded:           rep.Degraded,
+		Workers:            rep.Workers,
+	}
+}
+
+// Result is a successful job's payload.
+type Result struct {
+	BLIF   string        `json:"blif"`
+	Report ReportSummary `json:"report"`
+}
+
+// Job is one unit of work tracked by the server. All fields are guarded by
+// the server's mutex; done is closed exactly once when the job reaches a
+// terminal state (checkpointed jobs never close it — they finish in the next
+// process).
+type Job struct {
+	Spec     JobSpec
+	Status   JobStatus
+	Attempts int
+	Result   *Result
+	Err      *ErrorBody
+	HTTP     int // status for failed jobs
+	done     chan struct{}
+}
+
+// jobView is the wire representation of a job.
+type jobView struct {
+	ID       string     `json:"id"`
+	Status   JobStatus  `json:"status"`
+	Attempts int        `json:"attempts,omitempty"`
+	Result   *Result    `json:"result,omitempty"`
+	Error    *ErrorBody `json:"error,omitempty"`
+}
+
+// checkpointJob writes one queued job spec to dir, atomically (temp file +
+// rename), so a crash mid-checkpoint never leaves a half spec behind.
+func checkpointJob(dir string, spec JobSpec) error {
+	data, err := json.MarshalIndent(spec, "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp := filepath.Join(dir, spec.ID+".tmp")
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, filepath.Join(dir, spec.ID+".json"))
+}
+
+// removeFile deletes a checkpoint file.
+func removeFile(dir, id string) error {
+	return os.Remove(filepath.Join(dir, id+".json"))
+}
+
+// loadCheckpoints reads every checkpointed job spec in dir, in ID order, so
+// a restarted server resumes the queue in its original submission order.
+func loadCheckpoints(dir string) ([]JobSpec, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".json") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	specs := make([]JobSpec, 0, len(names))
+	for _, name := range names {
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			return nil, err
+		}
+		var spec JobSpec
+		if err := json.Unmarshal(data, &spec); err != nil {
+			return nil, fmt.Errorf("checkpoint %s: %w", name, err)
+		}
+		specs = append(specs, spec)
+	}
+	return specs, nil
+}

@@ -1,0 +1,58 @@
+package server
+
+// The per-job engine-isolation audit of PR 4: PR 3's graph.Engine/SolveCache
+// and the FEAS/SPFA scratch reuse were designed for a single pipeline, so
+// the server path — many concurrent core.RetimeCtx runs in one process —
+// must prove under -race that no scratch or cache state aliases across
+// jobs, and that every concurrent run produces the bit-identical result.
+
+import (
+	"net/http"
+	"sync"
+	"testing"
+)
+
+func TestConcurrentRetimeThroughServerRace(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test")
+	}
+	_, hs := newTestServer(t, Config{Workers: 8, QueueSize: 64})
+	in := testBLIF(t)
+
+	// One reference run.
+	status, body := post(t, hs.URL+"/v1/retime?wait=1", retimeRequest{BLIF: in})
+	if status != http.StatusOK {
+		t.Fatalf("reference run: %d %v", status, body)
+	}
+	ref := body["result"].(map[string]any)["blif"].(string)
+
+	const goroutines, iters = 8, 4
+	var wg sync.WaitGroup
+	errs := make(chan string, goroutines*iters)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				// Mix parallel and serial engine settings so per-worker
+				// scratch paths and the serial path interleave in-process.
+				opts := JobOptions{Parallelism: 1 + (g+i)%3, CheckInvariants: true}
+				status, body := post(t, hs.URL+"/v1/retime?wait=1", retimeRequest{BLIF: in, Options: opts})
+				if status != http.StatusOK {
+					errs <- body["error"].(map[string]any)["detail"].(string)
+					return
+				}
+				got := body["result"].(map[string]any)["blif"].(string)
+				if got != ref {
+					errs <- "concurrent result diverged from the reference"
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Error(e)
+	}
+}

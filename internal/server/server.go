@@ -1,0 +1,606 @@
+// Package server implements mcretimed, the long-running retiming service:
+// an HTTP JSON API over the mc-retiming engine built for fault tolerance
+// under concurrent, adversarial load.
+//
+// The robustness mechanisms, in the order a request meets them:
+//
+//   - Admission control: a bounded job queue; a full queue sheds load with
+//     429 + Retry-After instead of growing without bound.
+//   - Early validation: the BLIF body and options are parsed at submission,
+//     so malformed input fails fast with 400 and never occupies a worker.
+//   - Per-job deadlines: every job runs under a context deadline wired into
+//     the engine's cooperative cancellation (core.RetimeCtx).
+//   - Panic isolation: a crashing job — whether inside a pipeline pass
+//     (recovered as pass.PanicError) or anywhere else in the job path
+//     (recovered here) — fails that one job with 500; the daemon keeps
+//     serving.
+//   - Budget retry: a job failing with rterr.ErrBudgetExceeded is re-run
+//     after exponential backoff with budgets relaxed one ladder rung
+//     (core.Budgets.Relaxed), and the eventual success is annotated in
+//     Report.Degraded.
+//   - Graceful shutdown: draining rejects new work (503), lets in-flight
+//     jobs finish, and checkpoints still-queued job specs to disk; a
+//     restarted server resumes them in order, producing bit-identical
+//     results to an uninterrupted run.
+//
+// Failure classification is shared with the CLIs: every engine sentinel of
+// internal/rterr maps to a stable {code, detail} error body and HTTP status
+// (see errmap.go).
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mcretiming/internal/blif"
+	"mcretiming/internal/core"
+	"mcretiming/internal/failpoint"
+	"mcretiming/internal/rterr"
+	"mcretiming/internal/trace"
+)
+
+// Config tunes the service. The zero value gets sensible defaults from New.
+type Config struct {
+	// QueueSize bounds the number of jobs waiting to run (default 64).
+	// Submissions beyond it are shed with 429.
+	QueueSize int
+	// Workers is the number of concurrent job executors (default 2).
+	Workers int
+	// DefaultTimeout is the per-job deadline when the job does not set one
+	// (default 60s). Negative means no default deadline.
+	DefaultTimeout time.Duration
+	// MaxBodyBytes caps the request body (default 16 MiB).
+	MaxBodyBytes int64
+	// CheckpointDir, when non-empty, is where graceful shutdown persists
+	// queued job specs and where Start resumes them from.
+	CheckpointDir string
+	// RetryMax is how many budget-relaxing retries a job failing with
+	// ErrBudgetExceeded gets (default 2). Negative disables retries.
+	RetryMax int
+	// RetryBase is the exponential backoff base delay (default 100ms).
+	RetryBase time.Duration
+	// EnableFailpoints accepts the "failpoints" field on submissions,
+	// arming the named sites for that job only. Chaos testing only —
+	// leave off in production.
+	EnableFailpoints bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.QueueSize <= 0 {
+		c.QueueSize = 64
+	}
+	if c.Workers <= 0 {
+		c.Workers = 2
+	}
+	if c.DefaultTimeout == 0 {
+		c.DefaultTimeout = 60 * time.Second
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 16 << 20
+	}
+	if c.RetryMax == 0 {
+		c.RetryMax = 2
+	}
+	if c.RetryBase <= 0 {
+		c.RetryBase = 100 * time.Millisecond
+	}
+	return c
+}
+
+// Server is the retiming service. Create with New, launch with Start, serve
+// Handler over any http.Server, stop with Shutdown.
+type Server struct {
+	cfg Config
+	mux *http.ServeMux
+
+	mu       sync.Mutex
+	jobs     map[string]*Job
+	seq      int
+	started  bool
+	draining bool
+	parked   []*Job // dequeued after draining began; checkpointed, not run
+
+	queue    chan *Job
+	stop     chan struct{}
+	wg       sync.WaitGroup
+	inflight atomic.Int64
+
+	submitted, completed, failed, rejected, retried, panics, resumed atomic.Int64
+
+	cntMu    sync.Mutex
+	counters map[string]int64 // aggregated engine trace counters
+}
+
+// New returns an unstarted server.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:      cfg,
+		jobs:     make(map[string]*Job),
+		queue:    make(chan *Job, cfg.QueueSize),
+		stop:     make(chan struct{}),
+		counters: make(map[string]int64),
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/retime", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux = mux
+	return s
+}
+
+// Handler returns the service's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Start resumes any checkpointed jobs and launches the worker pool.
+func (s *Server) Start() error {
+	if err := s.resume(); err != nil {
+		return fmt.Errorf("server: resume checkpoints: %w", err)
+	}
+	s.mu.Lock()
+	s.started = true
+	s.mu.Unlock()
+	for i := 0; i < s.cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return nil
+}
+
+// resume loads checkpointed job specs (in ID order) back into the queue and
+// removes their files. Specs beyond the queue capacity stay on disk for a
+// later restart rather than being dropped.
+func (s *Server) resume() error {
+	if s.cfg.CheckpointDir == "" {
+		return nil
+	}
+	specs, err := loadCheckpoints(s.cfg.CheckpointDir)
+	if err != nil {
+		return err
+	}
+	for _, spec := range specs {
+		job := &Job{Spec: spec, Status: StatusQueued, done: make(chan struct{})}
+		select {
+		case s.queue <- job:
+		default:
+			return nil // queue full: leave this and later specs checkpointed
+		}
+		s.mu.Lock()
+		s.jobs[spec.ID] = job
+		// Keep fresh IDs past every resumed one.
+		if n, err := strconv.Atoi(strings.TrimPrefix(spec.ID, "job-")); err == nil && n > s.seq {
+			s.seq = n
+		}
+		s.mu.Unlock()
+		s.resumed.Add(1)
+		removeCheckpoint(s.cfg.CheckpointDir, spec.ID)
+	}
+	return nil
+}
+
+// Shutdown drains the service: new submissions are rejected, workers finish
+// their in-flight jobs, and jobs still queued are checkpointed to disk (or
+// failed with "shutting_down" when no checkpoint dir is configured). ctx
+// bounds how long to wait for the in-flight jobs.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return nil
+	}
+	s.draining = true
+	s.mu.Unlock()
+	close(s.stop)
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-ctx.Done():
+		return fmt.Errorf("server: drain: %w", ctx.Err())
+	}
+
+	// Workers are gone: collect everything that never ran.
+	var queued []*Job
+	for {
+		select {
+		case job := <-s.queue:
+			queued = append(queued, job)
+			continue
+		default:
+		}
+		break
+	}
+	s.mu.Lock()
+	queued = append(queued, s.parked...)
+	s.parked = nil
+	s.mu.Unlock()
+	sort.Slice(queued, func(i, j int) bool { return queued[i].Spec.ID < queued[j].Spec.ID })
+
+	var firstErr error
+	for _, job := range queued {
+		if s.cfg.CheckpointDir != "" {
+			if err := checkpointJob(s.cfg.CheckpointDir, job.Spec); err != nil {
+				if firstErr == nil {
+					firstErr = err
+				}
+				s.finishFailed(job, fmt.Errorf("checkpoint failed: %w: %w", err, context.Canceled))
+			}
+			continue
+		}
+		s.finishFailed(job, fmt.Errorf("server shut down before the job ran: %w", context.Canceled))
+	}
+	return firstErr
+}
+
+func removeCheckpoint(dir, id string) {
+	// Best effort: a leftover file only means a duplicate (idempotent) run
+	// after the next restart.
+	_ = removeFile(dir, id)
+}
+
+// --- workers ---
+
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for {
+		// Prefer the stop signal when both are ready.
+		select {
+		case <-s.stop:
+			return
+		default:
+		}
+		select {
+		case <-s.stop:
+			return
+		case job := <-s.queue:
+			s.mu.Lock()
+			draining := s.draining
+			if draining {
+				s.parked = append(s.parked, job)
+			}
+			s.mu.Unlock()
+			if draining {
+				continue
+			}
+			s.runJob(job)
+		}
+	}
+}
+
+// runJob executes one job to a terminal state. Any panic escaping the engine
+// (whose pass pipeline already converts pass crashes into pass.PanicError)
+// or thrown by the server-side job path itself is recovered here: the job
+// fails with 500/"internal", the worker survives.
+func (s *Server) runJob(job *Job) {
+	s.inflight.Add(1)
+	defer s.inflight.Add(-1)
+	s.mu.Lock()
+	job.Status = StatusRunning
+	s.mu.Unlock()
+
+	var err error
+	defer func() {
+		if r := recover(); r != nil {
+			s.panics.Add(1)
+			err = fmt.Errorf("job %s panicked: %v: %w", job.Spec.ID, r, rterr.ErrInternal)
+		}
+		if err != nil {
+			s.finishFailed(job, err)
+		} else {
+			s.completed.Add(1)
+			s.mu.Lock()
+			job.Status = StatusDone
+			s.mu.Unlock()
+			close(job.done)
+		}
+	}()
+	err = s.execute(job)
+}
+
+// finishFailed marks job failed with the mapped error body and releases its
+// waiters.
+func (s *Server) finishFailed(job *Job, err error) {
+	status, body := MapError(err)
+	s.failed.Add(1)
+	s.mu.Lock()
+	job.Status = StatusFailed
+	job.Err = &body
+	job.HTTP = status
+	s.mu.Unlock()
+	close(job.done)
+}
+
+// execute runs the retiming flow for job, retrying over the budget ladder.
+func (s *Server) execute(job *Job) error {
+	ctx := context.Background()
+	if job.Spec.Failpoints != "" {
+		set, err := failpoint.ParseSet(job.Spec.Failpoints)
+		if err != nil {
+			return fmt.Errorf("%w: %v", rterr.ErrMalformedInput, err)
+		}
+		var release func()
+		ctx, release = failpoint.With(ctx, set)
+		defer release()
+	}
+	timeout := s.cfg.DefaultTimeout
+	if ms := job.Spec.Options.TimeoutMS; ms != 0 {
+		timeout = time.Duration(ms) * time.Millisecond
+	}
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	// Worker-level chaos hook: a panic here is recovered by runJob, not by
+	// the engine's pass pipeline.
+	if err := failpoint.Inject(ctx, "server.job"); err != nil {
+		return err
+	}
+
+	opts, err := job.Spec.Options.coreOptions()
+	if err != nil {
+		return fmt.Errorf("%w: %v", rterr.ErrMalformedInput, err)
+	}
+	maxRetries := s.cfg.RetryMax
+	if maxRetries < 0 {
+		maxRetries = 0
+	}
+	for attempt := 1; ; attempt++ {
+		s.mu.Lock()
+		job.Attempts = attempt
+		s.mu.Unlock()
+
+		c, err := blif.Read(strings.NewReader(job.Spec.BLIF))
+		if err != nil {
+			return err
+		}
+		rec := trace.NewRecorder()
+		opts.Trace = rec
+		out, rep, err := core.RetimeCtx(ctx, c, opts)
+		s.foldCounters(rec)
+		if err == nil {
+			if attempt > 1 {
+				rep.Degraded = append(rep.Degraded, fmt.Sprintf(
+					"budget exceeded; succeeded on attempt %d with budgets relaxed %d rung(s)",
+					attempt, attempt-1))
+			}
+			var buf bytes.Buffer
+			if err := blif.Write(&buf, out); err != nil {
+				return err
+			}
+			res := &Result{BLIF: buf.String(), Report: summarize(rep)}
+			s.mu.Lock()
+			job.Result = res
+			s.mu.Unlock()
+			return nil
+		}
+		if !errors.Is(err, rterr.ErrBudgetExceeded) || attempt > maxRetries || ctx.Err() != nil {
+			return err
+		}
+		// Exponential backoff, then climb one rung of the budget ladder.
+		s.retried.Add(1)
+		delay := s.cfg.RetryBase << (attempt - 1)
+		t := time.NewTimer(delay)
+		select {
+		case <-ctx.Done():
+			t.Stop()
+			return fmt.Errorf("%w (while backing off after: %v)", ctx.Err(), err)
+		case <-t.C:
+		}
+		opts.Budgets = opts.Budgets.Relaxed()
+	}
+}
+
+// foldCounters merges one job run's trace counters into the service totals.
+func (s *Server) foldCounters(rec *trace.Recorder) {
+	s.cntMu.Lock()
+	defer s.cntMu.Unlock()
+	for name, v := range rec.RootCounters() {
+		s.counters[name] += v
+	}
+	for _, sp := range rec.Spans() {
+		for name, v := range sp.Counters {
+			s.counters[name] += v
+		}
+	}
+}
+
+// --- HTTP handlers ---
+
+// retimeRequest is the POST /v1/retime envelope.
+type retimeRequest struct {
+	BLIF       string     `json:"blif"`
+	Options    JobOptions `json:"options"`
+	Failpoints string     `json:"failpoints,omitempty"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, code, detail string) {
+	writeJSON(w, status, struct {
+		Error ErrorBody `json:"error"`
+	}{ErrorBody{Code: code, Detail: detail}})
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req retimeRequest
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, CodeBadRequest, "decoding request: "+err.Error())
+		return
+	}
+	// Validate everything up front so a bad job never occupies queue space
+	// or a worker.
+	if _, err := blif.Read(strings.NewReader(req.BLIF)); err != nil {
+		status, eb := MapError(err)
+		writeError(w, status, eb.Code, eb.Detail)
+		return
+	}
+	if _, err := req.Options.coreOptions(); err != nil {
+		writeError(w, http.StatusBadRequest, CodeBadRequest, err.Error())
+		return
+	}
+	if req.Failpoints != "" {
+		if !s.cfg.EnableFailpoints {
+			writeError(w, http.StatusForbidden, CodeBadRequest,
+				"failpoints are disabled on this server (start with -failpoints)")
+			return
+		}
+		if _, err := failpoint.ParseSet(req.Failpoints); err != nil {
+			writeError(w, http.StatusBadRequest, CodeBadRequest, err.Error())
+			return
+		}
+	}
+
+	s.mu.Lock()
+	if s.draining || !s.started {
+		s.mu.Unlock()
+		writeError(w, http.StatusServiceUnavailable, CodeShuttingDown, "server is not accepting jobs")
+		return
+	}
+	s.seq++
+	job := &Job{
+		Spec: JobSpec{
+			ID:         fmt.Sprintf("job-%06d", s.seq),
+			BLIF:       req.BLIF,
+			Options:    req.Options,
+			Failpoints: req.Failpoints,
+		},
+		Status: StatusQueued,
+		done:   make(chan struct{}),
+	}
+	s.jobs[job.Spec.ID] = job
+	s.mu.Unlock()
+
+	select {
+	case s.queue <- job:
+	default:
+		// Load shedding: the queue is full. Drop the job (it never ran, so
+		// forgetting it is safe) and tell the client when to come back.
+		s.mu.Lock()
+		delete(s.jobs, job.Spec.ID)
+		s.mu.Unlock()
+		s.rejected.Add(1)
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, CodeQueueFull,
+			fmt.Sprintf("job queue is full (%d queued)", s.cfg.QueueSize))
+		return
+	}
+	s.submitted.Add(1)
+
+	if wait := r.URL.Query().Get("wait"); wait == "1" || wait == "true" {
+		select {
+		case <-job.done:
+			s.writeJob(w, job)
+		case <-r.Context().Done():
+			writeError(w, http.StatusServiceUnavailable, CodeCanceled, "client went away; job continues: "+job.Spec.ID)
+		}
+		return
+	}
+	writeJSON(w, http.StatusAccepted, jobView{ID: job.Spec.ID, Status: StatusQueued})
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	job, ok := s.jobs[r.PathValue("id")]
+	s.mu.Unlock()
+	if !ok {
+		writeError(w, http.StatusNotFound, CodeBadRequest, "no such job")
+		return
+	}
+	s.writeJob(w, job)
+}
+
+// writeJob renders a job; failed jobs answer with their mapped HTTP status
+// so that "GET a panicked job" is a 500 and "GET an infeasible job" a 422.
+func (s *Server) writeJob(w http.ResponseWriter, job *Job) {
+	s.mu.Lock()
+	view := jobView{
+		ID:       job.Spec.ID,
+		Status:   job.Status,
+		Attempts: job.Attempts,
+		Result:   job.Result,
+		Error:    job.Err,
+	}
+	status := http.StatusOK
+	if job.Status == StatusFailed {
+		status = job.HTTP
+	}
+	s.mu.Unlock()
+	writeJSON(w, status, view)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write([]byte("ok\n"))
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	ready := s.started && !s.draining
+	s.mu.Unlock()
+	if !ready {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		_, _ = w.Write([]byte("draining\n"))
+		return
+	}
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write([]byte("ready\n"))
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	draining := 0
+	if s.draining {
+		draining = 1
+	}
+	s.mu.Unlock()
+	var b strings.Builder
+	put := func(name string, v int64) { fmt.Fprintf(&b, "mcretimed_%s %d\n", name, v) }
+	put("jobs_submitted", s.submitted.Load())
+	put("jobs_completed", s.completed.Load())
+	put("jobs_failed", s.failed.Load())
+	put("jobs_rejected", s.rejected.Load())
+	put("jobs_retried", s.retried.Load())
+	put("jobs_resumed", s.resumed.Load())
+	put("job_panics", s.panics.Load())
+	put("queue_depth", int64(len(s.queue)))
+	put("inflight", s.inflight.Load())
+	put("draining", int64(draining))
+
+	// Engine counters aggregated from per-job trace recorders, in stable
+	// order.
+	s.cntMu.Lock()
+	names := make([]string, 0, len(s.counters))
+	for name := range s.counters {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		put("trace_"+strings.NewReplacer("-", "_", ".", "_").Replace(name), s.counters[name])
+	}
+	s.cntMu.Unlock()
+
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	_, _ = w.Write([]byte(b.String()))
+}
