@@ -3,15 +3,20 @@
 //
 // Usage:
 //
-//	mcbench [-table 1|2|3] [-fig1] [-passes] [-j N] [-json out.json [-pr label]]
+//	mcbench [-table 1|2|3] [-fig1] [-passes] [-j N]
+//	        [-json out.json [-pr label] [-explore [-explore-points N]]]
 //
 // With no flags it runs everything. -passes adds the per-pass runtime
 // breakdown of the retiming pipeline under Table 2. -j sets the engine
 // parallelism of the retiming runs (0 = GOMAXPROCS); results are identical
 // at every setting. -json skips the tables and instead writes a
 // machine-readable performance snapshot — W/D and full-suite wall times at
-// worker counts 1, 2 and GOMAXPROCS, with speedups and a determinism check —
-// seeding the cross-PR benchmark trajectory; -pr labels the snapshot.
+// worker counts 1, 2 and GOMAXPROCS, with speedups, a determinism check, and
+// the solve-cache hit/miss counters — seeding the cross-PR benchmark
+// trajectory; -pr labels the snapshot. -explore additionally measures the
+// design-space sweep on the profile circuit (cold sweep vs warm store-served
+// sweep vs naive per-period Retime calls); it solves the profile circuit
+// many times, so expect it to take a while.
 //
 // SIGINT/SIGTERM cancel the run context so a Ctrl-C during the suite exits
 // with code 4 instead of being killed mid-table.
@@ -42,8 +47,10 @@ func main() {
 	jobs := flag.Int("j", 0, "engine parallelism for the retiming runs (0 = GOMAXPROCS)")
 	jsonOut := flag.String("json", "", "write a performance snapshot (JSON) here instead of printing tables")
 	prLabel := flag.String("pr", "", "label recorded in the -json snapshot")
+	exploreFlag := flag.Bool("explore", false, "with -json: also measure the design-space sweep (cold vs warm vs naive; slow)")
+	explorePoints := flag.Int("explore-points", 6, "points the -explore sweep solves (0 = every candidate period)")
 	flag.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: mcbench [-table 1|2|3] [-fig1] [-passes] [-j N] [-json out.json [-pr label]]")
+		fmt.Fprintln(os.Stderr, "usage: mcbench [-table 1|2|3] [-fig1] [-passes] [-j N] [-json out.json [-pr label] [-explore]]")
 		flag.PrintDefaults()
 		fmt.Fprintln(os.Stderr, `
 exit codes:
@@ -70,6 +77,13 @@ exit codes:
 			fatal(err)
 		}
 		p.PR = *prLabel
+		if *exploreFlag {
+			ep, err := bench.MeasureExploreCtx(ctx, *explorePoints)
+			if err != nil {
+				fatal(err)
+			}
+			p.Explore = ep
+		}
 		f, err := os.Create(*jsonOut)
 		if err != nil {
 			fatal(err)
@@ -91,6 +105,18 @@ exit codes:
 			fmt.Fprintf(os.Stderr, "table2 j=%-2d %8.2fms  speedup %.2fx  identical=%v\n",
 				pt.Workers, float64(pt.WallNS)/1e6, pt.SpeedupVs1, pt.Identical)
 			diverged = diverged || !pt.Identical
+		}
+		fmt.Fprintf(os.Stderr, "cache  wd %d/%d  base %d/%d (hits/misses)\n",
+			p.SolveCache.WDHits, p.SolveCache.WDMisses, p.SolveCache.BaseHits, p.SolveCache.BaseMisses)
+		if ep := p.Explore; ep != nil {
+			fmt.Fprintf(os.Stderr, "explore cold  %8.2fms  (%d points, cache wd %d/%d base %d/%d)\n",
+				float64(ep.ColdNS)/1e6, ep.Points,
+				ep.ColdCache.WDHits, ep.ColdCache.WDMisses, ep.ColdCache.BaseHits, ep.ColdCache.BaseMisses)
+			fmt.Fprintf(os.Stderr, "explore warm  %8.2fms  speedup %.2fx  store %d/%d  identical=%v\n",
+				float64(ep.WarmNS)/1e6, ep.WarmSpeedup, ep.WarmHits, ep.WarmHits+ep.WarmMisses, ep.WarmIdentical)
+			fmt.Fprintf(os.Stderr, "explore naive %8.2fms  cold speedup vs naive %.2fx\n",
+				float64(ep.NaiveNS)/1e6, ep.NaiveSpeedup)
+			diverged = diverged || !ep.WarmIdentical
 		}
 		// Timing is advisory, determinism is the contract: a parallel run
 		// whose result differs from serial is a hard failure.

@@ -6,12 +6,16 @@
 // Usage:
 //
 //	mcretimed [-addr :8472] [-queue 64] [-workers 2] [-deadline 60s]
-//	          [-checkpoint DIR] [-retries 2] [-failpoints] [-j N]
+//	          [-checkpoint DIR] [-store DIR] [-retries 2] [-failpoints] [-j N]
 //
 // API:
 //
 //	POST /v1/retime        submit a job: {"blif": "...", "options": {...}}
 //	                       ?wait=1 blocks until the job finishes
+//	POST /v1/explore       submit a design-space sweep (same envelope);
+//	                       the result carries the mcretiming-front/v1 Pareto
+//	                       front, and GET /v1/jobs/{id} reports per-point
+//	                       progress while it runs
 //	GET  /v1/jobs/{id}     job status/result; failed jobs answer with their
 //	                       mapped HTTP status (see README "Serving")
 //	GET  /healthz          process liveness
@@ -48,6 +52,8 @@ func main() {
 	workers := flag.Int("workers", 2, "concurrent job executors")
 	deadline := flag.Duration("deadline", 60*time.Second, "default per-job deadline (negative = none)")
 	checkpoint := flag.String("checkpoint", "", "directory for queued-job checkpoints on shutdown (empty = disabled)")
+	storeDir := flag.String("store", os.Getenv("MCRETIMING_STORE"),
+		"persistent result store for exploration jobs (default: $MCRETIMING_STORE; empty = disabled)")
 	retries := flag.Int("retries", 2, "budget-relaxing retries per job on ErrBudgetExceeded")
 	allowFP := flag.Bool("failpoints", false, "accept per-job failpoint specs over the API (chaos testing only)")
 	drainTimeout := flag.Duration("drain", 30*time.Second, "how long shutdown waits for in-flight jobs")
@@ -67,6 +73,7 @@ func main() {
 		Workers:          *workers,
 		DefaultTimeout:   *deadline,
 		CheckpointDir:    *checkpoint,
+		StoreDir:         *storeDir,
 		RetryMax:         *retries,
 		EnableFailpoints: *allowFP,
 	})

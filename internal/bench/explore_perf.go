@@ -1,0 +1,115 @@
+package bench
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"os"
+	"time"
+
+	"mcretiming/internal/core"
+	"mcretiming/internal/explore"
+	"mcretiming/internal/gen"
+	"mcretiming/internal/graph"
+	"mcretiming/internal/store"
+)
+
+// ExplorePerf measures the design-space sweep (internal/explore) on the
+// ≥2000-vertex random profile circuit, three ways over the same points:
+//
+//   - cold:  a fresh sweep into an empty result store — shared Prepare, W/D,
+//     and cut pool across the points, every point solved;
+//   - warm:  the same sweep against the populated store — every point loads;
+//   - naive: one independent Retime call per swept period, the way a caller
+//     without the explore subsystem would chart the front.
+//
+// Cold vs naive attributes the sweep's structural reuse; warm vs cold
+// attributes the store. The warm front must be byte-identical to the cold one
+// (WarmIdentical) — that is the subsystem's determinism contract.
+type ExplorePerf struct {
+	Circuit       string           `json:"circuit"`
+	Points        int              `json:"points"` // solved points, anchor included
+	ColdNS        int64            `json:"cold_ns"`
+	WarmNS        int64            `json:"warm_ns"`
+	NaiveNS       int64            `json:"naive_ns"`
+	WarmHits      int              `json:"warm_hits"`
+	WarmMisses    int              `json:"warm_misses"`
+	WarmSpeedup   float64          `json:"warm_speedup_vs_cold"`
+	NaiveSpeedup  float64          `json:"cold_speedup_vs_naive"`
+	WarmIdentical bool             `json:"warm_identical_to_cold"`
+	ColdCache     graph.CacheStats `json:"cold_solve_cache"` // cache traffic of the cold sweep
+}
+
+// MeasureExploreCtx runs the three-way sweep measurement, capping the sweep
+// at maxPoints (one full solve on the profile circuit takes seconds, so the
+// cap keeps the measurement tractable; 0 sweeps every candidate period).
+// The result store lives in a temp directory that is removed before return.
+func MeasureExploreCtx(ctx context.Context, maxPoints int) (*ExplorePerf, error) {
+	c := gen.Random(1, 2600)
+	dir, err := os.MkdirTemp("", "mcbench-explore-")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+
+	sweep := func() (*explore.Front, time.Duration, error) {
+		st, err := store.Open(dir)
+		if err != nil {
+			return nil, 0, err
+		}
+		t0 := time.Now()
+		front, err := explore.Sweep(ctx, c.Clone(), explore.Options{MaxPoints: maxPoints, Store: st})
+		return front, time.Since(t0), err
+	}
+
+	prev := graph.TotalCacheStats()
+	cold, coldWall, err := sweep()
+	if err != nil {
+		return nil, fmt.Errorf("bench: cold sweep: %w", err)
+	}
+	coldCache := graph.TotalCacheStats().Delta(prev)
+
+	// A fresh Store handle on the same directory, so the warm hit/miss
+	// counters start clean.
+	warm, warmWall, err := sweep()
+	if err != nil {
+		return nil, fmt.Errorf("bench: warm sweep: %w", err)
+	}
+	var coldJSON, warmJSON bytes.Buffer
+	if err := cold.WriteJSON(&coldJSON); err != nil {
+		return nil, err
+	}
+	if err := warm.WriteJSON(&warmJSON); err != nil {
+		return nil, err
+	}
+
+	// Naive: re-solve exactly the periods the sweep solved, each as an
+	// independent single-point Retime (no shared Prepare, W/D, or cuts).
+	t0 := time.Now()
+	for i, phi := range cold.SweptPeriods {
+		opts := core.Options{Objective: core.MinAreaAtPeriod, TargetPeriod: phi}
+		if i == 0 {
+			// The anchor: a naive caller does not know the minimum period
+			// and must run the full minperiod+minarea flow to find it.
+			opts = core.Options{Objective: core.MinAreaAtMinPeriod}
+		}
+		if _, _, err := core.RetimeCtx(ctx, c.Clone(), opts); err != nil {
+			return nil, fmt.Errorf("bench: naive solve at %d ps: %w", phi, err)
+		}
+	}
+	naiveWall := time.Since(t0)
+
+	return &ExplorePerf{
+		Circuit:       c.Name,
+		Points:        len(cold.SweptPeriods),
+		ColdNS:        coldWall.Nanoseconds(),
+		WarmNS:        warmWall.Nanoseconds(),
+		NaiveNS:       naiveWall.Nanoseconds(),
+		WarmHits:      warm.StoreHits,
+		WarmMisses:    warm.StoreMisses,
+		WarmSpeedup:   float64(coldWall) / float64(warmWall),
+		NaiveSpeedup:  float64(naiveWall) / float64(coldWall),
+		WarmIdentical: bytes.Equal(coldJSON.Bytes(), warmJSON.Bytes()),
+		ColdCache:     coldCache,
+	}, nil
+}

@@ -39,6 +39,13 @@ type Perf struct {
 	WDVertices int         `json:"wd_vertices"`
 	WD         []PerfPoint `json:"wd"`
 	Table2     []PerfPoint `json:"table2"`
+	// SolveCache is the process-cumulative graph.SolveCache traffic during
+	// the Table 2 measurement (the W/D scaling runs bypass the cache): how
+	// much recomputation the engine's memoization absorbed.
+	SolveCache graph.CacheStats `json:"solve_cache"`
+	// Explore is the design-space-sweep measurement (mcbench -explore);
+	// absent when not requested.
+	Explore *ExplorePerf `json:"explore,omitempty"`
 }
 
 // perfGraph builds the ≥2000-vertex random profile the W/D scaling
@@ -169,6 +176,7 @@ func MeasurePerfCtx(ctx context.Context, workerCounts []int) (*Perf, error) {
 	}
 
 	const suiteReps = 2
+	cachePrev := graph.TotalCacheStats()
 	var refRows []*Row
 	suiteRef, err := bestOf(suiteReps, func() error {
 		rows, err := RunSuiteCtx(ctx, 1)
@@ -199,6 +207,7 @@ func MeasurePerfCtx(ctx context.Context, workerCounts []int) (*Perf, error) {
 			Identical:  rowsEqual(refRows, rows),
 		})
 	}
+	p.SolveCache = graph.TotalCacheStats().Delta(cachePrev)
 	return p, nil
 }
 

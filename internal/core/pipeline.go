@@ -79,11 +79,27 @@ func RetimeCtx(ctx context.Context, c *netlist.Circuit, opts Options) (*netlist.
 // pipeline assembles the retiming flow for opts: steps 1-3, then the §5.2
 // retry combinator around steps 4-6. Every pass is wrapped by the invariant
 // checker, active when opts enables it.
+//
+// The two halves are split out so the exploration sweep (prepared.go) can run
+// the model half once per circuit and the solve half once per target period,
+// with the guarantee that both halves are literally the passes Retime runs.
 func pipeline(opts Options) pass.Pipeline[flowState] {
+	return append(preparePasses(), solvePasses(opts)...)
+}
+
+// preparePasses is the model half of the flow: steps 1-3 of §5.
+func preparePasses() pass.Pipeline[flowState] {
 	return pass.Pipeline[flowState]{
 		checked(pass.Pass[flowState]{Name: PassBuild, Run: runBuild}),
 		checked(pass.Pass[flowState]{Name: PassBounds, Run: runBounds}),
 		checked(pass.Pass[flowState]{Name: PassShare, Run: runShare}),
+	}
+}
+
+// solvePasses is the solve+implement half of the flow: steps 4-6 of §5 under
+// the §5.2 re-retiming combinator.
+func solvePasses(opts Options) pass.Pipeline[flowState] {
+	return pass.Pipeline[flowState]{
 		pass.Retry(PassRetry, effectiveMaxRetries(opts),
 			pass.Pipeline[flowState]{
 				checked(pass.Pass[flowState]{Name: PassMinPeriod, Run: runMinPeriod}),

@@ -1,0 +1,98 @@
+package explore
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+	"time"
+)
+
+// FrontSchema versions the exploration output. The schema is stable: fields
+// are only ever added, so any consumer of mcretiming-front/v1 keeps working.
+const FrontSchema = "mcretiming-front/v1"
+
+// ClassRegs is one register class's population in a solved point.
+type ClassRegs struct {
+	Class string `json:"class"` // human-readable control tuple
+	Regs  int    `json:"regs"`
+}
+
+// Point is one Pareto point of the period↔register-area front: the minimum
+// shared-register-area retiming found at PeriodPS.
+type Point struct {
+	PeriodPS    int64       `json:"period_ps"`
+	Regs        int         `json:"regs"`
+	RegsByClass []ClassRegs `json:"regs_by_class"`
+	StepsMoved  int64       `json:"steps_moved"`
+	Retries     int         `json:"retries"`
+	Degraded    bool        `json:"degraded"`
+	// BLIFSHA256 is the SHA-256 of the solved circuit's BLIF rendering: the
+	// determinism witness. Two runs agree on a point iff these match.
+	BLIFSHA256 string `json:"blif_sha256"`
+
+	// BLIF is the solved circuit itself. Excluded from the front JSON (it
+	// would dwarf it); available to callers that want the netlist.
+	BLIF string `json:"-"`
+	// FromStore reports whether this point was served from the result store.
+	// Excluded from the JSON so cold and warm runs emit identical bytes.
+	FromStore bool `json:"-"`
+}
+
+// Front is the Pareto front of feasible clock period vs. register count.
+// Points are sorted by ascending period and strictly decreasing register
+// count; the first point is the minimum-period endpoint (bit-identical to
+// the single-point Retime(MinAreaAtMinPeriod) result).
+type Front struct {
+	Schema           string  `json:"schema"`
+	Circuit          string  `json:"circuit"`
+	BaselinePeriodPS int64   `json:"baseline_period_ps"`
+	BaselineRegs     int     `json:"baseline_regs"`
+	MinPeriodPS      int64   `json:"min_period_ps"`
+	CandidatesSwept  int     `json:"candidates_swept"` // solves attempted (anchor included)
+	Dominated        int     `json:"dominated"`        // swept points pruned as non-Pareto
+	Points           []Point `json:"points"`
+
+	// Run accounting, excluded from the JSON so cold and warm runs emit
+	// identical bytes (CI diffs them); read them from the struct or the
+	// sweep's stderr/metrics surfaces instead.
+	StoreHits   int           `json:"-"`
+	StoreMisses int           `json:"-"`
+	Wall        time.Duration `json:"-"`
+	// SweptPeriods are the periods actually solved (anchor first, then the
+	// candidates), dominated ones included — what a naive point-by-point
+	// reproduction of this sweep would have to solve.
+	SweptPeriods []int64 `json:"-"`
+}
+
+// WriteJSON writes the front as indented, newline-terminated JSON. The
+// rendering is deterministic: same front, same bytes.
+func (f *Front) WriteJSON(w io.Writer) error {
+	data, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	_, err = w.Write(data)
+	return err
+}
+
+// WriteCSV writes the front as a plotting-friendly CSV: one row per point,
+// the per-class breakdown folded into one semicolon-separated column.
+func (f *Front) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "period_ps,regs,steps_moved,retries,degraded,regs_by_class,blif_sha256"); err != nil {
+		return err
+	}
+	for _, p := range f.Points {
+		classes := make([]string, len(p.RegsByClass))
+		for i, cr := range p.RegsByClass {
+			classes[i] = fmt.Sprintf("%s:%d", strings.ReplaceAll(cr.Class, ",", " "), cr.Regs)
+		}
+		if _, err := fmt.Fprintf(w, "%d,%d,%d,%d,%t,%s,%s\n",
+			p.PeriodPS, p.Regs, p.StepsMoved, p.Retries, p.Degraded,
+			strings.Join(classes, ";"), p.BLIFSHA256); err != nil {
+			return err
+		}
+	}
+	return nil
+}

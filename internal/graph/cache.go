@@ -3,6 +3,7 @@ package graph
 import (
 	"context"
 	"sync"
+	"sync/atomic"
 )
 
 // SolveCache memoizes the graph-identity-keyed artifacts the solvers
@@ -24,6 +25,63 @@ type SolveCache struct {
 	wd      *WD
 	circuit []Constraint // circuit-only constraints (bounds-independent)
 	pool    *CutPool
+
+	wdHits, wdMisses     atomic.Int64
+	baseHits, baseMisses atomic.Int64
+}
+
+// CacheStats counts SolveCache lookups: a hit served a memoized artifact, a
+// miss computed it. Base counts the circuit-constraint prefix only — the
+// bounds suffix is always rebuilt because §5.2 retries tighten bounds.
+type CacheStats struct {
+	WDHits     int64 `json:"wd_hits"`
+	WDMisses   int64 `json:"wd_misses"`
+	BaseHits   int64 `json:"base_hits"`
+	BaseMisses int64 `json:"base_misses"`
+}
+
+// Hits returns the total lookups served from memoized state.
+func (s CacheStats) Hits() int64 { return s.WDHits + s.BaseHits }
+
+// Misses returns the total lookups that had to compute.
+func (s CacheStats) Misses() int64 { return s.WDMisses + s.BaseMisses }
+
+// Stats returns a snapshot of the cache's hit/miss counters.
+func (c *SolveCache) Stats() CacheStats {
+	return CacheStats{
+		WDHits:     c.wdHits.Load(),
+		WDMisses:   c.wdMisses.Load(),
+		BaseHits:   c.baseHits.Load(),
+		BaseMisses: c.baseMisses.Load(),
+	}
+}
+
+// Process-cumulative counters across every SolveCache, so tooling that can't
+// reach the per-run cache instances buried in the flow (mcbench -json) can
+// still attribute speedups to cache reuse by sampling before/after a run.
+var totalCacheStats struct {
+	wdHits, wdMisses, baseHits, baseMisses atomic.Int64
+}
+
+// TotalCacheStats returns the process-cumulative SolveCache counters.
+func TotalCacheStats() CacheStats {
+	return CacheStats{
+		WDHits:     totalCacheStats.wdHits.Load(),
+		WDMisses:   totalCacheStats.wdMisses.Load(),
+		BaseHits:   totalCacheStats.baseHits.Load(),
+		BaseMisses: totalCacheStats.baseMisses.Load(),
+	}
+}
+
+// Delta returns s - prev, field-wise: the counters attributable to the work
+// between two TotalCacheStats samples.
+func (s CacheStats) Delta(prev CacheStats) CacheStats {
+	return CacheStats{
+		WDHits:     s.WDHits - prev.WDHits,
+		WDMisses:   s.WDMisses - prev.WDMisses,
+		BaseHits:   s.BaseHits - prev.BaseHits,
+		BaseMisses: s.BaseMisses - prev.BaseMisses,
+	}
 }
 
 // NewSolveCache returns an empty cache bound to g.
@@ -63,6 +121,11 @@ func (c *SolveCache) WD(ctx context.Context, g *Graph, workers int) (*WD, error)
 			return nil, err
 		}
 		c.wd = wd
+		c.wdMisses.Add(1)
+		totalCacheStats.wdMisses.Add(1)
+	} else {
+		c.wdHits.Add(1)
+		totalCacheStats.wdHits.Add(1)
 	}
 	return c.wd, nil
 }
@@ -78,6 +141,11 @@ func (c *SolveCache) Base(g *Graph, bounds *Bounds) []Constraint {
 	c.rebind(g)
 	if c.circuit == nil {
 		c.circuit = g.circuitConstraints()
+		c.baseMisses.Add(1)
+		totalCacheStats.baseMisses.Add(1)
+	} else {
+		c.baseHits.Add(1)
+		totalCacheStats.baseHits.Add(1)
 	}
 	return appendBoundsConstraints(c.circuit[:len(c.circuit):len(c.circuit)], g, bounds)
 }

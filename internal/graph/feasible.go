@@ -30,6 +30,19 @@ func NewBounds(n int) *Bounds {
 	return b
 }
 
+// Clone returns an independent copy of b (nil clones to nil), so concurrent
+// solves over the same graph can tighten their own bounds (§5.2) without
+// racing on shared state.
+func (b *Bounds) Clone() *Bounds {
+	if b == nil {
+		return nil
+	}
+	return &Bounds{
+		Min: append([]int32(nil), b.Min...),
+		Max: append([]int32(nil), b.Max...),
+	}
+}
+
 // Check verifies that r respects the bounds.
 func (b *Bounds) Check(r []int32) error {
 	if b == nil {

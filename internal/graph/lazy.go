@@ -58,6 +58,16 @@ func (p *CutPool) Add(cuts []Cut) { p.cuts = append(p.cuts, cuts...) }
 // Len returns the number of pooled cuts.
 func (p *CutPool) Len() int { return len(p.cuts) }
 
+// Snapshot returns a copy of the pooled cuts. A pool is not safe for
+// concurrent use; a sweep over many periods snapshots the shared pool once
+// and seeds a private pool per concurrent solve instead.
+func (p *CutPool) Snapshot() []Cut { return append([]Cut(nil), p.cuts...) }
+
+// NewCutPool returns a pool pre-seeded with cuts (which it takes ownership
+// of). Seeding is sound across solves on the same graph: a period cut is a
+// property of a graph path, independent of the retiming bounds in force.
+func NewCutPool(cuts []Cut) *CutPool { return &CutPool{cuts: cuts} }
+
 // BaseConstraints returns the circuit constraints plus the class-bound
 // constraints of §5.1 (bounds may be nil).
 func (g *Graph) BaseConstraints(bounds *Bounds) []Constraint {

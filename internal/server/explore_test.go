@@ -1,0 +1,134 @@
+package server
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestExploreWaitRoundTrip: POST /v1/explore returns a Pareto front whose
+// first point matches the single-point retime of the same circuit, and the
+// job view reports kind=explore.
+func TestExploreWaitRoundTrip(t *testing.T) {
+	_, hs := newTestServer(t, Config{StoreDir: t.TempDir()})
+
+	// Single-point reference first.
+	status, body := post(t, hs.URL+"/v1/retime?wait=1", retimeRequest{BLIF: testBLIF(t)})
+	if status != http.StatusOK {
+		t.Fatalf("retime status = %d, body %v", status, body)
+	}
+	refRep := body["result"].(map[string]any)["report"].(map[string]any)
+
+	status, body = post(t, hs.URL+"/v1/explore?wait=1", retimeRequest{BLIF: testBLIF(t)})
+	if status != http.StatusOK {
+		t.Fatalf("explore status = %d, body %v", status, body)
+	}
+	if body["status"] != string(StatusDone) || body["kind"] != KindExplore {
+		t.Fatalf("job view = %v", body)
+	}
+	res := body["result"].(map[string]any)
+	if _, hasBLIF := res["blif"]; hasBLIF {
+		t.Fatal("explore result carries a retime BLIF")
+	}
+	front := res["front"].(map[string]any)
+	if front["schema"] != "mcretiming-front/v1" {
+		t.Fatalf("front schema = %v", front["schema"])
+	}
+	points := front["points"].([]any)
+	if len(points) == 0 {
+		t.Fatal("front has no points")
+	}
+	anchor := points[0].(map[string]any)
+	if anchor["period_ps"] != refRep["period_after_ps"] {
+		t.Fatalf("anchor period %v, single-point retime period %v",
+			anchor["period_ps"], refRep["period_after_ps"])
+	}
+	if front["min_period_ps"] != refRep["period_after_ps"] {
+		t.Fatalf("front min period %v, retime found %v",
+			front["min_period_ps"], refRep["period_after_ps"])
+	}
+
+	// The sweep populated the store; /metrics exposes its counters.
+	resp, err := http.Get(hs.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"store_hits", "store_misses", "store_saves"} {
+		if !strings.Contains(string(metrics), name) {
+			t.Fatalf("metrics missing %s:\n%s", name, metrics)
+		}
+	}
+	if !strings.Contains(string(metrics), "store_saves") {
+		t.Fatalf("metrics:\n%s", metrics)
+	}
+
+	// A second identical sweep is served from the store.
+	status, body = post(t, hs.URL+"/v1/explore?wait=1", retimeRequest{BLIF: testBLIF(t)})
+	if status != http.StatusOK {
+		t.Fatalf("warm explore status = %d, body %v", status, body)
+	}
+	warm, err := json.Marshal(body["result"].(map[string]any)["front"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, err := json.Marshal(front)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(warm) != string(cold) {
+		t.Fatal("warm explore front differs from cold front")
+	}
+}
+
+// TestExploreProgressAndMaxPoints: an async explore job exposes progress and
+// honors the max_points cap.
+func TestExploreProgressAndMaxPoints(t *testing.T) {
+	_, hs := newTestServer(t, Config{})
+	status, body := post(t, hs.URL+"/v1/explore", retimeRequest{
+		BLIF:    testBLIF(t),
+		Options: JobOptions{MaxPoints: 2},
+	})
+	if status != http.StatusAccepted {
+		t.Fatalf("status = %d, body %v", status, body)
+	}
+	id := body["id"].(string)
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		resp, err := http.Get(hs.URL + "/v1/jobs/" + id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var jv map[string]any
+		if err := json.NewDecoder(resp.Body).Decode(&jv); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if jv["status"] == string(StatusDone) {
+			front := jv["result"].(map[string]any)["front"].(map[string]any)
+			if n := len(front["points"].([]any)); n > 2 {
+				t.Fatalf("max_points=2 but front has %d points", n)
+			}
+			// A finished explore job retains its final progress state.
+			prog := jv["progress"].(map[string]any)
+			if prog["done"] != prog["total"] {
+				t.Fatalf("finished job progress %v", prog)
+			}
+			return
+		}
+		if jv["status"] == string(StatusFailed) {
+			t.Fatalf("job failed: %v", jv["error"])
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("job did not finish in time")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}

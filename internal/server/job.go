@@ -9,6 +9,7 @@ import (
 	"strings"
 
 	"mcretiming/internal/core"
+	"mcretiming/internal/explore"
 )
 
 // JobOptions is the serializable subset of core.Options a client may set.
@@ -30,6 +31,10 @@ type JobOptions struct {
 	// TimeoutMS overrides the server's default per-job deadline;
 	// negative disables the deadline entirely.
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+
+	// MaxPoints caps an exploration job's solved points (0 = all candidate
+	// periods). Ignored by retime jobs.
+	MaxPoints int `json:"max_points,omitempty"`
 
 	Budgets BudgetSpec `json:"budgets,omitempty"`
 }
@@ -75,10 +80,20 @@ func (o JobOptions) coreOptions() (core.Options, error) {
 	return opts, nil
 }
 
+// Job kinds: a single-point retiming or a design-space exploration sweep.
+const (
+	KindRetime  = "" // the default, kept empty for checkpoint compatibility
+	KindExplore = "explore"
+)
+
 // JobSpec is everything needed to (re-)run a job: it is what the submission
-// endpoint records and what graceful shutdown checkpoints to disk.
+// endpoint records and what graceful shutdown checkpoints to disk. Kind
+// selects the flow (retime vs explore); checkpointed explore jobs resume as
+// explore jobs, and their solved points are typically already in the result
+// store, so a resumed sweep is mostly loads.
 type JobSpec struct {
 	ID         string     `json:"id"`
+	Kind       string     `json:"kind,omitempty"`
 	BLIF       string     `json:"blif"`
 	Options    JobOptions `json:"options"`
 	Failpoints string     `json:"failpoints,omitempty"` // chaos-only; gated by Config.EnableFailpoints
@@ -112,8 +127,8 @@ type ReportSummary struct {
 	Workers            int      `json:"workers"`
 }
 
-func summarize(rep *core.Report) ReportSummary {
-	return ReportSummary{
+func summarize(rep *core.Report) *ReportSummary {
+	return &ReportSummary{
 		Classes:            rep.NumClasses,
 		PeriodBeforePS:     rep.PeriodBefore,
 		PeriodAfterPS:      rep.PeriodAfter,
@@ -128,10 +143,18 @@ func summarize(rep *core.Report) ReportSummary {
 	}
 }
 
-// Result is a successful job's payload.
+// Result is a successful job's payload: the retimed netlist for retime jobs,
+// the Pareto front for explore jobs.
 type Result struct {
-	BLIF   string        `json:"blif"`
-	Report ReportSummary `json:"report"`
+	BLIF   string         `json:"blif,omitempty"`
+	Report *ReportSummary `json:"report,omitempty"`
+	Front  *explore.Front `json:"front,omitempty"`
+}
+
+// Progress is a running job's per-point completion state (explore jobs only).
+type Progress struct {
+	Done  int `json:"done"`
+	Total int `json:"total"`
 }
 
 // Job is one unit of work tracked by the server. All fields are guarded by
@@ -142,6 +165,7 @@ type Job struct {
 	Spec     JobSpec
 	Status   JobStatus
 	Attempts int
+	Progress *Progress
 	Result   *Result
 	Err      *ErrorBody
 	HTTP     int // status for failed jobs
@@ -151,8 +175,10 @@ type Job struct {
 // jobView is the wire representation of a job.
 type jobView struct {
 	ID       string     `json:"id"`
+	Kind     string     `json:"kind,omitempty"`
 	Status   JobStatus  `json:"status"`
 	Attempts int        `json:"attempts,omitempty"`
+	Progress *Progress  `json:"progress,omitempty"`
 	Result   *Result    `json:"result,omitempty"`
 	Error    *ErrorBody `json:"error,omitempty"`
 }

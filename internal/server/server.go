@@ -44,8 +44,11 @@ import (
 
 	"mcretiming/internal/blif"
 	"mcretiming/internal/core"
+	"mcretiming/internal/explore"
 	"mcretiming/internal/failpoint"
+	"mcretiming/internal/netlist"
 	"mcretiming/internal/rterr"
+	"mcretiming/internal/store"
 	"mcretiming/internal/trace"
 )
 
@@ -73,6 +76,11 @@ type Config struct {
 	// arming the named sites for that job only. Chaos testing only —
 	// leave off in production.
 	EnableFailpoints bool
+	// StoreDir, when non-empty, opens a persistent content-addressed result
+	// store there (internal/store): exploration jobs load solved points from
+	// it across requests and restarts, and /metrics exports its hit/miss
+	// counters.
+	StoreDir string
 }
 
 func (c Config) withDefaults() Config {
@@ -114,6 +122,7 @@ type Server struct {
 	stop     chan struct{}
 	wg       sync.WaitGroup
 	inflight atomic.Int64
+	store    *store.Store // nil when Config.StoreDir is empty
 
 	submitted, completed, failed, rejected, retried, panics, resumed atomic.Int64
 
@@ -133,6 +142,7 @@ func New(cfg Config) *Server {
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/retime", s.handleSubmit)
+	mux.HandleFunc("POST /v1/explore", s.handleExplore)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /readyz", s.handleReadyz)
@@ -144,8 +154,16 @@ func New(cfg Config) *Server {
 // Handler returns the service's HTTP handler.
 func (s *Server) Handler() http.Handler { return s.mux }
 
-// Start resumes any checkpointed jobs and launches the worker pool.
+// Start opens the result store (if configured), resumes any checkpointed
+// jobs, and launches the worker pool.
 func (s *Server) Start() error {
+	if s.cfg.StoreDir != "" {
+		st, err := store.Open(s.cfg.StoreDir)
+		if err != nil {
+			return fmt.Errorf("server: open result store: %w", err)
+		}
+		s.store = st
+	}
 	if err := s.resume(); err != nil {
 		return fmt.Errorf("server: resume checkpoints: %w", err)
 	}
@@ -371,20 +389,14 @@ func (s *Server) execute(job *Job) error {
 			return err
 		}
 		rec := trace.NewRecorder()
-		opts.Trace = rec
-		out, rep, err := core.RetimeCtx(ctx, c, opts)
+		res, err := s.runAttempt(ctx, job, c, opts, rec)
 		s.foldCounters(rec)
 		if err == nil {
-			if attempt > 1 {
-				rep.Degraded = append(rep.Degraded, fmt.Sprintf(
+			if attempt > 1 && res.Report != nil {
+				res.Report.Degraded = append(res.Report.Degraded, fmt.Sprintf(
 					"budget exceeded; succeeded on attempt %d with budgets relaxed %d rung(s)",
 					attempt, attempt-1))
 			}
-			var buf bytes.Buffer
-			if err := blif.Write(&buf, out); err != nil {
-				return err
-			}
-			res := &Result{BLIF: buf.String(), Report: summarize(rep)}
 			s.mu.Lock()
 			job.Result = res
 			s.mu.Unlock()
@@ -407,6 +419,41 @@ func (s *Server) execute(job *Job) error {
 	}
 }
 
+// runAttempt runs one attempt of job's flow — a single-point retiming or an
+// exploration sweep — and returns its result payload. rec receives the
+// attempt's trace counters for the service totals.
+func (s *Server) runAttempt(ctx context.Context, job *Job, c *netlist.Circuit, opts core.Options, rec *trace.Recorder) (*Result, error) {
+	if job.Spec.Kind == KindExplore {
+		opts.Trace = rec // steps 1-3 of the shared prepare stage
+		front, err := explore.Sweep(ctx, c, explore.Options{
+			Core:        opts,
+			Parallelism: opts.Parallelism,
+			MaxPoints:   job.Spec.Options.MaxPoints,
+			Store:       s.store,
+			Trace:       rec,
+			Progress: func(done, total int) {
+				s.mu.Lock()
+				job.Progress = &Progress{Done: done, Total: total}
+				s.mu.Unlock()
+			},
+		})
+		if err != nil {
+			return nil, err
+		}
+		return &Result{Front: front}, nil
+	}
+	opts.Trace = rec
+	out, rep, err := core.RetimeCtx(ctx, c, opts)
+	if err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	if err := blif.Write(&buf, out); err != nil {
+		return nil, err
+	}
+	return &Result{BLIF: buf.String(), Report: summarize(rep)}, nil
+}
+
 // foldCounters merges one job run's trace counters into the service totals.
 func (s *Server) foldCounters(rec *trace.Recorder) {
 	s.cntMu.Lock()
@@ -423,7 +470,7 @@ func (s *Server) foldCounters(rec *trace.Recorder) {
 
 // --- HTTP handlers ---
 
-// retimeRequest is the POST /v1/retime envelope.
+// retimeRequest is the POST /v1/retime and POST /v1/explore envelope.
 type retimeRequest struct {
 	BLIF       string     `json:"blif"`
 	Options    JobOptions `json:"options"`
@@ -443,6 +490,14 @@ func writeError(w http.ResponseWriter, status int, code, detail string) {
 }
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	s.submit(w, r, KindRetime)
+}
+
+func (s *Server) handleExplore(w http.ResponseWriter, r *http.Request) {
+	s.submit(w, r, KindExplore)
+}
+
+func (s *Server) submit(w http.ResponseWriter, r *http.Request, kind string) {
 	var req retimeRequest
 	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
 	if err := json.NewDecoder(body).Decode(&req); err != nil {
@@ -482,6 +537,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	job := &Job{
 		Spec: JobSpec{
 			ID:         fmt.Sprintf("job-%06d", s.seq),
+			Kind:       kind,
 			BLIF:       req.BLIF,
 			Options:    req.Options,
 			Failpoints: req.Failpoints,
@@ -537,8 +593,10 @@ func (s *Server) writeJob(w http.ResponseWriter, job *Job) {
 	s.mu.Lock()
 	view := jobView{
 		ID:       job.Spec.ID,
+		Kind:     job.Spec.Kind,
 		Status:   job.Status,
 		Attempts: job.Attempts,
+		Progress: job.Progress,
 		Result:   job.Result,
 		Error:    job.Err,
 	}
@@ -587,6 +645,16 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	put("queue_depth", int64(len(s.queue)))
 	put("inflight", s.inflight.Load())
 	put("draining", int64(draining))
+
+	// Result-store counters (zero unless -store is configured).
+	if s.store != nil {
+		st := s.store.Stats()
+		put("store_hits", st.Hits)
+		put("store_misses", st.Misses)
+		put("store_corrupt", st.Corrupt)
+		put("store_saves", st.Saves)
+		put("store_save_errors", st.SaveErrors)
+	}
 
 	// Engine counters aggregated from per-job trace recorders, in stable
 	// order.

@@ -1,0 +1,234 @@
+// Package store is a content-addressed, on-disk result store: a mapping from
+// a caller-computed key (a hash over the inputs that determine a result —
+// circuit bytes, option fingerprint, sub-result discriminator) to a JSON
+// payload. The exploration sweep uses it so repeated sweeps, server restarts,
+// and CI runs serve solved points from disk instead of re-solving.
+//
+// The design goal is that the store can NEVER make an answer wrong — only
+// absent. Every failure mode degrades to a miss and the caller re-solves:
+//
+//   - writes go to a temp file in the final directory and are renamed into
+//     place, so readers never observe a half-written entry;
+//   - every entry is an envelope carrying the schema version, the full key,
+//     and a SHA-256 over the payload bytes; a load whose file is unreadable,
+//     unparsable, schema-mismatched, key-mismatched (hash-prefix collision or
+//     file moved by hand), or checksum-mismatched counts as corrupt and
+//     reports a miss;
+//   - Save errors are reported to the caller but leave no partial entry.
+//
+// The failpoint sites store.load and store.save inject I/O failures at the
+// natural boundaries, so chaos tests can prove the degradation path.
+package store
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+
+	"mcretiming/internal/failpoint"
+)
+
+// Schema is the version tag of the on-disk envelope. Bump it when the layout
+// changes incompatibly; old entries then read as misses and are re-solved,
+// never misinterpreted.
+const Schema = "mcretiming-store/v1"
+
+// Store is an on-disk result store rooted at a directory. A nil *Store is a
+// valid always-miss store (Load reports false, Save drops the value), so
+// callers thread an optional store without nil checks.
+//
+// All methods are safe for concurrent use, across goroutines and across
+// processes sharing the directory (atomicity comes from rename, not locks).
+type Store struct {
+	dir   string
+	stats storeStats
+}
+
+type storeStats struct {
+	hits, misses, corrupt atomic.Int64
+	saves, saveErrors     atomic.Int64
+}
+
+// Stats is a snapshot of a store's counters. Corrupt counts loads that found
+// an entry but rejected it (parse, schema, key, or checksum failure); every
+// corrupt load is also a miss.
+type Stats struct {
+	Hits       int64 `json:"hits"`
+	Misses     int64 `json:"misses"`
+	Corrupt    int64 `json:"corrupt"`
+	Saves      int64 `json:"saves"`
+	SaveErrors int64 `json:"save_errors"`
+}
+
+// Stats returns a snapshot of the store's counters (zero value for nil).
+func (s *Store) Stats() Stats {
+	if s == nil {
+		return Stats{}
+	}
+	return Stats{
+		Hits:       s.stats.hits.Load(),
+		Misses:     s.stats.misses.Load(),
+		Corrupt:    s.stats.corrupt.Load(),
+		Saves:      s.stats.saves.Load(),
+		SaveErrors: s.stats.saveErrors.Load(),
+	}
+}
+
+// Dir returns the store's root directory ("" for nil).
+func (s *Store) Dir() string {
+	if s == nil {
+		return ""
+	}
+	return s.dir
+}
+
+// Open opens (creating if needed) a store rooted at dir.
+func Open(dir string) (*Store, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("store: empty directory")
+	}
+	if err := os.MkdirAll(filepath.Join(dir, "objects"), 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	return &Store{dir: dir}, nil
+}
+
+// Key derives a content address from parts: a SHA-256 over the parts with
+// length framing (so part boundaries can't be shifted), hex-encoded. Callers
+// put every input that determines the result into the parts — typically raw
+// content bytes plus an options fingerprint plus a discriminator string.
+func Key(parts ...[]byte) string {
+	h := sha256.New()
+	var frame [8]byte
+	for _, p := range parts {
+		n := len(p)
+		for i := 0; i < 8; i++ {
+			frame[i] = byte(n >> (8 * i))
+		}
+		h.Write(frame[:])
+		h.Write(p)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// envelope is the on-disk entry format.
+type envelope struct {
+	Schema        string          `json:"schema"`
+	Key           string          `json:"key"`
+	PayloadSHA256 string          `json:"payload_sha256"`
+	Payload       json.RawMessage `json:"payload"`
+}
+
+// path maps a key to its file: objects/<first two hex chars>/<rest>.json,
+// the usual fan-out that keeps directories small.
+func (s *Store) path(key string) string {
+	return filepath.Join(s.dir, "objects", key[:2], key[2:]+".json")
+}
+
+// Load looks key up and, on a hit, unmarshals the stored payload into v and
+// returns true. Every failure — absent entry, I/O error, corruption of any
+// kind — returns false; the caller re-solves. ctx carries failpoint state for
+// the store.load chaos site.
+func (s *Store) Load(ctx context.Context, key string, v any) bool {
+	if s == nil || len(key) < 3 {
+		return false
+	}
+	if err := failpoint.Inject(ctx, "store.load"); err != nil {
+		s.stats.misses.Add(1)
+		return false
+	}
+	data, err := os.ReadFile(s.path(key))
+	if err != nil {
+		s.stats.misses.Add(1)
+		return false
+	}
+	var env envelope
+	if err := json.Unmarshal(data, &env); err != nil {
+		return s.corruptLoad(err)
+	}
+	if env.Schema != Schema || env.Key != key {
+		return s.corruptLoad(fmt.Errorf("schema %q key %q", env.Schema, env.Key))
+	}
+	sum := sha256.Sum256(env.Payload)
+	if hex.EncodeToString(sum[:]) != env.PayloadSHA256 {
+		return s.corruptLoad(fmt.Errorf("payload checksum mismatch"))
+	}
+	if err := json.Unmarshal(env.Payload, v); err != nil {
+		return s.corruptLoad(err)
+	}
+	s.stats.hits.Add(1)
+	return true
+}
+
+// corruptLoad records a rejected entry and reports a miss.
+func (s *Store) corruptLoad(error) bool {
+	s.stats.corrupt.Add(1)
+	s.stats.misses.Add(1)
+	return false
+}
+
+// Save stores v under key atomically: marshal, write to a temp file in the
+// final directory, rename into place. A Save error leaves either the old
+// entry or no entry — never a torn one. Saving to a nil store is a no-op.
+// ctx carries failpoint state for the store.save chaos site.
+func (s *Store) Save(ctx context.Context, key string, v any) error {
+	if s == nil {
+		return nil
+	}
+	if len(key) < 3 {
+		return fmt.Errorf("store: key %q too short", key)
+	}
+	if err := failpoint.Inject(ctx, "store.save"); err != nil {
+		s.stats.saveErrors.Add(1)
+		return fmt.Errorf("store: save %s: %w", key[:8], err)
+	}
+	payload, err := json.Marshal(v)
+	if err != nil {
+		s.stats.saveErrors.Add(1)
+		return fmt.Errorf("store: marshal %s: %w", key[:8], err)
+	}
+	sum := sha256.Sum256(payload)
+	data, err := json.Marshal(envelope{
+		Schema:        Schema,
+		Key:           key,
+		PayloadSHA256: hex.EncodeToString(sum[:]),
+		Payload:       payload,
+	})
+	if err != nil {
+		s.stats.saveErrors.Add(1)
+		return fmt.Errorf("store: marshal %s: %w", key[:8], err)
+	}
+	final := s.path(key)
+	if err := os.MkdirAll(filepath.Dir(final), 0o755); err != nil {
+		s.stats.saveErrors.Add(1)
+		return fmt.Errorf("store: %w", err)
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(final), ".tmp-*")
+	if err != nil {
+		s.stats.saveErrors.Add(1)
+		return fmt.Errorf("store: %w", err)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		s.stats.saveErrors.Add(1)
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		s.stats.saveErrors.Add(1)
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), final); err != nil {
+		os.Remove(tmp.Name())
+		s.stats.saveErrors.Add(1)
+		return fmt.Errorf("store: %w", err)
+	}
+	s.stats.saves.Add(1)
+	return nil
+}

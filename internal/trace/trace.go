@@ -14,6 +14,7 @@ package trace
 
 import (
 	"context"
+	"sort"
 	"sync"
 	"time"
 )
@@ -194,4 +195,41 @@ func (r *Recorder) RootCounters() map[string]int64 {
 		out[k] = v
 	}
 	return out
+}
+
+// AllCounters returns every counter of the recorder — root plus all spans —
+// summed by name. Span identity is lost; this is the projection a parent
+// run folds into its own sink when it ran children on private recorders.
+func (r *Recorder) AllCounters() map[string]int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]int64, len(r.root))
+	for k, v := range r.root {
+		out[k] = v
+	}
+	for i := range r.spans {
+		for k, v := range r.spans[i].counters {
+			out[k] += v
+		}
+	}
+	return out
+}
+
+// MergeCounters folds every counter of rec into dst in sorted-name order, so
+// a deterministic sink sees a deterministic sequence regardless of how the
+// recorder was populated. Parallel stages record into private Recorders and
+// merge here instead of sharing one sink concurrently.
+func MergeCounters(dst Sink, rec *Recorder) {
+	if dst == nil || rec == nil {
+		return
+	}
+	all := rec.AllCounters()
+	names := make([]string, 0, len(all))
+	for name := range all {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		dst.Add(name, all[name])
+	}
 }

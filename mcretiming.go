@@ -20,6 +20,8 @@
 //	retime    minimum-area retiming (min-cost-flow dual)
 //	justify   BDD reset-state justification (local + global)
 //	core      the six-step mc-retiming flow
+//	explore   design-space sweep: the period↔register-area Pareto front
+//	store     content-addressed on-disk result store backing the sweep
 //	xc4000    4-LUT FPGA mapper, delay model, decomposition baselines
 //	sim       three-valued cycle simulator
 //	verify    sequential equivalence by random simulation
@@ -44,11 +46,13 @@ import (
 	"mcretiming/internal/blif"
 	"mcretiming/internal/bmc"
 	"mcretiming/internal/core"
+	"mcretiming/internal/explore"
 	"mcretiming/internal/hdlio"
 	"mcretiming/internal/logic"
 	"mcretiming/internal/netlist"
 	"mcretiming/internal/opt"
 	"mcretiming/internal/rterr"
+	"mcretiming/internal/store"
 	"mcretiming/internal/trace"
 	"mcretiming/internal/verify"
 	"mcretiming/internal/verilog"
@@ -169,6 +173,39 @@ func Retime(c *Circuit, opts Options) (*Circuit, *Report, error) {
 func RetimeCtx(ctx context.Context, c *Circuit, opts Options) (*Circuit, *Report, error) {
 	return core.RetimeCtx(ctx, c, opts)
 }
+
+// ExploreOptions configures Explore: the core option set per solve, the
+// sweep-level parallelism, an optional point cap, an optional persistent
+// result store, and trace/progress hooks.
+type ExploreOptions = explore.Options
+
+// Front is the Pareto front of feasible clock period vs. register count
+// computed by Explore: the stable mcretiming-front/v1 output.
+type Front = explore.Front
+
+// ParetoPoint is one point of a Front.
+type ParetoPoint = explore.Point
+
+// Explore sweeps the candidate clock periods of c (the distinct D-matrix
+// entries) and returns the Pareto front of feasible period vs. register
+// count. The minimum-period endpoint is bit-identical to the single-point
+// Retime(MinAreaAtMinPeriod) result, and the front is deterministic at any
+// parallelism. With ExploreOptions.Store set, solved points persist across
+// runs and processes.
+func Explore(ctx context.Context, c *Circuit, o ExploreOptions) (*Front, error) {
+	return explore.Sweep(ctx, c, o)
+}
+
+// ResultStore is a content-addressed on-disk store for solved results; see
+// internal/store for the corruption-tolerance guarantees. A nil *ResultStore
+// is a valid always-miss store.
+type ResultStore = store.Store
+
+// StoreStats is a snapshot of a ResultStore's hit/miss/corruption counters.
+type StoreStats = store.Stats
+
+// OpenStore opens (creating if needed) a result store rooted at dir.
+func OpenStore(dir string) (*ResultStore, error) { return store.Open(dir) }
 
 // TraceSink receives hierarchical spans and counters from an instrumented
 // run. Pass a *TraceRecorder (or any custom implementation) in
