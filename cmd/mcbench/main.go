@@ -4,7 +4,7 @@
 // Usage:
 //
 //	mcbench [-table 1|2|3] [-fig1] [-passes] [-j N]
-//	        [-json out.json [-pr label] [-explore [-explore-points N]]]
+//	        [-json out.json [-pr label] [-explore [-explore-points N]] [-engines]]
 //
 // With no flags it runs everything. -passes adds the per-pass runtime
 // breakdown of the retiming pipeline under Table 2. -j sets the engine
@@ -49,6 +49,7 @@ func main() {
 	prLabel := flag.String("pr", "", "label recorded in the -json snapshot")
 	exploreFlag := flag.Bool("explore", false, "with -json: also measure the design-space sweep (cold vs warm vs naive; slow)")
 	explorePoints := flag.Int("explore-points", 6, "points the -explore sweep solves (0 = every candidate period)")
+	enginesFlag := flag.Bool("engines", false, "with -json: also measure sparse vs dense cold solves and the ECO re-prepare path (slow)")
 	flag.Usage = func() {
 		fmt.Fprintln(os.Stderr, "usage: mcbench [-table 1|2|3] [-fig1] [-passes] [-j N] [-json out.json [-pr label] [-explore]]")
 		flag.PrintDefaults()
@@ -84,6 +85,13 @@ exit codes:
 			}
 			p.Explore = ep
 		}
+		if *enginesFlag {
+			eng, err := bench.MeasureEnginesCtx(ctx)
+			if err != nil {
+				fatal(err)
+			}
+			p.Engines = eng
+		}
 		f, err := os.Create(*jsonOut)
 		if err != nil {
 			fatal(err)
@@ -94,6 +102,12 @@ exit codes:
 		}
 		if err := f.Close(); err != nil {
 			fatal(err)
+		}
+		if p.SingleCore() {
+			// Satellite of the determinism contract: on a 1-core host the
+			// speedup columns measure goroutine overhead, not scaling.
+			fmt.Fprintf(os.Stderr, "warning: single-core host (GOMAXPROCS=%d, NumCPU=%d): speedup figures are not meaningful here\n",
+				p.GoMaxProcs, p.NumCPU)
 		}
 		diverged := false
 		for _, pt := range p.WD {
@@ -117,6 +131,13 @@ exit codes:
 			fmt.Fprintf(os.Stderr, "explore naive %8.2fms  cold speedup vs naive %.2fx\n",
 				float64(ep.NaiveNS)/1e6, ep.NaiveSpeedup)
 			diverged = diverged || !ep.WarmIdentical
+		}
+		if eng := p.Engines; eng != nil {
+			fmt.Fprintf(os.Stderr, "engine dense  %8.2fms  sparse %8.2fms  sparse speedup %.2fx  identical=%v  (%d vertices)\n",
+				float64(eng.DenseColdNS)/1e6, float64(eng.SparseColdNS)/1e6, eng.SparseSpeedup, eng.Identical, eng.Vertices)
+			fmt.Fprintf(os.Stderr, "eco    cold   %8.2fms  apply  %8.2fms  eco speedup %.2fx  identical=%v\n",
+				float64(eng.PrepareNS)/1e6, float64(eng.ApplyNS)/1e6, eng.EcoSpeedup, eng.EcoIdentical)
+			diverged = diverged || !eng.Identical || !eng.EcoIdentical
 		}
 		// Timing is advisory, determinism is the contract: a parallel run
 		// whose result differs from serial is a hard failure.

@@ -4,6 +4,14 @@
 // Usage:
 //
 //	mcgen [-dir out] [-format mcn|blif|v] [-mapped] [-c N]
+//	mcgen -scale pipeline|dag [-n GATES] [-width W] [-seed S] [-mix P,E,S,A] [-dir out] [-format F]
+//
+// With -scale, instead of the C1-C10 suite a single scale-family circuit is
+// generated: "pipeline" is width parallel bit chains with alternating-depth
+// stages (mostly fanout-1, sized by -n up to 10⁵+ gates), "dag" a random
+// reconvergent DAG. -mix weights the register classes
+// plain,enable,sync-reset,async-reset (default "1,1,0,0" — justification-
+// trivial, the profile the scale smoke runs use).
 package main
 
 import (
@@ -11,16 +19,49 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 
 	"mcretiming"
 	"mcretiming/internal/gen"
+	"mcretiming/internal/netlist"
 )
+
+// parseMix parses a "plain,en,sr,ar" weight list.
+func parseMix(s string) (gen.ClassMix, error) {
+	var m gen.ClassMix
+	fields := strings.Split(s, ",")
+	if len(fields) != 4 {
+		return m, fmt.Errorf("mix %q: want four comma-separated weights (plain,en,sr,ar)", s)
+	}
+	for i, f := range fields {
+		var w int
+		if _, err := fmt.Sscanf(strings.TrimSpace(f), "%d", &w); err != nil || w < 0 {
+			return m, fmt.Errorf("mix %q: bad weight %q", s, f)
+		}
+		switch i {
+		case 0:
+			m.Plain = w
+		case 1:
+			m.EN = w
+		case 2:
+			m.SR = w
+		case 3:
+			m.AR = w
+		}
+	}
+	return m, nil
+}
 
 func main() {
 	dir := flag.String("dir", ".", "output directory")
 	format := flag.String("format", "mcn", "output format: mcn, blif or v (Verilog)")
 	mapped := flag.Bool("mapped", false, "run the Table-1 flow (decompose sync resets + 4-LUT map) first")
 	only := flag.Int("c", 0, "generate only circuit N (1-10); 0 = all")
+	scale := flag.String("scale", "", `generate one scale-family circuit instead of the suite: "pipeline" or "dag"`)
+	nGates := flag.Int("n", 50000, "with -scale: approximate gate count")
+	width := flag.Int("width", 64, "with -scale pipeline: bus width (bit chains)")
+	seed := flag.Int64("seed", 1, "with -scale: generator seed")
+	mixFlag := flag.String("mix", "1,1,0,0", "with -scale: register class weights plain,en,sr,ar")
 	flag.Parse()
 
 	ext := map[string]string{"mcn": ".mcn", "blif": ".blif", "v": ".v"}[*format]
@@ -29,6 +70,31 @@ func main() {
 	}
 	if err := os.MkdirAll(*dir, 0o755); err != nil {
 		fatal(err)
+	}
+
+	if *scale != "" {
+		mix, err := parseMix(*mixFlag)
+		if err != nil {
+			fatal(err)
+		}
+		var c *netlist.Circuit
+		switch *scale {
+		case "pipeline":
+			// Stage gate cost ≈ width × 2 (alternating depth 1 and 3).
+			stages := max(1, *nGates / *width / 2)
+			c, err = gen.ScalePipeline(*seed, *width, stages, mix)
+		case "dag":
+			c, err = gen.ScaleDAG(*seed, *nGates, mix)
+		default:
+			err = fmt.Errorf("unknown scale family %q (want pipeline or dag)", *scale)
+		}
+		if err != nil {
+			fatal(err)
+		}
+		if err := writeCircuit(filepath.Join(*dir, c.Name+ext), *format, c); err != nil {
+			fatal(err)
+		}
+		return
 	}
 	for i, p := range gen.Profiles {
 		if *only != 0 && i+1 != *only {
@@ -44,27 +110,35 @@ func main() {
 				fatal(fmt.Errorf("%s: %w", p.Name, err))
 			}
 		}
-		path := filepath.Join(*dir, p.Name+ext)
-		f, err := os.Create(path)
-		if err != nil {
+		if err := writeCircuit(filepath.Join(*dir, p.Name+ext), *format, c); err != nil {
 			fatal(err)
 		}
-		switch *format {
-		case "mcn":
-			err = mcretiming.WriteNetlist(f, c)
-		case "blif":
-			err = mcretiming.WriteBLIF(f, c)
-		case "v":
-			err = mcretiming.WriteVerilog(f, c)
-		}
-		if cerr := f.Close(); err == nil {
-			err = cerr
-		}
-		if err != nil {
-			fatal(fmt.Errorf("%s: %w", path, err))
-		}
-		fmt.Printf("%s: %d gates, %d registers\n", path, c.NumGates(), c.NumRegs())
 	}
+}
+
+// writeCircuit serializes c to path in the chosen format and prints the
+// one-line summary.
+func writeCircuit(path, format string, c *netlist.Circuit) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	switch format {
+	case "mcn":
+		err = mcretiming.WriteNetlist(f, c)
+	case "blif":
+		err = mcretiming.WriteBLIF(f, c)
+	case "v":
+		err = mcretiming.WriteVerilog(f, c)
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	fmt.Printf("%s: %d gates, %d registers\n", path, c.NumGates(), c.NumRegs())
+	return nil
 }
 
 func fatal(err error) {

@@ -2,7 +2,7 @@
 //
 // Usage:
 //
-//	mcretime [-minperiod | -period NS] [-o out] [-map] [-verify] [-critical] [-slack N] [-blif] [-trace out.json] [-timeout D] [-j N] in.{mcn,blif}
+//	mcretime [-minperiod | -period NS] [-o out] [-map] [-verify] [-critical] [-slack N] [-blif] [-trace out.json] [-timeout D] [-j N] [-engine E] in.{mcn,blif}
 //
 // The default objective is minimum area at the minimum feasible period (the
 // paper's "minimal area for best delay"). With -map the input is first
@@ -75,6 +75,7 @@ func main() {
 	traceFile := flag.String("trace", "", "write Chrome trace-event JSON of the retiming pipeline here")
 	timeout := flag.Duration("timeout", 0, "abort retiming after this long (e.g. 30s; 0 = no limit)")
 	jobs := flag.Int("j", 0, "engine parallelism (0 = GOMAXPROCS, 1 = serial; result is identical either way)")
+	engineFlag := flag.String("engine", "auto", "solve engine: auto, sparse (matrix-free), or dense (W/D reference)")
 	flag.Usage = func() {
 		fmt.Fprintln(os.Stderr, "usage: mcretime [flags] in.{mcn,blif}")
 		flag.PrintDefaults()
@@ -118,6 +119,9 @@ exit codes:
 	}
 
 	opts := mcretiming.Options{Objective: mcretiming.MinAreaAtMinPeriod, Parallelism: *jobs}
+	if opts.Engine, err = mcretiming.ParseEngine(*engineFlag); err != nil {
+		fatal(err)
+	}
 	switch {
 	case *minperiod:
 		opts.Objective = mcretiming.MinPeriod

@@ -46,7 +46,15 @@ type Perf struct {
 	// Explore is the design-space-sweep measurement (mcbench -explore);
 	// absent when not requested.
 	Explore *ExplorePerf `json:"explore,omitempty"`
+	// Engines is the sparse-vs-dense solve-core and ECO measurement
+	// (mcbench -engines); absent when not requested.
+	Engines *EnginePerf `json:"engines,omitempty"`
 }
+
+// SingleCore reports that the host cannot exhibit parallel speedup: speedup
+// columns from such a run measure overhead, not scaling, and must not be
+// compared against multi-core snapshots.
+func (p *Perf) SingleCore() bool { return p.GoMaxProcs <= 1 || p.NumCPU <= 1 }
 
 // perfGraph builds the ≥2000-vertex random profile the W/D scaling
 // measurement (and BenchmarkComputeWD) runs on.

@@ -21,6 +21,7 @@ package core
 
 import (
 	"context"
+	"fmt"
 	"time"
 
 	"mcretiming/internal/justify"
@@ -47,11 +48,61 @@ const (
 // conflicts at once.
 const DefaultMaxRetries = 8
 
+// SolveEngine selects the period-constraint machinery of steps 4-5.
+type SolveEngine int
+
+// Engines. The sparse (matrix-free) engine is primary: minperiod by numeric
+// binary search over lazily generated period cuts, minarea by the
+// cutting-plane loop, candidate periods streamed per source — no O(V²) W/D
+// matrices anywhere, which is what lets the flow scale past toy circuits.
+// The dense engine materializes W/D and enumerates every period constraint
+// up front: the reference formulation, demoted to a cross-check. Both
+// produce bit-identical circuits (the equivalence tests pin this down);
+// EngineAuto runs sparse and, when invariant checks are on and the graph is
+// small, re-derives the minimum period densely and fails loudly on any
+// disagreement.
+const (
+	EngineAuto SolveEngine = iota
+	EngineSparse
+	EngineDense
+)
+
+// String returns the engine's wire/fingerprint token.
+func (e SolveEngine) String() string {
+	switch e {
+	case EngineDense:
+		return "dense"
+	case EngineSparse:
+		return "sparse"
+	}
+	return "auto"
+}
+
+// ParseEngine parses a wire/flag engine token ("", "auto", "sparse",
+// "dense").
+func ParseEngine(s string) (SolveEngine, error) {
+	switch s {
+	case "", "auto":
+		return EngineAuto, nil
+	case "sparse":
+		return EngineSparse, nil
+	case "dense":
+		return EngineDense, nil
+	}
+	return EngineAuto, fmt.Errorf("core: unknown engine %q (want auto, sparse or dense)", s)
+}
+
 // Options configures Retime. The zero value asks for minimum area at the
 // minimum feasible period with all paper mechanisms enabled.
 type Options struct {
 	Objective    Objective
 	TargetPeriod int64 // picoseconds; used by MinAreaAtPeriod
+
+	// Engine selects the solve core of steps 4-5 (see SolveEngine). The zero
+	// value (EngineAuto) runs the matrix-free sparse engine, cross-checked
+	// against the dense reference on small graphs when invariant checks are
+	// enabled.
+	Engine SolveEngine
 
 	// DisableSharing skips step 3 (the §4.2 separation vertices): the
 	// ablation baseline whose area cost function can undercount.
@@ -188,6 +239,10 @@ type Report struct {
 	// Workers is the resolved parallelism the run executed with (Options.
 	// Parallelism after GOMAXPROCS resolution).
 	Workers int
+
+	// Engine is the solve engine that produced the result: "sparse" or
+	// "dense" (EngineAuto resolves to "sparse").
+	Engine string
 
 	// PassTimes is the per-pass wall-time breakdown, in pipeline order. The
 	// three coarse aggregates below are sums over it and are kept for

@@ -1,0 +1,107 @@
+package core
+
+import (
+	"testing"
+
+	"mcretiming/internal/gen"
+	"mcretiming/internal/netlist"
+	"mcretiming/internal/xc4000"
+)
+
+// equivCircuits builds the engine-equivalence golden suite: mapped profiles
+// covering plain pipelines (C2), async-reset + justification-heavy structure
+// (C6) and sharing-heavy many-class structure (C7), plus a seeded random
+// circuit mixing every register class.
+func equivCircuits(t *testing.T) []*netlist.Circuit {
+	t.Helper()
+	var circuits []*netlist.Circuit
+	for _, i := range []int{2, 6, 7} {
+		c, err := gen.Circuit(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mapped, err := xc4000.Map(xc4000.DecomposeSyncResets(c.Clone()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		circuits = append(circuits, mapped)
+	}
+	return append(circuits, gen.Random(42, 300))
+}
+
+// TestEngineEquivalence is the sparse core's correctness anchor: on the
+// golden suite, the matrix-free engine must produce a circuit bit-identical
+// to the dense W/D reference engine — at every parallelism level, for both
+// objectives that exercise the solve core. The engines share relocation and
+// justification, so any divergence localizes to the period/area solvers.
+func TestEngineEquivalence(t *testing.T) {
+	for _, c := range equivCircuits(t) {
+		c := c
+		t.Run(c.Name, func(t *testing.T) {
+			t.Parallel()
+			// MinAreaAtMinPeriod runs the full solve core (minperiod then
+			// minarea), so it alone pins both solvers; the extra MinPeriod-
+			// objective pass doubles the dense reference cost for little new
+			// coverage, so the big golden (mapped C6, ~60 s per dense solve)
+			// skips it.
+			objectives := []Objective{MinPeriod, MinAreaAtMinPeriod}
+			if c.NumGates()+c.NumRegs() > 2000 {
+				objectives = objectives[1:]
+			}
+			for _, obj := range objectives {
+				ref, refRep, err := Retime(c, Options{Objective: obj, Engine: EngineDense, Parallelism: 1})
+				if err != nil {
+					t.Fatalf("%v dense: %v", obj, err)
+				}
+				if refRep.Engine != "dense" {
+					t.Fatalf("%v dense: Report.Engine = %q", obj, refRep.Engine)
+				}
+				refText := circuitText(t, ref)
+				for _, p := range parallelismLevels() {
+					out, rep, err := Retime(c, Options{Objective: obj, Engine: EngineSparse, Parallelism: p})
+					if err != nil {
+						t.Fatalf("%v sparse j=%d: %v", obj, p, err)
+					}
+					if rep.Engine != "sparse" {
+						t.Fatalf("%v sparse j=%d: Report.Engine = %q", obj, p, rep.Engine)
+					}
+					if got := circuitText(t, out); got != refText {
+						t.Fatalf("%v sparse j=%d: circuit differs from the dense reference", obj, p)
+					}
+					if rep.PeriodAfter != refRep.PeriodAfter || rep.RegsAfter != refRep.RegsAfter ||
+						rep.StepsMoved != refRep.StepsMoved || rep.NumClasses != refRep.NumClasses ||
+						rep.JustifyLocal != refRep.JustifyLocal || rep.JustifyGlobal != refRep.JustifyGlobal {
+						t.Fatalf("%v sparse j=%d: report diverged: %+v vs %+v", obj, p, rep, refRep)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestEngineAutoMatchesSparse pins EngineAuto to the sparse result (the
+// store's fingerprint folds auto and sparse into one keyspace on the strength
+// of this): auto may add a dense cross-check, but the circuit it returns must
+// be the sparse engine's, bit for bit.
+func TestEngineAutoMatchesSparse(t *testing.T) {
+	for _, c := range equivCircuits(t) {
+		c := c
+		t.Run(c.Name, func(t *testing.T) {
+			t.Parallel()
+			sparse, _, err := Retime(c, Options{Objective: MinAreaAtMinPeriod, Engine: EngineSparse})
+			if err != nil {
+				t.Fatal(err)
+			}
+			auto, rep, err := Retime(c, Options{Objective: MinAreaAtMinPeriod, Engine: EngineAuto})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep.Engine != "sparse" {
+				t.Fatalf("auto Report.Engine = %q, want sparse", rep.Engine)
+			}
+			if circuitText(t, auto) != circuitText(t, sparse) {
+				t.Fatal("EngineAuto circuit differs from EngineSparse")
+			}
+		})
+	}
+}

@@ -38,24 +38,7 @@ func parallelismLevels() []int {
 // all parallel stages (W/D rows, bounds sweeps, sharing analysis, period-cut
 // trace-back, justification domains) execute under the race detector.
 func TestRetimeParallelismDeterministic(t *testing.T) {
-	// A mapped profile subset covering sharing-heavy (C7), async-reset +
-	// justification-heavy (C6), and plain pipelines (C2), plus a random
-	// circuit with every class mix.
-	var circuits []*netlist.Circuit
-	for _, i := range []int{2, 6, 7} {
-		c, err := gen.Circuit(i)
-		if err != nil {
-			t.Fatal(err)
-		}
-		mapped, err := xc4000.Map(xc4000.DecomposeSyncResets(c.Clone()))
-		if err != nil {
-			t.Fatal(err)
-		}
-		circuits = append(circuits, mapped)
-	}
-	circuits = append(circuits, gen.Random(42, 300))
-
-	for _, c := range circuits {
+	for _, c := range equivCircuits(t) {
 		c := c
 		t.Run(c.Name, func(t *testing.T) {
 			t.Parallel()

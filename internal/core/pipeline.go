@@ -236,10 +236,22 @@ func runShare(pc *pass.Context[flowState]) error {
 	return nil
 }
 
+// denseCrossCheckMaxV caps the graph size at which EngineAuto re-derives the
+// minimum period with the dense reference engine when invariant checks are
+// on: past it, materializing W/D would defeat the sparse engine's point.
+const denseCrossCheckMaxV = 400
+
 // runMinPeriod is step 4: the minimum feasible clock period under the
 // bounds — or, for MinAreaAtPeriod, the feasibility probe of the target.
+// The sparse (matrix-free) engine is the primary path; EngineDense selects
+// the W/D reference formulation, and EngineAuto additionally cross-checks
+// the sparse period against it on small graphs under invariant checks.
 func runMinPeriod(pc *pass.Context[flowState]) error {
 	s := pc.State
+	if s.opts.Engine == EngineDense {
+		return runMinPeriodDense(pc)
+	}
+	s.rep.Engine = EngineSparse.String()
 	switch s.opts.Objective {
 	case MinPeriod, MinAreaAtMinPeriod:
 		phi, r, err := s.g.MinPeriodLazyEng(pc.Ctx(), s.bounds, s.pool, s.eng)
@@ -247,11 +259,54 @@ func runMinPeriod(pc *pass.Context[flowState]) error {
 			return err
 		}
 		s.phi, s.r = phi, r
+		if s.opts.Engine == EngineAuto && s.opts.checksEnabled() && s.g.NumVertices() <= denseCrossCheckMaxV {
+			wd, err := s.eng.Cache.WD(pc.Ctx(), s.g, s.workers)
+			if err != nil {
+				return err
+			}
+			densePhi, _, err := s.g.MinPeriod(wd, s.bounds)
+			if err != nil {
+				return fmt.Errorf("core: dense cross-check: %w", err)
+			}
+			if densePhi != phi {
+				return fmt.Errorf("core: sparse min period %d disagrees with dense reference %d: %w",
+					phi, densePhi, rterr.ErrInvariant)
+			}
+			pc.Sink.Add("dense-cross-checks", 1)
+		}
 	case MinAreaAtPeriod:
 		r, ok, err := s.g.FeasibleLazyEng(pc.Ctx(), s.opts.TargetPeriod, s.bounds, s.pool, s.eng)
 		if err != nil {
 			return err
 		}
+		if !ok {
+			return fmt.Errorf("core: target period %d infeasible: %w", s.opts.TargetPeriod, rterr.ErrInfeasiblePeriod)
+		}
+		s.phi, s.r = s.opts.TargetPeriod, r
+	default:
+		return fmt.Errorf("core: unknown objective %d", s.opts.Objective)
+	}
+	return nil
+}
+
+// runMinPeriodDense is step 4 on the dense reference engine: W/D from the
+// cache, candidate binary search, full period-constraint enumeration.
+func runMinPeriodDense(pc *pass.Context[flowState]) error {
+	s := pc.State
+	s.rep.Engine = EngineDense.String()
+	wd, err := s.eng.Cache.WD(pc.Ctx(), s.g, s.workers)
+	if err != nil {
+		return err
+	}
+	switch s.opts.Objective {
+	case MinPeriod, MinAreaAtMinPeriod:
+		phi, r, err := s.g.MinPeriod(wd, s.bounds)
+		if err != nil {
+			return err
+		}
+		s.phi, s.r = phi, r
+	case MinAreaAtPeriod:
+		r, ok := s.g.Feasible(s.opts.TargetPeriod, wd, s.bounds)
 		if !ok {
 			return fmt.Errorf("core: target period %d infeasible: %w", s.opts.TargetPeriod, rterr.ErrInfeasiblePeriod)
 		}
@@ -272,6 +327,27 @@ func runMinPeriod(pc *pass.Context[flowState]) error {
 func runMinArea(pc *pass.Context[flowState]) error {
 	s := pc.State
 	if s.opts.Objective == MinPeriod {
+		return nil
+	}
+	if s.opts.Engine == EngineDense {
+		wd, err := s.eng.Cache.WD(pc.Ctx(), s.g, s.workers)
+		if err != nil {
+			return err
+		}
+		r, err := retime.MinAreaDense(s.g, wd, s.phi, s.bounds)
+		if err != nil {
+			if pc.Err() != nil {
+				return err
+			}
+			if errors.Is(err, mcf.ErrInfeasible) {
+				s.rep.Degraded = append(s.rep.Degraded,
+					fmt.Sprintf("minarea at period %d: %v; keeping the feasible minperiod retiming", s.phi, err))
+				pc.Sink.Add("minarea-degraded", 1)
+				return nil
+			}
+			return err
+		}
+		s.r = r
 		return nil
 	}
 	lim := retime.Limits{

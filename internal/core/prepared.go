@@ -175,16 +175,25 @@ func (p *Prepared) RegsBefore() int { return p.baseRep.RegsBefore }
 func (p *Prepared) Workers() int { return p.workers }
 
 // Candidates returns the candidate clock periods of the sweep: the distinct
-// entries of the D matrix, ascending. Every critical path's delay is a D
+// path-delay (D) values, ascending. Every critical path's delay is a D
 // entry, so the feasible period↔area front can only step at these values;
-// probing anything else is provably redundant. The matrices come from the
-// shared cache, computed once with prepare-time parallelism.
+// probing anything else is provably redundant.
+//
+// The sparse engine streams them per source (graph.CandidatePeriods) with an
+// early cutoff at the largest vertex delay — no feasible period is below it,
+// and the sweep only probes periods above the minimum feasible one, so the
+// pruned tail is unreachable by construction. EngineDense reads them off the
+// cached W/D matrices instead, unpruned; the two lists differ only below the
+// cutoff, which is why the explore store discriminates its keys by engine.
 func (p *Prepared) Candidates(ctx context.Context) ([]int64, error) {
-	wd, err := p.cache.WD(ctx, p.st.g, p.workers)
-	if err != nil {
-		return nil, err
+	if p.opts.Engine == EngineDense {
+		wd, err := p.cache.WD(ctx, p.st.g, p.workers)
+		if err != nil {
+			return nil, err
+		}
+		return wd.Candidates(), nil
 	}
-	return wd.Candidates(), nil
+	return p.st.g.CandidatePeriods(ctx, p.workers, p.st.g.MaxDelay())
 }
 
 // SolveAtPeriod runs a MinAreaAtPeriod solve at target period phi on private

@@ -1,0 +1,67 @@
+package core
+
+import (
+	"os"
+	"testing"
+
+	"mcretiming/internal/gen"
+	"mcretiming/internal/graph"
+)
+
+// retimeScale runs the full MinAreaAtMinPeriod flow on a scale-family
+// pipeline and fails if any dense W/D matrix was materialized: the matrix-
+// free engine's defining property at scale, enforced through the ComputeWD
+// count hook. Returns the report for shape assertions.
+func retimeScale(t *testing.T, width, stages int) *Report {
+	t.Helper()
+	c, err := gen.ScalePipeline(1, width, stages, gen.ClassMix{Plain: 1, EN: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := graph.WDComputeCount()
+	out, rep, err := Retime(c, Options{Objective: MinAreaAtMinPeriod})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out == nil {
+		t.Fatal("no output circuit")
+	}
+	if d := graph.WDComputeCount() - before; d != 0 {
+		t.Fatalf("solve materialized %d dense W/D matrices; the sparse engine must not allocate any", d)
+	}
+	if rep.Engine != "sparse" {
+		t.Fatalf("engine = %q, want sparse", rep.Engine)
+	}
+	// Alternating depth-1/depth-3 stages: the as-built critical path is three
+	// gate levels, the balanced optimum two — retiming must improve the
+	// period.
+	if rep.PeriodAfter >= rep.PeriodBefore {
+		t.Fatalf("period %d -> %d: scale pipeline was not improved", rep.PeriodBefore, rep.PeriodAfter)
+	}
+	return rep
+}
+
+// TestScaleSmoke is the always-on scale guard: a few-thousand-vertex pipeline
+// solves matrix-free. Cheap enough for every `go test` run.
+func TestScaleSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scale smoke skipped in -short")
+	}
+	retimeScale(t, 16, 200)
+}
+
+// TestScaleLarge is the ≥50k-vertex scale acceptance run, gated behind
+// MCRETIMING_SCALE=1 (the CI scale-smoke job sets it): minperiod + minarea +
+// relocation on a 64×600 pipeline — ~76.8k gates, so ≥76.8k solver vertices —
+// with zero dense W/D allocations. A dense engine would need ~70 GB for the
+// two V² int64/int32 matrices here; the sparse engine's working set is
+// O(V+E), and the whole flow runs in seconds (the CLI retimes a 100k-gate
+// pipeline in about a minute on one core).
+func TestScaleLarge(t *testing.T) {
+	if os.Getenv("MCRETIMING_SCALE") == "" {
+		t.Skip("set MCRETIMING_SCALE=1 to run the ≥50k-vertex scale acceptance test")
+	}
+	rep := retimeScale(t, 64, 600)
+	t.Logf("scale: period %d -> %d ps, regs %d -> %d, workers %d",
+		rep.PeriodBefore, rep.PeriodAfter, rep.RegsBefore, rep.RegsAfter, rep.Workers)
+}

@@ -43,8 +43,12 @@ import (
 
 // fingerprintVersion tags the option fingerprint entering every store key.
 // Bump it when solver semantics change enough that stored solutions from
-// older binaries must not be served.
-const fingerprintVersion = "explore-fp/v1"
+// older binaries must not be served. v2 added the engine token when the
+// sparse solve core became primary: the candidate list is engine-dependent
+// (the sparse one prunes below the largest vertex delay), so sparse and dense
+// sweeps must never share keys; v1 entries, all dense-produced, are orphaned
+// wholesale rather than served against a sparse fingerprint.
+const fingerprintVersion = "explore-fp/v2"
 
 // Options configures a sweep.
 type Options struct {
@@ -109,8 +113,16 @@ func newKeys(c *netlist.Circuit, o core.Options) (*keys, error) {
 	if err := blif.Write(&buf, c); err != nil {
 		return nil, fmt.Errorf("explore: serialize circuit: %w", err)
 	}
-	fp := fmt.Sprintf("%s sharing=%t justify=%t sat=%t fwd=%t retries=%d budgets=%d/%d/%d/%d",
-		fingerprintVersion,
+	// The engine token folds EngineAuto into "sparse": auto runs the sparse
+	// engine (the cross-check only verifies, never alters the result), so the
+	// two are bit-identical and may share entries. EngineDense gets its own
+	// keyspace — its candidate list and cut generation differ.
+	engine := core.EngineSparse
+	if o.Engine == core.EngineDense {
+		engine = core.EngineDense
+	}
+	fp := fmt.Sprintf("%s engine=%s sharing=%t justify=%t sat=%t fwd=%t retries=%d budgets=%d/%d/%d/%d",
+		fingerprintVersion, engine,
 		!o.DisableSharing, !o.DisableJustify, o.SATJustify, o.ForwardOnly, o.MaxRetries,
 		o.Budgets.BDDNodes, o.Budgets.SATConflicts, o.Budgets.FlowAugmentations, o.Budgets.MinAreaRounds)
 	return &keys{ckt: buf.Bytes(), fp: []byte(fp)}, nil

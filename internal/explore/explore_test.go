@@ -6,6 +6,7 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"strings"
 	"testing"
 
 	"mcretiming/internal/blif"
@@ -303,5 +304,67 @@ func TestSelectPeriods(t *testing.T) {
 	}
 	if got := selectPeriods(cands, 50, 0); len(got) != 0 {
 		t.Fatalf("selectPeriods above max candidate = %v, want empty", got)
+	}
+}
+
+// TestFrontEngineEquivalence extends the engine-equivalence contract to the
+// sweep: the Pareto front computed by the matrix-free engine must be
+// byte-identical — JSON and per-point netlists — to the dense reference
+// engine's. C6 is excluded: its dense solves cost a minute each and the
+// single-point equivalence test already covers it.
+func TestFrontEngineEquivalence(t *testing.T) {
+	for _, i := range []int{2, 7} {
+		i := i
+		t.Run(gen.Profiles[i-1].Name, func(t *testing.T) {
+			t.Parallel()
+			c := mappedProfile(t, i)
+			dense := sweep(t, c, Options{
+				Core:        core.Options{Engine: core.EngineDense},
+				Parallelism: 2, MaxPoints: goldenMaxPoints,
+			})
+			sparse := sweep(t, c, Options{
+				Core:        core.Options{Engine: core.EngineSparse},
+				Parallelism: 2, MaxPoints: goldenMaxPoints,
+			})
+			if !bytes.Equal(frontJSON(t, dense), frontJSON(t, sparse)) {
+				t.Fatal("sparse front JSON differs from the dense reference")
+			}
+			for j := range dense.Points {
+				if dense.Points[j].BLIF != sparse.Points[j].BLIF {
+					t.Fatalf("point %d (%d ps): sparse netlist differs from dense",
+						j, dense.Points[j].PeriodPS)
+				}
+			}
+		})
+	}
+}
+
+// TestKeysEngineDiscrimination pins the store-key schema: dense results live
+// in their own keyspace (their candidate lists differ from sparse below the
+// delay cutoff), while EngineAuto shares the sparse keyspace because auto
+// returns the sparse result bit for bit. A dense entry served against a
+// sparse sweep — or vice versa — would violate the store's "never a wrong
+// answer" contract.
+func TestKeysEngineDiscrimination(t *testing.T) {
+	c := mappedProfile(t, 2)
+	k := func(e core.SolveEngine) *keys {
+		kk, err := newKeys(c, core.Options{Engine: e})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return kk
+	}
+	auto, sparse, dense := k(core.EngineAuto), k(core.EngineSparse), k(core.EngineDense)
+	if !bytes.Equal(auto.fp, sparse.fp) {
+		t.Fatalf("auto fingerprint %q != sparse %q: auto must share the sparse keyspace", auto.fp, sparse.fp)
+	}
+	if bytes.Equal(dense.fp, sparse.fp) {
+		t.Fatalf("dense fingerprint %q == sparse: engines would share store entries", dense.fp)
+	}
+	if dense.anchor() == sparse.anchor() || dense.point(7000) == sparse.point(7000) {
+		t.Fatal("dense and sparse store keys collide")
+	}
+	if !strings.Contains(string(sparse.fp), fingerprintVersion) {
+		t.Fatalf("fingerprint %q lost the schema version", sparse.fp)
 	}
 }

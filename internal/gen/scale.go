@@ -1,0 +1,200 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"mcretiming/internal/logic"
+	"mcretiming/internal/netlist"
+	"mcretiming/internal/xc4000"
+)
+
+// ClassMix weights the register classes of a scale-family circuit. Each
+// register layer draws its class proportionally to the weights; a zero-value
+// mix means all-plain. The mix controls how much multiple-class structure —
+// and how much reset-state justification work — a scale run carries: Plain
+// and EN layers justify trivially (no set/clear state to preserve), SR and
+// AR layers exercise the BDD/SAT machinery.
+type ClassMix struct {
+	Plain int // no controls
+	EN    int // load enable
+	SR    int // synchronous reset
+	AR    int // asynchronous reset
+}
+
+// total returns the weight sum, defaulting to all-plain.
+func (m ClassMix) total() int { return m.Plain + m.EN + m.SR + m.AR }
+
+// pick draws a class per the weights.
+func (m ClassMix) pick(rng *rand.Rand) int {
+	t := m.total()
+	if t == 0 {
+		return 0
+	}
+	n := rng.Intn(t)
+	if n < m.Plain {
+		return 0
+	}
+	n -= m.Plain
+	if n < m.EN {
+		return 1
+	}
+	n -= m.EN
+	if n < m.SR {
+		return 2
+	}
+	return 3
+}
+
+// ScalePipeline builds a pipeline-shaped circuit of width parallel bit
+// chains crossing stages register layers: the scale family's workhorse,
+// sized by width × stages up to 10⁵+ vertices.
+//
+// The shape is chosen for what it stresses and what it deliberately avoids:
+//
+//   - combinational depth alternates 1 and 3 gate levels per stage (one
+//     register layer per stage), so the as-built period is three gate levels
+//     while the balanced optimum is two — retiming has real, verifiable work
+//     (move registers into the deep stages) at every scale;
+//   - gates are mostly fanout-1 (each bit chains to itself, with a sprinkle
+//     of neighbour taps), so the min-cost-flow dual's supplies largely
+//     cancel along the chains and minarea stays cheap even at 10⁵ vertices —
+//     the scale runs measure the period machinery, not flow pathologies;
+//   - register classes are drawn from mix, giving controlled multiple-class
+//     structure from all-plain up to justification-heavy.
+//
+// Deterministic in (seed, width, stages, mix).
+func ScalePipeline(seed int64, width, stages int, mix ClassMix) (*netlist.Circuit, error) {
+	if width < 1 || stages < 1 {
+		return nil, fmt.Errorf("gen: scale pipeline needs width ≥ 1 and stages ≥ 1 (got %d×%d)", width, stages)
+	}
+	b := newBuilder(fmt.Sprintf("scale_pipe_w%d_s%d", width, stages), seed)
+	en := b.c.AddInput("en")
+	rst := b.c.AddInput("rst")
+	arst := b.c.AddInput("arst")
+	ctrls := []ctrl{
+		{},
+		{en: en},
+		{sr: rst},
+		{ar: arst},
+	}
+
+	bus := b.inputBus("in", width)
+	for s := 0; s < stages; s++ {
+		depth := 1 + 2*(s%2)
+		for d := 0; d < depth; d++ {
+			next := make([]netlist.SignalID, len(bus))
+			for i := range bus {
+				// Mostly a unary chain; every 8th bit-level taps its
+				// neighbour so the stages are not bitwise-independent.
+				if b.rng.Intn(8) == 0 {
+					_, next[i] = b.c.AddGate("", netlist.Xor,
+						[]netlist.SignalID{bus[i], bus[(i+1)%len(bus)]},
+						xc4000.DelayLUT+xc4000.DelayRoute)
+				} else {
+					_, next[i] = b.c.AddGate("", netlist.Not,
+						[]netlist.SignalID{bus[i]}, xc4000.DelayLUT+xc4000.DelayRoute)
+				}
+			}
+			bus = next
+		}
+		bus = b.regLayer(bus, ctrls[mix.pick(b.rng)])
+	}
+	b.markOutputs(bus)
+	return b.finish()
+}
+
+// ScaleDAG builds a random-DAG circuit of roughly nGates gates with register
+// classes drawn from mix: the scale family's irregular counterpart to
+// ScalePipeline — multi-fanout, reconvergent, registers wherever the draw
+// put them. Deterministic in (seed, nGates, mix).
+func ScaleDAG(seed int64, nGates int, mix ClassMix) (*netlist.Circuit, error) {
+	if nGates < 1 {
+		return nil, fmt.Errorf("gen: scale DAG needs nGates ≥ 1 (got %d)", nGates)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	c := netlist.New(fmt.Sprintf("scale_dag_n%d", nGates))
+	clk := c.AddInput("clk")
+	en := c.AddInput("en")
+	rst := c.AddInput("rst")
+	arst := c.AddInput("arst")
+
+	pool := []netlist.SignalID{
+		c.AddInput("a"), c.AddInput("b"), c.AddInput("c"), c.AddInput("d"),
+	}
+	types := []netlist.GateType{
+		netlist.And, netlist.Or, netlist.Nand, netlist.Nor,
+		netlist.Xor, netlist.Xnor, netlist.Not,
+	}
+	// Recent-biased operand draw: half the inputs come from the last few
+	// hundred signals, so depth grows with size instead of staying O(log n).
+	draw := func() netlist.SignalID {
+		if len(pool) > 512 && rng.Intn(2) == 0 {
+			return pool[len(pool)-1-rng.Intn(512)]
+		}
+		return pool[rng.Intn(len(pool))]
+	}
+	for i := 0; i < nGates; i++ {
+		gt := types[rng.Intn(len(types))]
+		n := 2
+		if gt == netlist.Not {
+			n = 1
+		}
+		in := make([]netlist.SignalID, n)
+		for j := range in {
+			in[j] = draw()
+		}
+		_, o := c.AddGate("", gt, in, xc4000.DelayLUT+xc4000.DelayRoute)
+		pool = append(pool, o)
+		if rng.Intn(3) == 0 {
+			rid, q := c.AddReg("", o, clk)
+			r := &c.Regs[rid]
+			switch mix.pick(rng) {
+			case 1:
+				r.EN = en
+			case 2:
+				r.SR = rst
+				r.SRVal = logic.B0
+			case 3:
+				r.AR = arst
+				r.ARVal = logic.B0
+			}
+			pool = append(pool, q)
+		}
+	}
+	// Consume every loose signal through an output reduction, as Random does.
+	used := make([]bool, len(c.Signals))
+	c.LiveGates(func(g *netlist.Gate) {
+		for _, in := range g.In {
+			used[in] = true
+		}
+	})
+	c.LiveRegs(func(r *netlist.Reg) { used[r.D] = true })
+	var loose []netlist.SignalID
+	for i := range c.Signals {
+		d := c.Signals[i].Driver
+		if !used[i] && (d.Kind == netlist.DriverGate || d.Kind == netlist.DriverReg) {
+			loose = append(loose, netlist.SignalID(i))
+		}
+	}
+	for len(loose) > 1 {
+		var next []netlist.SignalID
+		for i := 0; i < len(loose); i += 3 {
+			end := min(i+3, len(loose))
+			if end-i == 1 {
+				next = append(next, loose[i])
+				continue
+			}
+			_, o := c.AddGate("", netlist.Xor, loose[i:end], xc4000.DelayLUT+xc4000.DelayRoute)
+			next = append(next, o)
+		}
+		loose = next
+	}
+	if len(loose) == 1 {
+		c.MarkOutput(loose[0])
+	}
+	if err := c.Validate(); err != nil {
+		return nil, fmt.Errorf("gen: generated circuit %s invalid: %w", c.Name, err)
+	}
+	return c, nil
+}

@@ -77,6 +77,8 @@ type spfaScratch struct {
 	dist    []int64
 	inQueue []bool
 	relaxed []int32
+	parent  []int32 // vertex that last relaxed each vertex (-1 = none)
+	mark    []int8  // parentCycle walk colors
 	queue   []VertexID
 }
 
@@ -86,8 +88,42 @@ func newSPFAScratch(n int) *spfaScratch {
 		dist:    make([]int64, n),
 		inQueue: make([]bool, n),
 		relaxed: make([]int32, n),
+		parent:  make([]int32, n),
+		mark:    make([]int8, n),
 		queue:   make([]VertexID, 0, n),
 	}
+}
+
+// parentCycle reports whether the parent-pointer graph contains a cycle.
+// One exists iff a strictly negative constraint cycle has been relaxed: every
+// parent edge maintains dist[x] ≥ dist[parent[x]] + B (equality at assignment,
+// preserved as dist values only decrease), and the relaxation that closes a
+// parent cycle is strict, so summing around the cycle forces ΣB < 0. In
+// particular a zero-weight cycle — feasible — can never close one.
+func parentCycle(n int, parent []int32, mark []int8) bool {
+	for i := 0; i < n; i++ {
+		mark[i] = 0
+	}
+	for s := 0; s < n; s++ {
+		if mark[s] != 0 {
+			continue
+		}
+		// Walk the parent chain from s, painting it gray; re-entering a gray
+		// vertex means the chain bit its own tail.
+		v := int32(s)
+		for v != -1 && mark[v] == 0 {
+			mark[v] = 1
+			v = parent[v]
+		}
+		if v != -1 && mark[v] == 1 {
+			return true
+		}
+		// Repaint this walk's gray prefix black (chain ended at -1 or black).
+		for v = int32(s); v != -1 && mark[v] == 1; v = parent[v] {
+			mark[v] = 2
+		}
+	}
+	return false
 }
 
 // Feasible decides whether clock period phi is feasible under the circuit
@@ -151,16 +187,70 @@ func solveDifferenceBuf(n int, cons []Constraint, sc *spfaScratch) ([]int32, boo
 	}
 	dist := sc.dist // virtual source: all start at 0
 	inQueue := sc.inQueue
-	relaxed := sc.relaxed
+	parent := sc.parent
 	for i := 0; i < n; i++ {
 		dist[i] = 0
 		inQueue[i] = true
-		relaxed[i] = 0
+		parent[i] = -1
 	}
 	queue := sc.queue[:0]
 	for v := 0; v < n; v++ {
 		queue = append(queue, VertexID(v))
 	}
+	return runSPFA(n, cons, sc, queue)
+}
+
+// resolveDifferenceBuf continues a quiescent solveDifferenceBuf relaxation in
+// sc after cons grew: sc.dist already satisfies cons[:from] (it is the
+// canonical shortest-path labeling of that prefix), and only cons[from:] are
+// new. The previous labels are path weights in the old constraint graph — a
+// subgraph of the new one — so they upper-bound the new shortest distances
+// and are each achieved by a still-existing path; FIFO relaxation seeded at
+// the new constraints' sources therefore converges to exactly the labeling a
+// cold solve over all of cons would produce, while only propagating the new
+// constraints' effects. This is what makes the cutting-plane loop cheap on
+// deep graphs: rounds after the first cost incremental work, not a full
+// diameter-deep re-propagation.
+func resolveDifferenceBuf(n int, cons []Constraint, from int, sc *spfaScratch) ([]int32, bool) {
+	adj := sc.adj
+	for i := from; i < len(cons); i++ {
+		adj[cons[i].Y] = append(adj[cons[i].Y], int32(i))
+	}
+	// sc.parent deliberately persists from the previous round: its invariant
+	// (dist[x] ≥ dist[parent[x]] + B) survives monotone dist decreases, so
+	// the parentCycle detector stays sound across incremental rounds.
+	inQueue := sc.inQueue
+	for i := 0; i < n; i++ {
+		inQueue[i] = false
+	}
+	queue := sc.queue[:0]
+	for i := from; i < len(cons); i++ {
+		if y := cons[i].Y; !inQueue[y] {
+			queue = append(queue, y)
+			inQueue[y] = true
+		}
+	}
+	return runSPFA(n, cons, sc, queue)
+}
+
+// runSPFA drains queue with FIFO Bellman-Ford relaxation over sc's prepared
+// adj/dist/inQueue/parent buffers.
+//
+// Infeasibility (a negative constraint cycle) is detected two ways. The fast
+// path is the parentCycle walk, run every n relaxations: it costs O(n),
+// amortizes to a constant factor, and fires within one check interval of the
+// cycle starting to spin — which matters because an infeasible minperiod
+// probe would otherwise pay ~n laps of the cycle before the per-vertex
+// counter (the backstop, kept for safety) reaches its n+1 bound. The counter
+// bound is sound from any labeling whose entries are valid path weights:
+// absent a negative cycle such labels stabilize within n−1 FIFO passes and a
+// vertex relaxes at most once per pass.
+func runSPFA(n int, cons []Constraint, sc *spfaScratch, queue []VertexID) ([]int32, bool) {
+	adj, dist, inQueue, relaxed, parent := sc.adj, sc.dist, sc.inQueue, sc.relaxed, sc.parent
+	for i := 0; i < n; i++ {
+		relaxed[i] = 0
+	}
+	steps, nextCheck := 0, n
 	for len(queue) > 0 {
 		y := queue[0]
 		queue = queue[1:]
@@ -169,9 +259,17 @@ func solveDifferenceBuf(n int, cons []Constraint, sc *spfaScratch) ([]int32, boo
 			c := cons[ci]
 			if nd := dist[y] + int64(c.B); nd < dist[c.X] {
 				dist[c.X] = nd
+				parent[c.X] = int32(y)
 				relaxed[c.X]++
 				if relaxed[c.X] > int32(n)+1 {
-					return nil, false // negative cycle
+					return nil, false // negative cycle (backstop)
+				}
+				steps++
+				if steps >= nextCheck {
+					nextCheck += n
+					if parentCycle(n, parent, sc.mark) {
+						return nil, false // negative cycle
+					}
 				}
 				if !inQueue[c.X] {
 					queue = append(queue, c.X)

@@ -68,6 +68,21 @@ func (g *Graph) AddEdge(u, v VertexID, w int32) int {
 // NumVertices returns |V| including the host.
 func (g *Graph) NumVertices() int { return len(g.Delay) }
 
+// WithDelays returns a new graph sharing g's structure (vertices, names,
+// edges, adjacency) with the given private delay vector. The ECO delta flow
+// uses it to re-solve after a delay-only netlist edit without rebuilding the
+// solver graph: retiming legality, bounds, and sharing structure are all
+// delay-independent, only Period/feasibility change. The result is a
+// distinct identity, so graph-keyed caches (SolveCache) never serve stale
+// delay-derived artifacts for it. Callers must not mutate either graph's
+// shared structure afterwards.
+func (g *Graph) WithDelays(delay []int64) *Graph {
+	if len(delay) != len(g.Delay) {
+		panic("graph: WithDelays length mismatch")
+	}
+	return &Graph{Delay: delay, Name: g.Name, Edges: g.Edges, out: g.out, in: g.in}
+}
+
 // Out returns the indices of the edges leaving v.
 func (g *Graph) Out(v VertexID) []int32 { return g.out[v] }
 

@@ -34,39 +34,122 @@ type Cut struct {
 	PathDelay int64
 }
 
-// CutPool accumulates period cuts across feasibility probes.
+// CutPool accumulates period cuts across feasibility probes, deduplicated
+// per (Y, X) endpoint pair: cut A dominates cut B on the same pair when
+// A.B ≤ B.B and A.PathDelay ≥ B.PathDelay (A is at least as tight and
+// applies at least as often). The pool keeps only non-dominated cuts — per
+// pair, a Pareto staircase over (bound, path delay) — which caps pool memory
+// on long binary searches where the same critical pair is rediscovered with
+// slightly different bounds round after round.
+//
+// Dropping a dominated cut never changes any solve: for every period the
+// dominating cut is present whenever the dominated one would be, with a
+// bound at most as large, so the looser constraint could never bind in the
+// SPFA relaxation (nor carry flow in the minarea dual — parallel arcs of
+// higher cost at infinite capacity are never on a shortest augmenting path).
 type CutPool struct {
 	cuts []Cut
-	// tightest bound seen per (u,v) pair and delay class is not tracked —
-	// duplicates are cheap for SPFA and rare in practice.
+	// byPair maps an endpoint pair to the indices of its live cuts in cuts.
+	// Built lazily on the first Add.
+	byPair map[cutPair][]int32
+	dead   int // tombstoned entries in cuts (see tombstonePD)
 }
+
+type cutPair struct{ y, x VertexID }
+
+// tombstonePD marks a cuts slot whose entry was replaced by a dominating
+// cut elsewhere in the staircase. ForPeriod, Snapshot, and Len skip it.
+const tombstonePD = int64(-1) << 62
 
 // ForPeriod returns the pooled constraints that apply at period phi.
 func (p *CutPool) ForPeriod(phi int64) []Constraint {
 	var out []Constraint
 	for _, c := range p.cuts {
-		if c.PathDelay > phi {
+		if c.PathDelay != tombstonePD && c.PathDelay > phi {
 			out = append(out, c.Constraint)
 		}
 	}
 	return out
 }
 
-// Add appends cuts to the pool.
-func (p *CutPool) Add(cuts []Cut) { p.cuts = append(p.cuts, cuts...) }
+// Add merges cuts into the pool, keeping per (Y, X) pair only the
+// non-dominated ones (tightest bound per path-delay level).
+func (p *CutPool) Add(cuts []Cut) {
+	for _, c := range cuts {
+		p.addOne(c)
+	}
+}
 
-// Len returns the number of pooled cuts.
-func (p *CutPool) Len() int { return len(p.cuts) }
+func (p *CutPool) addOne(c Cut) {
+	if p.byPair == nil {
+		p.byPair = make(map[cutPair][]int32)
+		for i, ex := range p.cuts {
+			if ex.PathDelay != tombstonePD {
+				k := cutPair{ex.Y, ex.X}
+				p.byPair[k] = append(p.byPair[k], int32(i))
+			}
+		}
+	}
+	key := cutPair{c.Y, c.X}
+	idxs := p.byPair[key]
+	replaced := int32(-1)
+	kept := idxs[:0]
+	for _, i := range idxs {
+		ex := p.cuts[i]
+		if ex.B <= c.B && ex.PathDelay >= c.PathDelay {
+			// An existing cut dominates the new one: nothing to do. No
+			// earlier survivor can have been dominated by c (that would make
+			// it dominated by ex too, contradicting the staircase invariant).
+			return
+		}
+		if c.B <= ex.B && c.PathDelay >= ex.PathDelay {
+			// The new cut dominates this one: reuse its first slot, tombstone
+			// the rest, so insertion order (hence ForPeriod order) stays
+			// deterministic.
+			if replaced == -1 {
+				p.cuts[i] = c
+				replaced = i
+				kept = append(kept, i)
+			} else {
+				p.cuts[i].PathDelay = tombstonePD
+				p.dead++
+			}
+			continue
+		}
+		kept = append(kept, i)
+	}
+	if replaced != -1 {
+		p.byPair[key] = kept
+		return
+	}
+	p.cuts = append(p.cuts, c)
+	p.byPair[key] = append(kept, int32(len(p.cuts)-1))
+}
+
+// Len returns the number of pooled (live) cuts.
+func (p *CutPool) Len() int { return len(p.cuts) - p.dead }
 
 // Snapshot returns a copy of the pooled cuts. A pool is not safe for
 // concurrent use; a sweep over many periods snapshots the shared pool once
 // and seeds a private pool per concurrent solve instead.
-func (p *CutPool) Snapshot() []Cut { return append([]Cut(nil), p.cuts...) }
+func (p *CutPool) Snapshot() []Cut {
+	out := make([]Cut, 0, p.Len())
+	for _, c := range p.cuts {
+		if c.PathDelay != tombstonePD {
+			out = append(out, c)
+		}
+	}
+	return out
+}
 
-// NewCutPool returns a pool pre-seeded with cuts (which it takes ownership
-// of). Seeding is sound across solves on the same graph: a period cut is a
+// NewCutPool returns a pool pre-seeded with cuts, deduplicated on the way
+// in. Seeding is sound across solves on the same graph: a period cut is a
 // property of a graph path, independent of the retiming bounds in force.
-func NewCutPool(cuts []Cut) *CutPool { return &CutPool{cuts: cuts} }
+func NewCutPool(cuts []Cut) *CutPool {
+	p := &CutPool{}
+	p.Add(cuts)
+	return p
+}
 
 // BaseConstraints returns the circuit constraints plus the class-bound
 // constraints of §5.1 (bounds may be nil).
@@ -183,6 +266,12 @@ func (g *Graph) FeasibleLazyEng(ctx context.Context, phi int64, bounds *Bounds, 
 	base := eng.base(g, bounds)
 	cons := append(base, pool.ForPeriod(phi)...)
 	workers := eng.workerCount()
+	// One scratch for the whole cutting-plane loop: the first round solves
+	// cold, every later round continues the previous round's relaxation —
+	// the rounds only ever add constraints, so the incremental re-solve is
+	// exact (see resolveDifferenceBuf).
+	sc := newSPFAScratch(n)
+	solved := 0
 	for {
 		if err := ctx.Err(); err != nil {
 			return nil, false, err
@@ -191,7 +280,14 @@ func (g *Graph) FeasibleLazyEng(ctx context.Context, phi int64, bounds *Bounds, 
 		if err := failpoint.Inject(ctx, "graph.feasible"); err != nil {
 			return nil, false, err
 		}
-		r, ok := SolveDifference(n, cons)
+		var r []int32
+		var ok bool
+		if solved == 0 {
+			r, ok = solveDifferenceBuf(n, cons, sc)
+		} else {
+			r, ok = resolveDifferenceBuf(n, cons, solved, sc)
+		}
+		solved = len(cons)
 		if !ok {
 			return nil, false, nil
 		}

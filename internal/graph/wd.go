@@ -3,10 +3,22 @@ package graph
 import (
 	"math"
 	"slices"
+	"sync/atomic"
 )
 
 // InfW marks an unreachable pair in the W matrix.
 const InfW int32 = math.MaxInt32
+
+// wdComputes counts dense W/D materializations process-wide. The sparse
+// engine's contract is that no code path allocates the O(V²) matrices for
+// large graphs; the scale-smoke test samples this counter around a solve to
+// enforce it (see WDComputeCount).
+var wdComputes atomic.Int64
+
+// WDComputeCount returns the number of dense W/D matrix computations
+// (ComputeWD and ComputeWDPar calls) since process start. A test hook: the
+// sparse-engine guard asserts the delta over a solve is zero.
+func WDComputeCount() int64 { return wdComputes.Load() }
 
 // WD holds the Leiserson–Saxe path matrices for a graph with n vertices:
 // W(u,v) is the minimum number of registers on any path u⇝v and D(u,v) the
@@ -101,10 +113,12 @@ func (g *Graph) newWDScratch() *wdScratch {
 	}
 }
 
-// wdRow fills row u of m: a Dijkstra on the register weights from u followed
-// by a longest-delay DP over the tight-edge DAG, all in sc's buffers.
-func (g *Graph) wdRow(u VertexID, m *WD, sc *wdScratch) {
-	n := m.N
+// sourceRow fills sc.dist and sc.delay with the W/D row of source u: a
+// Dijkstra on the register weights from u followed by a longest-delay DP over
+// the tight-edge DAG, all in sc's buffers. This is the shared per-source
+// kernel of the dense matrices (ComputeWD) and the streamed candidate-period
+// generator (CandidatePeriods), which never materializes the matrices.
+func (g *Graph) sourceRow(u VertexID, sc *wdScratch) {
 	dist := sc.dist
 	for i := range dist {
 		dist[i] = InfW
@@ -128,9 +142,14 @@ func (g *Graph) wdRow(u VertexID, m *WD, sc *wdScratch) {
 	sc.heap = h
 
 	g.tightLongest(u, sc)
+}
 
+// wdRow fills row u of m from the per-source kernel.
+func (g *Graph) wdRow(u VertexID, m *WD, sc *wdScratch) {
+	g.sourceRow(u, sc)
+	n := m.N
 	row := int(u) * n
-	copy(m.W[row:row+n], dist)
+	copy(m.W[row:row+n], sc.dist)
 	copy(m.D[row:row+n], sc.delay)
 }
 
@@ -143,6 +162,7 @@ func (g *Graph) wdRow(u VertexID, m *WD, sc *wdScratch) {
 // This is the serial engine; ComputeWDPar shards the sources over a worker
 // pool and produces the identical matrices.
 func (g *Graph) ComputeWD() *WD {
+	wdComputes.Add(1)
 	n := g.NumVertices()
 	m := &WD{N: n, W: make([]int32, n*n), D: make([]int64, n*n)}
 	sc := g.newWDScratch()

@@ -23,6 +23,7 @@ func (g *Graph) ComputeWDPar(ctx context.Context, workers int) (*WD, error) {
 	if err := failpoint.Inject(ctx, "graph.wd"); err != nil {
 		return nil, err
 	}
+	wdComputes.Add(1)
 	n := g.NumVertices()
 	m := &WD{N: n, W: make([]int32, n*n), D: make([]int64, n*n)}
 	w := par.Workers(workers)

@@ -45,9 +45,17 @@ type Solver struct {
 	arcRef [][2]int32
 
 	// MaxAugmentations caps the number of shortest-path augmentations a
-	// single Solve may perform; 0 means unlimited. On exhaustion SolveCtx
+	// single Solve may perform — and the number of repair Dijkstras a single
+	// Reoptimize may perform; 0 means unlimited. On exhaustion the call
 	// returns an error wrapping rterr.ErrBudgetExceeded.
 	MaxAugmentations int
+
+	// pi holds the node potentials of the last successful Solve (every
+	// residual arc has nonnegative reduced cost under them); nextNew is the
+	// arcRef watermark of that solve. Together they let Reoptimize absorb
+	// later-added arcs incrementally.
+	pi      []int64
+	nextNew int
 }
 
 // New returns a solver over n nodes.
@@ -123,6 +131,8 @@ func (s *Solver) SolveCtx(ctx context.Context) (int64, error) {
 			}
 		}
 		if src == -1 {
+			s.pi = pi
+			s.nextNew = len(s.arcRef)
 			return cost, nil
 		}
 		augmentations++
@@ -163,6 +173,184 @@ func (s *Solver) SolveCtx(ctx context.Context) (int64, error) {
 		excess[src] -= amt
 		excess[deficit] += amt
 	}
+}
+
+// Reoptimize re-establishes optimality after arcs were added to an already
+// solved instance, without re-routing any supply. The previous optimal flow
+// stays feasible when the arc set only grows (new arcs simply carry zero
+// flow), but a new arc with negative reduced cost opens negative-cost cycles
+// through the residual network — exactly when the constraint it represents
+// cuts off the old dual optimum. Reoptimize repairs each such arc in turn:
+// an early-terminating Dijkstra from the arc's head back to its tail (every
+// other residual arc has nonnegative reduced cost under the maintained
+// potentials) finds the cheapest cycle through the arc; while that cycle is
+// strictly negative the bottleneck is pushed around it, and once it is not,
+// the Dijkstra distances are folded into the potentials — capped so that the
+// repaired arc's reduced cost comes out nonnegative — restoring the solve
+// invariant for the next arc.
+//
+// This is the incremental counterpart of a fresh Solve: far cheaper when few
+// arcs were added, identical in outcome for the potentials read back by
+// ResidualPotentials. With uncapacitated arcs the optimal residual network
+// keeps every forward arc, and by complementary slackness the tight-arc
+// system {feasible, tight on supp(f)} describes the same optimal face for
+// every optimal flow f — so the canonical shortest-path labeling does not
+// depend on which optimal flow the solver landed on.
+//
+// Call only after a successful Solve. ctx is polled per repair step;
+// MaxAugmentations (if set) caps the repair Dijkstras, returning an error
+// wrapping rterr.ErrBudgetExceeded on exhaustion so the caller can fall back
+// to a cold re-solve. Each cycle cancellation bumps the "flow-cancellations"
+// counter of any trace sink carried by ctx.
+func (s *Solver) Reoptimize(ctx context.Context) error {
+	if s.pi == nil {
+		return errors.New("mcf: Reoptimize before a successful Solve")
+	}
+	sink := trace.From(ctx)
+	dist := make([]int64, s.n)
+	prevNode := make([]int32, s.n)
+	prevArc := make([]int32, s.n)
+	// Arcs are absorbed one at a time: the repair Dijkstra requires every
+	// visible residual arc to respect the potentials, so the still-pending
+	// arcs (zero flow by construction) are hidden behind cap 0 until their
+	// turn comes.
+	start := s.nextNew
+	saved := make([]int64, len(s.arcRef)-start)
+	for i := start; i < len(s.arcRef); i++ {
+		ref := s.arcRef[i]
+		if ref[0] < 0 {
+			continue
+		}
+		a := &s.adj[ref[0]][ref[1]]
+		saved[i-start] = a.cap
+		a.cap = 0
+	}
+	unhide := func(from int) {
+		for i := from; i < len(s.arcRef); i++ {
+			if ref := s.arcRef[i]; ref[0] >= 0 {
+				s.adj[ref[0]][ref[1]].cap = saved[i-start]
+			}
+		}
+	}
+	work := 0
+	for ; s.nextNew < len(s.arcRef); s.nextNew++ {
+		ref := s.arcRef[s.nextNew]
+		if ref[0] < 0 {
+			continue // self-loop handle, carries no flow
+		}
+		// The arc under repair stays hidden from its own repair Dijkstras:
+		// its forward residual is the one negative-reduced-cost arc in the
+		// network, so it must not be traversable. Flow pushed onto it is
+		// tracked through its reverse arc and the forward capacity is
+		// restored (minus that flow) once the arc satisfies the potentials.
+		a := &s.adj[ref[0]][ref[1]]
+		tail, head := int(ref[0]), int(a.to)
+		restore := func() {
+			a.cap = saved[s.nextNew-start] - s.adj[head][a.rev].cap
+			unhide(s.nextNew + 1)
+		}
+		for {
+			if err := ctx.Err(); err != nil {
+				restore()
+				return err
+			}
+			rc := a.cost + s.pi[tail] - s.pi[head]
+			if rc >= 0 {
+				a.cap = saved[s.nextNew-start] - s.adj[head][a.rev].cap
+				break
+			}
+			work++
+			if s.MaxAugmentations > 0 && work > s.MaxAugmentations {
+				restore()
+				return fmt.Errorf("mcf: reoptimize budget %d exhausted: %w", s.MaxAugmentations, rterr.ErrBudgetExceeded)
+			}
+			settled := s.repairDijkstra(head, tail, -rc, dist, prevNode, prevArc)
+			// Fold the distances into the potentials first — it makes every
+			// settled path tight (so the reverse arcs a push creates cost
+			// exactly zero, keeping the Dijkstra invariant), and with the
+			// −rc cap it lifts the repaired arc itself to reduced cost zero
+			// when no strictly negative cycle remains.
+			foldCap := -rc
+			if settled {
+				foldCap = dist[tail] // < −rc: a strictly negative cycle
+			}
+			for v := 0; v < s.n; v++ {
+				if dist[v] < foldCap {
+					s.pi[v] += dist[v]
+				} else {
+					s.pi[v] += foldCap
+				}
+			}
+			if !settled {
+				continue // next rc recomputation sees ≥ 0 and finishes
+			}
+			// The cycle new-arc + shortest head→tail residual path is
+			// strictly negative: push its bottleneck around and retry.
+			sink.Add("flow-cancellations", 1)
+			amt := Inf
+			for v := tail; v != head; v = int(prevNode[v]) {
+				if c := s.adj[prevNode[v]][prevArc[v]].cap; c < amt {
+					amt = c
+				}
+			}
+			if amt >= Inf {
+				restore()
+				return errors.New("mcf: negative cycle of uncapacitated arcs (unbounded)")
+			}
+			for v := tail; v != head; v = int(prevNode[v]) {
+				pa := &s.adj[prevNode[v]][prevArc[v]]
+				pa.cap -= amt
+				s.adj[v][pa.rev].cap += amt
+			}
+			s.adj[head][a.rev].cap += amt // forward stays hidden at cap 0
+		}
+	}
+	return nil
+}
+
+// repairDijkstra computes shortest residual distances from src under the
+// reduced costs, stopping as soon as dst is settled (reporting true), the
+// reachable set is exhausted, or every remaining node is at distance ≥ limit
+// (both false). The limit stop is what keeps repairs local: the caller only
+// needs to know whether dist[dst] < limit, and Dijkstra settles in
+// nondecreasing order, so once the heap minimum reaches limit the answer is
+// no — and every unsettled label is then ≥ limit, which is exactly the
+// condition the caller's potential fold (capped at a value ≤ limit) needs to
+// keep all reduced costs nonnegative.
+func (s *Solver) repairDijkstra(src, dst int, limit int64, dist []int64, prevNode, prevArc []int32) bool {
+	for i := range dist {
+		dist[i] = math.MaxInt64
+		prevNode[i] = -1
+	}
+	dist[src] = 0
+	h := pqMCF{{int32(src), 0}}
+	for len(h) > 0 {
+		it := h[0]
+		if it.dist >= limit {
+			return false
+		}
+		h.pop()
+		if it.dist > dist[it.v] {
+			continue
+		}
+		if int(it.v) == dst {
+			return true
+		}
+		for ai := range s.adj[it.v] {
+			a := &s.adj[it.v][ai]
+			if a.cap <= 0 {
+				continue
+			}
+			rc := a.cost + s.pi[it.v] - s.pi[a.to]
+			if nd := it.dist + rc; nd < dist[a.to] {
+				dist[a.to] = nd
+				prevNode[a.to] = it.v
+				prevArc[a.to] = int32(ai)
+				h.push(pqItem{a.to, nd})
+			}
+		}
+	}
+	return false
 }
 
 // initialPotentials runs one SPFA from a virtual source over all nodes so

@@ -302,3 +302,10 @@ func (m *MC) ToGraph() *graph.Graph {
 
 // ClassOfReg returns the class of netlist register id.
 func (m *MC) ClassOfReg(id netlist.RegID) ClassID { return m.classOfReg[id] }
+
+// VertexOfGate returns the mc-graph vertex modeling gate id. The ECO delta
+// flow uses it to patch a single vertex delay in place of a full rebuild.
+func (m *MC) VertexOfGate(id netlist.GateID) (graph.VertexID, bool) {
+	v, ok := m.vertexOfGate[id]
+	return v, ok
+}

@@ -2,6 +2,7 @@ package retime
 
 import (
 	"context"
+	"errors"
 	"fmt"
 
 	"mcretiming/internal/graph"
@@ -81,6 +82,19 @@ func MinAreaLazyBudget(ctx context.Context, g *graph.Graph, phi int64, bounds *g
 	prob := buildAreaProblem(g, bounds)
 	prob.maxAug = capOf(lim.FlowAugmentations, DefaultFlowAugmentations)
 	cuts := pool.ForPeriod(phi)
+	// One flow solver lives across all cutting-plane rounds: round 0 routes
+	// the supplies cold, and every later round only grafts its fresh cut arcs
+	// onto the already optimal flow and cancels the negative residual cycles
+	// they open (mcf.Reoptimize). The canonical potentials read back are
+	// identical to a cold re-solve's — see Reoptimize — so rounds after the
+	// first cost incremental work instead of re-routing every supply unit.
+	s := prob.newSolver(cuts)
+	if _, err := s.SolveCtx(ctx); err != nil {
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		return nil, fmt.Errorf("retime: minarea (lazy, round 0) at period %d: %w", phi, err)
+	}
 	for round := 0; ; round++ {
 		if err := ctx.Err(); err != nil {
 			return nil, err
@@ -90,11 +104,8 @@ func MinAreaLazyBudget(ctx context.Context, g *graph.Graph, phi int64, bounds *g
 				maxRounds, phi, rterr.ErrBudgetExceeded)
 		}
 		sink.Add("minarea-rounds", 1)
-		r, err := prob.solve(ctx, g, cuts)
+		r, err := prob.retiming(g, s)
 		if err != nil {
-			if ctx.Err() != nil {
-				return nil, ctx.Err()
-			}
 			return nil, fmt.Errorf("retime: minarea (lazy, round %d) at period %d: %w", round, phi, err)
 		}
 		newCuts, err := g.PeriodCutsPar(ctx, r, phi, workers)
@@ -114,6 +125,24 @@ func MinAreaLazyBudget(ctx context.Context, g *graph.Graph, phi int64, bounds *g
 		pool.Add(newCuts)
 		for _, c := range newCuts {
 			cuts = append(cuts, c.Constraint)
+			s.AddArc(int(c.Y), int(c.X), mcf.Inf, int64(c.B))
+		}
+		if err := s.Reoptimize(ctx); err != nil {
+			if ctx.Err() != nil {
+				return nil, ctx.Err()
+			}
+			if !errors.Is(err, rterr.ErrBudgetExceeded) {
+				return nil, fmt.Errorf("retime: minarea (lazy, round %d) at period %d: %w", round+1, phi, err)
+			}
+			// Incremental repair ran out of budget: fall back to a cold solve
+			// over the full accumulated cut set (the pre-warm-start behavior).
+			s = prob.newSolver(cuts)
+			if _, err := s.SolveCtx(ctx); err != nil {
+				if ctx.Err() != nil {
+					return nil, ctx.Err()
+				}
+				return nil, fmt.Errorf("retime: minarea (lazy, round %d) at period %d: %w", round+1, phi, err)
+			}
 		}
 	}
 }
@@ -188,9 +217,9 @@ func buildAreaProblem(g *graph.Graph, bounds *graph.Bounds) *areaProblem {
 	return p
 }
 
-// solve runs the min-cost-flow dual over the base constraints plus the given
-// period constraints and recovers the retiming from residual potentials.
-func (p *areaProblem) solve(ctx context.Context, g *graph.Graph, period []graph.Constraint) ([]int32, error) {
+// newSolver assembles the min-cost-flow dual over the base constraints plus
+// the given period constraints, ready for SolveCtx.
+func (p *areaProblem) newSolver(period []graph.Constraint) *mcf.Solver {
 	s := mcf.New(p.nvars)
 	s.MaxAugmentations = p.maxAug
 	for _, c := range p.base {
@@ -202,9 +231,12 @@ func (p *areaProblem) solve(ctx context.Context, g *graph.Graph, period []graph.
 	for v := 0; v < p.nvars; v++ {
 		s.AddSupply(v, p.cost[v])
 	}
-	if _, err := s.SolveCtx(ctx); err != nil {
-		return nil, err
-	}
+	return s
+}
+
+// retiming recovers the canonical retiming from the residual potentials of a
+// solved (or reoptimized) flow.
+func (p *areaProblem) retiming(g *graph.Graph, s *mcf.Solver) ([]int32, error) {
 	pi, err := s.ResidualPotentials()
 	if err != nil {
 		return nil, err

@@ -44,7 +44,7 @@ func TestLazyMinAreaMatchesDense(t *testing.T) {
 		if err != nil {
 			t.Fatalf("iter %d: %v", iter, err)
 		}
-		rDense, err := MinArea(g, wd, phi, bounds)
+		rDense, err := MinAreaDense(g, wd, phi, bounds)
 		if err != nil {
 			t.Fatalf("iter %d: dense: %v", iter, err)
 		}

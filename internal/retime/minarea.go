@@ -26,10 +26,17 @@ import (
 	"mcretiming/internal/mcf"
 )
 
-// MinArea returns a legal retiming of g minimizing the shared register count
-// at clock period phi, subject to bounds (nil = unconstrained). wd may be
-// nil (computed internally). It fails if phi is infeasible.
-func MinArea(g *graph.Graph, wd *graph.WD, phi int64, bounds *graph.Bounds) ([]int32, error) {
+// MinAreaDense returns a legal retiming of g minimizing the shared register
+// count at clock period phi, subject to bounds (nil = unconstrained), using
+// the dense O(V²) W/D period-constraint scan. wd may be nil (computed
+// internally). It fails if phi is infeasible.
+//
+// This is the demoted reference engine: the flow's primary path is the
+// matrix-free cutting-plane solver (MinAreaLazy and friends), which reaches
+// the same optimum without materializing W/D; the dense formulation survives
+// as the cross-check for small graphs and the ground truth of the
+// equivalence tests.
+func MinAreaDense(g *graph.Graph, wd *graph.WD, phi int64, bounds *graph.Bounds) ([]int32, error) {
 	if wd == nil {
 		wd = g.ComputeWD()
 	}
@@ -169,13 +176,32 @@ func SharedRegCount(g *graph.Graph, r []int32) int64 {
 // MinPeriodMinArea runs the paper's two-phase flow on a basic retiming
 // graph: find the minimum feasible period, then minimize registers at that
 // period. It returns the period and the minarea retiming.
+//
+// The solve is matrix-free: the lazy binary search and the cutting-plane
+// minarea loop share one cut pool and never materialize W/D. For the dense
+// reference formulation, see MinPeriodMinAreaDense.
 func MinPeriodMinArea(g *graph.Graph, bounds *graph.Bounds) (int64, []int32, error) {
+	pool := &graph.CutPool{}
+	phi, _, err := g.MinPeriodLazy(bounds, pool)
+	if err != nil {
+		return 0, nil, err
+	}
+	r, err := MinAreaLazy(g, phi, bounds, pool)
+	if err != nil {
+		return 0, nil, err
+	}
+	return phi, r, nil
+}
+
+// MinPeriodMinAreaDense is the two-phase flow over the dense W/D matrices:
+// the demoted reference engine, kept as the small-graph cross-check.
+func MinPeriodMinAreaDense(g *graph.Graph, bounds *graph.Bounds) (int64, []int32, error) {
 	wd := g.ComputeWD()
 	phi, _, err := g.MinPeriod(wd, bounds)
 	if err != nil {
 		return 0, nil, err
 	}
-	r, err := MinArea(g, wd, phi, bounds)
+	r, err := MinAreaDense(g, wd, phi, bounds)
 	if err != nil {
 		return 0, nil, err
 	}

@@ -63,7 +63,7 @@ func TestMinAreaChain(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	r, err := MinArea(g, wd, phi, nil)
+	r, err := MinAreaDense(g, wd, phi, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -90,7 +90,7 @@ func TestMinAreaExploitsSharing(t *testing.T) {
 	// At a permissive period the two fanout registers already share: cost 1
 	// on u's fanout plus the two PO-edge registers.
 	wd := g.ComputeWD()
-	r, err := MinArea(g, wd, 100, nil)
+	r, err := MinAreaDense(g, wd, 100, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -112,7 +112,7 @@ func TestMinAreaRespectsBounds(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	r, err := MinArea(g, wd, phi, b)
+	r, err := MinAreaDense(g, wd, phi, b)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -126,7 +126,7 @@ func TestMinAreaRespectsBounds(t *testing.T) {
 func TestMinAreaInfeasiblePeriod(t *testing.T) {
 	g := chainGraph()
 	// Period 1 < max gate delay 2: no retiming can achieve it.
-	if _, err := MinArea(g, nil, 1, nil); err == nil {
+	if _, err := MinAreaDense(g, nil, 1, nil); err == nil {
 		t.Fatal("MinArea accepted an infeasible period")
 	}
 }
@@ -167,7 +167,7 @@ func TestMinAreaRandomAgainstBruteForce(t *testing.T) {
 		if err != nil {
 			t.Fatalf("iter %d: %v", iter, err)
 		}
-		r, err := MinArea(g, wd, phi, bounds)
+		r, err := MinAreaDense(g, wd, phi, bounds)
 		if err != nil {
 			t.Fatalf("iter %d: %v", iter, err)
 		}

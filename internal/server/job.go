@@ -21,6 +21,11 @@ type JobOptions struct {
 	Objective      string `json:"objective,omitempty"`
 	TargetPeriodPS int64  `json:"target_period_ps,omitempty"`
 
+	// Engine: "" or "auto" (sparse, cross-checked on small graphs when
+	// invariant checks are on), "sparse", or "dense" (the W/D reference
+	// formulation).
+	Engine string `json:"engine,omitempty"`
+
 	ForwardOnly     bool `json:"forward_only,omitempty"`
 	DisableSharing  bool `json:"disable_sharing,omitempty"`
 	DisableJustify  bool `json:"disable_justify,omitempty"`
@@ -63,6 +68,11 @@ func (o JobOptions) coreOptions() (core.Options, error) {
 			MinAreaRounds:     o.Budgets.MinAreaRounds,
 		},
 	}
+	engine, err := core.ParseEngine(o.Engine)
+	if err != nil {
+		return opts, err
+	}
+	opts.Engine = engine
 	switch o.Objective {
 	case "", "min-area":
 		opts.Objective = core.MinAreaAtMinPeriod
@@ -125,6 +135,7 @@ type ReportSummary struct {
 	JustifyEscalations int      `json:"justify_escalations,omitempty"`
 	Degraded           []string `json:"degraded,omitempty"`
 	Workers            int      `json:"workers"`
+	Engine             string   `json:"engine,omitempty"`
 }
 
 func summarize(rep *core.Report) *ReportSummary {
@@ -140,6 +151,7 @@ func summarize(rep *core.Report) *ReportSummary {
 		JustifyEscalations: rep.JustifyEscalations,
 		Degraded:           rep.Degraded,
 		Workers:            rep.Workers,
+		Engine:             rep.Engine,
 	}
 }
 

@@ -139,6 +139,23 @@ const (
 // PassTime is one pipeline pass's wall-clock time within a Report.
 type PassTime = core.PassTime
 
+// SolveEngine selects the period-constraint machinery (Options.Engine).
+type SolveEngine = core.SolveEngine
+
+// Engines. EngineAuto (the zero value) runs the matrix-free sparse engine,
+// cross-checked against the dense reference on small graphs when invariant
+// checks are enabled; EngineSparse skips the cross-check; EngineDense selects
+// the O(V²) W/D reference formulation.
+const (
+	EngineAuto   = core.EngineAuto
+	EngineSparse = core.EngineSparse
+	EngineDense  = core.EngineDense
+)
+
+// ParseEngine parses an engine flag/wire token ("", "auto", "sparse",
+// "dense").
+func ParseEngine(s string) (SolveEngine, error) { return core.ParseEngine(s) }
+
 // Error taxonomy: every error escaping a public entry point wraps exactly one
 // of these sentinels, so callers classify failures with errors.Is instead of
 // string matching.
@@ -172,6 +189,25 @@ func Retime(c *Circuit, opts Options) (*Circuit, *Report, error) {
 // per-pass spans and solver counters.
 func RetimeCtx(ctx context.Context, c *Circuit, opts Options) (*Circuit, *Report, error) {
 	return core.RetimeCtx(ctx, c, opts)
+}
+
+// Prepared is a circuit with the model half of the retiming flow (mc-graph,
+// class bounds, sharing) done: ready to solve at any number of target periods
+// concurrently, and to absorb gate-delay ECOs via Apply without a cold
+// re-prepare.
+type Prepared = core.Prepared
+
+// Edit is a netlist ECO a Prepared can absorb incrementally: a new
+// propagation delay for one named gate. See Prepared.Apply.
+type Edit = core.Edit
+
+// Prepare runs the model half of the retiming flow on c and returns the
+// reusable state: Anchor solves MinAreaAtMinPeriod (bit-identical to Retime),
+// SolveAtPeriod solves at any feasible target, Candidates streams the
+// candidate periods, and Apply ECO-updates the state for a gate-delay edit at
+// a fraction of the cost of a cold Prepare.
+func Prepare(ctx context.Context, c *Circuit, opts Options) (*Prepared, error) {
+	return core.Prepare(ctx, c, opts)
 }
 
 // ExploreOptions configures Explore: the core option set per solve, the
