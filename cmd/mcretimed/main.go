@@ -6,7 +6,13 @@
 // Usage:
 //
 //	mcretimed [-addr :8472] [-queue 64] [-workers 2] [-deadline 60s]
-//	          [-checkpoint DIR] [-store DIR] [-retries 2] [-failpoints] [-j N]
+//	          [-checkpoint DIR] [-store DIR] [-retries 2] [-failpoints]
+//	          [-coordinator] [-join URL -advertise URL] [-remote-store URL]
+//
+// A single daemon serves jobs by itself. With -coordinator it additionally
+// dispatches jobs to joined workers (degrading to local execution when none
+// is healthy); with -join/-advertise it runs as a worker of that
+// coordinator. See README "Cluster".
 //
 // API:
 //
@@ -16,8 +22,15 @@
 //	                       the result carries the mcretiming-front/v1 Pareto
 //	                       front, and GET /v1/jobs/{id} reports per-point
 //	                       progress while it runs
+//	GET  /v1/jobs          list jobs (?status=queued|running|done|failed)
 //	GET  /v1/jobs/{id}     job status/result; failed jobs answer with their
 //	                       mapped HTTP status (see README "Serving")
+//	POST /v1/cluster/run   execute one forwarded run (cluster data plane)
+//	POST /v1/cluster/join  register a worker        (coordinator only)
+//	POST /v1/cluster/heartbeat  renew a worker lease (coordinator only)
+//	GET  /v1/cluster/workers    membership + liveness (coordinator only)
+//	GET  /v1/store/{key}   serve a result-store envelope (coordinator only)
+//	PUT  /v1/store/{key}   accept a validated envelope   (coordinator only)
 //	GET  /healthz          process liveness
 //	GET  /readyz           503 while starting up or draining
 //	GET  /metrics          plaintext counters
@@ -57,7 +70,21 @@ func main() {
 	retries := flag.Int("retries", 2, "budget-relaxing retries per job on ErrBudgetExceeded")
 	allowFP := flag.Bool("failpoints", false, "accept per-job failpoint specs over the API (chaos testing only)")
 	drainTimeout := flag.Duration("drain", 30*time.Second, "how long shutdown waits for in-flight jobs")
+	coordinator := flag.Bool("coordinator", false, "enable the cluster control plane and dispatch jobs to joined workers")
+	joinURL := flag.String("join", "", "run as a worker of the coordinator at this base URL")
+	advertise := flag.String("advertise", "", "base URL the coordinator dials this worker back on (required with -join)")
+	workerID := flag.String("worker-id", "", "stable cluster identity (default: the advertise URL)")
+	lease := flag.Duration("lease", 6*time.Second, "coordinator heartbeat lease TTL")
+	heartbeat := flag.Duration("heartbeat", 0, "worker heartbeat interval (default: lease/3)")
+	remoteStore := flag.String("remote-store", "", "remote result-store base URL (layered behind -store; diskless without it)")
 	flag.Parse()
+
+	if *joinURL != "" && *advertise == "" {
+		fatal(errors.New("-join requires -advertise (the coordinator must dial back)"))
+	}
+	if *joinURL != "" && *coordinator {
+		fatal(errors.New("-coordinator and -join are mutually exclusive"))
+	}
 
 	if err := failpoint.ArmFromEnv(); err != nil {
 		fatal(err)
@@ -69,13 +96,20 @@ func main() {
 	}
 
 	srv := server.New(server.Config{
-		QueueSize:        *queue,
-		Workers:          *workers,
-		DefaultTimeout:   *deadline,
-		CheckpointDir:    *checkpoint,
-		StoreDir:         *storeDir,
-		RetryMax:         *retries,
-		EnableFailpoints: *allowFP,
+		QueueSize:         *queue,
+		Workers:           *workers,
+		DefaultTimeout:    *deadline,
+		CheckpointDir:     *checkpoint,
+		StoreDir:          *storeDir,
+		RetryMax:          *retries,
+		EnableFailpoints:  *allowFP,
+		Coordinator:       *coordinator,
+		JoinURL:           *joinURL,
+		AdvertiseURL:      *advertise,
+		WorkerID:          *workerID,
+		LeaseTTL:          *lease,
+		HeartbeatInterval: *heartbeat,
+		RemoteStoreURL:    *remoteStore,
 	})
 	if err := srv.Start(); err != nil {
 		fatal(err)
@@ -84,7 +118,14 @@ func main() {
 	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
 	errc := make(chan error, 1)
 	go func() { errc <- hs.ListenAndServe() }()
-	fmt.Fprintf(os.Stderr, "mcretimed: listening on %s\n", *addr)
+	role := "single-node"
+	switch {
+	case *coordinator:
+		role = "coordinator"
+	case *joinURL != "":
+		role = "worker of " + *joinURL
+	}
+	fmt.Fprintf(os.Stderr, "mcretimed: listening on %s (%s)\n", *addr, role)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

@@ -21,6 +21,16 @@
 // BLIF init values 0/1 are recorded as synchronous reset values only when
 // the latch has a sync control via the extension; otherwise they are
 // dropped (this package models power-up state as unknown).
+//
+// Gate propagation delays round-trip through a second comment extension,
+//
+//	# .mcdelay OUT D
+//
+// giving the gate driving OUT a delay of D picoseconds. Standard BLIF has
+// no delay model, so without this line a parsed gate has delay 0; gates
+// with delay 0 emit no line, keeping plain-BLIF output unchanged. The
+// extension is what lets a retiming cluster ship a timed circuit to a
+// worker as text and get byte-identical results back.
 package blif
 
 import (
@@ -118,6 +128,9 @@ func Write(w io.Writer, c *netlist.Circuit) error {
 			}
 			fmt.Fprintln(bw, "1")
 		}
+		if g.Delay != 0 {
+			fmt.Fprintf(bw, "# .mcdelay %s %d\n", name(g.Out), g.Delay)
+		}
 	})
 	if werr != nil {
 		return werr
@@ -165,7 +178,7 @@ func Read(r io.Reader) (*netlist.Circuit, error) {
 		}
 		line := strings.TrimSpace(sc.Text())
 		if strings.HasPrefix(line, "#") {
-			if strings.HasPrefix(line, "# .mcreg") {
+			if strings.HasPrefix(line, "# .mcreg") || strings.HasPrefix(line, "# .mcdelay") {
 				lines = append(lines, line)
 			}
 			continue
@@ -197,6 +210,7 @@ func Read(r io.Reader) (*netlist.Circuit, error) {
 	var pending *names
 	var allNames []*names
 	exts := make(map[string]mcregExt)
+	delays := make(map[string]int64)
 	type latch struct {
 		d, q, clk string
 		init      byte
@@ -276,6 +290,14 @@ func Read(r io.Reader) (*netlist.Circuit, error) {
 				}
 				exts[fields[2]] = ext
 			}
+			// "# .mcdelay OUT D" — lenient like .mcreg: an unparseable
+			// comment extension is ignored, never an error.
+			if len(fields) == 4 && fields[1] == ".mcdelay" {
+				var d int64
+				if _, err := fmt.Sscanf(fields[3], "%d", &d); err == nil && d >= 0 {
+					delays[fields[2]] = d
+				}
+			}
 		case ".end":
 			flush()
 		default:
@@ -344,7 +366,7 @@ func Read(r io.Reader) (*netlist.Circuit, error) {
 		for i, name := range ins {
 			in[i] = sig(name)
 		}
-		c.AddGateTo(out, netlist.Lut, in, sig(out), 0)
+		c.AddGateTo(out, netlist.Lut, in, sig(out), delays[out])
 		c.Gates[len(c.Gates)-1].TT = tt
 	}
 	for _, name := range outputs {

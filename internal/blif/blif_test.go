@@ -111,6 +111,57 @@ func TestMcregExtensionRoundTrip(t *testing.T) {
 	}
 }
 
+// Gate delays survive the # .mcdelay extension round trip: zero-delay gates
+// emit no line (plain BLIF stays plain), timed gates come back timed, and a
+// second write is byte-identical to the first.
+func TestMcdelayExtensionRoundTrip(t *testing.T) {
+	c := netlist.New("timed")
+	a := c.AddInput("a")
+	b := c.AddInput("b")
+	_, x := c.AddGate("g1", netlist.And, []netlist.SignalID{a, b}, 1_500)
+	_, y := c.AddGate("g2", netlist.Xor, []netlist.SignalID{x, a}, 0)
+	c.MarkOutput(y)
+
+	var buf bytes.Buffer
+	if err := Write(&buf, c); err != nil {
+		t.Fatal(err)
+	}
+	if n := strings.Count(buf.String(), "# .mcdelay"); n != 1 {
+		t.Fatalf("want exactly one delay line (the zero-delay gate emits none), got %d:\n%s", n, buf.String())
+	}
+	back, err := Read(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cNames, backNames := c.UniqueSignalNames(), back.UniqueSignalNames()
+	got := make(map[string]int64)
+	back.LiveGates(func(g *netlist.Gate) { got[backNames[g.Out]] = g.Delay })
+	c.LiveGates(func(g *netlist.Gate) {
+		if bg, ok := got[cNames[g.Out]]; !ok || bg != g.Delay {
+			t.Errorf("gate %s delay %d -> %d", g.Name, g.Delay, bg)
+		}
+	})
+	var again bytes.Buffer
+	if err := Write(&again, back); err != nil {
+		t.Fatal(err)
+	}
+	if again.String() != buf.String() {
+		t.Fatalf("write∘read not idempotent:\n%s\nvs\n%s", again.String(), buf.String())
+	}
+
+	// Unparseable delay extensions are comments, not errors.
+	lenient := ".model m\n.inputs a\n.outputs y\n.names a y\n1 1\n# .mcdelay y notanumber\n.end\n"
+	c2, err := Read(strings.NewReader(lenient))
+	if err != nil {
+		t.Fatalf("malformed .mcdelay comment must be ignored: %v", err)
+	}
+	c2.LiveGates(func(g *netlist.Gate) {
+		if g.Delay != 0 {
+			t.Errorf("malformed delay applied: %d", g.Delay)
+		}
+	})
+}
+
 // A mapped generated circuit survives BLIF round trip.
 func TestGeneratedCircuitRoundTrip(t *testing.T) {
 	rtl, err := gen.Circuit(2)

@@ -1,0 +1,296 @@
+// Package cluster turns mcretimed into a coordinator + N workers: a worker
+// registry with heartbeat leases and an alive → suspect → dead liveness
+// ladder, consistent-hash job routing keyed by the content-addressed store
+// key (identical circuit+options land on the warm node), and a dispatcher
+// that forwards jobs over HTTP with per-attempt deadlines, jittered backoff,
+// and automatic re-routing to the next ring node when a worker dies mid-job.
+//
+// Every seam is engineered fail-safe: a worker loss re-routes the job, a
+// cluster with zero healthy workers reports ErrUnavailable so the caller
+// degrades to local inline execution, and because the engine is
+// deterministic, a job re-run anywhere — another worker, or the coordinator
+// itself — produces byte-identical output. The failpoint sites
+// cluster.dispatch, cluster.forward, and cluster.heartbeat let the chaos
+// suite inject loss at each seam.
+//
+// The package sits below internal/server (which mounts the HTTP endpoints
+// and owns the job table) and depends only on retry, failpoint, and the
+// standard library.
+package cluster
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// State is a worker's liveness, derived from its heartbeat lease.
+type State string
+
+// Liveness ladder. A worker is alive while its lease is fresh, suspect once
+// the lease has lapsed (or a forward to it failed), and dead after the lease
+// has been stale for DeadAfter (or after repeated forward failures). Dead
+// workers receive no jobs; a heartbeat revives a worker at any rung.
+const (
+	StateAlive   State = "alive"
+	StateSuspect State = "suspect"
+	StateDead    State = "dead"
+)
+
+// RegistryConfig tunes the lease protocol. The zero value gets defaults from
+// NewRegistry.
+type RegistryConfig struct {
+	// LeaseTTL is how long a heartbeat keeps a worker alive (default 6s).
+	// Workers heartbeat at a fraction of this (the server uses TTL/3).
+	LeaseTTL time.Duration
+	// DeadAfter is how long past its last heartbeat a worker is declared
+	// dead and unroutable (default 3×LeaseTTL).
+	DeadAfter time.Duration
+	// ForgetAfter is how long a dead worker stays listed for observability
+	// before it is forgotten entirely (default 10×DeadAfter).
+	ForgetAfter time.Duration
+	// VNodes is the per-worker virtual node count of the hash ring.
+	VNodes int
+	// Now is the clock (default time.Now); tests inject a fake.
+	Now func() time.Time
+	// Logf, when set, receives membership transitions (join, dead, forget).
+	Logf func(format string, args ...any)
+}
+
+func (c RegistryConfig) withDefaults() RegistryConfig {
+	if c.LeaseTTL <= 0 {
+		c.LeaseTTL = 6 * time.Second
+	}
+	if c.DeadAfter <= 0 {
+		c.DeadAfter = 3 * c.LeaseTTL
+	}
+	if c.ForgetAfter <= 0 {
+		c.ForgetAfter = 10 * c.DeadAfter
+	}
+	if c.Now == nil {
+		c.Now = time.Now
+	}
+	return c
+}
+
+// WorkerInfo is a snapshot of one registered worker.
+type WorkerInfo struct {
+	ID    string `json:"id"`
+	URL   string `json:"url"`
+	State State  `json:"state"`
+	// AgeMS is the time since the last heartbeat, in milliseconds.
+	AgeMS int64 `json:"age_ms"`
+	// Forwarded counts jobs successfully completed by this worker.
+	Forwarded int64 `json:"forwarded"`
+	// Failures counts forwards to this worker that failed at the transport
+	// level (the evidence behind demotions).
+	Failures int64 `json:"failures"`
+}
+
+type workerEntry struct {
+	id, url   string
+	lastBeat  time.Time
+	penalty   int // 0 none, 1 demoted to suspect, ≥2 demoted to dead
+	forwarded int64
+	failures  int64
+}
+
+// Registry tracks cluster membership and liveness, and owns the hash ring.
+// All methods are safe for concurrent use.
+type Registry struct {
+	cfg RegistryConfig
+
+	mu      sync.Mutex
+	workers map[string]*workerEntry
+	ring    *ring // nil when membership changed since last build
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry(cfg RegistryConfig) *Registry {
+	return &Registry{cfg: cfg.withDefaults(), workers: make(map[string]*workerEntry)}
+}
+
+// LeaseTTL returns the configured lease duration (what join answers tell
+// workers to heartbeat against).
+func (r *Registry) LeaseTTL() time.Duration { return r.cfg.LeaseTTL }
+
+func (r *Registry) logf(format string, args ...any) {
+	if r.cfg.Logf != nil {
+		r.cfg.Logf(format, args...)
+	}
+}
+
+// state derives the liveness of e at time now: the worse of the lease state
+// and any demotion penalty from failed forwards.
+func (r *Registry) state(e *workerEntry, now time.Time) State {
+	s := StateAlive
+	if age := now.Sub(e.lastBeat); age > r.cfg.DeadAfter {
+		s = StateDead
+	} else if age > r.cfg.LeaseTTL {
+		s = StateSuspect
+	}
+	if e.penalty >= 2 {
+		return StateDead
+	}
+	if e.penalty == 1 && s == StateAlive {
+		return StateSuspect
+	}
+	return s
+}
+
+// Join registers (or re-registers) a worker and grants it a fresh lease.
+// Joining is idempotent; a returning worker resumes its ring position.
+func (r *Registry) Join(id, url string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, ok := r.workers[id]
+	if !ok {
+		e = &workerEntry{id: id}
+		r.workers[id] = e
+		r.ring = nil
+		r.logf("cluster: worker %s joined (%s)", id, url)
+	}
+	e.url = url
+	e.lastBeat = r.cfg.Now()
+	e.penalty = 0
+}
+
+// Heartbeat renews a worker's lease. It reports false for an unknown worker
+// (forgotten, or the coordinator restarted) — the worker must re-Join.
+func (r *Registry) Heartbeat(id string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, ok := r.workers[id]
+	if !ok {
+		return false
+	}
+	e.lastBeat = r.cfg.Now()
+	e.penalty = 0 // a live heartbeat outweighs stale forward failures
+	return true
+}
+
+// Touch records a successful forward to id: proof of life, so the lease is
+// renewed and any demotion cleared.
+func (r *Registry) Touch(id string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e, ok := r.workers[id]; ok {
+		e.lastBeat = r.cfg.Now()
+		e.penalty = 0
+		e.forwarded++
+	}
+}
+
+// Demote records a failed forward to id, stepping it one rung down the
+// liveness ladder (alive → suspect → dead). Direct transport evidence beats
+// waiting out the lease.
+func (r *Registry) Demote(id string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, ok := r.workers[id]
+	if !ok {
+		return
+	}
+	e.failures++
+	if e.penalty < 2 {
+		e.penalty++
+		if e.penalty == 2 {
+			r.logf("cluster: worker %s demoted to dead after forward failure", id)
+		}
+	}
+}
+
+// prune forgets workers dead for longer than ForgetAfter. Caller holds r.mu.
+func (r *Registry) prune(now time.Time) {
+	for id, e := range r.workers {
+		if now.Sub(e.lastBeat) > r.cfg.ForgetAfter {
+			delete(r.workers, id)
+			r.ring = nil
+			r.logf("cluster: worker %s forgotten (no heartbeat for %v)", id, now.Sub(e.lastBeat))
+		}
+	}
+}
+
+// theRing returns the ring over current membership, rebuilding it if stale.
+// Caller holds r.mu.
+func (r *Registry) theRing() *ring {
+	if r.ring == nil {
+		ids := make([]string, 0, len(r.workers))
+		for id := range r.workers {
+			ids = append(ids, id)
+		}
+		sort.Strings(ids)
+		r.ring = buildRing(ids, r.cfg.VNodes)
+	}
+	return r.ring
+}
+
+// Route picks the worker that should run the job with the given routing key:
+// the first worker in ring order that is not dead and not in skip, preferring
+// alive workers over suspect ones. ok is false when no routable worker
+// remains — the caller degrades to local execution.
+func (r *Registry) Route(key string, skip map[string]bool) (WorkerInfo, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	now := r.cfg.Now()
+	r.prune(now)
+	var suspect *workerEntry
+	for _, id := range r.theRing().lookup(key, 0) {
+		if skip[id] {
+			continue
+		}
+		e := r.workers[id]
+		switch r.state(e, now) {
+		case StateAlive:
+			return r.info(e, now), true
+		case StateSuspect:
+			if suspect == nil {
+				suspect = e
+			}
+		}
+	}
+	if suspect != nil {
+		return r.info(suspect, now), true
+	}
+	return WorkerInfo{}, false
+}
+
+func (r *Registry) info(e *workerEntry, now time.Time) WorkerInfo {
+	return WorkerInfo{
+		ID:        e.id,
+		URL:       e.url,
+		State:     r.state(e, now),
+		AgeMS:     now.Sub(e.lastBeat).Milliseconds(),
+		Forwarded: e.forwarded,
+		Failures:  e.failures,
+	}
+}
+
+// Workers returns a snapshot of every known worker, sorted by ID.
+func (r *Registry) Workers() []WorkerInfo {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	now := r.cfg.Now()
+	r.prune(now)
+	out := make([]WorkerInfo, 0, len(r.workers))
+	for _, e := range r.workers {
+		out = append(out, r.info(e, now))
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// CountByState tallies the current membership by liveness rung.
+func (r *Registry) CountByState() (alive, suspect, dead int) {
+	for _, w := range r.Workers() {
+		switch w.State {
+		case StateAlive:
+			alive++
+		case StateSuspect:
+			suspect++
+		default:
+			dead++
+		}
+	}
+	return
+}

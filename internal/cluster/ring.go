@@ -1,0 +1,81 @@
+package cluster
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"sort"
+)
+
+// ring is a consistent-hash ring over worker IDs. Each worker owns vnodes
+// points on a 64-bit circle; a key is routed by walking clockwise from its
+// hash and collecting distinct workers in ring order.
+//
+// The ring is built over every *known* worker, not just the live ones:
+// liveness is a filter applied at lookup time (registry.Route). That keeps
+// key ownership stable while a worker flaps between alive and suspect — keys
+// only move when membership itself changes (join or final removal), which is
+// what makes the "identical circuit+options land on the warm node" routing
+// property hold across transient failures.
+type ring struct {
+	points []ringPoint // sorted by hash
+}
+
+type ringPoint struct {
+	hash uint64
+	id   string
+}
+
+// defaultVNodes balances distribution (~5% spread at 3 nodes) against
+// rebuild cost; rings here hold at most a few dozen workers.
+const defaultVNodes = 64
+
+func hash64(s string) uint64 {
+	sum := sha256.Sum256([]byte(s))
+	return binary.BigEndian.Uint64(sum[:8])
+}
+
+// buildRing constructs the ring for the given worker IDs.
+func buildRing(ids []string, vnodes int) *ring {
+	if vnodes <= 0 {
+		vnodes = defaultVNodes
+	}
+	r := &ring{points: make([]ringPoint, 0, len(ids)*vnodes)}
+	for _, id := range ids {
+		for v := 0; v < vnodes; v++ {
+			r.points = append(r.points, ringPoint{hash: hash64(fmt.Sprintf("%s#%d", id, v)), id: id})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		return r.points[i].id < r.points[j].id // total order even on hash ties
+	})
+	return r
+}
+
+// lookup returns up to n distinct worker IDs in preference order for key:
+// the owner first, then the successors a re-route falls through to. n <= 0
+// means all distinct workers.
+func (r *ring) lookup(key string, n int) []string {
+	if len(r.points) == 0 {
+		return nil
+	}
+	h := hash64(key)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	seen := make(map[string]bool)
+	var out []string
+	for i := 0; i < len(r.points); i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if seen[p.id] {
+			continue
+		}
+		seen[p.id] = true
+		out = append(out, p.id)
+		if n > 0 && len(out) == n {
+			break
+		}
+	}
+	return out
+}

@@ -78,12 +78,22 @@ type Options struct {
 	// Progress, when set, is called after each point completes (solved or
 	// loaded), with the number done and the total. Calls are serialized.
 	Progress func(done, total int)
+
+	// Remote, when set, is offered each point the store missed before the
+	// local solve: typically a cluster dispatch that runs the point on a
+	// worker. key is the point's store key (so the cluster can route the
+	// point to the node most likely to hold it warm). Any error — no worker,
+	// partition, worker crash — falls back to solving locally; the engine is
+	// deterministic, so either path yields byte-identical output.
+	Remote func(ctx context.Context, key string, phi int64) (*Solution, error)
 }
 
-// storedSolution is the store payload of one solved point. The anchor entry
-// additionally carries the minimum feasible period it discovered, which warm
-// runs use to filter candidates without re-solving.
-type storedSolution struct {
+// Solution is the persisted/wire payload of one solved point: what the store
+// holds under a point key, and what a cluster worker returns for an
+// explore-point run. The anchor entry additionally carries the minimum
+// feasible period it discovered, which warm runs use to filter candidates
+// without re-solving.
+type Solution struct {
 	PeriodPS    int64       `json:"period_ps"`
 	MinPeriodPS int64       `json:"min_period_ps,omitempty"`
 	Regs        int         `json:"regs"`
@@ -142,7 +152,7 @@ func Sweep(ctx context.Context, c *netlist.Circuit, o Options) (*Front, error) {
 		ctx = context.Background()
 	}
 	start := time.Now()
-	var hits, misses, saveErrors atomic.Int64
+	var hits, misses, saveErrors, remotes atomic.Int64
 	save := func(key string, v any) {
 		if err := o.Store.Save(ctx, key, v); err != nil {
 			saveErrors.Add(1)
@@ -184,7 +194,7 @@ func Sweep(ctx context.Context, c *netlist.Circuit, o Options) (*Front, error) {
 	// Retime(MinAreaAtMinPeriod) result (see core.Prepared.Anchor).
 	var anchorPt Point
 	var minPhi int64
-	var ss storedSolution
+	var ss Solution
 	if o.Store.Load(ctx, k.anchor(), &ss) {
 		hits.Add(1)
 		anchorPt = pointFromStored(ss)
@@ -234,7 +244,7 @@ func Sweep(ctx context.Context, c *netlist.Circuit, o Options) (*Front, error) {
 	}
 	_, err = par.Run(ctx, par.Workers(o.Parallelism), len(phis), func(_, i int) error {
 		phi := phis[i]
-		var ss storedSolution
+		var ss Solution
 		if o.Store.Load(ctx, k.point(phi), &ss) && ss.PeriodPS == phi {
 			hits.Add(1)
 			points[i] = pointFromStored(ss)
@@ -243,6 +253,17 @@ func Sweep(ctx context.Context, c *netlist.Circuit, o Options) (*Front, error) {
 		}
 		if o.Store != nil {
 			misses.Add(1)
+		}
+		if o.Remote != nil {
+			sol, err := o.Remote(ctx, k.point(phi), phi)
+			if err == nil && sol != nil && sol.PeriodPS == phi {
+				remotes.Add(1)
+				points[i] = pointFromStored(*sol)
+				save(k.point(phi), *sol)
+				report()
+				return nil
+			}
+			// Remote loss of any kind degrades to the local solve below.
 		}
 		var sink trace.Sink
 		if recs[i] != nil {
@@ -272,6 +293,7 @@ func Sweep(ctx context.Context, c *netlist.Circuit, o Options) (*Front, error) {
 		o.Trace.Add("explore-store-hits", hits.Load())
 		o.Trace.Add("explore-store-misses", misses.Load())
 		o.Trace.Add("explore-store-save-errors", saveErrors.Load())
+		o.Trace.Add("explore-remote-points", remotes.Load())
 	}
 
 	// Pareto prune: ascending period, keep a point only if it strictly
@@ -361,7 +383,7 @@ func newPoint(out *netlist.Circuit, rep *core.Report) (Point, error) {
 }
 
 // pointFromStored rebuilds a Point from its store payload.
-func pointFromStored(s storedSolution) Point {
+func pointFromStored(s Solution) Point {
 	sum := sha256.Sum256([]byte(s.BLIF))
 	return Point{
 		PeriodPS:    s.PeriodPS,
@@ -377,8 +399,8 @@ func pointFromStored(s storedSolution) Point {
 }
 
 // solutionFromPoint is the inverse of pointFromStored.
-func solutionFromPoint(p Point) storedSolution {
-	return storedSolution{
+func solutionFromPoint(p Point) Solution {
+	return Solution{
 		PeriodPS:    p.PeriodPS,
 		Regs:        p.Regs,
 		RegsByClass: p.RegsByClass,

@@ -1,0 +1,92 @@
+package retry
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// TestDelayDeterministicSchedule pins Rand and checks the exact schedule:
+// exponential growth from Base, saturation at Cap, jitter applied as a
+// uniform scale in [1-J, 1+J].
+func TestDelayDeterministicSchedule(t *testing.T) {
+	s := Schedule{Base: 100 * time.Millisecond, Cap: 1 * time.Second, Factor: 2}
+
+	// No jitter: the schedule is a pure function of the attempt.
+	want := []time.Duration{
+		100 * time.Millisecond, // attempt 0
+		200 * time.Millisecond,
+		400 * time.Millisecond,
+		800 * time.Millisecond,
+		1 * time.Second, // capped
+		1 * time.Second, // stays capped
+	}
+	for i, w := range want {
+		if got := s.Delay(i); got != w {
+			t.Errorf("Delay(%d) = %v, want %v", i, got, w)
+		}
+	}
+
+	// Jitter 0.5 with a pinned midpoint rand (0.5) reproduces the nominal
+	// delay; rand 0 and ~1 hit the band edges.
+	for _, tc := range []struct {
+		r    float64
+		want time.Duration
+	}{
+		{0.5, 200 * time.Millisecond}, // scale 1.0
+		{0.0, 100 * time.Millisecond}, // scale 0.5
+		{1.0, 300 * time.Millisecond}, // scale 1.5
+	} {
+		j := s
+		j.Jitter = 0.5
+		j.Rand = func() float64 { return tc.r }
+		if got := j.Delay(1); got != tc.want {
+			t.Errorf("jittered Delay(1) with rand=%v = %v, want %v", tc.r, got, tc.want)
+		}
+	}
+}
+
+func TestDelayDefaults(t *testing.T) {
+	var s Schedule // all defaults
+	if got := s.Delay(0); got != 100*time.Millisecond {
+		t.Errorf("default Delay(0) = %v, want 100ms", got)
+	}
+	// Default cap is 5s; a huge attempt number must saturate, not overflow.
+	if got := s.Delay(1000); got != 5*time.Second {
+		t.Errorf("default Delay(1000) = %v, want 5s", got)
+	}
+	// Factor below 1 degrades to a constant schedule.
+	c := Schedule{Base: time.Millisecond, Factor: 0.1}
+	if got := c.Delay(10); got != time.Millisecond {
+		t.Errorf("sub-1 factor Delay(10) = %v, want 1ms", got)
+	}
+}
+
+func TestWaitHonorsContext(t *testing.T) {
+	s := Schedule{Base: 10 * time.Second} // would sleep far past the test
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	if err := s.Wait(ctx, 0); err != context.Canceled {
+		t.Fatalf("Wait on canceled ctx = %v, want context.Canceled", err)
+	}
+	if time.Since(start) > time.Second {
+		t.Fatal("Wait slept instead of honoring cancellation")
+	}
+
+	// A zero-jitter zero-ish delay still reports an expired context.
+	z := Schedule{Base: time.Nanosecond, Jitter: 1, Rand: func() float64 { return 0 }}
+	if got := z.Delay(0); got != 0 {
+		t.Fatalf("floor delay = %v, want 0", got)
+	}
+	if err := z.Wait(ctx, 0); err != context.Canceled {
+		t.Fatalf("zero-delay Wait on canceled ctx = %v, want context.Canceled", err)
+	}
+}
+
+func TestWaitCompletes(t *testing.T) {
+	s := Schedule{Base: time.Millisecond}
+	if err := s.Wait(context.Background(), 0); err != nil {
+		t.Fatalf("Wait = %v", err)
+	}
+}

@@ -1,0 +1,441 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"mcretiming/internal/blif"
+	"mcretiming/internal/cluster"
+	"mcretiming/internal/explore"
+	"mcretiming/internal/failpoint"
+	"mcretiming/internal/rterr"
+	"mcretiming/internal/store"
+)
+
+// This file is the cluster face of the server: the coordinator's control
+// plane (join/heartbeat/workers), the worker's data plane (/v1/cluster/run
+// and the heartbeat loop), the shared-store endpoints, and the dispatch glue
+// that places jobs on workers and degrades to local execution when the
+// cluster cannot take them.
+//
+// The degradation ladder, from best to worst, is:
+//
+//  1. the ring-routed worker runs the job (warm store, warm Prepared cache);
+//  2. a worker died mid-job → the dispatcher demotes it and re-routes to the
+//     next ring node after a jittered backoff;
+//  3. no worker is healthy → the coordinator runs the job inline, exactly
+//     like a single-node deployment.
+//
+// Every rung produces byte-identical output because the engine is a pure
+// function of (circuit, options[, period]); the cluster only decides where
+// the function runs, never what it computes.
+
+// --- coordinator control plane ---
+
+// joinRequest is the body of POST /v1/cluster/join.
+type joinRequest struct {
+	ID  string `json:"id"`
+	URL string `json:"url"`
+}
+
+// joinResponse tells the worker the lease it must heartbeat against.
+type joinResponse struct {
+	LeaseTTLMS int64 `json:"lease_ttl_ms"`
+}
+
+func (s *Server) handleClusterJoin(w http.ResponseWriter, r *http.Request) {
+	var req joinRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, CodeBadRequest, "decoding join request: "+err.Error())
+		return
+	}
+	if req.URL == "" {
+		writeError(w, http.StatusBadRequest, CodeBadRequest, "join request needs a url")
+		return
+	}
+	id := req.ID
+	if id == "" {
+		id = req.URL
+	}
+	s.registry.Join(id, req.URL)
+	writeJSON(w, http.StatusOK, joinResponse{LeaseTTLMS: s.registry.LeaseTTL().Milliseconds()})
+}
+
+func (s *Server) handleClusterHeartbeat(w http.ResponseWriter, r *http.Request) {
+	// Chaos seam: a lost/delayed heartbeat. The worker keeps running; only
+	// its lease lapses, walking it down the liveness ladder until a beat
+	// gets through again.
+	if err := failpoint.Inject(r.Context(), "cluster.heartbeat"); err != nil {
+		writeError(w, http.StatusInternalServerError, "internal", "heartbeat failpoint: "+err.Error())
+		return
+	}
+	var req joinRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, CodeBadRequest, "decoding heartbeat: "+err.Error())
+		return
+	}
+	if !s.registry.Heartbeat(req.ID) {
+		// Unknown worker: forgotten, or the coordinator restarted and lost
+		// the membership table. 404 tells the worker to re-join.
+		writeError(w, http.StatusNotFound, CodeBadRequest, "unknown worker; re-join")
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) handleClusterWorkers(w http.ResponseWriter, _ *http.Request) {
+	workers := s.registry.Workers()
+	alive, suspect, dead := s.registry.CountByState()
+	writeJSON(w, http.StatusOK, struct {
+		Workers []cluster.WorkerInfo `json:"workers"`
+		Alive   int                  `json:"alive"`
+		Suspect int                  `json:"suspect"`
+		Dead    int                  `json:"dead"`
+	}{workers, alive, suspect, dead})
+}
+
+// --- shared result store endpoints ---
+
+// The coordinator serves its local store tier to workers over GET/PUT
+// /v1/store/{key}. Both directions move validated envelopes only: LoadRaw
+// re-validates before serving, SaveRaw validates before writing, so no
+// client — honest or not — can plant a corrupt or mis-keyed entry, and a
+// corrupt answer degrades to a miss on the reader's side.
+
+func (s *Server) handleStoreGet(w http.ResponseWriter, r *http.Request) {
+	if s.store == nil {
+		http.NotFound(w, r)
+		return
+	}
+	data, ok := s.store.LoadRaw(r.Context(), r.PathValue("key"))
+	if !ok {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_, _ = w.Write(data)
+}
+
+func (s *Server) handleStorePut(w http.ResponseWriter, r *http.Request) {
+	if s.store == nil {
+		http.NotFound(w, r)
+		return
+	}
+	data, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, CodeBadRequest, "reading envelope: "+err.Error())
+		return
+	}
+	if err := s.store.SaveRaw(r.Context(), r.PathValue("key"), data); err != nil {
+		writeError(w, http.StatusBadRequest, CodeBadRequest, "rejected envelope: "+err.Error())
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// --- worker data plane ---
+
+func (s *Server) handleClusterRun(w http.ResponseWriter, r *http.Request) {
+	// Admission: at most Workers forwarded runs in flight; beyond that the
+	// coordinator should route elsewhere, so shed with the same 429 the job
+	// queue uses.
+	select {
+	case s.runSem <- struct{}{}:
+		defer func() { <-s.runSem }()
+	default:
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, CodeQueueFull,
+			fmt.Sprintf("worker run slots are full (%d running)", s.cfg.Workers))
+		return
+	}
+	s.mu.Lock()
+	accepting := s.started && !s.draining
+	s.mu.Unlock()
+	if !accepting {
+		writeError(w, http.StatusServiceUnavailable, CodeShuttingDown, "worker is not accepting runs")
+		return
+	}
+
+	var req cluster.RunRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, CodeBadRequest, "decoding run request: "+err.Error())
+		return
+	}
+	var wireOpts JobOptions
+	if len(req.Options) > 0 {
+		if err := json.Unmarshal(req.Options, &wireOpts); err != nil {
+			writeError(w, http.StatusBadRequest, CodeBadRequest, "decoding run options: "+err.Error())
+			return
+		}
+	}
+
+	// The request context doubles as the loss signal: if the coordinator's
+	// per-attempt deadline fires or the connection drops, this run is
+	// cancelled and the job completes wherever the coordinator re-routed it.
+	ctx := r.Context()
+	if req.Failpoints != "" {
+		if !s.cfg.EnableFailpoints {
+			writeError(w, http.StatusForbidden, CodeBadRequest,
+				"failpoints are disabled on this worker (start with -failpoints)")
+			return
+		}
+		set, err := failpoint.ParseSet(req.Failpoints)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, CodeBadRequest, err.Error())
+			return
+		}
+		var release func()
+		ctx, release = failpoint.With(ctx, set)
+		defer release()
+	}
+	timeout := s.cfg.DefaultTimeout
+	if ms := wireOpts.TimeoutMS; ms != 0 {
+		timeout = time.Duration(ms) * time.Millisecond
+	}
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+
+	s.clusterRuns.Add(1)
+	resp, err := s.serveRun(ctx, req, wireOpts)
+	if err != nil {
+		status, eb := MapError(err)
+		writeError(w, status, eb.Code, eb.Detail)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// serveRun executes one forwarded run. Panics anywhere in the flow are
+// recovered into 500/"internal" — a crashing job must kill neither the
+// worker nor the cluster, and "internal" is retryable so the coordinator
+// re-routes it (where, being deterministic, it crashes again only if the
+// crash is input-caused — then the ladder ends at the coordinator's own
+// panic isolation).
+func (s *Server) serveRun(ctx context.Context, req cluster.RunRequest, wireOpts JobOptions) (resp *cluster.RunResponse, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.panics.Add(1)
+			resp, err = nil, fmt.Errorf("forwarded run panicked: %v: %w", r, rterr.ErrInternal)
+		}
+	}()
+	switch req.Kind {
+	case cluster.KindRetime:
+		res, attempts, err := s.runRetime(ctx, req.BLIF, wireOpts, nil)
+		if err != nil {
+			return nil, err
+		}
+		payload, err := json.Marshal(res)
+		if err != nil {
+			return nil, fmt.Errorf("%w: encoding result: %v", rterr.ErrInternal, err)
+		}
+		return &cluster.RunResponse{Attempts: attempts, Result: payload}, nil
+	case cluster.KindExplorePoint:
+		c, err := blif.Read(strings.NewReader(req.BLIF))
+		if err != nil {
+			return nil, err
+		}
+		opts, err := wireOpts.coreOptions()
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", rterr.ErrMalformedInput, err)
+		}
+		sol, err := s.points.Solve(ctx, c, opts, req.PeriodPS, s.store)
+		if err != nil {
+			return nil, err
+		}
+		payload, err := json.Marshal(sol)
+		if err != nil {
+			return nil, fmt.Errorf("%w: encoding solution: %v", rterr.ErrInternal, err)
+		}
+		return &cluster.RunResponse{Attempts: 1, Result: payload}, nil
+	default:
+		return nil, fmt.Errorf("%w: unknown run kind %q", rterr.ErrMalformedInput, req.Kind)
+	}
+}
+
+// --- worker heartbeat loop ---
+
+func (s *Server) workerID() string {
+	if s.cfg.WorkerID != "" {
+		return s.cfg.WorkerID
+	}
+	return s.cfg.AdvertiseURL
+}
+
+// heartbeatLoop keeps this worker registered with the coordinator: join,
+// then heartbeat at HeartbeatInterval, re-joining whenever the coordinator
+// answers 404 (it restarted, or forgot us) and silently retrying on
+// transport errors (the coordinator's lease ladder handles our absence).
+func (s *Server) heartbeatLoop() {
+	defer s.wg.Done()
+	joined := s.joinCoordinator() == nil
+	t := time.NewTicker(s.cfg.HeartbeatInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-t.C:
+		}
+		if !joined {
+			joined = s.joinCoordinator() == nil
+			continue
+		}
+		switch err := s.sendHeartbeat(); {
+		case err == nil:
+		case errors.Is(err, errUnknownWorker):
+			s.logf("cluster: coordinator no longer knows us; re-joining")
+			joined = s.joinCoordinator() == nil
+		default:
+			// Transient: keep beating. If this persists the coordinator's
+			// lease walks us down alive → suspect → dead, and jobs route
+			// around us; the next successful beat revives us.
+			s.logf("cluster: heartbeat failed: %v", err)
+		}
+	}
+}
+
+var errUnknownWorker = errors.New("coordinator does not know this worker")
+
+func (s *Server) joinCoordinator() error {
+	body, _ := json.Marshal(joinRequest{ID: s.workerID(), URL: s.cfg.AdvertiseURL})
+	err := s.postJSON(s.cfg.JoinURL+"/v1/cluster/join", body)
+	if err != nil {
+		s.logf("cluster: join %s failed: %v", s.cfg.JoinURL, err)
+	}
+	return err
+}
+
+func (s *Server) sendHeartbeat() error {
+	body, _ := json.Marshal(joinRequest{ID: s.workerID()})
+	return s.postJSON(s.cfg.JoinURL+"/v1/cluster/heartbeat", body)
+}
+
+func (s *Server) postJSON(url string, body []byte) error {
+	ctx, cancel := context.WithTimeout(context.Background(), s.cfg.HeartbeatInterval)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<20))
+	switch {
+	case resp.StatusCode == http.StatusNotFound:
+		return errUnknownWorker
+	case resp.StatusCode >= 300:
+		return fmt.Errorf("%s answered %d", url, resp.StatusCode)
+	}
+	return nil
+}
+
+// --- coordinator dispatch ---
+
+// retimeRoutingKey is the consistent-hash key of a single-point retime job:
+// the content-addressed identity of (circuit bytes, wire options), so
+// identical submissions land on the same worker and hit its warm caches.
+func retimeRoutingKey(spec JobSpec) (string, []byte, error) {
+	optsJSON, err := json.Marshal(spec.Options)
+	if err != nil {
+		return "", nil, err
+	}
+	return store.Key([]byte(spec.BLIF), optsJSON, []byte("retime")), optsJSON, nil
+}
+
+// dispatchRetime places a retime job on the cluster. The error is either
+// cluster.ErrUnavailable (degrade to local), a coordinator-side context
+// error, or a definitive job failure translated back into the engine's error
+// taxonomy so MapError classifies it exactly as a local failure.
+func (s *Server) dispatchRetime(ctx context.Context, spec JobSpec) (*Result, int, string, error) {
+	key, optsJSON, err := retimeRoutingKey(spec)
+	if err != nil {
+		return nil, 0, "", fmt.Errorf("%w: encoding options: %v", cluster.ErrUnavailable, err)
+	}
+	resp, workerID, err := s.dispatcher.Do(ctx, key, cluster.RunRequest{
+		Kind:       cluster.KindRetime,
+		BLIF:       spec.BLIF,
+		Options:    optsJSON,
+		Failpoints: spec.Failpoints,
+	})
+	if err != nil {
+		var rerr *cluster.RemoteError
+		if errors.As(err, &rerr) {
+			return nil, 0, workerID, sentinelFromRemote(rerr)
+		}
+		return nil, 0, workerID, err
+	}
+	var res Result
+	if err := json.Unmarshal(resp.Result, &res); err != nil {
+		// A worker answering garbage is a loss, not a job failure.
+		return nil, 0, workerID, fmt.Errorf("%w (undecodable result from %s: %v)", cluster.ErrUnavailable, workerID, err)
+	}
+	s.dispatched.Add(1)
+	return &res, resp.Attempts, workerID, nil
+}
+
+// remotePointFn builds the explore.Options.Remote hook for a sweep: each
+// store-missed point is offered to the cluster, routed by its own point key
+// so repeats land warm. Any failure makes the sweep solve the point locally.
+func (s *Server) remotePointFn(spec JobSpec) func(ctx context.Context, key string, phi int64) (*explore.Solution, error) {
+	optsJSON, err := json.Marshal(spec.Options)
+	if err != nil {
+		return nil
+	}
+	return func(ctx context.Context, key string, phi int64) (*explore.Solution, error) {
+		resp, _, err := s.dispatcher.Do(ctx, key, cluster.RunRequest{
+			Kind:       cluster.KindExplorePoint,
+			BLIF:       spec.BLIF,
+			Options:    optsJSON,
+			PeriodPS:   phi,
+			Failpoints: spec.Failpoints,
+		})
+		if err != nil {
+			return nil, err
+		}
+		var sol explore.Solution
+		if err := json.Unmarshal(resp.Result, &sol); err != nil {
+			return nil, fmt.Errorf("undecodable solution: %w", err)
+		}
+		s.remotePoints.Add(1)
+		return &sol, nil
+	}
+}
+
+// codeSentinel reverses the errmap: a worker's machine-readable failure code
+// back to the sentinel that produced it, so a remote failure re-enters the
+// coordinator's error taxonomy (and HTTP mapping) at the same rung.
+var codeSentinel = buildCodeSentinel()
+
+func buildCodeSentinel() map[string]error {
+	out := map[string]error{
+		CodeDeadlineExceeded: context.DeadlineExceeded,
+		CodeCanceled:         context.Canceled,
+		CodeBadRequest:       rterr.ErrMalformedInput,
+	}
+	for _, sn := range rterr.Sentinels() {
+		out[sn.Name] = sn.Err
+	}
+	return out
+}
+
+func sentinelFromRemote(rerr *cluster.RemoteError) error {
+	sentinel, ok := codeSentinel[rerr.Code]
+	if !ok {
+		sentinel = rterr.ErrInternal
+	}
+	return fmt.Errorf("remote: %s: %w", rerr.Detail, sentinel)
+}

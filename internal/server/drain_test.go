@@ -1,0 +1,100 @@
+package server
+
+import (
+	"context"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestShutdownIdempotent: Shutdown is safe to call twice — sequentially and
+// concurrently — and every call reports success.
+func TestShutdownIdempotent(t *testing.T) {
+	s, _ := newTestServer(t, Config{})
+	ctx := context.Background()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("first Shutdown: %v", err)
+	}
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("second Shutdown: %v", err)
+	}
+
+	s2, _ := newTestServer(t, Config{})
+	errs := make([]error, 2)
+	var wg sync.WaitGroup
+	for i := range errs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = s2.Shutdown(ctx)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("concurrent Shutdown %d: %v", i, err)
+		}
+	}
+}
+
+// TestReadyzDuringDrain: the moment draining begins, /readyz answers 503 so
+// load balancers stop routing here — while /healthz stays 200 the whole time,
+// because the process is alive and must not be killed mid-drain.
+func TestReadyzDuringDrain(t *testing.T) {
+	s, hs := newTestServer(t, Config{Workers: 1, EnableFailpoints: true})
+
+	get := func(path string) int {
+		t.Helper()
+		resp, err := http.Get(hs.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if got := get("/readyz"); got != http.StatusOK {
+		t.Fatalf("readyz before drain = %d, want 200", got)
+	}
+
+	// A slow in-flight job holds the drain open long enough to observe it.
+	status, body := post(t, hs.URL+"/v1/retime", retimeRequest{
+		BLIF:       testBLIF(t),
+		Failpoints: "server.job=sleep(400ms)",
+	})
+	if status != http.StatusAccepted {
+		t.Fatalf("submit status = %d, body %v", status, body)
+	}
+	id := body["id"].(string)
+	waitStatus(t, hs.URL, id, StatusRunning)
+
+	errc := make(chan error, 1)
+	go func() { errc <- s.Shutdown(context.Background()) }()
+
+	// Draining flips readiness immediately (not only once the drain ends).
+	deadline := time.Now().Add(5 * time.Second)
+	for get("/readyz") != http.StatusServiceUnavailable {
+		if time.Now().After(deadline) {
+			t.Fatal("readyz never turned 503 during drain")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if got := get("/healthz"); got != http.StatusOK {
+		t.Fatalf("healthz during drain = %d, want 200", got)
+	}
+
+	if err := <-errc; err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	// Drained, still alive, still not ready.
+	if got := get("/healthz"); got != http.StatusOK {
+		t.Fatalf("healthz after drain = %d, want 200", got)
+	}
+	if got := get("/readyz"); got != http.StatusServiceUnavailable {
+		t.Fatalf("readyz after drain = %d, want 503", got)
+	}
+	// The in-flight job finished rather than being cut off.
+	if code, view := getJob(t, hs.URL, id); code != http.StatusOK || view["status"] != string(StatusDone) {
+		t.Fatalf("in-flight job after drain: code %d, view %v", code, view)
+	}
+}

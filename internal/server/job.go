@@ -7,6 +7,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"time"
 
 	"mcretiming/internal/core"
 	"mcretiming/internal/explore"
@@ -180,19 +181,39 @@ type Job struct {
 	Progress *Progress
 	Result   *Result
 	Err      *ErrorBody
-	HTTP     int // status for failed jobs
-	done     chan struct{}
+	HTTP     int    // status for failed jobs
+	Worker   string // cluster worker that produced the result, if forwarded
+
+	QueuedAt   time.Time
+	StartedAt  time.Time
+	FinishedAt time.Time
+
+	done chan struct{}
 }
 
-// jobView is the wire representation of a job.
+// jobView is the wire representation of a job. The lifecycle timestamps are
+// wall-clock observability fields; result payloads deliberately carry no
+// time, so identical inputs still produce byte-identical results.
 type jobView struct {
-	ID       string     `json:"id"`
-	Kind     string     `json:"kind,omitempty"`
-	Status   JobStatus  `json:"status"`
-	Attempts int        `json:"attempts,omitempty"`
-	Progress *Progress  `json:"progress,omitempty"`
-	Result   *Result    `json:"result,omitempty"`
-	Error    *ErrorBody `json:"error,omitempty"`
+	ID         string     `json:"id"`
+	Kind       string     `json:"kind,omitempty"`
+	Status     JobStatus  `json:"status"`
+	Attempts   int        `json:"attempts,omitempty"`
+	Worker     string     `json:"worker,omitempty"`
+	QueuedAt   string     `json:"queued_at,omitempty"`
+	StartedAt  string     `json:"started_at,omitempty"`
+	FinishedAt string     `json:"finished_at,omitempty"`
+	Progress   *Progress  `json:"progress,omitempty"`
+	Result     *Result    `json:"result,omitempty"`
+	Error      *ErrorBody `json:"error,omitempty"`
+}
+
+// stamp renders a lifecycle timestamp, empty (and so omitted) when unset.
+func stamp(t time.Time) string {
+	if t.IsZero() {
+		return ""
+	}
+	return t.UTC().Format(time.RFC3339Nano)
 }
 
 // checkpointJob writes one queued job spec to dir, atomically (temp file +

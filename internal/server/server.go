@@ -34,7 +34,9 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log"
 	"net/http"
+	"os"
 	"sort"
 	"strconv"
 	"strings"
@@ -43,10 +45,12 @@ import (
 	"time"
 
 	"mcretiming/internal/blif"
+	"mcretiming/internal/cluster"
 	"mcretiming/internal/core"
 	"mcretiming/internal/explore"
 	"mcretiming/internal/failpoint"
 	"mcretiming/internal/netlist"
+	"mcretiming/internal/retry"
 	"mcretiming/internal/rterr"
 	"mcretiming/internal/store"
 	"mcretiming/internal/trace"
@@ -81,6 +85,40 @@ type Config struct {
 	// it across requests and restarts, and /metrics exports its hit/miss
 	// counters.
 	StoreDir string
+
+	// Coordinator enables the cluster control plane: the join/heartbeat/
+	// workers endpoints, the shared-store endpoints, and job dispatch to
+	// registered workers. With zero healthy workers a coordinator behaves
+	// exactly like a single-node daemon.
+	Coordinator bool
+	// JoinURL, when non-empty, runs this node as a worker of the coordinator
+	// at that base URL: it joins, heartbeats, and serves forwarded runs.
+	JoinURL string
+	// AdvertiseURL is the base URL the coordinator should dial this worker
+	// back on (required with JoinURL).
+	AdvertiseURL string
+	// WorkerID is this worker's stable cluster identity (default:
+	// AdvertiseURL). Keeping it stable across restarts preserves the
+	// worker's hash-ring position, so its warm store keys keep routing here.
+	WorkerID string
+	// LeaseTTL is the coordinator's heartbeat lease (default 6s): a worker
+	// silent for LeaseTTL turns suspect, for 3×LeaseTTL dead.
+	LeaseTTL time.Duration
+	// HeartbeatInterval is the worker's beat cadence (default LeaseTTL/3).
+	HeartbeatInterval time.Duration
+	// RemoteStoreURL, when non-empty, layers a remote store tier (typically
+	// the coordinator's /v1/store endpoints) behind the local StoreDir; with
+	// no StoreDir the node runs diskless against the remote alone. Remote
+	// failures degrade to misses, never wrong answers.
+	RemoteStoreURL string
+	// DispatchAttempts bounds how many workers a job is offered before the
+	// coordinator degrades to local execution (default 3).
+	DispatchAttempts int
+	// DispatchTimeout bounds each forward attempt (default 60s).
+	DispatchTimeout time.Duration
+	// Logf receives operational log lines (default log.Printf; set to a
+	// no-op to silence).
+	Logf func(format string, args ...any)
 }
 
 func (c Config) withDefaults() Config {
@@ -102,6 +140,15 @@ func (c Config) withDefaults() Config {
 	if c.RetryBase <= 0 {
 		c.RetryBase = 100 * time.Millisecond
 	}
+	if c.LeaseTTL <= 0 {
+		c.LeaseTTL = 6 * time.Second
+	}
+	if c.HeartbeatInterval <= 0 {
+		c.HeartbeatInterval = c.LeaseTTL / 3
+	}
+	if c.Logf == nil {
+		c.Logf = log.Printf
+	}
 	return c
 }
 
@@ -122,9 +169,19 @@ type Server struct {
 	stop     chan struct{}
 	wg       sync.WaitGroup
 	inflight atomic.Int64
-	store    *store.Store // nil when Config.StoreDir is empty
+	store    *store.Store // nil when neither StoreDir nor RemoteStoreURL is set
+
+	// Cluster state. registry and dispatcher are non-nil only on a
+	// coordinator; runSem admits forwarded runs on any node; points is the
+	// worker-side per-point solver with its warm Prepared cache.
+	registry   *cluster.Registry
+	dispatcher *cluster.Dispatcher
+	runSem     chan struct{}
+	points     explore.PointSolver
 
 	submitted, completed, failed, rejected, retried, panics, resumed atomic.Int64
+	dispatched, clusterFallback, clusterRuns, remotePoints           atomic.Int64
+	checkpointErrs                                                   atomic.Int64
 
 	cntMu    sync.Mutex
 	counters map[string]int64 // aggregated engine trace counters
@@ -140,16 +197,38 @@ func New(cfg Config) *Server {
 		stop:     make(chan struct{}),
 		counters: make(map[string]int64),
 	}
+	s.runSem = make(chan struct{}, cfg.Workers)
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/retime", s.handleSubmit)
 	mux.HandleFunc("POST /v1/explore", s.handleExplore)
+	mux.HandleFunc("GET /v1/jobs", s.handleJobs)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("POST /v1/cluster/run", s.handleClusterRun)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	if cfg.Coordinator {
+		s.registry = cluster.NewRegistry(cluster.RegistryConfig{
+			LeaseTTL: cfg.LeaseTTL,
+			Logf:     cfg.Logf,
+		})
+		s.dispatcher = &cluster.Dispatcher{
+			Registry:       s.registry,
+			AttemptTimeout: cfg.DispatchTimeout,
+			MaxAttempts:    cfg.DispatchAttempts,
+			Logf:           cfg.Logf,
+		}
+		mux.HandleFunc("POST /v1/cluster/join", s.handleClusterJoin)
+		mux.HandleFunc("POST /v1/cluster/heartbeat", s.handleClusterHeartbeat)
+		mux.HandleFunc("GET /v1/cluster/workers", s.handleClusterWorkers)
+		mux.HandleFunc("GET /v1/store/{key}", s.handleStoreGet)
+		mux.HandleFunc("PUT /v1/store/{key}", s.handleStorePut)
+	}
 	s.mux = mux
 	return s
 }
+
+func (s *Server) logf(format string, args ...any) { s.cfg.Logf(format, args...) }
 
 // Handler returns the service's HTTP handler.
 func (s *Server) Handler() http.Handler { return s.mux }
@@ -164,6 +243,14 @@ func (s *Server) Start() error {
 		}
 		s.store = st
 	}
+	if s.cfg.RemoteStoreURL != "" {
+		remote := store.NewRemote(s.cfg.RemoteStoreURL, nil)
+		if s.store != nil {
+			s.store = s.store.WithRemote(remote)
+		} else {
+			s.store = store.RemoteOnly(remote)
+		}
+	}
 	if err := s.resume(); err != nil {
 		return fmt.Errorf("server: resume checkpoints: %w", err)
 	}
@@ -173,6 +260,13 @@ func (s *Server) Start() error {
 	for i := 0; i < s.cfg.Workers; i++ {
 		s.wg.Add(1)
 		go s.worker()
+	}
+	if s.cfg.JoinURL != "" {
+		if s.cfg.AdvertiseURL == "" {
+			return fmt.Errorf("server: worker mode needs an advertise URL (the coordinator must dial back)")
+		}
+		s.wg.Add(1)
+		go s.heartbeatLoop()
 	}
 	return nil
 }
@@ -189,7 +283,7 @@ func (s *Server) resume() error {
 		return err
 	}
 	for _, spec := range specs {
-		job := &Job{Spec: spec, Status: StatusQueued, done: make(chan struct{})}
+		job := &Job{Spec: spec, Status: StatusQueued, QueuedAt: time.Now(), done: make(chan struct{})}
 		select {
 		case s.queue <- job:
 		default:
@@ -203,7 +297,7 @@ func (s *Server) resume() error {
 		}
 		s.mu.Unlock()
 		s.resumed.Add(1)
-		removeCheckpoint(s.cfg.CheckpointDir, spec.ID)
+		s.removeCheckpoint(s.cfg.CheckpointDir, spec.ID)
 	}
 	return nil
 }
@@ -257,6 +351,8 @@ func (s *Server) Shutdown(ctx context.Context) error {
 				if firstErr == nil {
 					firstErr = err
 				}
+				s.checkpointErrs.Add(1)
+				s.logf("server: checkpointing %s failed: %v (failing the job instead)", job.Spec.ID, err)
 				s.finishFailed(job, fmt.Errorf("checkpoint failed: %w: %w", err, context.Canceled))
 			}
 			continue
@@ -266,10 +362,14 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	return firstErr
 }
 
-func removeCheckpoint(dir, id string) {
+func (s *Server) removeCheckpoint(dir, id string) {
 	// Best effort: a leftover file only means a duplicate (idempotent) run
-	// after the next restart.
-	_ = removeFile(dir, id)
+	// after the next restart. Still worth surfacing — a failing delete is
+	// usually the first sign of a sick checkpoint volume.
+	if err := removeFile(dir, id); err != nil && !os.IsNotExist(err) {
+		s.checkpointErrs.Add(1)
+		s.logf("server: removing checkpoint %s: %v (job may run twice after the next restart)", id, err)
+	}
 }
 
 // --- workers ---
@@ -310,6 +410,7 @@ func (s *Server) runJob(job *Job) {
 	defer s.inflight.Add(-1)
 	s.mu.Lock()
 	job.Status = StatusRunning
+	job.StartedAt = time.Now()
 	s.mu.Unlock()
 
 	var err error
@@ -324,6 +425,7 @@ func (s *Server) runJob(job *Job) {
 			s.completed.Add(1)
 			s.mu.Lock()
 			job.Status = StatusDone
+			job.FinishedAt = time.Now()
 			s.mu.Unlock()
 			close(job.done)
 		}
@@ -340,11 +442,14 @@ func (s *Server) finishFailed(job *Job, err error) {
 	job.Status = StatusFailed
 	job.Err = &body
 	job.HTTP = status
+	job.FinishedAt = time.Now()
 	s.mu.Unlock()
 	close(job.done)
 }
 
-// execute runs the retiming flow for job, retrying over the budget ladder.
+// execute runs the retiming flow for job: dispatch to a cluster worker when
+// one is healthy, otherwise (or for sweeps, which fan out per point instead)
+// run locally under the budget-relaxing retry ladder.
 func (s *Server) execute(job *Job) error {
 	ctx := context.Background()
 	if job.Spec.Failpoints != "" {
@@ -371,6 +476,118 @@ func (s *Server) execute(job *Job) error {
 		return err
 	}
 
+	if job.Spec.Kind == KindExplore {
+		return s.executeExplore(ctx, job)
+	}
+
+	if s.dispatcher != nil {
+		res, attempts, workerID, err := s.dispatchRetime(ctx, job.Spec)
+		switch {
+		case err == nil:
+			s.mu.Lock()
+			job.Result, job.Attempts, job.Worker = res, attempts, workerID
+			s.mu.Unlock()
+			return nil
+		case errors.Is(err, cluster.ErrUnavailable):
+			// The whole cluster degrading never fails a job: run it here,
+			// exactly like a single-node deployment would.
+			s.clusterFallback.Add(1)
+			s.logf("cluster: %s: %v; running locally", job.Spec.ID, err)
+		default:
+			// A definitive remote failure (re-mapped into the engine's error
+			// taxonomy) or this job's own deadline/cancellation.
+			s.mu.Lock()
+			job.Worker = workerID
+			s.mu.Unlock()
+			return err
+		}
+	}
+
+	res, attempts, err := s.runRetime(ctx, job.Spec.BLIF, job.Spec.Options, func(n int) {
+		s.mu.Lock()
+		job.Attempts = n
+		s.mu.Unlock()
+	})
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	job.Result, job.Attempts = res, attempts
+	s.mu.Unlock()
+	return nil
+}
+
+// runRetime runs the single-point retime flow for (blifText, wireOpts) under
+// the budget-relaxing retry ladder. It is the shared core of local job
+// execution and the worker's forwarded-run handler, which is what makes a
+// forwarded job bit-identical to a local one. onAttempt (optional) observes
+// each attempt number before it runs.
+func (s *Server) runRetime(ctx context.Context, blifText string, wireOpts JobOptions, onAttempt func(int)) (*Result, int, error) {
+	opts, err := wireOpts.coreOptions()
+	if err != nil {
+		return nil, 0, fmt.Errorf("%w: %v", rterr.ErrMalformedInput, err)
+	}
+	maxRetries := s.cfg.RetryMax
+	if maxRetries < 0 {
+		maxRetries = 0
+	}
+	backoff := s.retrySchedule()
+	for attempt := 1; ; attempt++ {
+		if onAttempt != nil {
+			onAttempt(attempt)
+		}
+		c, err := blif.Read(strings.NewReader(blifText))
+		if err != nil {
+			return nil, attempt, err
+		}
+		rec := trace.NewRecorder()
+		opts.Trace = rec
+		res, err := retimeOnce(ctx, c, opts)
+		s.foldCounters(rec)
+		if err == nil {
+			if attempt > 1 {
+				res.Report.Degraded = append(res.Report.Degraded, fmt.Sprintf(
+					"budget exceeded; succeeded on attempt %d with budgets relaxed %d rung(s)",
+					attempt, attempt-1))
+			}
+			return res, attempt, nil
+		}
+		if !errors.Is(err, rterr.ErrBudgetExceeded) || attempt > maxRetries || ctx.Err() != nil {
+			return nil, attempt, err
+		}
+		// Backoff, then climb one rung of the budget ladder.
+		s.retried.Add(1)
+		if werr := backoff.Wait(ctx, attempt-1); werr != nil {
+			return nil, attempt, fmt.Errorf("%w (while backing off after: %v)", werr, err)
+		}
+		opts.Budgets = opts.Budgets.Relaxed()
+	}
+}
+
+// retrySchedule is the budget-retry backoff: deterministic (no jitter)
+// exponential growth from RetryBase, matching the original inline loop.
+func (s *Server) retrySchedule() retry.Schedule {
+	return retry.Schedule{Base: s.cfg.RetryBase}
+}
+
+// retimeOnce runs one retiming attempt.
+func retimeOnce(ctx context.Context, c *netlist.Circuit, opts core.Options) (*Result, error) {
+	out, rep, err := core.RetimeCtx(ctx, c, opts)
+	if err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	if err := blif.Write(&buf, out); err != nil {
+		return nil, err
+	}
+	return &Result{BLIF: buf.String(), Report: summarize(rep)}, nil
+}
+
+// executeExplore runs a sweep under the same budget ladder. On a clustered
+// coordinator every store-missed point is offered to the workers (routed by
+// its point key); any dispatch failure solves that point locally, so the
+// front is identical with a full, flaky, or absent cluster.
+func (s *Server) executeExplore(ctx context.Context, job *Job) error {
 	opts, err := job.Spec.Options.coreOptions()
 	if err != nil {
 		return fmt.Errorf("%w: %v", rterr.ErrMalformedInput, err)
@@ -379,6 +596,11 @@ func (s *Server) execute(job *Job) error {
 	if maxRetries < 0 {
 		maxRetries = 0
 	}
+	var remote func(context.Context, string, int64) (*explore.Solution, error)
+	if s.dispatcher != nil {
+		remote = s.remotePointFn(job.Spec)
+	}
+	backoff := s.retrySchedule()
 	for attempt := 1; ; attempt++ {
 		s.mu.Lock()
 		job.Attempts = attempt
@@ -389,41 +611,6 @@ func (s *Server) execute(job *Job) error {
 			return err
 		}
 		rec := trace.NewRecorder()
-		res, err := s.runAttempt(ctx, job, c, opts, rec)
-		s.foldCounters(rec)
-		if err == nil {
-			if attempt > 1 && res.Report != nil {
-				res.Report.Degraded = append(res.Report.Degraded, fmt.Sprintf(
-					"budget exceeded; succeeded on attempt %d with budgets relaxed %d rung(s)",
-					attempt, attempt-1))
-			}
-			s.mu.Lock()
-			job.Result = res
-			s.mu.Unlock()
-			return nil
-		}
-		if !errors.Is(err, rterr.ErrBudgetExceeded) || attempt > maxRetries || ctx.Err() != nil {
-			return err
-		}
-		// Exponential backoff, then climb one rung of the budget ladder.
-		s.retried.Add(1)
-		delay := s.cfg.RetryBase << (attempt - 1)
-		t := time.NewTimer(delay)
-		select {
-		case <-ctx.Done():
-			t.Stop()
-			return fmt.Errorf("%w (while backing off after: %v)", ctx.Err(), err)
-		case <-t.C:
-		}
-		opts.Budgets = opts.Budgets.Relaxed()
-	}
-}
-
-// runAttempt runs one attempt of job's flow — a single-point retiming or an
-// exploration sweep — and returns its result payload. rec receives the
-// attempt's trace counters for the service totals.
-func (s *Server) runAttempt(ctx context.Context, job *Job, c *netlist.Circuit, opts core.Options, rec *trace.Recorder) (*Result, error) {
-	if job.Spec.Kind == KindExplore {
 		opts.Trace = rec // steps 1-3 of the shared prepare stage
 		front, err := explore.Sweep(ctx, c, explore.Options{
 			Core:        opts,
@@ -431,27 +618,29 @@ func (s *Server) runAttempt(ctx context.Context, job *Job, c *netlist.Circuit, o
 			MaxPoints:   job.Spec.Options.MaxPoints,
 			Store:       s.store,
 			Trace:       rec,
+			Remote:      remote,
 			Progress: func(done, total int) {
 				s.mu.Lock()
 				job.Progress = &Progress{Done: done, Total: total}
 				s.mu.Unlock()
 			},
 		})
-		if err != nil {
-			return nil, err
+		s.foldCounters(rec)
+		if err == nil {
+			s.mu.Lock()
+			job.Result = &Result{Front: front}
+			s.mu.Unlock()
+			return nil
 		}
-		return &Result{Front: front}, nil
+		if !errors.Is(err, rterr.ErrBudgetExceeded) || attempt > maxRetries || ctx.Err() != nil {
+			return err
+		}
+		s.retried.Add(1)
+		if werr := backoff.Wait(ctx, attempt-1); werr != nil {
+			return fmt.Errorf("%w (while backing off after: %v)", werr, err)
+		}
+		opts.Budgets = opts.Budgets.Relaxed()
 	}
-	opts.Trace = rec
-	out, rep, err := core.RetimeCtx(ctx, c, opts)
-	if err != nil {
-		return nil, err
-	}
-	var buf bytes.Buffer
-	if err := blif.Write(&buf, out); err != nil {
-		return nil, err
-	}
-	return &Result{BLIF: buf.String(), Report: summarize(rep)}, nil
 }
 
 // foldCounters merges one job run's trace counters into the service totals.
@@ -542,8 +731,9 @@ func (s *Server) submit(w http.ResponseWriter, r *http.Request, kind string) {
 			Options:    req.Options,
 			Failpoints: req.Failpoints,
 		},
-		Status: StatusQueued,
-		done:   make(chan struct{}),
+		Status:   StatusQueued,
+		QueuedAt: time.Now(),
+		done:     make(chan struct{}),
 	}
 	s.jobs[job.Spec.ID] = job
 	s.mu.Unlock()
@@ -587,19 +777,59 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 	s.writeJob(w, job)
 }
 
+// handleJobs lists every tracked job as a light view (no result payloads),
+// newest-submitted last, optionally filtered with ?status=queued|running|
+// done|failed.
+func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
+	filter := r.URL.Query().Get("status")
+	switch JobStatus(filter) {
+	case "", StatusQueued, StatusRunning, StatusDone, StatusFailed:
+	default:
+		writeError(w, http.StatusBadRequest, CodeBadRequest, "unknown status filter "+strconv.Quote(filter))
+		return
+	}
+	s.mu.Lock()
+	views := make([]jobView, 0, len(s.jobs))
+	for _, job := range s.jobs {
+		if filter != "" && string(job.Status) != filter {
+			continue
+		}
+		views = append(views, s.viewLocked(job, false))
+	}
+	s.mu.Unlock()
+	sort.Slice(views, func(i, j int) bool { return views[i].ID < views[j].ID })
+	writeJSON(w, http.StatusOK, struct {
+		Jobs  []jobView `json:"jobs"`
+		Count int       `json:"count"`
+	}{views, len(views)})
+}
+
+// viewLocked renders job under s.mu. withResult controls whether the result
+// payload (potentially a large netlist or a whole front) is included.
+func (s *Server) viewLocked(job *Job, withResult bool) jobView {
+	view := jobView{
+		ID:         job.Spec.ID,
+		Kind:       job.Spec.Kind,
+		Status:     job.Status,
+		Attempts:   job.Attempts,
+		Worker:     job.Worker,
+		QueuedAt:   stamp(job.QueuedAt),
+		StartedAt:  stamp(job.StartedAt),
+		FinishedAt: stamp(job.FinishedAt),
+		Progress:   job.Progress,
+		Error:      job.Err,
+	}
+	if withResult {
+		view.Result = job.Result
+	}
+	return view
+}
+
 // writeJob renders a job; failed jobs answer with their mapped HTTP status
 // so that "GET a panicked job" is a 500 and "GET an infeasible job" a 422.
 func (s *Server) writeJob(w http.ResponseWriter, job *Job) {
 	s.mu.Lock()
-	view := jobView{
-		ID:       job.Spec.ID,
-		Kind:     job.Spec.Kind,
-		Status:   job.Status,
-		Attempts: job.Attempts,
-		Progress: job.Progress,
-		Result:   job.Result,
-		Error:    job.Err,
-	}
+	view := s.viewLocked(job, true)
 	status := http.StatusOK
 	if job.Status == StatusFailed {
 		status = job.HTTP
@@ -645,8 +875,24 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	put("queue_depth", int64(len(s.queue)))
 	put("inflight", s.inflight.Load())
 	put("draining", int64(draining))
+	put("checkpoint_errors", s.checkpointErrs.Load())
 
-	// Result-store counters (zero unless -store is configured).
+	// Cluster counters. The registry block is coordinator-only; runs_served
+	// counts this node's worker side.
+	if s.registry != nil {
+		alive, suspect, dead := s.registry.CountByState()
+		put("cluster_workers_alive", int64(alive))
+		put("cluster_workers_suspect", int64(suspect))
+		put("cluster_workers_dead", int64(dead))
+		put("cluster_jobs_dispatched", s.dispatched.Load())
+		put("cluster_local_fallbacks", s.clusterFallback.Load())
+		put("cluster_remote_points", s.remotePoints.Load())
+	}
+	put("cluster_runs_served", s.clusterRuns.Load())
+
+	// Result-store counters (zero unless -store is configured). The remote_*
+	// rows count the shared tier; remote errors are degradations to local
+	// misses, never failures.
 	if s.store != nil {
 		st := s.store.Stats()
 		put("store_hits", st.Hits)
@@ -654,6 +900,11 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		put("store_corrupt", st.Corrupt)
 		put("store_saves", st.Saves)
 		put("store_save_errors", st.SaveErrors)
+		put("store_remote_hits", st.RemoteHits)
+		put("store_remote_misses", st.RemoteMisses)
+		put("store_remote_errors", st.RemoteErrors)
+		put("store_remote_saves", st.RemoteSaves)
+		put("store_remote_save_errors", st.RemoteSaveErrors)
 	}
 
 	// Engine counters aggregated from per-job trace recorders, in stable

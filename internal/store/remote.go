@@ -1,0 +1,100 @@
+package store
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// Remote is an HTTP client for a result store served by another process —
+// the coordinator's GET/PUT /v1/store/{key} endpoints. It moves envelope
+// bytes verbatim; validation stays with the Store on both ends, so a remote
+// that lies, truncates, or serves a foreign key degrades to a miss exactly
+// like a corrupt local file.
+//
+// Remote operations are bounded by OpTimeout so a hung shared store can
+// delay a solve by at most one timeout, never stall it.
+type Remote struct {
+	base    string
+	client  *http.Client
+	timeout time.Duration
+}
+
+// NewRemote returns a client for the store served at baseURL (e.g.
+// "http://coordinator:8472"). client nil means http.DefaultClient.
+func NewRemote(baseURL string, client *http.Client) *Remote {
+	if client == nil {
+		client = http.DefaultClient
+	}
+	return &Remote{
+		base:    strings.TrimRight(baseURL, "/"),
+		client:  client,
+		timeout: 5 * time.Second,
+	}
+}
+
+// WithTimeout overrides the per-operation timeout (default 5s).
+func (r *Remote) WithTimeout(d time.Duration) *Remote {
+	if d > 0 {
+		r.timeout = d
+	}
+	return r
+}
+
+// URL returns the remote store's base URL.
+func (r *Remote) URL() string { return r.base }
+
+func (r *Remote) url(key string) string { return r.base + "/v1/store/" + key }
+
+// get fetches the envelope bytes for key. found is false on 404; err covers
+// every transport- or protocol-level failure.
+func (r *Remote) get(ctx context.Context, key string) (data []byte, found bool, err error) {
+	ctx, cancel := context.WithTimeout(ctx, r.timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, r.url(key), nil)
+	if err != nil {
+		return nil, false, err
+	}
+	resp, err := r.client.Do(req)
+	if err != nil {
+		return nil, false, err
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+		data, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+		if err != nil {
+			return nil, false, err
+		}
+		return data, true, nil
+	case http.StatusNotFound:
+		return nil, false, nil
+	default:
+		return nil, false, fmt.Errorf("remote store answered %d", resp.StatusCode)
+	}
+}
+
+// put uploads envelope bytes for key.
+func (r *Remote) put(ctx context.Context, key string, data []byte) error {
+	ctx, cancel := context.WithTimeout(ctx, r.timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPut, r.url(key), bytes.NewReader(data))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := r.client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<20))
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusNoContent {
+		return fmt.Errorf("remote store answered %d", resp.StatusCode)
+	}
+	return nil
+}

@@ -1,0 +1,206 @@
+package store
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"mcretiming/internal/failpoint"
+)
+
+// serveStore exposes a *Store over the same GET/PUT /v1/store/{key} protocol
+// the coordinator serves, so remote-tier tests run against the real envelope
+// validation on both ends.
+func serveStore(t *testing.T, s *Store) *httptest.Server {
+	t.Helper()
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/store/{key}", func(w http.ResponseWriter, r *http.Request) {
+		data, ok := s.LoadRaw(r.Context(), r.PathValue("key"))
+		if !ok {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write(data)
+	})
+	mux.HandleFunc("PUT /v1/store/{key}", func(w http.ResponseWriter, r *http.Request) {
+		data, err := io.ReadAll(r.Body)
+		if err != nil {
+			w.WriteHeader(http.StatusBadRequest)
+			return
+		}
+		if err := s.SaveRaw(r.Context(), r.PathValue("key"), data); err != nil {
+			w.WriteHeader(http.StatusBadRequest)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	})
+	hs := httptest.NewServer(mux)
+	t.Cleanup(hs.Close)
+	return hs
+}
+
+type rpayload struct {
+	N int    `json:"n"`
+	S string `json:"s"`
+}
+
+// TestRemoteTierRoundTrip: a save on one store is loadable through another
+// store's remote tier, and the remote hit populates the local tier.
+func TestRemoteTierRoundTrip(t *testing.T) {
+	ctx := context.Background()
+	shared, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := serveStore(t, shared)
+
+	// Writer: local dir + remote tier; write-through lands in shared.
+	writer, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	writer = writer.WithRemote(NewRemote(hs.URL, nil))
+	key := Key([]byte("circuit"), []byte("options"), []byte("point"))
+	if err := writer.Save(ctx, key, rpayload{N: 42, S: "hi"}); err != nil {
+		t.Fatal(err)
+	}
+	if st := writer.Stats(); st.Saves != 1 || st.RemoteSaves != 1 {
+		t.Fatalf("writer stats = %+v, want local+remote save", st)
+	}
+
+	// Reader: fresh local dir, remote tier only path to the entry.
+	reader, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	reader = reader.WithRemote(NewRemote(hs.URL, nil))
+	var got rpayload
+	if !reader.Load(ctx, key, &got) || got != (rpayload{N: 42, S: "hi"}) {
+		t.Fatalf("remote load = %+v", got)
+	}
+	if st := reader.Stats(); st.RemoteHits != 1 || st.Hits != 1 {
+		t.Fatalf("reader stats = %+v, want a remote hit counted as a hit", st)
+	}
+	// The hit populated the local tier: detach the remote, load again.
+	reader.remote = nil
+	got = rpayload{}
+	if !reader.Load(ctx, key, &got) || got.N != 42 {
+		t.Fatalf("local tier not populated: %+v (stats %+v)", got, reader.Stats())
+	}
+
+	// Remote-only store (diskless worker) sees the entry too.
+	diskless := RemoteOnly(NewRemote(hs.URL, nil))
+	got = rpayload{}
+	if !diskless.Load(ctx, key, &got) || got.N != 42 {
+		t.Fatalf("remote-only load = %+v", got)
+	}
+	if err := diskless.Save(ctx, Key([]byte("другой")), rpayload{N: 7}); err != nil {
+		t.Fatalf("remote-only save: %v", err)
+	}
+	if st := diskless.Stats(); st.RemoteSaves != 1 || st.Saves != 0 {
+		t.Fatalf("remote-only stats = %+v", st)
+	}
+}
+
+// TestRemotePartitionDegradesToMiss: with the remote unreachable (closed
+// listener) or failpoint-severed, every load is a clean miss and every save
+// still succeeds locally — the shared tier can be behind, never wrong.
+func TestRemotePartitionDegradesToMiss(t *testing.T) {
+	ctx := context.Background()
+	shared, _ := Open(t.TempDir())
+	hs := serveStore(t, shared)
+	key := Key([]byte("k"))
+	if err := shared.Save(ctx, key, rpayload{N: 1}); err != nil {
+		t.Fatal(err)
+	}
+	hs.Close() // partition
+
+	s, _ := Open(t.TempDir())
+	s = s.WithRemote(NewRemote(hs.URL, nil))
+	var got rpayload
+	if s.Load(ctx, key, &got) {
+		t.Fatal("load through a partitioned remote reported a hit")
+	}
+	if err := s.Save(ctx, key, rpayload{N: 2}); err != nil {
+		t.Fatalf("local save must survive a dead remote: %v", err)
+	}
+	st := s.Stats()
+	if st.RemoteErrors == 0 || st.RemoteSaveErrors == 0 || st.Saves != 1 {
+		t.Fatalf("stats = %+v, want remote errors counted and the local save intact", st)
+	}
+	// The locally saved value is served despite the dead remote.
+	if !s.Load(ctx, key, &got) || got.N != 2 {
+		t.Fatalf("local hit after save = %v %+v", got, st)
+	}
+
+	// Failpoint-severed remote (the store.remote chaos site) behaves the same.
+	shared2, _ := Open(t.TempDir())
+	hs2 := serveStore(t, shared2)
+	_ = shared2.Save(ctx, key, rpayload{N: 3})
+	s2, _ := Open(t.TempDir())
+	s2 = s2.WithRemote(NewRemote(hs2.URL, nil))
+	set, err := failpoint.ParseSet("store.remote=error(internal)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fctx, release := failpoint.With(ctx, set)
+	if s2.Load(fctx, key, &got) {
+		t.Fatal("load with store.remote armed reported a hit")
+	}
+	release()
+	if !s2.Load(ctx, key, &got) || got.N != 3 {
+		t.Fatalf("disarmed remote load = %+v (stats %+v)", got, s2.Stats())
+	}
+}
+
+// TestRemoteCorruptionRejected: a remote serving garbage, a foreign key's
+// envelope, or a checksum-broken envelope is a miss; SaveRaw refuses to
+// plant mis-keyed entries.
+func TestRemoteCorruptionRejected(t *testing.T) {
+	ctx := context.Background()
+	key := Key([]byte("wanted"))
+	otherKey := Key([]byte("other"))
+
+	// A "store" that answers every GET with the wrong entry's envelope.
+	legit, _ := Open(t.TempDir())
+	if err := legit.Save(ctx, otherKey, rpayload{N: 9}); err != nil {
+		t.Fatal(err)
+	}
+	otherEnv, ok := legit.LoadRaw(ctx, otherKey)
+	if !ok {
+		t.Fatal("LoadRaw of a fresh save missed")
+	}
+	liar := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		_, _ = w.Write(otherEnv)
+	}))
+	defer liar.Close()
+
+	s := RemoteOnly(NewRemote(liar.URL, nil))
+	var got rpayload
+	if s.Load(ctx, key, &got) {
+		t.Fatal("mis-keyed remote envelope accepted")
+	}
+	if st := s.Stats(); st.Corrupt == 0 {
+		t.Fatalf("stats = %+v, want the lie counted as corrupt", st)
+	}
+
+	garbage := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		_, _ = w.Write([]byte("{not json"))
+	}))
+	defer garbage.Close()
+	if RemoteOnly(NewRemote(garbage.URL, nil)).Load(ctx, key, &got) {
+		t.Fatal("garbage remote payload accepted")
+	}
+
+	// SaveRaw (the serving side of PUT) rejects a mis-keyed envelope.
+	target, _ := Open(t.TempDir())
+	if err := target.SaveRaw(ctx, key, otherEnv); err == nil {
+		t.Fatal("SaveRaw accepted an envelope bound to a different key")
+	}
+	if _, ok := target.LoadRaw(ctx, key); ok {
+		t.Fatal("rejected envelope landed on disk anyway")
+	}
+}

@@ -38,31 +38,52 @@ import (
 // never misinterpreted.
 const Schema = "mcretiming-store/v1"
 
-// Store is an on-disk result store rooted at a directory. A nil *Store is a
-// valid always-miss store (Load reports false, Save drops the value), so
-// callers thread an optional store without nil checks.
+// Store is a result store rooted at a directory, optionally layered over a
+// remote/shared tier (WithRemote): loads try the local directory first and
+// fall back to the remote store, populating the local tier on a remote hit;
+// saves write locally and write through to the remote best-effort. A store
+// may also be remote-only (RemoteOnly) for diskless workers. Every remote
+// failure — network, timeout, corrupt response — degrades to a miss or a
+// counted save error, never a wrong answer: remote payloads pass the same
+// envelope validation as local ones.
+//
+// A nil *Store is a valid always-miss store (Load reports false, Save drops
+// the value), so callers thread an optional store without nil checks.
 //
 // All methods are safe for concurrent use, across goroutines and across
 // processes sharing the directory (atomicity comes from rename, not locks).
 type Store struct {
-	dir   string
-	stats storeStats
+	dir    string  // "" for a remote-only store
+	remote *Remote // nil without a remote tier
+	stats  storeStats
 }
 
 type storeStats struct {
 	hits, misses, corrupt atomic.Int64
 	saves, saveErrors     atomic.Int64
+
+	remoteHits, remoteMisses, remoteErrors atomic.Int64
+	remoteSaves, remoteSaveErrors          atomic.Int64
 }
 
 // Stats is a snapshot of a store's counters. Corrupt counts loads that found
 // an entry but rejected it (parse, schema, key, or checksum failure); every
-// corrupt load is also a miss.
+// corrupt load is also a miss. The Remote* counters cover the shared tier:
+// RemoteErrors counts transport failures and corrupt remote payloads (each
+// also a miss), and RemoteSaveErrors counts failed write-throughs (the local
+// save still succeeded).
 type Stats struct {
 	Hits       int64 `json:"hits"`
 	Misses     int64 `json:"misses"`
 	Corrupt    int64 `json:"corrupt"`
 	Saves      int64 `json:"saves"`
 	SaveErrors int64 `json:"save_errors"`
+
+	RemoteHits       int64 `json:"remote_hits,omitempty"`
+	RemoteMisses     int64 `json:"remote_misses,omitempty"`
+	RemoteErrors     int64 `json:"remote_errors,omitempty"`
+	RemoteSaves      int64 `json:"remote_saves,omitempty"`
+	RemoteSaveErrors int64 `json:"remote_save_errors,omitempty"`
 }
 
 // Stats returns a snapshot of the store's counters (zero value for nil).
@@ -71,11 +92,16 @@ func (s *Store) Stats() Stats {
 		return Stats{}
 	}
 	return Stats{
-		Hits:       s.stats.hits.Load(),
-		Misses:     s.stats.misses.Load(),
-		Corrupt:    s.stats.corrupt.Load(),
-		Saves:      s.stats.saves.Load(),
-		SaveErrors: s.stats.saveErrors.Load(),
+		Hits:             s.stats.hits.Load(),
+		Misses:           s.stats.misses.Load(),
+		Corrupt:          s.stats.corrupt.Load(),
+		Saves:            s.stats.saves.Load(),
+		SaveErrors:       s.stats.saveErrors.Load(),
+		RemoteHits:       s.stats.remoteHits.Load(),
+		RemoteMisses:     s.stats.remoteMisses.Load(),
+		RemoteErrors:     s.stats.remoteErrors.Load(),
+		RemoteSaves:      s.stats.remoteSaves.Load(),
+		RemoteSaveErrors: s.stats.remoteSaveErrors.Load(),
 	}
 }
 
@@ -96,6 +122,24 @@ func Open(dir string) (*Store, error) {
 		return nil, fmt.Errorf("store: %w", err)
 	}
 	return &Store{dir: dir}, nil
+}
+
+// WithRemote layers a remote/shared tier behind the store and returns the
+// store. Loads fall back to the remote on a local miss (populating the local
+// tier); saves write through best-effort.
+func (s *Store) WithRemote(r *Remote) *Store {
+	if s != nil {
+		s.remote = r
+	}
+	return s
+}
+
+// RemoteOnly returns a store with no local directory: every load and save
+// goes to the remote tier. For diskless workers sharing a coordinator's
+// store. All the degradation guarantees hold — a dead remote is simply a
+// store that always misses.
+func RemoteOnly(r *Remote) *Store {
+	return &Store{remote: r}
 }
 
 // Key derives a content address from parts: a SHA-256 over the parts with
@@ -130,10 +174,46 @@ func (s *Store) path(key string) string {
 	return filepath.Join(s.dir, "objects", key[:2], key[2:]+".json")
 }
 
+// decodeEnvelope validates raw envelope bytes against key — parse, schema,
+// key binding, payload checksum — and returns the payload. It is the single
+// gate every entry passes on its way to a caller, whether it came from the
+// local directory, a remote store, or an HTTP PUT.
+func decodeEnvelope(key string, data []byte) (json.RawMessage, error) {
+	var env envelope
+	if err := json.Unmarshal(data, &env); err != nil {
+		return nil, err
+	}
+	if env.Schema != Schema || env.Key != key {
+		return nil, fmt.Errorf("schema %q key %q", env.Schema, env.Key)
+	}
+	sum := sha256.Sum256(env.Payload)
+	if hex.EncodeToString(sum[:]) != env.PayloadSHA256 {
+		return nil, fmt.Errorf("payload checksum mismatch")
+	}
+	return env.Payload, nil
+}
+
+// encodeEnvelope marshals v into the on-disk/wire envelope for key.
+func encodeEnvelope(key string, v any) ([]byte, error) {
+	payload, err := json.Marshal(v)
+	if err != nil {
+		return nil, err
+	}
+	sum := sha256.Sum256(payload)
+	return json.Marshal(envelope{
+		Schema:        Schema,
+		Key:           key,
+		PayloadSHA256: hex.EncodeToString(sum[:]),
+		Payload:       payload,
+	})
+}
+
 // Load looks key up and, on a hit, unmarshals the stored payload into v and
-// returns true. Every failure — absent entry, I/O error, corruption of any
-// kind — returns false; the caller re-solves. ctx carries failpoint state for
-// the store.load chaos site.
+// returns true. The local directory is tried first; on a local miss a remote
+// tier (if attached) is consulted and a remote hit is written through to the
+// local tier. Every failure — absent entry, I/O error, network failure,
+// corruption of any kind — returns false; the caller re-solves. ctx carries
+// failpoint state for the store.load and store.remote chaos sites.
 func (s *Store) Load(ctx context.Context, key string, v any) bool {
 	if s == nil || len(key) < 3 {
 		return false
@@ -142,26 +222,60 @@ func (s *Store) Load(ctx context.Context, key string, v any) bool {
 		s.stats.misses.Add(1)
 		return false
 	}
-	data, err := os.ReadFile(s.path(key))
-	if err != nil {
-		s.stats.misses.Add(1)
+	if s.dir != "" {
+		// Any local read failure falls through to the remote tier (or a miss).
+		if data, err := os.ReadFile(s.path(key)); err == nil {
+			payload, derr := decodeEnvelope(key, data)
+			if derr != nil {
+				return s.corruptLoad(derr)
+			}
+			if err := json.Unmarshal(payload, v); err != nil {
+				return s.corruptLoad(err)
+			}
+			s.stats.hits.Add(1)
+			return true
+		}
+	}
+	if s.remote != nil && s.loadRemote(ctx, key, v) {
+		s.stats.hits.Add(1)
+		return true
+	}
+	s.stats.misses.Add(1)
+	return false
+}
+
+// loadRemote consults the remote tier. A validated hit is written through to
+// the local directory (best effort) so the next load is local.
+func (s *Store) loadRemote(ctx context.Context, key string, v any) bool {
+	if err := failpoint.Inject(ctx, "store.remote"); err != nil {
+		s.stats.remoteErrors.Add(1)
 		return false
 	}
-	var env envelope
-	if err := json.Unmarshal(data, &env); err != nil {
-		return s.corruptLoad(err)
+	data, found, err := s.remote.get(ctx, key)
+	if err != nil {
+		s.stats.remoteErrors.Add(1)
+		return false
 	}
-	if env.Schema != Schema || env.Key != key {
-		return s.corruptLoad(fmt.Errorf("schema %q key %q", env.Schema, env.Key))
+	if !found {
+		s.stats.remoteMisses.Add(1)
+		return false
 	}
-	sum := sha256.Sum256(env.Payload)
-	if hex.EncodeToString(sum[:]) != env.PayloadSHA256 {
-		return s.corruptLoad(fmt.Errorf("payload checksum mismatch"))
+	payload, err := decodeEnvelope(key, data)
+	if err != nil {
+		// A lying or corrupt remote degrades to a miss, never an answer.
+		s.stats.remoteErrors.Add(1)
+		s.stats.corrupt.Add(1)
+		return false
 	}
-	if err := json.Unmarshal(env.Payload, v); err != nil {
-		return s.corruptLoad(err)
+	if err := json.Unmarshal(payload, v); err != nil {
+		s.stats.remoteErrors.Add(1)
+		s.stats.corrupt.Add(1)
+		return false
 	}
-	s.stats.hits.Add(1)
+	s.stats.remoteHits.Add(1)
+	if s.dir != "" {
+		_ = s.writeEnvelope(key, data) // populate the local tier; failure is harmless
+	}
 	return true
 }
 
@@ -174,8 +288,11 @@ func (s *Store) corruptLoad(error) bool {
 
 // Save stores v under key atomically: marshal, write to a temp file in the
 // final directory, rename into place. A Save error leaves either the old
-// entry or no entry — never a torn one. Saving to a nil store is a no-op.
-// ctx carries failpoint state for the store.save chaos site.
+// entry or no entry — never a torn one. With a remote tier attached, the
+// entry is also written through best-effort: a remote failure is counted but
+// never fails the Save (the shared tier can only be behind, not wrong).
+// Saving to a nil store is a no-op. ctx carries failpoint state for the
+// store.save and store.remote chaos sites.
 func (s *Store) Save(ctx context.Context, key string, v any) error {
 	if s == nil {
 		return nil
@@ -187,47 +304,107 @@ func (s *Store) Save(ctx context.Context, key string, v any) error {
 		s.stats.saveErrors.Add(1)
 		return fmt.Errorf("store: save %s: %w", key[:8], err)
 	}
-	payload, err := json.Marshal(v)
+	data, err := encodeEnvelope(key, v)
 	if err != nil {
 		s.stats.saveErrors.Add(1)
 		return fmt.Errorf("store: marshal %s: %w", key[:8], err)
 	}
-	sum := sha256.Sum256(payload)
-	data, err := json.Marshal(envelope{
-		Schema:        Schema,
-		Key:           key,
-		PayloadSHA256: hex.EncodeToString(sum[:]),
-		Payload:       payload,
-	})
-	if err != nil {
-		s.stats.saveErrors.Add(1)
-		return fmt.Errorf("store: marshal %s: %w", key[:8], err)
+	if s.dir != "" {
+		if err := s.writeEnvelope(key, data); err != nil {
+			s.stats.saveErrors.Add(1)
+			return err
+		}
+		s.stats.saves.Add(1)
 	}
+	s.saveRemote(ctx, key, data)
+	return nil
+}
+
+// saveRemote writes envelope bytes through to the remote tier, best effort.
+func (s *Store) saveRemote(ctx context.Context, key string, data []byte) {
+	if s.remote == nil {
+		return
+	}
+	if err := failpoint.Inject(ctx, "store.remote"); err != nil {
+		s.stats.remoteSaveErrors.Add(1)
+		return
+	}
+	if err := s.remote.put(ctx, key, data); err != nil {
+		s.stats.remoteSaveErrors.Add(1)
+		return
+	}
+	s.stats.remoteSaves.Add(1)
+}
+
+// writeEnvelope atomically places validated envelope bytes at key's path.
+func (s *Store) writeEnvelope(key string, data []byte) error {
 	final := s.path(key)
 	if err := os.MkdirAll(filepath.Dir(final), 0o755); err != nil {
-		s.stats.saveErrors.Add(1)
 		return fmt.Errorf("store: %w", err)
 	}
 	tmp, err := os.CreateTemp(filepath.Dir(final), ".tmp-*")
 	if err != nil {
-		s.stats.saveErrors.Add(1)
 		return fmt.Errorf("store: %w", err)
 	}
 	if _, err := tmp.Write(data); err != nil {
 		tmp.Close()
 		os.Remove(tmp.Name())
-		s.stats.saveErrors.Add(1)
 		return fmt.Errorf("store: %w", err)
 	}
 	if err := tmp.Close(); err != nil {
 		os.Remove(tmp.Name())
-		s.stats.saveErrors.Add(1)
 		return fmt.Errorf("store: %w", err)
 	}
 	if err := os.Rename(tmp.Name(), final); err != nil {
 		os.Remove(tmp.Name())
-		s.stats.saveErrors.Add(1)
 		return fmt.Errorf("store: %w", err)
+	}
+	return nil
+}
+
+// LoadRaw returns the validated envelope bytes stored under key, for serving
+// the store over HTTP (the coordinator's GET /v1/store/{key}). Every failure
+// reports absence.
+func (s *Store) LoadRaw(ctx context.Context, key string) ([]byte, bool) {
+	if s == nil || s.dir == "" || len(key) < 3 {
+		return nil, false
+	}
+	if err := failpoint.Inject(ctx, "store.load"); err != nil {
+		return nil, false
+	}
+	data, err := os.ReadFile(s.path(key))
+	if err != nil {
+		return nil, false
+	}
+	if _, err := decodeEnvelope(key, data); err != nil {
+		s.stats.corrupt.Add(1)
+		return nil, false
+	}
+	return data, true
+}
+
+// SaveRaw validates envelope bytes against key and stores them atomically —
+// the write half of serving the store over HTTP (PUT /v1/store/{key}). A
+// client cannot plant a corrupt or mis-keyed entry: validation here is the
+// same gate every local load applies.
+func (s *Store) SaveRaw(ctx context.Context, key string, data []byte) error {
+	if s == nil || s.dir == "" {
+		return nil
+	}
+	if len(key) < 3 {
+		return fmt.Errorf("store: key %q too short", key)
+	}
+	if err := failpoint.Inject(ctx, "store.save"); err != nil {
+		s.stats.saveErrors.Add(1)
+		return fmt.Errorf("store: save %s: %w", key[:8], err)
+	}
+	if _, err := decodeEnvelope(key, data); err != nil {
+		s.stats.saveErrors.Add(1)
+		return fmt.Errorf("store: rejected envelope for %s: %w", key[:8], err)
+	}
+	if err := s.writeEnvelope(key, data); err != nil {
+		s.stats.saveErrors.Add(1)
+		return err
 	}
 	s.stats.saves.Add(1)
 	return nil
