@@ -49,6 +49,9 @@ type Perf struct {
 	// Engines is the sparse-vs-dense solve-core and ECO measurement
 	// (mcbench -engines); absent when not requested.
 	Engines *EnginePerf `json:"engines,omitempty"`
+	// Warm is the warm-started-probe measurement on the ≥50k-vertex
+	// minperiod profile (mcbench -warm); absent when not requested.
+	Warm *WarmPerf `json:"warm,omitempty"`
 }
 
 // SingleCore reports that the host cannot exhibit parallel speedup: speedup

@@ -61,11 +61,25 @@ type SolveEngine int
 // EngineAuto runs sparse and, when invariant checks are on and the graph is
 // small, re-derives the minimum period densely and fails loudly on any
 // disagreement.
+// EngineArrival is the sparse engine with arrival-time probe certification:
+// each minperiod probe first tries a bounded warm FEAS iteration and only
+// falls back to the exact cutting-plane solve when certification fails. The
+// verdicts and the final retiming are bit-identical to EngineSparse (the
+// minimum feasible period is probe-trajectory-independent and the final
+// labeling is recomputed canonically). EngineAuto selects it above
+// arrivalAutoVertices vertices.
 const (
 	EngineAuto SolveEngine = iota
 	EngineSparse
 	EngineDense
+	EngineArrival
 )
+
+// arrivalAutoVertices is the retiming-graph vertex count above which
+// EngineAuto swaps the minperiod search to the arrival hybrid. Below it the
+// pure warm-started cutting-plane search wins outright; above it the bounded
+// FEAS sweeps amortize against the exact probes they displace.
+const arrivalAutoVertices = 400_000
 
 // String returns the engine's wire/fingerprint token.
 func (e SolveEngine) String() string {
@@ -74,12 +88,14 @@ func (e SolveEngine) String() string {
 		return "dense"
 	case EngineSparse:
 		return "sparse"
+	case EngineArrival:
+		return "arrival"
 	}
 	return "auto"
 }
 
 // ParseEngine parses a wire/flag engine token ("", "auto", "sparse",
-// "dense").
+// "dense", "arrival").
 func ParseEngine(s string) (SolveEngine, error) {
 	switch s {
 	case "", "auto":
@@ -88,8 +104,10 @@ func ParseEngine(s string) (SolveEngine, error) {
 		return EngineSparse, nil
 	case "dense":
 		return EngineDense, nil
+	case "arrival":
+		return EngineArrival, nil
 	}
-	return EngineAuto, fmt.Errorf("core: unknown engine %q (want auto, sparse or dense)", s)
+	return EngineAuto, fmt.Errorf("core: unknown engine %q (want auto, sparse, dense or arrival)", s)
 }
 
 // Options configures Retime. The zero value asks for minimum area at the
@@ -122,6 +140,13 @@ type Options struct {
 	// MaxRetries bounds the re-retiming loop on justification conflicts.
 	// 0 means the default (DefaultMaxRetries, i.e. 8).
 	MaxRetries int
+
+	// ColdProbes disables warm-starting of the feasibility probes (the probe
+	// ladder): every binary-search probe re-seeds and re-solves the full
+	// difference-constraint system, the PR6 behavior. Results are bit-identical
+	// either way — this is the reference/measurement knob the benchmarks and
+	// the warm-equivalence tests use, never a production setting.
+	ColdProbes bool
 
 	// Parallelism is the worker count of the engine's parallel stages: W/D
 	// rows, the two maximal-retiming bounds sweeps, the separation-vertex

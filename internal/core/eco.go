@@ -104,12 +104,22 @@ func (p *Prepared) Apply(edit Edit) (*Prepared, error) {
 		return nil, fmt.Errorf("core: eco: %w", err)
 	}
 	st.rep = &rep
-	return &Prepared{
+	np := &Prepared{
 		in:      ckt,
 		opts:    p.opts,
 		st:      st,
 		cache:   cache,
 		workers: p.workers,
 		baseRep: rep,
-	}, nil
+	}
+	// Hand the donor's probe ladder to the edited Prepared with its
+	// checkpoint dropped: cut path delays are delay-derived, so the warm
+	// state is stale, but the O(V)-sized solve buffers are not — an ECO
+	// round's first probe skips the large allocations. The donor allocates a
+	// fresh ladder lazily if it solves again.
+	if lad := p.ladderSlot.Swap(nil); lad != nil {
+		lad.Reset()
+		np.ladderSlot.Store(lad)
+	}
+	return np, nil
 }

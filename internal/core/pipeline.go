@@ -220,7 +220,14 @@ func runShare(pc *pass.Context[flowState]) error {
 	// it. The §5.2 retries and the minperiod→minarea two-phase solve reuse
 	// its circuit constraints and share its cut pool instead of recomputing.
 	cache := graph.NewSolveCache(s.g)
-	s.eng = &graph.Engine{Workers: s.workers, Cache: cache}
+	// One probe ladder for the whole solve session: minperiod's binary-search
+	// probes, the minarea feasibility solves, and the §5.2 retry reruns all
+	// warm-start from the last feasible labeling instead of re-seeding SPFA.
+	// The flow runs its passes sequentially, so the single ladder is safe.
+	s.eng = &graph.Engine{Workers: s.workers, Cache: cache, ColdProbes: s.opts.ColdProbes}
+	if !s.opts.ColdProbes {
+		s.eng.Ladder = graph.NewProbeLadder()
+	}
 	s.pool = cache.Pool(s.g)
 	if s.opts.ForwardOnly {
 		for v := range s.bounds.Max {
@@ -251,10 +258,28 @@ func runMinPeriod(pc *pass.Context[flowState]) error {
 	if s.opts.Engine == EngineDense {
 		return runMinPeriodDense(pc)
 	}
-	s.rep.Engine = EngineSparse.String()
+	// The arrival hybrid decides probes by certified FEAS iteration when it
+	// can; verdicts and retimings are bit-identical to the pure sparse search,
+	// so EngineAuto is free to pick whichever scales better.
+	arrival := s.opts.Engine == EngineArrival ||
+		(s.opts.Engine == EngineAuto && s.g.NumVertices() > arrivalAutoVertices)
+	if arrival {
+		s.rep.Engine = EngineArrival.String()
+	} else {
+		s.rep.Engine = EngineSparse.String()
+	}
 	switch s.opts.Objective {
 	case MinPeriod, MinAreaAtMinPeriod:
-		phi, r, err := s.g.MinPeriodLazyEng(pc.Ctx(), s.bounds, s.pool, s.eng)
+		var (
+			phi int64
+			r   []int32
+			err error
+		)
+		if arrival {
+			phi, r, err = s.g.MinPeriodArrivalEng(pc.Ctx(), s.bounds, s.pool, s.eng)
+		} else {
+			phi, r, err = s.g.MinPeriodLazyEng(pc.Ctx(), s.bounds, s.pool, s.eng)
+		}
 		if err != nil {
 			return err
 		}

@@ -32,6 +32,7 @@ package core
 import (
 	"context"
 	"sync"
+	"sync/atomic"
 
 	"mcretiming/internal/graph"
 	"mcretiming/internal/netlist"
@@ -57,7 +58,29 @@ type Prepared struct {
 	anchorRep  *Report
 	anchorErr  error
 	seed       []graph.Cut // cut-pool snapshot taken after the anchor solve
+
+	// ladderSlot is a single-slot pool of probe ladders (warm SPFA state,
+	// see graph.ProbeLadder). A solve takes the slot's ladder — or a fresh one
+	// when the slot is empty or another solve holds it — and returns it when
+	// done. Serial solve sequences (the anchor, a serial sweep, repeated
+	// SolveAtPeriod calls) therefore share one ladder and warm-start each
+	// other; concurrent solves degrade to private ladders without locking.
+	ladderSlot atomic.Pointer[graph.ProbeLadder]
 }
+
+// takeLadder pops the shared probe ladder, or makes a fresh one if the slot
+// is empty (first solve, or a concurrent solve holds it).
+func (p *Prepared) takeLadder() *graph.ProbeLadder {
+	if lad := p.ladderSlot.Swap(nil); lad != nil {
+		return lad
+	}
+	return graph.NewProbeLadder()
+}
+
+// putLadder returns a ladder to the slot for the next solve to warm-start
+// from. Under concurrency the last returner wins; the dropped ladder is just
+// buffers.
+func (p *Prepared) putLadder(lad *graph.ProbeLadder) { p.ladderSlot.Store(lad) }
 
 // Prepare runs steps 1-3 of the flow on c and returns the reusable state.
 // opts is the option set every subsequent solve inherits (SolveAtPeriod
@@ -142,7 +165,10 @@ func (p *Prepared) Anchor(ctx context.Context, sink trace.Sink) (*netlist.Circui
 		opts := p.opts
 		opts.Objective = MinAreaAtMinPeriod
 		st := p.solveState(opts, p.cache.Pool(p.st.g), p.workers)
+		lad := p.takeLadder()
+		st.eng.Ladder = lad
 		out, rep, err := runSolve(ctx, sink, st)
+		p.putLadder(lad)
 		if err != nil {
 			p.anchorErr = err
 			return
@@ -216,5 +242,9 @@ func (p *Prepared) SolveAtPeriod(ctx context.Context, phi int64, sink trace.Sink
 	opts.Parallelism = 1
 	pool := graph.NewCutPool(append([]graph.Cut(nil), p.seed...))
 	st := p.solveState(opts, pool, 1)
-	return runSolve(ctx, sink, st)
+	lad := p.takeLadder()
+	st.eng.Ladder = lad
+	out, rep, err := runSolve(ctx, sink, st)
+	p.putLadder(lad)
+	return out, rep, err
 }

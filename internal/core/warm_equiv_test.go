@@ -1,0 +1,100 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"mcretiming/internal/gen"
+	"mcretiming/internal/netlist"
+)
+
+// retimeText runs one Retime and returns the output circuit's canonical text
+// plus the result fields that must agree across engines.
+func retimeText(t *testing.T, c *netlist.Circuit, opts Options) (string, *Report) {
+	t.Helper()
+	out, rep, err := Retime(c, opts)
+	if err != nil {
+		t.Fatalf("engine=%v cold=%t: %v", opts.Engine, opts.ColdProbes, err)
+	}
+	return circuitText(t, out), rep
+}
+
+// assertEngineAgreement solves c with the cold sparse reference (the PR6
+// path: no probe ladder, every probe re-seeds SPFA) and requires the
+// warm-started sparse engine and the arrival hybrid to reproduce it byte for
+// byte — circuit text, period, register count, movement counters. When dense
+// is true the dense W/D oracle joins the comparison.
+func assertEngineAgreement(t *testing.T, c *netlist.Circuit, obj Objective, dense bool) {
+	t.Helper()
+	refText, refRep := retimeText(t, c, Options{Objective: obj, Engine: EngineSparse, ColdProbes: true, Parallelism: 1})
+	check := func(name, text string, rep *Report) {
+		t.Helper()
+		if text != refText {
+			t.Fatalf("%s: circuit differs from cold sparse reference", name)
+		}
+		if rep.PeriodAfter != refRep.PeriodAfter || rep.RegsAfter != refRep.RegsAfter ||
+			rep.StepsMoved != refRep.StepsMoved || rep.Retries != refRep.Retries {
+			t.Fatalf("%s: report diverged: period %d/%d regs %d/%d steps %d/%d",
+				name, rep.PeriodAfter, refRep.PeriodAfter, rep.RegsAfter, refRep.RegsAfter,
+				rep.StepsMoved, refRep.StepsMoved)
+		}
+	}
+	warmText, warmRep := retimeText(t, c, Options{Objective: obj, Engine: EngineSparse, Parallelism: 1})
+	check("warm sparse", warmText, warmRep)
+	arrText, arrRep := retimeText(t, c, Options{Objective: obj, Engine: EngineArrival, Parallelism: 1})
+	check("arrival", arrText, arrRep)
+	if arrRep.Engine != "arrival" {
+		t.Fatalf("arrival Report.Engine = %q", arrRep.Engine)
+	}
+	if dense {
+		denseText, denseRep := retimeText(t, c, Options{Objective: obj, Engine: EngineDense, Parallelism: 1})
+		if denseText != refText {
+			t.Fatal("dense oracle: circuit differs from cold sparse reference")
+		}
+		if denseRep.PeriodAfter != refRep.PeriodAfter || denseRep.RegsAfter != refRep.RegsAfter {
+			t.Fatalf("dense oracle: period/regs diverged: %d/%d vs %d/%d",
+				denseRep.PeriodAfter, refRep.PeriodAfter, denseRep.RegsAfter, refRep.RegsAfter)
+		}
+	}
+}
+
+// TestWarmEquivalenceGolden pins the warm-started probes and the arrival
+// hybrid to the cold sparse reference on the golden trio (mapped C2/C6/C7
+// and the seeded random mix, see equivCircuits). Cold sparse is itself
+// pinned to the dense oracle by TestEngineEquivalence, so agreement here is
+// transitively dense-identical without re-paying the dense solves.
+func TestWarmEquivalenceGolden(t *testing.T) {
+	for _, c := range equivCircuits(t) {
+		c := c
+		t.Run(c.Name, func(t *testing.T) {
+			t.Parallel()
+			assertEngineAgreement(t, c, MinAreaAtMinPeriod, false)
+		})
+	}
+}
+
+// TestWarmEquivalenceRandomized is the breadth half of the PR8 equivalence
+// contract: 100+ seeded random circuits mixing every register class, each
+// solved by the cold sparse reference, the warm-started sparse engine, the
+// arrival hybrid, and (every fourth trial, to bound the O(V²) oracle cost)
+// the dense reference — all required byte-identical. Runs under -race in CI,
+// so it also exercises the ladder's single-owner discipline.
+func TestWarmEquivalenceRandomized(t *testing.T) {
+	const trials = 104
+	if testing.Short() {
+		t.Skip("randomized equivalence suite is not -short")
+	}
+	for trial := 0; trial < trials; trial++ {
+		trial := trial
+		t.Run(fmt.Sprintf("trial%03d", trial), func(t *testing.T) {
+			t.Parallel()
+			size := 60 + (trial*13)%140
+			c := gen.Random(int64(1000+trial), size)
+			obj := MinAreaAtMinPeriod
+			if trial%3 == 1 {
+				obj = MinPeriod
+			}
+			assertEngineAgreement(t, c, obj, trial%4 == 0)
+		})
+	}
+}

@@ -232,9 +232,16 @@ func Sweep(ctx context.Context, c *netlist.Circuit, o Options) (*Front, error) {
 	}
 	report() // the anchor point
 
-	// The batch: one isolated solve per period over the par pool. Slot i is
-	// owned by point i; per-point trace recorders are merged in period order
+	// The batch: one isolated solve per period over the par pool. Slot j is
+	// owned by point j; per-point trace recorders are merged in period order
 	// afterwards, so counters are deterministic at any parallelism.
+	//
+	// Work is issued in descending period order: the shared probe ladder
+	// (core.Prepared's single-slot pool) warm-starts a solve only when its
+	// target period is at or below the last feasible checkpoint, so a serial
+	// sweep that walks φ downward rides one ladder across all points. The
+	// slot assignment — and therefore the output — is identical either way;
+	// ordering is purely a warm-start affinity.
 	points := make([]Point, len(phis))
 	recs := make([]*trace.Recorder, len(phis))
 	if o.Trace != nil {
@@ -243,11 +250,12 @@ func Sweep(ctx context.Context, c *netlist.Circuit, o Options) (*Front, error) {
 		}
 	}
 	_, err = par.Run(ctx, par.Workers(o.Parallelism), len(phis), func(_, i int) error {
-		phi := phis[i]
+		j := len(phis) - 1 - i
+		phi := phis[j]
 		var ss Solution
 		if o.Store.Load(ctx, k.point(phi), &ss) && ss.PeriodPS == phi {
 			hits.Add(1)
-			points[i] = pointFromStored(ss)
+			points[j] = pointFromStored(ss)
 			report()
 			return nil
 		}
@@ -258,7 +266,7 @@ func Sweep(ctx context.Context, c *netlist.Circuit, o Options) (*Front, error) {
 			sol, err := o.Remote(ctx, k.point(phi), phi)
 			if err == nil && sol != nil && sol.PeriodPS == phi {
 				remotes.Add(1)
-				points[i] = pointFromStored(*sol)
+				points[j] = pointFromStored(*sol)
 				save(k.point(phi), *sol)
 				report()
 				return nil
@@ -266,8 +274,8 @@ func Sweep(ctx context.Context, c *netlist.Circuit, o Options) (*Front, error) {
 			// Remote loss of any kind degrades to the local solve below.
 		}
 		var sink trace.Sink
-		if recs[i] != nil {
-			sink = recs[i]
+		if recs[j] != nil {
+			sink = recs[j]
 		}
 		out, rep, err := prep.SolveAtPeriod(ctx, phi, sink)
 		if err != nil {
@@ -277,7 +285,7 @@ func Sweep(ctx context.Context, c *netlist.Circuit, o Options) (*Front, error) {
 		if err != nil {
 			return err
 		}
-		points[i] = pt
+		points[j] = pt
 		save(k.point(phi), solutionFromPoint(pt))
 		report()
 		return nil

@@ -1,0 +1,235 @@
+package graph
+
+import (
+	"context"
+	"fmt"
+
+	"mcretiming/internal/failpoint"
+	"mcretiming/internal/rterr"
+	"mcretiming/internal/trace"
+)
+
+// This file implements the arrival-time feasibility engine: a FEAS-style
+// iteration (Leiserson–Saxe Algorithm FEAS, paper §2) used as a probe
+// accelerator inside the minperiod binary search. Instead of solving the
+// difference-constraint system, a probe iterates arrival times on the
+// retimed graph — increment r(v) for every vertex whose arrival exceeds φ —
+// warm-started from the last feasible retiming seen, for a bounded number of
+// sweeps.
+//
+// The engine is sound by certification, not by trusting the iteration: a
+// probe only reports "feasible" after explicitly verifying the candidate —
+// every retimed weight nonnegative (CheckLegal), every class bound respected,
+// and every arrival within φ. Anything else (sweep budget exhausted, a bound
+// violated, the iteration wandered) falls back to the exact warm-started
+// cutting-plane probe, whose verdict is the difference-system verdict by
+// construction. Feasibility is monotone in φ, the binary search's invariants
+// only need verdicts, and the final retiming is recomputed canonically, so
+// the hybrid is bit-identical to MinPeriodLazyEng end to end (see DESIGN.md
+// §8: the minimum feasible period is probe-trajectory-independent, and the
+// canonical labeling at that period is unique).
+//
+// Classic FEAS from r = 0 needs as many sweeps as the largest retiming value
+// it must build — useless on deep pipelines where r reaches the stage count.
+// Warm-starting from the previous feasible retiming makes the remaining
+// increments small precisely when binary search needs it: successive feasible
+// probes are close together in φ, so their retimings differ little.
+
+// arrivalMaxSweeps bounds one arrival probe's FEAS iteration. Certified
+// convergence almost always happens within a handful of sweeps when the
+// probe is warm; anything longer is cheaper to hand to the exact engine than
+// to keep sweeping O(V+E) passes.
+const arrivalMaxSweeps = 12
+
+// arrivalFailBudget is how many consecutive uncertified arrival probes the
+// search tolerates before it stops attempting them. An uncertified probe costs
+// its sweeps *and* the exact solve it falls back to, and certification
+// failures cluster (infeasible periods can never certify), so after a short
+// streak the arrival path is pure overhead for the rest of the search.
+const arrivalFailBudget = 2
+
+// arrivalState carries the warm FEAS state across the probes of one search.
+type arrivalState struct {
+	fs         *feasScratch
+	prevR      []int32
+	havePrev   bool
+	failStreak int
+}
+
+// arrivalProbe attempts to certify "φ is feasible" by bounded warm FEAS
+// iteration. It returns the certified retiming (normalized, freshly
+// allocated), its achieved period, and whether certification succeeded.
+// ok=false means "don't know", never "infeasible".
+func (g *Graph) arrivalProbe(phi int64, bounds *Bounds, st *arrivalState) ([]int32, int64, bool) {
+	n := g.NumVertices()
+	fs := st.fs
+	r := fs.r
+	if st.havePrev {
+		copy(r, st.prevR)
+	} else {
+		for i := range r {
+			r[i] = 0
+		}
+	}
+	for sweep := 0; sweep < arrivalMaxSweeps; sweep++ {
+		if err := g.arrivalsBuf(r, fs.delta, fs.indeg, fs.queue); err != nil {
+			// A zero-weight cycle under the candidate: the iteration left the
+			// legal region. Hand the probe to the exact engine.
+			return nil, 0, false
+		}
+		changed := false
+		for v := 0; v < n; v++ {
+			if fs.delta[v] > phi {
+				r[v]++
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	// Certify: recompute arrivals for the final candidate and check the full
+	// contract. The sweep loop's last delta belongs to the pre-increment
+	// retiming, so this pass is not redundant.
+	if err := g.arrivalsBuf(r, fs.delta, fs.indeg, fs.queue); err != nil {
+		return nil, 0, false
+	}
+	var achieved int64
+	for _, d := range fs.delta {
+		if d > achieved {
+			achieved = d
+		}
+	}
+	if achieved > phi {
+		return nil, 0, false
+	}
+	h := r[Host]
+	out := make([]int32, n)
+	for i := range r {
+		out[i] = r[i] - h
+	}
+	if g.CheckLegal(out) != nil || bounds.Check(out) != nil {
+		return nil, 0, false
+	}
+	st.prevR = append(st.prevR[:0], out...)
+	st.havePrev = true
+	return out, achieved, true
+}
+
+// MinPeriodArrivalEng finds the minimum feasible period with the hybrid
+// arrival-time engine: every binary-search probe first tries the bounded
+// warm FEAS certification, and only uncertified probes pay for an exact
+// warm-started cutting-plane solve. The result — period and retiming — is
+// bit-identical to MinPeriodLazyEng: the minimum feasible period does not
+// depend on how individual probes were decided, and the returned retiming is
+// the canonical labeling at that period, recomputed by a final exact probe
+// when the last feasible verdict came from the arrival path.
+func (g *Graph) MinPeriodArrivalEng(ctx context.Context, bounds *Bounds, pool *CutPool, eng *Engine) (int64, []int32, error) {
+	if err := failpoint.Inject(ctx, "graph.minperiod"); err != nil {
+		return 0, nil, err
+	}
+	if pool == nil {
+		pool = &CutPool{}
+	}
+	lad := eng.ladder()
+	if lad == nil && (eng == nil || !eng.ColdProbes) {
+		lad = NewProbeLadder()
+	}
+	sink := trace.From(ctx)
+	hi, err := g.Period(nil)
+	if err != nil {
+		return 0, nil, err
+	}
+	var lo int64
+	for _, d := range g.Delay {
+		if d > lo {
+			lo = d
+		}
+	}
+	st := &arrivalState{fs: g.newFeasScratch()}
+	// First probe at the registered period goes through the exact engine: it
+	// owns the ErrInfeasiblePeriod diagnosis and seeds both the ladder and
+	// the warm FEAS state.
+	bestPhi := hi
+	sink.Add("minperiod-probes", 1)
+	bestR, achieved, _, ok, err := g.feasibleLazyLad(ctx, hi, bounds, pool, eng, lad)
+	if err != nil {
+		return 0, nil, err
+	}
+	if !ok {
+		return 0, nil, fmt.Errorf("graph: original period %d infeasible (conflicting bounds?): %w", hi, rterr.ErrInfeasiblePeriod)
+	}
+	st.prevR = append([]int32(nil), bestR...)
+	st.havePrev = true
+	if achieved < bestPhi {
+		bestPhi = achieved
+	}
+	// canonical marks bestR as the exact engine's labeling at bestPhi.
+	canonical := true
+	for lo < bestPhi {
+		if err := ctx.Err(); err != nil {
+			return 0, nil, err
+		}
+		mid := lo + (bestPhi-lo)/2
+		sink.Add("minperiod-probes", 1)
+		if st.failStreak < arrivalFailBudget {
+			if r, achieved, certified := g.arrivalProbe(mid, bounds, st); certified {
+				sink.Add("arrival-certified", 1)
+				st.failStreak = 0
+				bestR = r
+				canonical = false
+				if achieved <= mid {
+					bestPhi = achieved
+				} else {
+					bestPhi = mid
+				}
+				continue
+			}
+			st.failStreak++
+		}
+		r, achieved, cert, ok, err := g.feasibleLazyLad(ctx, mid, bounds, pool, eng, lad)
+		if err != nil {
+			return 0, nil, err
+		}
+		if ok {
+			// An exact labeling with achieved period p is canonical at p (the
+			// cuts it satisfies stay valid at p, see the sandwich argument),
+			// so the exact branch always leaves bestR canonical at bestPhi.
+			bestR = r
+			canonical = true
+			st.prevR = append(st.prevR[:0], r...)
+			st.havePrev = true
+			// A fresh exact labeling re-seeds the warm FEAS iteration much
+			// closer to the next probe's answer, so give the arrival path
+			// another chance even if it had been backed off.
+			st.failStreak = 0
+			if achieved <= mid {
+				bestPhi = achieved
+			} else {
+				bestPhi = mid
+			}
+		} else {
+			// Same certificate jump as MinPeriodLazyEng: the failed exact
+			// probe's negative cycle rules out every period below cert.
+			lo = mid + 1
+			if cert > lo {
+				lo = cert
+			}
+		}
+	}
+	if !canonical {
+		// One exact warm probe at the final period replaces the arrival
+		// path's witness with the canonical labeling — the same slice of
+		// values MinPeriodLazyEng terminates with.
+		sink.Add("minperiod-probes", 1)
+		r, _, _, ok, err := g.feasibleLazyLad(ctx, bestPhi, bounds, pool, eng, lad)
+		if err != nil {
+			return 0, nil, err
+		}
+		if !ok {
+			return 0, nil, fmt.Errorf("graph: period %d certified feasible but exact solve disagrees: %w", bestPhi, rterr.ErrInternal)
+		}
+		bestR = r
+	}
+	return bestPhi, bestR, nil
+}

@@ -28,23 +28,29 @@ type SolveCache struct {
 
 	wdHits, wdMisses     atomic.Int64
 	baseHits, baseMisses atomic.Int64
+	warmHits, warmMisses atomic.Int64
 }
 
 // CacheStats counts SolveCache lookups: a hit served a memoized artifact, a
 // miss computed it. Base counts the circuit-constraint prefix only — the
-// bounds suffix is always rebuilt because §5.2 retries tighten bounds.
+// bounds suffix is always rebuilt because §5.2 retries tighten bounds. Warm
+// counts lazy feasibility probes: a hit restored a ProbeLadder checkpoint
+// instead of solving the difference system cold. The fields are additive to
+// the mcretiming-perf/v1 schema — older snapshots simply lack them.
 type CacheStats struct {
 	WDHits     int64 `json:"wd_hits"`
 	WDMisses   int64 `json:"wd_misses"`
 	BaseHits   int64 `json:"base_hits"`
 	BaseMisses int64 `json:"base_misses"`
+	WarmHits   int64 `json:"warm_hits,omitempty"`
+	WarmMisses int64 `json:"warm_misses,omitempty"`
 }
 
 // Hits returns the total lookups served from memoized state.
-func (s CacheStats) Hits() int64 { return s.WDHits + s.BaseHits }
+func (s CacheStats) Hits() int64 { return s.WDHits + s.BaseHits + s.WarmHits }
 
 // Misses returns the total lookups that had to compute.
-func (s CacheStats) Misses() int64 { return s.WDMisses + s.BaseMisses }
+func (s CacheStats) Misses() int64 { return s.WDMisses + s.BaseMisses + s.WarmMisses }
 
 // Stats returns a snapshot of the cache's hit/miss counters.
 func (c *SolveCache) Stats() CacheStats {
@@ -53,6 +59,8 @@ func (c *SolveCache) Stats() CacheStats {
 		WDMisses:   c.wdMisses.Load(),
 		BaseHits:   c.baseHits.Load(),
 		BaseMisses: c.baseMisses.Load(),
+		WarmHits:   c.warmHits.Load(),
+		WarmMisses: c.warmMisses.Load(),
 	}
 }
 
@@ -61,6 +69,7 @@ func (c *SolveCache) Stats() CacheStats {
 // still attribute speedups to cache reuse by sampling before/after a run.
 var totalCacheStats struct {
 	wdHits, wdMisses, baseHits, baseMisses atomic.Int64
+	warmHits, warmMisses                   atomic.Int64
 }
 
 // TotalCacheStats returns the process-cumulative SolveCache counters.
@@ -70,6 +79,8 @@ func TotalCacheStats() CacheStats {
 		WDMisses:   totalCacheStats.wdMisses.Load(),
 		BaseHits:   totalCacheStats.baseHits.Load(),
 		BaseMisses: totalCacheStats.baseMisses.Load(),
+		WarmHits:   totalCacheStats.warmHits.Load(),
+		WarmMisses: totalCacheStats.warmMisses.Load(),
 	}
 }
 
@@ -81,6 +92,8 @@ func (s CacheStats) Delta(prev CacheStats) CacheStats {
 		WDMisses:   s.WDMisses - prev.WDMisses,
 		BaseHits:   s.BaseHits - prev.BaseHits,
 		BaseMisses: s.BaseMisses - prev.BaseMisses,
+		WarmHits:   s.WarmHits - prev.WarmHits,
+		WarmMisses: s.WarmMisses - prev.WarmMisses,
 	}
 }
 

@@ -78,29 +78,51 @@ type spfaScratch struct {
 	inQueue []bool
 	relaxed []int32
 	parent  []int32 // vertex that last relaxed each vertex (-1 = none)
-	mark    []int8  // parentCycle walk colors
-	queue   []VertexID
+	// parentCons records which constraint performed each vertex's last
+	// relaxation (parallel to parent), so a detected negative cycle can be
+	// traced back to the constraints that form it.
+	parentCons []int32
+	// pd holds the activation thresholds of the current constraint slice
+	// (parallel to it): a period cut's PathDelay, alwaysActivePD for base
+	// constraints. nil disables infeasibility certificates (the ladder-less
+	// reference paths).
+	pd []int64
+	// certPD is the infeasibility certificate of the last failed run: the
+	// negative cycle found stays intact — every period cut on it required —
+	// at every period below certPD, so the binary search may advance its
+	// lower bound straight to certPD. 0 means no certificate.
+	certPD int64
+	mark   []int8 // parentCycle walk colors
+	queue  []VertexID
+	out    []int32 // solution buffer returned by runSPFA (scratch-owned)
 }
+
+// alwaysActivePD is the activation threshold of constraints that apply at
+// every period (circuit edges and class bounds).
+const alwaysActivePD = int64(math.MaxInt64)
 
 func newSPFAScratch(n int) *spfaScratch {
 	return &spfaScratch{
-		adj:     make([][]int32, n),
-		dist:    make([]int64, n),
-		inQueue: make([]bool, n),
-		relaxed: make([]int32, n),
-		parent:  make([]int32, n),
-		mark:    make([]int8, n),
-		queue:   make([]VertexID, 0, n),
+		adj:        make([][]int32, n),
+		dist:       make([]int64, n),
+		inQueue:    make([]bool, n),
+		relaxed:    make([]int32, n),
+		parent:     make([]int32, n),
+		parentCons: make([]int32, n),
+		mark:       make([]int8, n),
+		queue:      make([]VertexID, 0, n),
+		out:        make([]int32, n),
 	}
 }
 
-// parentCycle reports whether the parent-pointer graph contains a cycle.
-// One exists iff a strictly negative constraint cycle has been relaxed: every
-// parent edge maintains dist[x] ≥ dist[parent[x]] + B (equality at assignment,
-// preserved as dist values only decrease), and the relaxation that closes a
-// parent cycle is strict, so summing around the cycle forces ΣB < 0. In
-// particular a zero-weight cycle — feasible — can never close one.
-func parentCycle(n int, parent []int32, mark []int8) bool {
+// parentCycle reports whether the parent-pointer graph contains a cycle and,
+// if so, a vertex on it. One exists iff a strictly negative constraint cycle
+// has been relaxed: every parent edge maintains dist[x] ≥ dist[parent[x]] + B
+// (equality at assignment, preserved as dist values only decrease), and the
+// relaxation that closes a parent cycle is strict, so summing around the
+// cycle forces ΣB < 0. In particular a zero-weight cycle — feasible — can
+// never close one.
+func parentCycle(n int, parent []int32, mark []int8) (int32, bool) {
 	for i := 0; i < n; i++ {
 		mark[i] = 0
 	}
@@ -109,21 +131,57 @@ func parentCycle(n int, parent []int32, mark []int8) bool {
 			continue
 		}
 		// Walk the parent chain from s, painting it gray; re-entering a gray
-		// vertex means the chain bit its own tail.
+		// vertex means the chain bit its own tail — and the re-entered vertex
+		// is on the cycle (the chain from it leads back to it).
 		v := int32(s)
 		for v != -1 && mark[v] == 0 {
 			mark[v] = 1
 			v = parent[v]
 		}
 		if v != -1 && mark[v] == 1 {
-			return true
+			return v, true
 		}
 		// Repaint this walk's gray prefix black (chain ended at -1 or black).
 		for v = int32(s); v != -1 && mark[v] == 1; v = parent[v] {
 			mark[v] = 2
 		}
 	}
-	return false
+	return -1, false
+}
+
+// cycleCertPD walks the parent cycle through v and returns the minimum
+// activation threshold among the constraints forming it: the probe's period
+// is certified infeasible for every period BELOW that value, because all of
+// the cycle's period cuts remain required there and the cycle's weight does
+// not depend on the period. Returns 0 (no certificate) when threshold
+// tracking is off, when provenance is incomplete, or when the cycle uses no
+// finite-threshold constraint.
+func (sc *spfaScratch) cycleCertPD(v int32) int64 {
+	if sc.pd == nil {
+		return 0
+	}
+	minPD := alwaysActivePD
+	x := v
+	for {
+		ci := sc.parentCons[x]
+		if ci < 0 || int(ci) >= len(sc.pd) {
+			return 0
+		}
+		if p := sc.pd[ci]; p < minPD {
+			minPD = p
+		}
+		x = sc.parent[x]
+		if x == v {
+			break
+		}
+	}
+	if minPD == alwaysActivePD {
+		// An all-base negative cycle would mean "infeasible at every period";
+		// it cannot coexist with the feasible witness the search already
+		// holds, so treat it as "no certificate" rather than trusting it.
+		return 0
+	}
+	return minPD
 }
 
 // Feasible decides whether clock period phi is feasible under the circuit
@@ -159,12 +217,13 @@ func (g *Graph) feasibleWith(phi int64, wd *WD, sc *spfaScratch) ([]int32, bool)
 	if !ok {
 		return nil, false
 	}
-	// Normalize so the host stays at 0.
+	// Normalize so the host stays at 0; copy out of the scratch-owned buffer.
 	h := r[Host]
+	out := make([]int32, len(r))
 	for i := range r {
-		r[i] -= h
+		out[i] = r[i] - h
 	}
-	return r, true
+	return out, true
 }
 
 // SolveDifference solves a system of difference constraints
@@ -172,12 +231,18 @@ func (g *Graph) feasibleWith(phi int64, wd *WD, sc *spfaScratch) ([]int32, bool)
 // to every variable with weight 0. It returns a solution, or ok=false if
 // the system is infeasible (negative cycle).
 func SolveDifference(n int, cons []Constraint) ([]int32, bool) {
-	return solveDifferenceBuf(n, cons, newSPFAScratch(n))
+	r, ok := solveDifferenceBuf(n, cons, newSPFAScratch(n))
+	if !ok {
+		return nil, false
+	}
+	return append([]int32(nil), r...), true
 }
 
-// solveDifferenceBuf is SolveDifference inside sc's buffers. Only the
-// returned solution slice is freshly allocated (it escapes to the caller).
+// solveDifferenceBuf is SolveDifference inside sc's buffers; the returned
+// slice is sc.out (see runSPFA). Every call is a cold start — all n vertices seeded, the whole constraint
+// graph re-propagated — and bumps the ColdStartCount regression hook.
 func solveDifferenceBuf(n int, cons []Constraint, sc *spfaScratch) ([]int32, bool) {
+	spfaColdStarts.Add(1)
 	adj := sc.adj // constraint indices by source y
 	for i := 0; i < n; i++ {
 		adj[i] = adj[i][:0]
@@ -188,10 +253,12 @@ func solveDifferenceBuf(n int, cons []Constraint, sc *spfaScratch) ([]int32, boo
 	dist := sc.dist // virtual source: all start at 0
 	inQueue := sc.inQueue
 	parent := sc.parent
+	parentCons := sc.parentCons
 	for i := 0; i < n; i++ {
 		dist[i] = 0
 		inQueue[i] = true
 		parent[i] = -1
+		parentCons[i] = -1
 	}
 	queue := sc.queue[:0]
 	for v := 0; v < n; v++ {
@@ -234,7 +301,9 @@ func resolveDifferenceBuf(n int, cons []Constraint, from int, sc *spfaScratch) (
 }
 
 // runSPFA drains queue with FIFO Bellman-Ford relaxation over sc's prepared
-// adj/dist/inQueue/parent buffers.
+// adj/dist/inQueue/parent buffers. The returned solution slice is sc.out —
+// scratch-owned and overwritten by the next run — so callers that let it
+// escape must copy it first.
 //
 // Infeasibility (a negative constraint cycle) is detected two ways. The fast
 // path is the parentCycle walk, run every n relaxations: it costs O(n),
@@ -247,27 +316,43 @@ func resolveDifferenceBuf(n int, cons []Constraint, from int, sc *spfaScratch) (
 // vertex relaxes at most once per pass.
 func runSPFA(n int, cons []Constraint, sc *spfaScratch, queue []VertexID) ([]int32, bool) {
 	adj, dist, inQueue, relaxed, parent := sc.adj, sc.dist, sc.inQueue, sc.relaxed, sc.parent
+	parentCons := sc.parentCons
 	for i := 0; i < n; i++ {
 		relaxed[i] = 0
 	}
+	// FIFO by head index, compacted in place once the consumed prefix
+	// reaches half the slice: the inQueue guard bounds the live window at n
+	// entries, so the backing stabilizes at ~2n and appends stop
+	// reallocating. The grown backing is handed back to the scratch on every
+	// exit so later probes reuse it instead of re-growing from n each time.
+	defer func() { sc.queue = queue[:0] }()
+	head := 0
 	steps, nextCheck := 0, n
-	for len(queue) > 0 {
-		y := queue[0]
-		queue = queue[1:]
+	for head < len(queue) {
+		if head >= 64 && head*2 >= len(queue) {
+			live := copy(queue, queue[head:])
+			queue = queue[:live]
+			head = 0
+		}
+		y := queue[head]
+		head++
 		inQueue[y] = false
 		for _, ci := range adj[y] {
 			c := cons[ci]
 			if nd := dist[y] + int64(c.B); nd < dist[c.X] {
 				dist[c.X] = nd
 				parent[c.X] = int32(y)
+				parentCons[c.X] = ci
 				relaxed[c.X]++
 				if relaxed[c.X] > int32(n)+1 {
+					sc.certPD = 0
 					return nil, false // negative cycle (backstop)
 				}
 				steps++
 				if steps >= nextCheck {
 					nextCheck += n
-					if parentCycle(n, parent, sc.mark) {
+					if v, bad := parentCycle(n, parent, sc.mark); bad {
+						sc.certPD = sc.cycleCertPD(v)
 						return nil, false // negative cycle
 					}
 				}
@@ -278,7 +363,7 @@ func runSPFA(n int, cons []Constraint, sc *spfaScratch, queue []VertexID) ([]int
 			}
 		}
 	}
-	out := make([]int32, n)
+	out := sc.out
 	for i, d := range dist {
 		out[i] = int32(d)
 	}

@@ -170,22 +170,56 @@ func (g *Graph) PeriodCuts(r []int32, phi int64) ([]Cut, error) {
 // walk to its path root is independent. Cut i belongs to the i-th violating
 // vertex in vertex order, so the result is identical for every worker count.
 func (g *Graph) PeriodCutsPar(ctx context.Context, r []int32, phi int64, workers int) ([]Cut, error) {
+	cuts, _, err := g.periodCuts(ctx, r, phi, workers)
+	return cuts, err
+}
+
+// cutScratch holds the per-sweep buffers of periodCuts so a probe ladder can
+// run every cutting-plane round allocation-free.
+type cutScratch struct {
+	indeg  []int32
+	delta  []int64
+	parent []VertexID
+	queue  []VertexID
+}
+
+func newCutScratch(n int) cutScratch {
+	return cutScratch{
+		indeg:  make([]int32, n),
+		delta:  make([]int64, n),
+		parent: make([]VertexID, n),
+		queue:  make([]VertexID, 0, n),
+	}
+}
+
+// periodCuts is PeriodCutsPar, additionally returning the maximum zero-weight
+// arrival time of the sweep — the period r actually achieves — so a feasible
+// probe's caller can tighten its search without a second arrival pass.
+func (g *Graph) periodCuts(ctx context.Context, r []int32, phi int64, workers int) ([]Cut, int64, error) {
+	cs := newCutScratch(g.NumVertices())
+	return g.periodCutsBuf(ctx, r, phi, workers, &cs)
+}
+
+// periodCutsBuf is periodCuts inside cs's buffers.
+func (g *Graph) periodCutsBuf(ctx context.Context, r []int32, phi int64, workers int, cs *cutScratch) ([]Cut, int64, error) {
 	n := g.NumVertices()
-	indeg := make([]int32, n)
+	indeg := cs.indeg
+	for v := 0; v < n; v++ {
+		indeg[v] = 0
+	}
 	for _, e := range g.Edges {
 		if g.weight(e, r) == 0 {
 			indeg[e.To]++
 		}
 	}
-	queue := make([]VertexID, 0, n)
+	queue := cs.queue[:0]
 	for v := 0; v < n; v++ {
 		if indeg[v] == 0 {
 			queue = append(queue, VertexID(v))
 		}
 	}
-	delta := make([]int64, n)
-	parent := make([]VertexID, n)
-	for v := range delta {
+	delta, parent := cs.delta, cs.parent
+	for v := 0; v < n; v++ {
 		delta[v] = g.Delay[v]
 		parent[v] = -1
 	}
@@ -209,17 +243,22 @@ func (g *Graph) PeriodCutsPar(ctx context.Context, r []int32, phi int64, workers
 			}
 		}
 	}
+	cs.queue = queue[:0] // keep grown backing for the next sweep
 	if done != n {
-		return nil, fmt.Errorf("graph: zero-weight cycle under candidate retiming")
+		return nil, 0, fmt.Errorf("graph: zero-weight cycle under candidate retiming")
 	}
+	var maxDelta int64
 	var violating []VertexID
 	for v := 0; v < n; v++ {
+		if delta[v] > maxDelta {
+			maxDelta = delta[v]
+		}
 		if delta[v] > phi {
 			violating = append(violating, VertexID(v))
 		}
 	}
 	if len(violating) == 0 {
-		return nil, nil
+		return nil, maxDelta, nil
 	}
 	cuts := make([]Cut, len(violating))
 	if _, err := par.Run(ctx, workers, len(violating), func(_, i int) error {
@@ -235,9 +274,9 @@ func (g *Graph) PeriodCutsPar(ctx context.Context, r []int32, phi int64, workers
 		}
 		return nil
 	}); err != nil {
-		return nil, err
+		return nil, 0, err
 	}
-	return cuts, nil
+	return cuts, maxDelta, nil
 }
 
 // FeasibleLazy decides period feasibility with lazily generated cuts,
@@ -258,28 +297,90 @@ func (g *Graph) FeasibleLazyCtx(ctx context.Context, phi int64, bounds *Bounds, 
 
 // FeasibleLazyEng is FeasibleLazyCtx under an Engine: the base constraints
 // come from the engine's cache (circuit part reused across probes and §5.2
-// retries) and the cut trace-back runs on the engine's worker pool. A nil
-// engine means serial and uncached.
+// retries), the cut trace-back runs on the engine's worker pool, and the
+// engine's ProbeLadder (when set) warm-starts the solve from the last
+// feasible probe's quiescent SPFA state. A nil engine means serial, uncached,
+// and cold.
 func (g *Graph) FeasibleLazyEng(ctx context.Context, phi int64, bounds *Bounds, pool *CutPool, eng *Engine) ([]int32, bool, error) {
+	r, _, _, ok, err := g.feasibleLazyLad(ctx, phi, bounds, pool, eng, eng.ladder())
+	return r, ok, err
+}
+
+// feasibleLazyLad is the cutting-plane feasibility loop, warm-started from
+// lad when it holds a usable checkpoint (same graph, same bounds content,
+// probe at or below the checkpoint period — the warm set of applicable cuts
+// only grows as φ shrinks). Any other state solves cold; either way a
+// feasible exit re-checkpoints the ladder for the next probe. A warm probe
+// never rebuilds the base constraint slice: the checkpointed prefix already
+// embeds it, and boundsMatch certifies it is still current.
+//
+// On success achieved is the period the returned retiming actually attains
+// (the maximum zero-weight arrival of the final cut sweep), which the binary
+// search uses to tighten without a separate Period pass. On an infeasible
+// verdict cert, when nonzero, certifies that every period below it is
+// infeasible too — the failed probe's negative cycle survives (all its period
+// cuts stay required) down to cert, so the caller's lower bound may jump
+// straight there instead of stepping to phi+1 (ladder probes only; the
+// ladder-less reference path never certifies).
+func (g *Graph) feasibleLazyLad(ctx context.Context, phi int64, bounds *Bounds, pool *CutPool, eng *Engine, lad *ProbeLadder) (res []int32, achieved, cert int64, okOut bool, errOut error) {
 	sink := trace.From(ctx)
 	n := g.NumVertices()
-	base := eng.base(g, bounds)
-	cons := append(base, pool.ForPeriod(phi)...)
 	workers := eng.workerCount()
 	// One scratch for the whole cutting-plane loop: the first round solves
-	// cold, every later round continues the previous round's relaxation —
-	// the rounds only ever add constraints, so the incremental re-solve is
-	// exact (see resolveDifferenceBuf).
-	sc := newSPFAScratch(n)
+	// cold (or restores the ladder checkpoint), every later round continues
+	// the previous round's relaxation — the rounds only ever add constraints,
+	// so the incremental re-solve is exact (see resolveDifferenceBuf).
+	var sc *spfaScratch
+	var cons []Constraint
+	var pd []int64
 	solved := 0
+	warm := false
+	if lad != nil {
+		lad.bind(g)
+		if lad.ckValid && phi <= lad.ckPhi && lad.boundsMatch(bounds) {
+			cons, pd = lad.restore(phi, pool)
+			solved = lad.ckLen
+			warm = true
+			eng.noteWarm(true)
+		} else {
+			cons, pd = lad.seed(eng.base(g, bounds), phi, pool)
+			eng.noteWarm(false)
+		}
+		sc = lad.sc
+		// The probe is about to mutate the scratch; only a feasible exit
+		// (which re-checkpoints) restores the clean invariant.
+		lad.scClean = false
+	} else {
+		cons = append(eng.base(g, bounds), pool.ForPeriod(phi)...)
+		sc = newSPFAScratch(n)
+		eng.noteWarm(false)
+	}
+	cut := &cutScratch{}
+	if lad != nil {
+		cut = &lad.cut
+	} else {
+		*cut = newCutScratch(n)
+	}
+	// abort records, for a warm probe, the constraint slice whose adjacency
+	// entries the failed probe leaves behind in the scratch, so the next
+	// restore repairs the index by trimming exactly those entries instead of
+	// rebuilding it from the checkpoint (see ProbeLadder.dirty).
+	abort := func() {
+		if warm {
+			lad.dirty = cons
+		}
+	}
 	for {
 		if err := ctx.Err(); err != nil {
-			return nil, false, err
+			abort()
+			return nil, 0, 0, false, err
 		}
 		// Chaos hook: one evaluation per cutting-plane round.
 		if err := failpoint.Inject(ctx, "graph.feasible"); err != nil {
-			return nil, false, err
+			abort()
+			return nil, 0, 0, false, err
 		}
+		sc.pd = pd
 		var r []int32
 		var ok bool
 		if solved == 0 {
@@ -289,26 +390,37 @@ func (g *Graph) FeasibleLazyEng(ctx context.Context, phi int64, bounds *Bounds, 
 		}
 		solved = len(cons)
 		if !ok {
-			return nil, false, nil
+			// The scratch is poisoned (mid-negative-cycle), but the ladder's
+			// checkpoint copies are untouched: the next probe restores them.
+			abort()
+			return nil, 0, sc.certPD, false, nil
 		}
 		h := r[Host]
 		for i := range r {
 			r[i] -= h
 		}
-		cuts, err := g.PeriodCutsPar(ctx, r, phi, workers)
+		cuts, maxDelta, err := g.periodCutsBuf(ctx, r, phi, workers, cut)
 		if err != nil {
+			abort()
 			if ctx.Err() != nil {
-				return nil, false, err
+				return nil, 0, 0, false, err
 			}
-			return nil, false, nil
+			return nil, 0, 0, false, nil
 		}
 		if len(cuts) == 0 {
-			return r, true, nil
+			if lad != nil {
+				lad.checkpoint(phi, bounds, cons, pd, pool)
+			}
+			// r aliases the scratch's solution buffer; copy before it escapes.
+			return append([]int32(nil), r...), maxDelta, 0, true, nil
 		}
 		sink.Add("cuts-generated", int64(len(cuts)))
 		pool.Add(cuts)
 		for _, c := range cuts {
 			cons = append(cons, c.Constraint)
+			if lad != nil {
+				pd = append(pd, c.PathDelay)
+			}
 		}
 	}
 }
@@ -330,8 +442,10 @@ func (g *Graph) MinPeriodLazyCtx(ctx context.Context, bounds *Bounds, pool *CutP
 
 // MinPeriodLazyEng is MinPeriodLazyCtx under an Engine (see FeasibleLazyEng):
 // every feasibility probe of the binary search shares the engine's cached
-// circuit constraints and worker pool. A nil engine means serial and
-// uncached.
+// circuit constraints and worker pool, and warm-starts from the previous
+// feasible probe through a ProbeLadder — the engine's if it carries one, a
+// search-private one otherwise, so even nil-engine callers get probe-to-probe
+// reuse inside a single search.
 func (g *Graph) MinPeriodLazyEng(ctx context.Context, bounds *Bounds, pool *CutPool, eng *Engine) (int64, []int32, error) {
 	// Chaos hook: the binary search's entry is the canonical "slow solver"
 	// site for latency and failure injection.
@@ -340,6 +454,10 @@ func (g *Graph) MinPeriodLazyEng(ctx context.Context, bounds *Bounds, pool *CutP
 	}
 	if pool == nil {
 		pool = &CutPool{}
+	}
+	lad := eng.ladder()
+	if lad == nil && (eng == nil || !eng.ColdProbes) {
+		lad = NewProbeLadder()
 	}
 	sink := trace.From(ctx)
 	hi, err := g.Period(nil)
@@ -354,7 +472,7 @@ func (g *Graph) MinPeriodLazyEng(ctx context.Context, bounds *Bounds, pool *CutP
 	}
 	bestPhi, bestR := hi, make([]int32, g.NumVertices())
 	sink.Add("minperiod-probes", 1)
-	r, ok, err := g.FeasibleLazyEng(ctx, hi, bounds, pool, eng)
+	r, achieved, _, ok, err := g.feasibleLazyLad(ctx, hi, bounds, pool, eng, lad)
 	if err != nil {
 		return 0, nil, err
 	}
@@ -363,9 +481,10 @@ func (g *Graph) MinPeriodLazyEng(ctx context.Context, bounds *Bounds, pool *CutP
 	}
 	bestR = r
 	// The achieved period of a feasible retiming tightens the search much
-	// faster than bisection alone.
-	if p, err := g.Period(bestR); err == nil && p < bestPhi {
-		bestPhi = p
+	// faster than bisection alone. The probe's final cut sweep already
+	// computed it (identical to g.Period(r) by construction).
+	if achieved < bestPhi {
+		bestPhi = achieved
 	}
 	for lo < bestPhi {
 		if err := ctx.Err(); err != nil {
@@ -373,19 +492,25 @@ func (g *Graph) MinPeriodLazyEng(ctx context.Context, bounds *Bounds, pool *CutP
 		}
 		mid := lo + (bestPhi-lo)/2
 		sink.Add("minperiod-probes", 1)
-		r, ok, err := g.FeasibleLazyEng(ctx, mid, bounds, pool, eng)
+		r, achieved, cert, ok, err := g.feasibleLazyLad(ctx, mid, bounds, pool, eng, lad)
 		if err != nil {
 			return 0, nil, err
 		}
 		if ok {
 			bestR = r
-			if p, err := g.Period(r); err == nil && p <= mid {
-				bestPhi = p
+			if achieved <= mid {
+				bestPhi = achieved
 			} else {
 				bestPhi = mid
 			}
 		} else {
+			// An infeasibility certificate (the failed probe's negative cycle
+			// priced by its cuts' activation thresholds) rules out every
+			// period below cert in one step; without one, plain bisection.
 			lo = mid + 1
+			if cert > lo {
+				lo = cert
+			}
 		}
 	}
 	return bestPhi, bestR, nil

@@ -49,6 +49,7 @@ import (
 	"mcretiming/internal/core"
 	"mcretiming/internal/explore"
 	"mcretiming/internal/failpoint"
+	"mcretiming/internal/graph"
 	"mcretiming/internal/netlist"
 	"mcretiming/internal/retry"
 	"mcretiming/internal/rterr"
@@ -906,6 +907,19 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		put("store_remote_saves", st.RemoteSaves)
 		put("store_remote_save_errors", st.RemoteSaveErrors)
 	}
+
+	// Process-cumulative solve-cache counters (all caches, lifetime of the
+	// process): cut-pool and W/D reuse plus the PR8 warm-start hit/miss split
+	// — a warm hit is a feasibility probe answered from a restored SPFA
+	// checkpoint instead of a cold solve.
+	cs := graph.TotalCacheStats()
+	put("solve_wd_hits", cs.WDHits)
+	put("solve_wd_misses", cs.WDMisses)
+	put("solve_base_hits", cs.BaseHits)
+	put("solve_base_misses", cs.BaseMisses)
+	put("solve_warm_hits", cs.WarmHits)
+	put("solve_warm_misses", cs.WarmMisses)
+	put("solve_spfa_cold_starts", graph.ColdStartCount())
 
 	// Engine counters aggregated from per-job trace recorders, in stable
 	// order.
