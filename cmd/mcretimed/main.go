@@ -8,11 +8,15 @@
 //	mcretimed [-addr :8472] [-queue 64] [-workers 2] [-deadline 60s]
 //	          [-checkpoint DIR] [-store DIR] [-retries 2] [-failpoints]
 //	          [-coordinator] [-join URL -advertise URL] [-remote-store URL]
+//	          [-peer URL] [-election-timeout 18s]
 //
 // A single daemon serves jobs by itself. With -coordinator it additionally
 // dispatches jobs to joined workers (degrading to local execution when none
 // is healthy); with -join/-advertise it runs as a worker of that
-// coordinator. See README "Cluster".
+// coordinator. Two coordinators started with -peer pointing at each other
+// form a highly-available pair: one leads, the other replicates its jobs and
+// store writes and takes over when the leader provably dies. See README
+// "Cluster" and "Cluster HA".
 //
 // API:
 //
@@ -29,6 +33,10 @@
 //	POST /v1/cluster/join  register a worker        (coordinator only)
 //	POST /v1/cluster/heartbeat  renew a worker lease (coordinator only)
 //	GET  /v1/cluster/workers    membership + liveness (coordinator only)
+//	GET  /v1/cluster/leader     HA role/term/leader hint (coordinator only)
+//	POST /v1/cluster/campaign   force a lease campaign — manual failover
+//	POST /v1/cluster/replicate/jobs   leader→standby job snapshot (HA pair)
+//	POST /v1/cluster/replicate/store  leader→standby store write  (HA pair)
 //	GET  /v1/store/{key}   serve a result-store envelope (coordinator only)
 //	PUT  /v1/store/{key}   accept a validated envelope   (coordinator only)
 //	GET  /healthz          process liveness
@@ -77,6 +85,9 @@ func main() {
 	lease := flag.Duration("lease", 6*time.Second, "coordinator heartbeat lease TTL")
 	heartbeat := flag.Duration("heartbeat", 0, "worker heartbeat interval (default: lease/3)")
 	remoteStore := flag.String("remote-store", "", "remote result-store base URL (layered behind -store; diskless without it)")
+	peer := flag.String("peer", "", "base URL of the paired HA coordinator (requires -coordinator and -advertise)")
+	electionTimeout := flag.Duration("election-timeout", 0,
+		"how long a standby tolerates lease silence before probing the peer (default: 3×lease)")
 	flag.Parse()
 
 	if *joinURL != "" && *advertise == "" {
@@ -84,6 +95,12 @@ func main() {
 	}
 	if *joinURL != "" && *coordinator {
 		fatal(errors.New("-coordinator and -join are mutually exclusive"))
+	}
+	if *peer != "" && !*coordinator {
+		fatal(errors.New("-peer requires -coordinator (only coordinators form an HA pair)"))
+	}
+	if *peer != "" && *advertise == "" {
+		fatal(errors.New("-peer requires -advertise (the peer and workers must dial back)"))
 	}
 
 	if err := failpoint.ArmFromEnv(); err != nil {
@@ -110,6 +127,8 @@ func main() {
 		LeaseTTL:          *lease,
 		HeartbeatInterval: *heartbeat,
 		RemoteStoreURL:    *remoteStore,
+		PeerURL:           *peer,
+		ElectionTimeout:   *electionTimeout,
 	})
 	if err := srv.Start(); err != nil {
 		fatal(err)
@@ -120,6 +139,8 @@ func main() {
 	go func() { errc <- hs.ListenAndServe() }()
 	role := "single-node"
 	switch {
+	case *peer != "":
+		role = "HA coordinator paired with " + *peer
 	case *coordinator:
 		role = "coordinator"
 	case *joinURL != "":

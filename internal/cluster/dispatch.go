@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strings"
 	"time"
 
 	"mcretiming/internal/failpoint"
@@ -146,7 +147,10 @@ func (d *Dispatcher) Do(ctx context.Context, key string, req RunRequest) (*RunRe
 	}
 	backoff := d.backoff()
 	skip := make(map[string]bool)
-	var lastErr error
+	// causes records, in attempt order, which worker failed and why, so the
+	// eventual ErrUnavailable explains the whole demote+re-route path rather
+	// than just the final straw.
+	var causes []string
 	for attempt := 0; attempt < maxAttempts; attempt++ {
 		if err := ctx.Err(); err != nil {
 			return nil, "", err
@@ -166,14 +170,14 @@ func (d *Dispatcher) Do(ctx context.Context, key string, req RunRequest) (*RunRe
 			// Demote it and re-route to the next ring node.
 			d.Registry.Demote(w.ID)
 			skip[w.ID] = true
-			lastErr = err
+			causes = append(causes, fmt.Sprintf("%s: %v", w.ID, err))
 			d.logf("cluster: forward to %s failed (%v); re-routing", w.ID, err)
 			continue
 		}
 		if rerr != nil {
 			if rerr.Retryable() {
 				skip[w.ID] = true
-				lastErr = rerr
+				causes = append(causes, fmt.Sprintf("%s: %v", w.ID, rerr))
 				d.logf("cluster: worker %s rejected job (%s); re-routing", w.ID, rerr.Code)
 				continue
 			}
@@ -182,8 +186,9 @@ func (d *Dispatcher) Do(ctx context.Context, key string, req RunRequest) (*RunRe
 		d.Registry.Touch(w.ID)
 		return resp, w.ID, nil
 	}
-	if lastErr != nil {
-		return nil, "", fmt.Errorf("%w (last attempt: %v)", ErrUnavailable, lastErr)
+	if len(causes) > 0 {
+		return nil, "", fmt.Errorf("%w (exhausted %d worker(s): %s)",
+			ErrUnavailable, len(causes), strings.Join(causes, "; "))
 	}
 	return nil, "", ErrUnavailable
 }

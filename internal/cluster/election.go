@@ -1,0 +1,675 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"mcretiming/internal/failpoint"
+	"mcretiming/internal/retry"
+)
+
+// This file is the election half of the HA control plane: the state machine
+// that decides which coordinator of an active/standby pair is the leader.
+//
+// The protocol is deliberately smaller than consensus, because the engine's
+// determinism does the heavy lifting: any coordinator re-running any job spec
+// produces bit-identical bytes, so failover never needs to transfer result
+// state — only the job specs, replicated as full snapshots. What the election
+// must still guarantee is that AT MOST ONE side admits writes at a time, and
+// it does so by requiring positive evidence before a standby campaigns:
+//
+//   - the leader renews its lease by pushing the job snapshot to the standby
+//     on a jittered heartbeat cadence (retry.Schedule);
+//   - a standby that has not heard a push for ElectionTimeout probes the
+//     peer's GET /v1/cluster/leader. Only two answers justify a campaign:
+//     the peer's process is provably down (connection refused — the port is
+//     closed), or the peer answers and is NOT leading (no one holds the
+//     lease). A probe that times out or errors any other way is a partition:
+//     the standby "cannot see the lease" and holds, serving no writes — the
+//     fail-safe rung, consistency over availability;
+//   - every leadership change burns a term, persisted with fsync before the
+//     node leads (lease.go), and every cross-node message carries its term.
+//     A higher term always wins: the loser steps down and adopts. An equal
+//     term between two leaders (both campaigned in the same silence window)
+//     is broken deterministically — the smaller SelfID keeps the lease —
+//     so a double campaign converges within one push round, and even during
+//     that round the two halves can only produce bit-identical results.
+//
+// The failpoint sites cluster.replicate (leader's outbound push, and the
+// inbound store-replica handler) and cluster.lease (standby's probe, and the
+// inbound lease handler) let the chaos suite cut each direction independently
+// and prove the hold-vs-campaign decisions.
+
+// Role is a coordinator's position in the HA pair.
+type Role string
+
+// Roles. A node started with a peer always boots standby; leadership is only
+// ever taken by campaigning (or observing no one else holds the lease).
+const (
+	RoleLeader  Role = "leader"
+	RoleStandby Role = "standby"
+)
+
+// ElectionConfig tunes one node's election state machine.
+type ElectionConfig struct {
+	// SelfID is this coordinator's stable identity; ties between two equal
+	// terms are broken toward the smaller ID. Defaults to SelfURL.
+	SelfID string
+	// SelfURL is the base URL peers and workers reach this node on.
+	SelfURL string
+	// PeerURL is the other coordinator of the pair.
+	PeerURL string
+	// TermPath is where the current term is persisted with fsync before the
+	// node acts on it. Empty keeps the term in memory only (tests).
+	TermPath string
+	// LeaseTTL paces the leader's replication pushes (one push per
+	// ~LeaseTTL/3, jittered) and bounds each peer HTTP call (default 6s).
+	LeaseTTL time.Duration
+	// HeartbeatInterval overrides the push/probe cadence (default LeaseTTL/3).
+	HeartbeatInterval time.Duration
+	// ElectionTimeout is how long a standby tolerates lease silence before
+	// probing the peer and (with positive evidence) campaigning (default
+	// 3×LeaseTTL). Each node staggers it by a deterministic per-ID fraction
+	// so a simultaneous double campaign is rare even on identical configs.
+	ElectionTimeout time.Duration
+	// StoreQueue bounds the async store-replication queue (default 64);
+	// overflow is dropped and counted — the standby re-solves on a miss.
+	StoreQueue int
+	// Client is the peer HTTP client (default http.DefaultClient).
+	Client *http.Client
+	// Now is the clock (default time.Now); tests inject a fake.
+	Now func() time.Time
+	// Logf receives role transitions and replication failures.
+	Logf func(format string, args ...any)
+
+	// OnLead fires after this node becomes leader at the given term (from
+	// the election goroutine). The server resumes replicated jobs here.
+	OnLead func(term uint64)
+	// OnStepDown fires after this node abandons leadership, with the term it
+	// stepped down to and its best known leader URL.
+	OnStepDown func(term uint64, leaderURL string)
+	// SnapshotJobs supplies the job-spec snapshot each push carries (the
+	// server's checkpoint JSON). nil pushes lease renewals with no payload.
+	SnapshotJobs func() json.RawMessage
+}
+
+func (c ElectionConfig) withDefaults() ElectionConfig {
+	if c.SelfID == "" {
+		c.SelfID = c.SelfURL
+	}
+	if c.LeaseTTL <= 0 {
+		c.LeaseTTL = 6 * time.Second
+	}
+	if c.HeartbeatInterval <= 0 {
+		c.HeartbeatInterval = c.LeaseTTL / 3
+	}
+	if c.ElectionTimeout <= 0 {
+		c.ElectionTimeout = 3 * c.LeaseTTL
+	}
+	if c.StoreQueue <= 0 {
+		c.StoreQueue = 64
+	}
+	if c.Client == nil {
+		c.Client = http.DefaultClient
+	}
+	if c.Now == nil {
+		c.Now = time.Now
+	}
+	return c
+}
+
+// ElectionStats is a snapshot of one node's election counters.
+type ElectionStats struct {
+	Campaigns       int64 // times this node took the lease
+	Stepdowns       int64 // times it abandoned leadership to a winner
+	Pushes          int64 // lease renewals attempted
+	PushErrors      int64 // renewals that failed (transport or failpoint)
+	Holds           int64 // indeterminate probes where the standby refused to campaign
+	StoreReplicated int64 // store envelopes replicated to the peer
+	StoreDropped    int64 // store envelopes dropped (queue full, send failed)
+}
+
+// Election is one coordinator's half of the leader-lease protocol. Create
+// with NewElection, launch with Start, feed inbound messages through Observe,
+// stop with Stop. All methods are safe for concurrent use.
+type Election struct {
+	cfg ElectionConfig
+
+	mu          sync.Mutex
+	role        Role
+	term        uint64
+	leaderID    string
+	leaderURL   string
+	lastContact time.Time
+
+	storeQ   chan ReplicateStoreMsg
+	kick     chan struct{}
+	stop     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+
+	campaigns, stepdowns          atomic.Int64
+	pushes, pushErrors            atomic.Int64
+	holds                         atomic.Int64
+	storeReplicated, storeDropped atomic.Int64
+}
+
+// NewElection loads the persisted term and returns an unstarted election in
+// the standby role.
+func NewElection(cfg ElectionConfig) (*Election, error) {
+	cfg = cfg.withDefaults()
+	e := &Election{
+		cfg:    cfg,
+		role:   RoleStandby,
+		storeQ: make(chan ReplicateStoreMsg, cfg.StoreQueue),
+		kick:   make(chan struct{}, 1),
+		stop:   make(chan struct{}),
+	}
+	if cfg.TermPath != "" {
+		term, err := LoadTerm(cfg.TermPath)
+		if err != nil {
+			return nil, err
+		}
+		e.term = term
+	}
+	return e, nil
+}
+
+func (e *Election) logf(format string, args ...any) {
+	if e.cfg.Logf != nil {
+		e.cfg.Logf(format, args...)
+	}
+}
+
+// Start launches the election loops. The node starts standby with a full
+// (staggered) ElectionTimeout of grace, so a restarting pair re-discovers its
+// leader before anyone campaigns.
+func (e *Election) Start() {
+	e.mu.Lock()
+	e.lastContact = e.cfg.Now()
+	e.mu.Unlock()
+	e.wg.Add(2)
+	go e.run()
+	go e.storeLoop()
+}
+
+// Stop terminates the loops and waits for them.
+func (e *Election) Stop() {
+	e.stopOnce.Do(func() { close(e.stop) })
+	e.wg.Wait()
+}
+
+// Role returns the node's current role.
+func (e *Election) Role() Role {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.role
+}
+
+// IsLeader reports whether this node currently holds the lease.
+func (e *Election) IsLeader() bool { return e.Role() == RoleLeader }
+
+// Term returns the node's current term.
+func (e *Election) Term() uint64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.term
+}
+
+// LeaderURL returns the best known leader base URL ("" when none is known).
+func (e *Election) LeaderURL() string {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.leaderURL
+}
+
+// Status snapshots the node's view of the pair.
+func (e *Election) Status() LeaderStatus {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return LeaderStatus{
+		Role:      e.role,
+		Term:      e.term,
+		SelfID:    e.cfg.SelfID,
+		SelfURL:   e.cfg.SelfURL,
+		PeerURL:   e.cfg.PeerURL,
+		LeaderURL: e.leaderURL,
+	}
+}
+
+// Stats snapshots the election counters.
+func (e *Election) Stats() ElectionStats {
+	return ElectionStats{
+		Campaigns:       e.campaigns.Load(),
+		Stepdowns:       e.stepdowns.Load(),
+		Pushes:          e.pushes.Load(),
+		PushErrors:      e.pushErrors.Load(),
+		Holds:           e.holds.Load(),
+		StoreReplicated: e.storeReplicated.Load(),
+		StoreDropped:    e.storeDropped.Load(),
+	}
+}
+
+// Kick requests an immediate push (job admitted on the leader) instead of
+// waiting out the heartbeat tick. Never blocks.
+func (e *Election) Kick() {
+	select {
+	case e.kick <- struct{}{}:
+	default:
+	}
+}
+
+// effectiveTimeout staggers ElectionTimeout by a deterministic per-ID
+// fraction in [1, 1.5), so two standbys configured identically still probe
+// (and potentially campaign) at different times.
+func (e *Election) effectiveTimeout() time.Duration {
+	frac := float64(hash64("election#"+e.cfg.SelfID)>>11) / float64(1<<53)
+	return e.cfg.ElectionTimeout + time.Duration(frac*0.5*float64(e.cfg.ElectionTimeout))
+}
+
+// run is the heartbeat loop: leaders push the lease, standbys watch for its
+// expiry. The cadence is jittered via retry.Schedule so a pair never beats in
+// lockstep.
+func (e *Election) run() {
+	defer e.wg.Done()
+	sched := retry.Schedule{Base: e.cfg.HeartbeatInterval, Cap: e.cfg.HeartbeatInterval, Factor: 1, Jitter: 0.2}
+	timer := time.NewTimer(sched.Delay(0))
+	defer timer.Stop()
+	for {
+		select {
+		case <-e.stop:
+			return
+		case <-e.kick:
+			if !timer.Stop() {
+				select {
+				case <-timer.C:
+				default:
+				}
+			}
+		case <-timer.C:
+		}
+		e.tick()
+		timer.Reset(sched.Delay(0))
+	}
+}
+
+func (e *Election) tick() {
+	e.mu.Lock()
+	role, term := e.role, e.term
+	silence := e.cfg.Now().Sub(e.lastContact)
+	e.mu.Unlock()
+	switch role {
+	case RoleLeader:
+		e.pushJobs(term)
+	case RoleStandby:
+		if silence > e.effectiveTimeout() {
+			e.maybeCampaign(silence)
+		}
+	}
+}
+
+// pushJobs renews the lease: one full job-spec snapshot to the peer. A push
+// failure never costs leadership (the peer may simply be down — the pair must
+// keep serving); a 409 carrying a higher term, or a lost tie-break, does.
+func (e *Election) pushJobs(term uint64) {
+	e.pushes.Add(1)
+	if err := failpoint.Inject(context.Background(), "cluster.replicate"); err != nil {
+		e.pushErrors.Add(1)
+		return
+	}
+	msg := ReplicateJobs{Term: term, LeaderID: e.cfg.SelfID, LeaderURL: e.cfg.SelfURL}
+	if e.cfg.SnapshotJobs != nil {
+		msg.Specs = e.cfg.SnapshotJobs()
+	}
+	status, body, err := e.post("/v1/cluster/replicate/jobs", msg)
+	switch {
+	case err != nil:
+		e.pushErrors.Add(1)
+	case status == http.StatusConflict:
+		e.adoptReject(body)
+	case status >= 300:
+		e.pushErrors.Add(1)
+	}
+}
+
+// adoptReject processes a 409 from the peer: a higher term means a new leader
+// exists and we step down; an equal term from a leader peer is the double-
+// campaign tie, broken toward the smaller ID.
+func (e *Election) adoptReject(body []byte) {
+	var rb RejectBody
+	if err := json.Unmarshal(body, &rb); err != nil {
+		e.pushErrors.Add(1)
+		return
+	}
+	hint := rb.LeaderHint
+	if hint == "" {
+		hint = e.cfg.PeerURL
+	}
+	var stepped bool
+	var stepTerm uint64
+	e.mu.Lock()
+	switch {
+	case rb.Term > e.term:
+		e.persistLocked(rb.Term)
+		e.term = rb.Term
+		if e.role == RoleLeader {
+			stepped = true
+		}
+		e.role = RoleStandby
+		e.leaderID, e.leaderURL = rb.LeaderID, hint
+		e.lastContact = e.cfg.Now()
+	case rb.Term == e.term && e.role == RoleLeader && rb.LeaderID != "" && rb.LeaderID < e.cfg.SelfID:
+		stepped = true
+		e.role = RoleStandby
+		e.leaderID, e.leaderURL = rb.LeaderID, hint
+		e.lastContact = e.cfg.Now()
+	}
+	stepTerm = e.term
+	e.mu.Unlock()
+	if stepped {
+		e.stepdowns.Add(1)
+		e.logf("cluster: stepping down: peer %s holds the lease at term %d", rb.LeaderID, stepTerm)
+		if e.cfg.OnStepDown != nil {
+			e.cfg.OnStepDown(stepTerm, hint)
+		}
+	}
+}
+
+// probe verdicts.
+type probeVerdict int
+
+const (
+	probeUnknown probeVerdict = iota // cannot see the lease: hold, fail-safe
+	probeDown                        // peer process provably down: campaign
+	probeIdle                        // peer alive but no one leads: campaign
+	probeLeads                       // peer leads at ≥ our term: adopt contact
+)
+
+type probeResult struct {
+	kind probeVerdict
+	term uint64
+	id   string
+	url  string
+	err  error
+}
+
+// probePeer asks the peer who holds the lease. Only provable answers justify
+// a campaign; everything indeterminate is a partition and the standby holds.
+func (e *Election) probePeer() probeResult {
+	if err := failpoint.Inject(context.Background(), "cluster.lease"); err != nil {
+		return probeResult{kind: probeUnknown, err: fmt.Errorf("lease failpoint: %w", err)}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), e.cfg.LeaseTTL)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, e.cfg.PeerURL+"/v1/cluster/leader", nil)
+	if err != nil {
+		return probeResult{kind: probeUnknown, err: err}
+	}
+	resp, err := e.cfg.Client.Do(req)
+	if err != nil {
+		if errors.Is(err, syscall.ECONNREFUSED) {
+			// The host answered: the port is closed, the process is gone.
+			// This is the one transport error that is evidence of death
+			// rather than of partition.
+			return probeResult{kind: probeDown, err: err}
+		}
+		return probeResult{kind: probeUnknown, err: err}
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil || resp.StatusCode != http.StatusOK {
+		return probeResult{kind: probeUnknown, err: fmt.Errorf("leader probe answered %d", resp.StatusCode)}
+	}
+	var st LeaderStatus
+	if err := json.Unmarshal(data, &st); err != nil {
+		return probeResult{kind: probeUnknown, err: err}
+	}
+	if st.Role == RoleLeader && st.Term >= e.Term() {
+		return probeResult{kind: probeLeads, term: st.Term, id: st.SelfID, url: st.SelfURL}
+	}
+	// The peer is standby too (or a stale leader we outrank): no one holds
+	// the lease — campaigning is safe.
+	return probeResult{kind: probeIdle}
+}
+
+// maybeCampaign runs the standby's expiry decision: probe, then campaign only
+// on positive evidence that no live leader exists.
+func (e *Election) maybeCampaign(silence time.Duration) {
+	switch p := e.probePeer(); p.kind {
+	case probeLeads:
+		// The leader is alive; its pushes just aren't reaching us (e.g. the
+		// replication path is down). Adopt the contact — job replication will
+		// self-heal on the next push that does land, and takeover would risk
+		// a second admitting leader for no availability gain.
+		url := p.url
+		if url == "" {
+			url = e.cfg.PeerURL
+		}
+		_ = e.Observe(p.term, p.id, url)
+	case probeDown:
+		e.campaign(fmt.Sprintf("lease silent %v and peer is down", silence.Round(time.Millisecond)))
+	case probeIdle:
+		e.campaign(fmt.Sprintf("lease silent %v and no peer holds it", silence.Round(time.Millisecond)))
+	default:
+		e.holds.Add(1)
+		e.logf("cluster: lease silent %v but the peer is unreachable, not provably down (%v); holding standby, serving no writes",
+			silence.Round(time.Millisecond), p.err)
+	}
+}
+
+// campaign takes the lease at term+1. The new term is fsynced before the node
+// leads; a persistence failure aborts the campaign (leading on a term that
+// could be reused after a crash would break fencing).
+func (e *Election) campaign(reason string) {
+	e.mu.Lock()
+	if e.role == RoleLeader {
+		e.mu.Unlock()
+		return
+	}
+	next := e.term + 1
+	if err := e.persistLocked(next); err != nil {
+		e.mu.Unlock()
+		e.logf("cluster: refusing to campaign: %v", err)
+		return
+	}
+	e.term = next
+	e.role = RoleLeader
+	e.leaderID, e.leaderURL = e.cfg.SelfID, e.cfg.SelfURL
+	e.lastContact = e.cfg.Now()
+	e.mu.Unlock()
+	e.campaigns.Add(1)
+	e.logf("cluster: taking the lease at term %d: %s", next, reason)
+	if e.cfg.OnLead != nil {
+		e.cfg.OnLead(next)
+	}
+	e.Kick() // fence the peer (and heal it) with an immediate push
+}
+
+// Campaign forces a campaign now (manual failover for the case the protocol
+// deliberately refuses: a peer that is unreachable but not provably down).
+// It reports the term held after the attempt.
+func (e *Election) Campaign(reason string) uint64 {
+	e.campaign("operator: " + reason)
+	return e.Term()
+}
+
+// persistLocked durably records term. Caller holds e.mu.
+func (e *Election) persistLocked(term uint64) error {
+	if e.cfg.TermPath == "" {
+		return nil
+	}
+	return SaveTerm(e.cfg.TermPath, term)
+}
+
+// Observe processes an inbound lease-bearing message (replication push, store
+// replica, campaign echo) from the peer identified by (term, id, url). It
+// returns ErrStaleTerm when the sender is behind — the caller answers 409
+// with the current Status() so the sender can adopt.
+func (e *Election) Observe(term uint64, id, url string) error {
+	var stepped bool
+	e.mu.Lock()
+	switch {
+	case term < e.term:
+		e.mu.Unlock()
+		return ErrStaleTerm
+	case term > e.term:
+		if err := e.persistLocked(term); err != nil {
+			// Adopt anyway: refusing a higher term cannot prevent the new
+			// leader from existing, and after a crash this node reboots at
+			// an older term as a standby — safe, just behind.
+			e.logf("cluster: persisting observed term %d failed: %v", term, err)
+		}
+		e.term = term
+		if e.role == RoleLeader {
+			stepped = true
+		}
+		e.role = RoleStandby
+		e.leaderID, e.leaderURL = id, url
+		e.lastContact = e.cfg.Now()
+	default: // equal terms
+		if e.role == RoleLeader {
+			if id == e.cfg.SelfID {
+				break // our own message reflected back
+			}
+			if id < e.cfg.SelfID {
+				// Double campaign in the same silence window: the smaller ID
+				// keeps the lease.
+				stepped = true
+				e.role = RoleStandby
+				e.leaderID, e.leaderURL = id, url
+				e.lastContact = e.cfg.Now()
+				break
+			}
+			e.mu.Unlock()
+			return ErrStaleTerm // we win the tie; the sender steps down
+		}
+		e.leaderID, e.leaderURL = id, url
+		e.lastContact = e.cfg.Now()
+	}
+	stepTerm, stepURL := e.term, e.leaderURL
+	e.mu.Unlock()
+	if stepped {
+		e.stepdowns.Add(1)
+		e.logf("cluster: stepping down: %s holds the lease at term %d", id, stepTerm)
+		if e.cfg.OnStepDown != nil {
+			e.cfg.OnStepDown(stepTerm, stepURL)
+		}
+	}
+	return nil
+}
+
+// ObserveTerm processes a bare term learned from a worker request. A higher
+// term proves a newer leader exists somewhere; in a two-node pair that leader
+// can only be the peer, so step down toward it. Contact time is NOT renewed —
+// hearing about a leader is not hearing from it.
+func (e *Election) ObserveTerm(term uint64) {
+	var stepped bool
+	e.mu.Lock()
+	if term > e.term {
+		if err := e.persistLocked(term); err != nil {
+			e.logf("cluster: persisting observed term %d failed: %v", term, err)
+		}
+		e.term = term
+		if e.role == RoleLeader {
+			stepped = true
+		}
+		e.role = RoleStandby
+		e.leaderID, e.leaderURL = "", e.cfg.PeerURL
+	}
+	stepTerm, stepURL := e.term, e.leaderURL
+	e.mu.Unlock()
+	if stepped {
+		e.stepdowns.Add(1)
+		e.logf("cluster: stepping down: a worker carries newer term %d", stepTerm)
+		if e.cfg.OnStepDown != nil {
+			e.cfg.OnStepDown(stepTerm, stepURL)
+		}
+	}
+}
+
+// ReplicateStore enqueues one store envelope for async replication to the
+// peer. Only a leader replicates (a standby applying replicas must not echo
+// them back); a full queue drops the envelope — on the standby that is just a
+// future store miss, re-solved deterministically.
+func (e *Election) ReplicateStore(key string, envelope []byte) {
+	e.mu.Lock()
+	isLeader := e.role == RoleLeader
+	term := e.term
+	e.mu.Unlock()
+	if !isLeader {
+		return
+	}
+	msg := ReplicateStoreMsg{
+		Term:      term,
+		LeaderID:  e.cfg.SelfID,
+		LeaderURL: e.cfg.SelfURL,
+		Key:       key,
+		Envelope:  envelope,
+	}
+	select {
+	case e.storeQ <- msg:
+	default:
+		e.storeDropped.Add(1)
+	}
+}
+
+// storeLoop drains the store-replication queue.
+func (e *Election) storeLoop() {
+	defer e.wg.Done()
+	for {
+		var msg ReplicateStoreMsg
+		select {
+		case <-e.stop:
+			return
+		case msg = <-e.storeQ:
+		}
+		if err := failpoint.Inject(context.Background(), "cluster.replicate"); err != nil {
+			e.storeDropped.Add(1)
+			continue
+		}
+		status, body, err := e.post("/v1/cluster/replicate/store", msg)
+		switch {
+		case err == nil && status < 300:
+			e.storeReplicated.Add(1)
+		case status == http.StatusConflict:
+			e.adoptReject(body)
+			e.storeDropped.Add(1)
+		default:
+			e.storeDropped.Add(1)
+		}
+	}
+}
+
+// post sends one JSON message to the peer, bounded by LeaseTTL.
+func (e *Election) post(path string, v any) (int, []byte, error) {
+	body, err := json.Marshal(v)
+	if err != nil {
+		return 0, nil, err
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), e.cfg.LeaseTTL)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, e.cfg.PeerURL+path, bytes.NewReader(body))
+	if err != nil {
+		return 0, nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := e.cfg.Client.Do(req)
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return resp.StatusCode, nil, err
+	}
+	return resp.StatusCode, data, nil
+}

@@ -1,0 +1,138 @@
+package cluster
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+)
+
+// This file is the leader-lease half of the HA control plane: the persisted
+// term counter and the wire messages that carry the lease between the two
+// coordinators of an active/standby pair.
+//
+// The term is the single source of truth for "who may admit work". It is a
+// monotone counter persisted with fsync BEFORE a node ever acts on it — a
+// node that campaigns at term n+1 and then crashes must come back knowing it
+// already burned that term, or a revived old leader could reuse a term the
+// standby has since claimed and the fencing comparison would lie. This is the
+// same currentTerm durability rule consensus protocols rely on, applied to a
+// two-node pair.
+
+// ErrNotLeader reports that a request landed on a coordinator that is not the
+// current leader. Carriers of this error include a leader hint when one is
+// known; clients and workers re-aim at the hint and retry.
+var ErrNotLeader = errors.New("cluster: not the leader")
+
+// ErrStaleTerm reports a lease or replication message carrying a term older
+// than the receiver's. The sender must step down (or re-join) — its view of
+// the pair is behind.
+var ErrStaleTerm = errors.New("cluster: stale term")
+
+// LoadTerm reads the persisted term from path. A missing file is term 0 (a
+// fresh node); a present-but-garbled file is an error, because acting on a
+// guessed term could reuse one already burned.
+func LoadTerm(path string) (uint64, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return 0, nil
+		}
+		return 0, fmt.Errorf("cluster: read term file: %w", err)
+	}
+	term, err := strconv.ParseUint(strings.TrimSpace(string(data)), 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("cluster: term file %s is corrupt: %w", path, err)
+	}
+	return term, nil
+}
+
+// SaveTerm durably persists term at path: temp file, fsync, rename, directory
+// fsync. The write must hit stable storage before the caller acts on the new
+// term — a campaign that leads before its term is durable can double-spend
+// the term after a crash.
+func SaveTerm(path string, term uint64) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".term-*")
+	if err != nil {
+		return fmt.Errorf("cluster: term file: %w", err)
+	}
+	cleanup := func(err error) error {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("cluster: term file: %w", err)
+	}
+	if _, err := tmp.WriteString(strconv.FormatUint(term, 10) + "\n"); err != nil {
+		return cleanup(err)
+	}
+	if err := tmp.Sync(); err != nil {
+		return cleanup(err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("cluster: term file: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("cluster: term file: %w", err)
+	}
+	if d, err := os.Open(dir); err == nil {
+		_ = d.Sync() // make the rename itself durable; best effort
+		d.Close()
+	}
+	return nil
+}
+
+// ReplicateJobs is the body of POST /v1/cluster/replicate/jobs: the leader's
+// lease renewal carrying a full snapshot of its pending job specs. Specs is
+// opaque to this package — the server encodes its checkpoint format (the same
+// JobSpec JSON checkpointJob writes to disk), which makes the checkpoint
+// format the wire format and full snapshots idempotent: a standby that missed
+// ten pushes is fully healed by the eleventh.
+type ReplicateJobs struct {
+	Term      uint64          `json:"term"`
+	LeaderID  string          `json:"leader_id"`
+	LeaderURL string          `json:"leader_url"`
+	Specs     json.RawMessage `json:"specs,omitempty"`
+}
+
+// ReplicateStoreMsg is the body of POST /v1/cluster/replicate/store: one
+// content-addressed store envelope written on the leader, pushed so the
+// standby's store tier is warm at takeover. Envelope bytes are validated by
+// the receiving store exactly like an HTTP PUT — a corrupt replica degrades
+// to a miss, never a wrong answer.
+type ReplicateStoreMsg struct {
+	Term      uint64          `json:"term"`
+	LeaderID  string          `json:"leader_id"`
+	LeaderURL string          `json:"leader_url"`
+	Key       string          `json:"key"`
+	Envelope  json.RawMessage `json:"envelope"`
+}
+
+// RejectBody is the JSON body of a 409 answer from a term-fenced endpoint:
+// the service's error envelope plus the receiver's term and its best known
+// leader. Senders use the term to step down and the hint to re-aim.
+type RejectBody struct {
+	Error struct {
+		Code   string `json:"code"`
+		Detail string `json:"detail"`
+	} `json:"error"`
+	Term       uint64 `json:"term"`
+	LeaderID   string `json:"leader_id,omitempty"`
+	LeaderHint string `json:"leader_hint,omitempty"`
+}
+
+// LeaderStatus is the answer of GET /v1/cluster/leader: the node's role and
+// term plus its view of the pair. Standbys probe it to distinguish "the
+// leader is alive but its pushes are lost" from "no one is leading".
+type LeaderStatus struct {
+	Role      Role   `json:"role"`
+	Term      uint64 `json:"term"`
+	SelfID    string `json:"self_id"`
+	SelfURL   string `json:"self_url,omitempty"`
+	PeerURL   string `json:"peer_url,omitempty"`
+	LeaderURL string `json:"leader_url,omitempty"`
+}

@@ -10,8 +10,15 @@
 // degrades to local inline execution, and because the engine is
 // deterministic, a job re-run anywhere — another worker, or the coordinator
 // itself — produces byte-identical output. The failpoint sites
-// cluster.dispatch, cluster.forward, and cluster.heartbeat let the chaos
-// suite inject loss at each seam.
+// cluster.dispatch, cluster.forward, cluster.heartbeat, cluster.lease, and
+// cluster.replicate let the chaos suite inject loss at each seam.
+//
+// The control plane itself is made highly available by lease.go/election.go:
+// two coordinators form an active/standby pair under a term-numbered leader
+// lease; the leader replicates its job specs and store writes to the standby,
+// and the standby campaigns (term+1, fsynced first) only on positive evidence
+// that no live leader exists. See the election.go comment for the safety
+// argument.
 //
 // The package sits below internal/server (which mounts the HTTP endpoints
 // and owns the job table) and depends only on retry, failpoint, and the
@@ -85,6 +92,10 @@ type WorkerInfo struct {
 	// Failures counts forwards to this worker that failed at the transport
 	// level (the evidence behind demotions).
 	Failures int64 `json:"failures"`
+	// Term is the leader term the worker last joined or heartbeat under
+	// (0 for pre-HA workers). A worker carrying a stale term is told to
+	// re-join, which refreshes its view of the pair.
+	Term uint64 `json:"term,omitempty"`
 }
 
 type workerEntry struct {
@@ -93,6 +104,7 @@ type workerEntry struct {
 	penalty   int // 0 none, 1 demoted to suspect, ≥2 demoted to dead
 	forwarded int64
 	failures  int64
+	term      uint64
 }
 
 // Registry tracks cluster membership and liveness, and owns the hash ring.
@@ -140,7 +152,11 @@ func (r *Registry) state(e *workerEntry, now time.Time) State {
 
 // Join registers (or re-registers) a worker and grants it a fresh lease.
 // Joining is idempotent; a returning worker resumes its ring position.
-func (r *Registry) Join(id, url string) {
+func (r *Registry) Join(id, url string) { r.JoinTerm(id, url, 0) }
+
+// JoinTerm is Join carrying the leader term the worker joined under, so the
+// membership table records which view of the HA pair each worker holds.
+func (r *Registry) JoinTerm(id, url string, term uint64) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	e, ok := r.workers[id]
@@ -153,6 +169,7 @@ func (r *Registry) Join(id, url string) {
 	e.url = url
 	e.lastBeat = r.cfg.Now()
 	e.penalty = 0
+	e.term = term
 }
 
 // Heartbeat renews a worker's lease. It reports false for an unknown worker
@@ -167,6 +184,21 @@ func (r *Registry) Heartbeat(id string) bool {
 	e.lastBeat = r.cfg.Now()
 	e.penalty = 0 // a live heartbeat outweighs stale forward failures
 	return true
+}
+
+// JitterHeartbeat spreads a worker's heartbeat/rejoin cadence over
+// [base, 1.5×base) by a deterministic per-ID fraction. Without it, every
+// worker that joined in the same instant — the common case after a
+// coordinator restart or failover, when one event severs the whole fleet —
+// beats on the same tick forever, stampeding the coordinator. Deriving the
+// offset from the worker ID keeps each worker's cadence stable across its
+// own restarts while de-correlating the fleet.
+func JitterHeartbeat(id string, base time.Duration) time.Duration {
+	if base <= 0 {
+		return base
+	}
+	frac := float64(hash64("heartbeat#"+id)>>11) / float64(1<<53)
+	return base + time.Duration(frac*0.5*float64(base))
 }
 
 // Touch records a successful forward to id: proof of life, so the lease is
@@ -263,6 +295,7 @@ func (r *Registry) info(e *workerEntry, now time.Time) WorkerInfo {
 		AgeMS:     now.Sub(e.lastBeat).Milliseconds(),
 		Forwarded: e.forwarded,
 		Failures:  e.failures,
+		Term:      e.term,
 	}
 }
 

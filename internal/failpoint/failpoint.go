@@ -6,7 +6,12 @@
 // A site is a string like "graph.minperiod" evaluated by a single
 // Inject(ctx, site) call placed in production code. The fast path — no
 // failpoint armed anywhere in the process — is one atomic load, so the hooks
-// are cheap enough to live permanently in solver inner loops.
+// are cheap enough to live permanently in solver inner loops. The cluster
+// layer adds sites of its own: "cluster.heartbeat" (a worker lease beat),
+// "store.remote" (a shared-store round trip), and the HA pair's
+// "cluster.replicate" / "cluster.lease" (the two directions of the
+// leader↔standby stream; arming both globally simulates a symmetric
+// partition in-process).
 //
 // Failpoints are armed two ways:
 //

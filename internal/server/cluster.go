@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"strings"
 	"time"
 
@@ -36,18 +37,83 @@ import (
 // Every rung produces byte-identical output because the engine is a pure
 // function of (circuit, options[, period]); the cluster only decides where
 // the function runs, never what it computes.
+//
+// With an HA pair (-peer) the control plane is additionally term-fenced:
+// only the leader accepts joins, heartbeats, store writes, and job
+// admissions; a standby answers 409/"not_leader" with a leader hint, and a
+// request carrying a provably stale term gets 409/"stale_term". Workers
+// follow the hints, so after a failover the whole fleet converges on the
+// peer holding the highest term.
 
 // --- coordinator control plane ---
 
-// joinRequest is the body of POST /v1/cluster/join.
+// joinRequest is the body of POST /v1/cluster/join (and the heartbeat).
+// Term, when non-zero, is the leader term the worker last joined under: a
+// higher term than ours teaches us we were deposed; a lower one means the
+// worker's view is stale and it must re-join.
 type joinRequest struct {
-	ID  string `json:"id"`
-	URL string `json:"url"`
+	ID   string `json:"id"`
+	URL  string `json:"url"`
+	Term uint64 `json:"term,omitempty"`
 }
 
-// joinResponse tells the worker the lease it must heartbeat against.
+// joinResponse tells the worker the lease it must heartbeat against, plus —
+// on an HA pair — the leader term it is now joined under and both
+// coordinator URLs, so it can fail over without any out-of-band discovery.
 type joinResponse struct {
-	LeaseTTLMS int64 `json:"lease_ttl_ms"`
+	LeaseTTLMS int64  `json:"lease_ttl_ms"`
+	Term       uint64 `json:"term,omitempty"`
+	LeaderURL  string `json:"leader_url,omitempty"`
+	PeerURL    string `json:"peer_url,omitempty"`
+}
+
+// currentTerm is this coordinator's leader term (0 without an HA pair).
+func (s *Server) currentTerm() uint64 {
+	if s.election == nil {
+		return 0
+	}
+	return s.election.Term()
+}
+
+// writeLeaderReject answers a request this node must not serve (standby, or
+// stale term) with the machine-readable reject body: the current term, the
+// rejecting node's identity when it leads, and the best leader hint it has.
+func (s *Server) writeLeaderReject(w http.ResponseWriter, status int, code, detail string) {
+	var rb cluster.RejectBody
+	rb.Error.Code = code
+	rb.Error.Detail = detail
+	if s.election != nil {
+		st := s.election.Status()
+		rb.Term = st.Term
+		rb.LeaderHint = st.LeaderURL
+		if st.Role == cluster.RoleLeader {
+			rb.LeaderID = st.SelfID
+			rb.LeaderHint = st.SelfURL
+		}
+	}
+	writeJSON(w, status, rb)
+}
+
+// fenceLeader enforces "only the leader serves this" for a control-plane
+// request carrying reqTerm. It first lets a higher term depose us, then
+// rejects if this node does not (or no longer) lead, or if the request's term
+// is provably stale. It reports whether the caller may proceed.
+func (s *Server) fenceLeader(w http.ResponseWriter, reqTerm uint64, what string) bool {
+	if s.election == nil {
+		return true
+	}
+	s.election.ObserveTerm(reqTerm)
+	if !s.election.IsLeader() {
+		s.writeLeaderReject(w, http.StatusConflict, CodeNotLeader,
+			"this coordinator is standby; "+what+" the leader")
+		return false
+	}
+	if reqTerm != 0 && reqTerm < s.election.Term() {
+		s.writeLeaderReject(w, http.StatusConflict, CodeStaleTerm,
+			what+" carries a stale leader term; re-join")
+		return false
+	}
+	return true
 }
 
 func (s *Server) handleClusterJoin(w http.ResponseWriter, r *http.Request) {
@@ -60,12 +126,30 @@ func (s *Server) handleClusterJoin(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, CodeBadRequest, "join request needs a url")
 		return
 	}
+	// Fence on leadership only: a standby never registers workers. A stale
+	// term on a JOIN is deliberately not rejected — re-joining is exactly how
+	// a worker that followed the deposed leader learns the current term, so
+	// stale-fencing it here would lock the fleet out after every failover.
+	// ObserveTerm still lets a newer term carried by the worker depose us.
+	if s.election != nil {
+		s.election.ObserveTerm(req.Term)
+		if !s.election.IsLeader() {
+			s.writeLeaderReject(w, http.StatusConflict, CodeNotLeader,
+				"this coordinator is standby; join the leader")
+			return
+		}
+	}
 	id := req.ID
 	if id == "" {
 		id = req.URL
 	}
-	s.registry.Join(id, req.URL)
-	writeJSON(w, http.StatusOK, joinResponse{LeaseTTLMS: s.registry.LeaseTTL().Milliseconds()})
+	s.registry.JoinTerm(id, req.URL, s.currentTerm())
+	writeJSON(w, http.StatusOK, joinResponse{
+		LeaseTTLMS: s.registry.LeaseTTL().Milliseconds(),
+		Term:       s.currentTerm(),
+		LeaderURL:  s.cfg.AdvertiseURL,
+		PeerURL:    s.cfg.PeerURL,
+	})
 }
 
 func (s *Server) handleClusterHeartbeat(w http.ResponseWriter, r *http.Request) {
@@ -81,12 +165,116 @@ func (s *Server) handleClusterHeartbeat(w http.ResponseWriter, r *http.Request) 
 		writeError(w, http.StatusBadRequest, CodeBadRequest, "decoding heartbeat: "+err.Error())
 		return
 	}
+	if !s.fenceLeader(w, req.Term, "heartbeat") {
+		return
+	}
 	if !s.registry.Heartbeat(req.ID) {
 		// Unknown worker: forgotten, or the coordinator restarted and lost
 		// the membership table. 404 tells the worker to re-join.
 		writeError(w, http.StatusNotFound, CodeBadRequest, "unknown worker; re-join")
 		return
 	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// --- HA pair endpoints ---
+
+// handleClusterLeader reports this coordinator's view of the pair: its role,
+// term, identity, and best-known leader URL. It is also the standby's liveness
+// probe target — a connection refused here is the positive evidence of death
+// that justifies a campaign, and an answer while the lease is silent means
+// "peer alive but not leading", which equally justifies one.
+func (s *Server) handleClusterLeader(w http.ResponseWriter, _ *http.Request) {
+	if s.election == nil {
+		// Single-coordinator deployment: trivially the leader, term 0.
+		writeJSON(w, http.StatusOK, cluster.LeaderStatus{
+			Role:      cluster.RoleLeader,
+			SelfID:    s.selfID(),
+			SelfURL:   s.cfg.AdvertiseURL,
+			LeaderURL: s.cfg.AdvertiseURL,
+		})
+		return
+	}
+	writeJSON(w, http.StatusOK, s.election.Status())
+}
+
+// handleClusterCampaign forces this coordinator to campaign for the lease at
+// term+1 — the operator's manual-failover escape hatch for the one case the
+// automatic probe refuses to decide: a peer that is unreachable but possibly
+// alive (partition). The operator asserting "the old leader is fenced" is
+// exactly what this endpoint records.
+func (s *Server) handleClusterCampaign(w http.ResponseWriter, _ *http.Request) {
+	if s.election == nil {
+		writeError(w, http.StatusBadRequest, CodeBadRequest, "this coordinator has no HA peer")
+		return
+	}
+	s.election.Campaign("API request")
+	writeJSON(w, http.StatusOK, s.election.Status())
+}
+
+// handleReplicateJobs applies the leader's job snapshot on this standby. The
+// cluster.lease failpoint models the replication stream being severed (the
+// standby's half of a partition).
+func (s *Server) handleReplicateJobs(w http.ResponseWriter, r *http.Request) {
+	if err := failpoint.Inject(r.Context(), "cluster.lease"); err != nil {
+		writeError(w, http.StatusInternalServerError, "internal", "lease failpoint: "+err.Error())
+		return
+	}
+	if s.election == nil {
+		writeError(w, http.StatusBadRequest, CodeBadRequest, "this coordinator has no HA peer")
+		return
+	}
+	var msg cluster.ReplicateJobs
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)).Decode(&msg); err != nil {
+		writeError(w, http.StatusBadRequest, CodeBadRequest, "decoding job snapshot: "+err.Error())
+		return
+	}
+	if err := s.election.Observe(msg.Term, msg.LeaderID, msg.LeaderURL); err != nil {
+		s.writeLeaderReject(w, http.StatusConflict, CodeStaleTerm,
+			"job snapshot carries a stale term")
+		return
+	}
+	n, err := s.applyReplicatedJobs(msg.Specs)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, CodeBadRequest, "decoding job specs: "+err.Error())
+		return
+	}
+	s.haReplJobs.Store(int64(n))
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// handleReplicateStore applies one of the leader's store writes on this
+// standby. The envelope is validated by SaveRaw exactly like any other store
+// client's bytes — replication grants no trust. The cluster.replicate
+// failpoint models this direction of the stream being severed.
+func (s *Server) handleReplicateStore(w http.ResponseWriter, r *http.Request) {
+	if err := failpoint.Inject(r.Context(), "cluster.replicate"); err != nil {
+		writeError(w, http.StatusInternalServerError, "internal", "replicate failpoint: "+err.Error())
+		return
+	}
+	if s.election == nil {
+		writeError(w, http.StatusBadRequest, CodeBadRequest, "this coordinator has no HA peer")
+		return
+	}
+	var msg cluster.ReplicateStoreMsg
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)).Decode(&msg); err != nil {
+		writeError(w, http.StatusBadRequest, CodeBadRequest, "decoding store replica: "+err.Error())
+		return
+	}
+	if err := s.election.Observe(msg.Term, msg.LeaderID, msg.LeaderURL); err != nil {
+		s.writeLeaderReject(w, http.StatusConflict, CodeStaleTerm,
+			"store replica carries a stale term")
+		return
+	}
+	if s.store == nil {
+		w.WriteHeader(http.StatusNoContent) // diskless standby: nothing to warm
+		return
+	}
+	if err := s.store.SaveRaw(r.Context(), msg.Key, msg.Envelope); err != nil {
+		writeError(w, http.StatusBadRequest, CodeBadRequest, "rejected envelope: "+err.Error())
+		return
+	}
+	s.haReplStore.Add(1)
 	w.WriteHeader(http.StatusNoContent)
 }
 
@@ -127,6 +315,26 @@ func (s *Server) handleStorePut(w http.ResponseWriter, r *http.Request) {
 	if s.store == nil {
 		http.NotFound(w, r)
 		return
+	}
+	// Term fence: on an HA pair only the leader accepts shared-tier writes,
+	// and a write stamped with an outdated term (a worker still following the
+	// deposed leader) is refused until that worker re-joins. Unstamped writes
+	// (pre-HA workers, plain store clients) pass — the fence exists to keep
+	// split-brain writers out, not to break compatibility. Reads stay open on
+	// both nodes: a replicated read is at worst a miss.
+	if s.election != nil {
+		var reqTerm uint64
+		if h := r.Header.Get(store.TermHeader); h != "" {
+			t, err := strconv.ParseUint(h, 10, 64)
+			if err != nil {
+				writeError(w, http.StatusBadRequest, CodeBadRequest, "unparsable "+store.TermHeader+" header")
+				return
+			}
+			reqTerm = t
+		}
+		if !s.fenceLeader(w, reqTerm, "store write") {
+			return
+		}
 	}
 	data, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
 	if err != nil {
@@ -271,15 +479,42 @@ func (s *Server) workerID() string {
 	return s.cfg.AdvertiseURL
 }
 
-// heartbeatLoop keeps this worker registered with the coordinator: join,
-// then heartbeat at HeartbeatInterval, re-joining whenever the coordinator
-// answers 404 (it restarted, or forgot us) and silently retrying on
-// transport errors (the coordinator's lease ladder handles our absence).
+// setLeaderView records which coordinator this worker follows. An empty peer
+// keeps the previous one: a reject hint names the leader but not its peer.
+func (s *Server) setLeaderView(leader, peer string, term uint64) {
+	s.leaderMu.Lock()
+	s.leaderKnown = leader
+	if peer != "" {
+		s.leaderPeer = peer
+	}
+	s.leaderMu.Unlock()
+	if term > 0 {
+		s.workerTerm.Store(term)
+	}
+}
+
+// joinCandidates is the ordered list of coordinators to try joining: the
+// last-known leader first, then its peer, then the configured join URL —
+// duplicates and blanks pruned by the caller.
+func (s *Server) joinCandidates() []string {
+	s.leaderMu.Lock()
+	defer s.leaderMu.Unlock()
+	return []string{s.leaderKnown, s.leaderPeer, s.cfg.JoinURL}
+}
+
+// heartbeatLoop keeps this worker registered with whichever coordinator
+// currently leads: join (following 409 leader hints across the HA pair),
+// then heartbeat at a per-worker jittered cadence, re-joining on 404 (the
+// coordinator forgot us), on 409 (leadership moved), and after repeated
+// transport failures (the leader's host died; its peer answers the re-join).
 func (s *Server) heartbeatLoop() {
 	defer s.wg.Done()
-	joined := s.joinCoordinator() == nil
-	t := time.NewTicker(s.cfg.HeartbeatInterval)
+	joined := s.joinCluster()
+	// The deterministic spread keeps a large fleet's beats (and its re-join
+	// stampede after a failover) from landing in the same instant.
+	t := time.NewTicker(cluster.JitterHeartbeat(s.workerID(), s.cfg.HeartbeatInterval))
 	defer t.Stop()
+	misses := 0
 	for {
 		select {
 		case <-s.stop:
@@ -287,18 +522,34 @@ func (s *Server) heartbeatLoop() {
 		case <-t.C:
 		}
 		if !joined {
-			joined = s.joinCoordinator() == nil
+			joined = s.joinCluster()
 			continue
 		}
+		var notLeader *notLeaderError
 		switch err := s.sendHeartbeat(); {
 		case err == nil:
+			misses = 0
 		case errors.Is(err, errUnknownWorker):
 			s.logf("cluster: coordinator no longer knows us; re-joining")
-			joined = s.joinCoordinator() == nil
+			joined = s.joinCluster()
+		case errors.As(err, &notLeader):
+			s.logf("cluster: leadership moved (%v); re-joining", err)
+			joined = s.joinCluster()
+		case errors.Is(err, errUnreachable):
+			// The coordinator's host is not answering at all — possibly dead
+			// for good. After two straight misses try the other coordinator
+			// via a full re-join (hint-following finds the new leader).
+			misses++
+			s.logf("cluster: heartbeat failed: %v", err)
+			if misses >= 2 {
+				misses = 0
+				joined = s.joinCluster()
+			}
 		default:
-			// Transient: keep beating. If this persists the coordinator's
-			// lease walks us down alive → suspect → dead, and jobs route
-			// around us; the next successful beat revives us.
+			// HTTP-level failure from a live coordinator: keep beating. The
+			// lease ladder walks us down and jobs route around us; the next
+			// successful beat revives us.
+			misses = 0
 			s.logf("cluster: heartbeat failed: %v", err)
 		}
 	}
@@ -306,41 +557,132 @@ func (s *Server) heartbeatLoop() {
 
 var errUnknownWorker = errors.New("coordinator does not know this worker")
 
-func (s *Server) joinCoordinator() error {
-	body, _ := json.Marshal(joinRequest{ID: s.workerID(), URL: s.cfg.AdvertiseURL})
-	err := s.postJSON(s.cfg.JoinURL+"/v1/cluster/join", body)
-	if err != nil {
-		s.logf("cluster: join %s failed: %v", s.cfg.JoinURL, err)
+// errUnreachable marks a transport-level heartbeat failure (no HTTP answer
+// at all) — the only failure mode that suggests the coordinator host died.
+var errUnreachable = errors.New("coordinator unreachable")
+
+// notLeaderError is a coordinator's 409 "you're talking to the wrong node",
+// carrying the leader hint to follow.
+type notLeaderError struct {
+	code string
+	hint string
+}
+
+func (e *notLeaderError) Error() string {
+	if e.hint == "" {
+		return "coordinator rejected us (" + e.code + ", no leader hint)"
 	}
-	return err
+	return "coordinator rejected us (" + e.code + "; leader hint " + e.hint + ")"
+}
+
+// joinCluster joins whichever coordinator answers as leader, following 409
+// leader hints (each hint appended once) so a worker configured against the
+// deposed coordinator still finds the new leader in one pass. It reports
+// whether a join succeeded; failure is retried on the next beat.
+func (s *Server) joinCluster() bool {
+	cands := s.joinCandidates()
+	visited := make(map[string]bool)
+	for i := 0; i < len(cands); i++ {
+		base := cands[i]
+		if base == "" || visited[base] {
+			continue
+		}
+		visited[base] = true
+		err := s.tryJoin(base)
+		if err == nil {
+			return true
+		}
+		var notLeader *notLeaderError
+		if errors.As(err, &notLeader) && notLeader.hint != "" {
+			cands = append(cands, notLeader.hint)
+		}
+		s.logf("cluster: join %s failed: %v", base, err)
+	}
+	return false
+}
+
+func (s *Server) tryJoin(base string) error {
+	body, _ := json.Marshal(joinRequest{ID: s.workerID(), URL: s.cfg.AdvertiseURL, Term: s.workerTerm.Load()})
+	status, data, err := s.doJSON(base+"/v1/cluster/join", body)
+	if err != nil {
+		return err
+	}
+	switch {
+	case status == http.StatusConflict:
+		return rejectError(data)
+	case status >= 300:
+		return fmt.Errorf("%s answered %d", base, status)
+	}
+	var jr joinResponse
+	if err := json.Unmarshal(data, &jr); err != nil {
+		return fmt.Errorf("undecodable join response from %s: %w", base, err)
+	}
+	leader := base
+	if jr.LeaderURL != "" {
+		leader = jr.LeaderURL
+	}
+	s.setLeaderView(leader, jr.PeerURL, jr.Term)
+	return nil
 }
 
 func (s *Server) sendHeartbeat() error {
-	body, _ := json.Marshal(joinRequest{ID: s.workerID()})
-	return s.postJSON(s.cfg.JoinURL+"/v1/cluster/heartbeat", body)
+	s.leaderMu.Lock()
+	target := s.leaderKnown
+	s.leaderMu.Unlock()
+	if target == "" {
+		target = s.cfg.JoinURL
+	}
+	body, _ := json.Marshal(joinRequest{ID: s.workerID(), Term: s.workerTerm.Load()})
+	status, data, err := s.doJSON(target+"/v1/cluster/heartbeat", body)
+	if err != nil {
+		return fmt.Errorf("%w: %v", errUnreachable, err)
+	}
+	switch {
+	case status == http.StatusNotFound:
+		return errUnknownWorker
+	case status == http.StatusConflict:
+		rerr := rejectError(data)
+		var notLeader *notLeaderError
+		if errors.As(rerr, &notLeader) && notLeader.hint != "" {
+			s.setLeaderView(notLeader.hint, "", 0)
+		}
+		return rerr
+	case status >= 300:
+		return fmt.Errorf("%s answered %d", target, status)
+	}
+	return nil
 }
 
-func (s *Server) postJSON(url string, body []byte) error {
+// rejectError decodes a coordinator's 409 body into a notLeaderError carrying
+// the leader hint (both not_leader and stale_term rejections end the same
+// way: re-join the hinted leader).
+func rejectError(data []byte) error {
+	var rb cluster.RejectBody
+	_ = json.Unmarshal(data, &rb)
+	return &notLeaderError{code: rb.Error.Code, hint: rb.LeaderHint}
+}
+
+// doJSON POSTs body to url and returns the status and response body (capped
+// at 1 MiB). Transport failures land in err; HTTP-level outcomes are the
+// caller's to interpret.
+func (s *Server) doJSON(url string, body []byte) (int, []byte, error) {
 	ctx, cancel := context.WithTimeout(context.Background(), s.cfg.HeartbeatInterval)
 	defer cancel()
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
 	if err != nil {
-		return err
+		return 0, nil, err
 	}
 	req.Header.Set("Content-Type", "application/json")
 	resp, err := http.DefaultClient.Do(req)
 	if err != nil {
-		return err
+		return 0, nil, err
 	}
 	defer resp.Body.Close()
-	_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<20))
-	switch {
-	case resp.StatusCode == http.StatusNotFound:
-		return errUnknownWorker
-	case resp.StatusCode >= 300:
-		return fmt.Errorf("%s answered %d", url, resp.StatusCode)
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return resp.StatusCode, nil, err
 	}
-	return nil
+	return resp.StatusCode, data, nil
 }
 
 // --- coordinator dispatch ---

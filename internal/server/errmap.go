@@ -24,6 +24,8 @@ const (
 	CodeQueueFull        = "queue_full"        // admission control shed the job
 	CodeShuttingDown     = "shutting_down"     // server is draining
 	CodeBadRequest       = "bad_request"       // unparseable request envelope
+	CodeNotLeader        = "not_leader"        // HA: this coordinator is standby; follow leader_hint
+	CodeStaleTerm        = "stale_term"        // HA: request carried an outdated leader term; re-join
 )
 
 // mapping is one row of the sentinel → (code, HTTP status) table.

@@ -237,7 +237,16 @@ func removeFile(dir, id string) error {
 
 // loadCheckpoints reads every checkpointed job spec in dir, in ID order, so
 // a restarted server resumes the queue in its original submission order.
-func loadCheckpoints(dir string) ([]JobSpec, error) {
+//
+// A corrupt checkpoint (truncated write, bit rot, garbage planted by hand)
+// must not take the healthy ones hostage: one bad file used to abort the
+// whole resume, turning a single torn spec into N lost jobs. Instead each
+// bad spec is skipped and reported through onBad (nil to ignore) — the server
+// counts it in mcretimed_checkpoint_errors and logs the file — and every
+// readable spec still resumes. The bad file is left on disk for a human to
+// inspect; it is never deleted and never re-parsed successfully, so it is
+// skipped again (and re-counted) on each restart until removed.
+func loadCheckpoints(dir string, onBad func(name string, err error)) ([]JobSpec, error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		if os.IsNotExist(err) {
@@ -256,11 +265,23 @@ func loadCheckpoints(dir string) ([]JobSpec, error) {
 	for _, name := range names {
 		data, err := os.ReadFile(filepath.Join(dir, name))
 		if err != nil {
-			return nil, err
+			if onBad != nil {
+				onBad(name, err)
+			}
+			continue
 		}
 		var spec JobSpec
 		if err := json.Unmarshal(data, &spec); err != nil {
-			return nil, fmt.Errorf("checkpoint %s: %w", name, err)
+			if onBad != nil {
+				onBad(name, fmt.Errorf("checkpoint %s: %w", name, err))
+			}
+			continue
+		}
+		if spec.ID == "" {
+			if onBad != nil {
+				onBad(name, fmt.Errorf("checkpoint %s: valid JSON but no job id", name))
+			}
+			continue
 		}
 		specs = append(specs, spec)
 	}

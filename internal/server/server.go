@@ -37,6 +37,7 @@ import (
 	"log"
 	"net/http"
 	"os"
+	"path/filepath"
 	"sort"
 	"strconv"
 	"strings"
@@ -112,6 +113,19 @@ type Config struct {
 	// no StoreDir the node runs diskless against the remote alone. Remote
 	// failures degrade to misses, never wrong answers.
 	RemoteStoreURL string
+	// PeerURL, when non-empty, pairs this coordinator with another for HA:
+	// the node boots standby, replicates the leader's jobs and store writes,
+	// and campaigns for the lease when the leader provably dies. Requires
+	// Coordinator and AdvertiseURL.
+	PeerURL string
+	// ElectionTimeout is how long a standby tolerates lease silence before
+	// probing the peer and (on positive evidence) campaigning (default
+	// 3×LeaseTTL).
+	ElectionTimeout time.Duration
+	// TermFile is where the leader term is fsynced (default: "ha-term" in
+	// CheckpointDir, then StoreDir; in-memory only when neither is set —
+	// acceptable for tests, not production).
+	TermFile string
 	// DispatchAttempts bounds how many workers a job is offered before the
 	// coordinator degrades to local execution (default 3).
 	DispatchAttempts int
@@ -180,9 +194,23 @@ type Server struct {
 	runSem     chan struct{}
 	points     explore.PointSolver
 
+	// HA pair state. election is non-nil only on a coordinator configured
+	// with a PeerURL. haSpecs is the standby's replicated job snapshot (under
+	// haMu), resumed on takeover. The worker-side trio below tracks which
+	// coordinator (and term) this worker currently follows.
+	election *cluster.Election
+	haMu     sync.Mutex
+	haSpecs  []JobSpec
+
+	workerTerm  atomic.Uint64
+	leaderMu    sync.Mutex
+	leaderKnown string // base URL this worker heartbeats (learned leader)
+	leaderPeer  string // the leader's peer, tried next on failover
+
 	submitted, completed, failed, rejected, retried, panics, resumed atomic.Int64
 	dispatched, clusterFallback, clusterRuns, remotePoints           atomic.Int64
 	checkpointErrs                                                   atomic.Int64
+	haReplJobs, haReplStore, haNotLeader, haTakeoverJobs             atomic.Int64
 
 	cntMu    sync.Mutex
 	counters map[string]int64 // aggregated engine trace counters
@@ -224,6 +252,10 @@ func New(cfg Config) *Server {
 		mux.HandleFunc("GET /v1/cluster/workers", s.handleClusterWorkers)
 		mux.HandleFunc("GET /v1/store/{key}", s.handleStoreGet)
 		mux.HandleFunc("PUT /v1/store/{key}", s.handleStorePut)
+		mux.HandleFunc("GET /v1/cluster/leader", s.handleClusterLeader)
+		mux.HandleFunc("POST /v1/cluster/campaign", s.handleClusterCampaign)
+		mux.HandleFunc("POST /v1/cluster/replicate/jobs", s.handleReplicateJobs)
+		mux.HandleFunc("POST /v1/cluster/replicate/store", s.handleReplicateStore)
 	}
 	s.mux = mux
 	return s
@@ -234,9 +266,18 @@ func (s *Server) logf(format string, args ...any) { s.cfg.Logf(format, args...) 
 // Handler returns the service's HTTP handler.
 func (s *Server) Handler() http.Handler { return s.mux }
 
-// Start opens the result store (if configured), resumes any checkpointed
-// jobs, and launches the worker pool.
+// Start opens the result store (if configured), wires the HA election (if a
+// peer is configured), resumes any checkpointed jobs (leaders and solo nodes
+// only — a standby resumes at takeover), and launches the worker pool.
 func (s *Server) Start() error {
+	if s.cfg.PeerURL != "" {
+		if !s.cfg.Coordinator {
+			return fmt.Errorf("server: a peer requires coordinator mode (only coordinators form an HA pair)")
+		}
+		if s.cfg.AdvertiseURL == "" {
+			return fmt.Errorf("server: an HA coordinator needs an advertise URL (the peer and workers must dial back)")
+		}
+	}
 	if s.cfg.StoreDir != "" {
 		st, err := store.Open(s.cfg.StoreDir)
 		if err != nil {
@@ -245,15 +286,44 @@ func (s *Server) Start() error {
 		s.store = st
 	}
 	if s.cfg.RemoteStoreURL != "" {
-		remote := store.NewRemote(s.cfg.RemoteStoreURL, nil)
+		// Worker writes to the shared tier carry the leader term this worker
+		// last joined under, so a term-fenced coordinator can refuse writers
+		// with a stale view of the pair.
+		remote := store.NewRemote(s.cfg.RemoteStoreURL, nil).WithTermSource(s.workerTerm.Load)
 		if s.store != nil {
 			s.store = s.store.WithRemote(remote)
 		} else {
 			s.store = store.RemoteOnly(remote)
 		}
 	}
-	if err := s.resume(); err != nil {
-		return fmt.Errorf("server: resume checkpoints: %w", err)
+	if s.cfg.PeerURL != "" {
+		el, err := cluster.NewElection(cluster.ElectionConfig{
+			SelfID:          s.selfID(),
+			SelfURL:         s.cfg.AdvertiseURL,
+			PeerURL:         s.cfg.PeerURL,
+			TermPath:        s.termPath(),
+			LeaseTTL:        s.cfg.LeaseTTL,
+			ElectionTimeout: s.cfg.ElectionTimeout,
+			Logf:            s.cfg.Logf,
+			OnLead:          s.takeover,
+			OnStepDown:      s.steppedDown,
+			SnapshotJobs:    s.snapshotJobs,
+		})
+		if err != nil {
+			return fmt.Errorf("server: election: %w", err)
+		}
+		s.election = el
+		// Every local store write replicates to the standby (leaders only;
+		// the election drops the tap while standby, so applied replicas are
+		// never echoed back).
+		if s.store != nil {
+			s.store.WithOnSave(el.ReplicateStore)
+		}
+	}
+	if s.election == nil {
+		if err := s.resume(); err != nil {
+			return fmt.Errorf("server: resume checkpoints: %w", err)
+		}
 	}
 	s.mu.Lock()
 	s.started = true
@@ -269,38 +339,205 @@ func (s *Server) Start() error {
 		s.wg.Add(1)
 		go s.heartbeatLoop()
 	}
+	if s.election != nil {
+		s.election.Start()
+	}
 	return nil
+}
+
+// selfID is this node's stable cluster identity (worker or HA coordinator).
+func (s *Server) selfID() string {
+	if s.cfg.WorkerID != "" {
+		return s.cfg.WorkerID
+	}
+	return s.cfg.AdvertiseURL
+}
+
+// termPath is where the HA term is persisted: the configured TermFile, else
+// "ha-term" next to the checkpoints (it has no .json suffix, so checkpoint
+// loading never confuses it for a job spec), else in the store directory.
+func (s *Server) termPath() string {
+	if s.cfg.TermFile != "" {
+		return s.cfg.TermFile
+	}
+	if s.cfg.CheckpointDir != "" {
+		return filepath.Join(s.cfg.CheckpointDir, "ha-term")
+	}
+	if s.cfg.StoreDir != "" {
+		return filepath.Join(s.cfg.StoreDir, "ha-term")
+	}
+	return ""
 }
 
 // resume loads checkpointed job specs (in ID order) back into the queue and
 // removes their files. Specs beyond the queue capacity stay on disk for a
-// later restart rather than being dropped.
+// later restart rather than being dropped, and corrupt specs are skipped
+// (counted, logged) rather than aborting the healthy ones.
 func (s *Server) resume() error {
 	if s.cfg.CheckpointDir == "" {
 		return nil
 	}
-	specs, err := loadCheckpoints(s.cfg.CheckpointDir)
+	specs, err := loadCheckpoints(s.cfg.CheckpointDir, s.badCheckpoint)
 	if err != nil {
 		return err
 	}
 	for _, spec := range specs {
-		job := &Job{Spec: spec, Status: StatusQueued, QueuedAt: time.Now(), done: make(chan struct{})}
-		select {
-		case s.queue <- job:
-		default:
+		if !s.enqueueSpec(spec) {
 			return nil // queue full: leave this and later specs checkpointed
 		}
-		s.mu.Lock()
-		s.jobs[spec.ID] = job
-		// Keep fresh IDs past every resumed one.
-		if n, err := strconv.Atoi(strings.TrimPrefix(spec.ID, "job-")); err == nil && n > s.seq {
-			s.seq = n
-		}
-		s.mu.Unlock()
-		s.resumed.Add(1)
 		s.removeCheckpoint(s.cfg.CheckpointDir, spec.ID)
 	}
 	return nil
+}
+
+// badCheckpoint records one corrupt checkpoint file: counted in
+// mcretimed_checkpoint_errors and logged, never fatal to the resume.
+func (s *Server) badCheckpoint(name string, err error) {
+	s.checkpointErrs.Add(1)
+	s.logf("server: skipping corrupt checkpoint %s: %v (resuming the rest)", name, err)
+}
+
+// enqueueSpec places a resumed or replicated job spec on the queue. It
+// reports false when the queue is full (callers leave the spec checkpointed).
+// A spec whose ID is already tracked is a no-op success: re-admitting it
+// would run the job twice for nothing (the result would be byte-identical,
+// but the duplicate would still burn a worker).
+func (s *Server) enqueueSpec(spec JobSpec) bool {
+	s.mu.Lock()
+	_, exists := s.jobs[spec.ID]
+	s.mu.Unlock()
+	if exists {
+		return true
+	}
+	job := &Job{Spec: spec, Status: StatusQueued, QueuedAt: time.Now(), done: make(chan struct{})}
+	select {
+	case s.queue <- job:
+	default:
+		return false
+	}
+	s.mu.Lock()
+	s.jobs[spec.ID] = job
+	// Keep fresh IDs past every resumed one.
+	if n, err := strconv.Atoi(strings.TrimPrefix(spec.ID, "job-")); err == nil && n > s.seq {
+		s.seq = n
+	}
+	s.mu.Unlock()
+	s.resumed.Add(1)
+	return true
+}
+
+// --- HA pair lifecycle ---
+
+// snapshotJobs renders every queued and running job spec, in ID order, as the
+// replication payload — the same JSON shape the checkpoint files hold, so the
+// checkpoint format is the wire format.
+func (s *Server) snapshotJobs() json.RawMessage {
+	s.mu.Lock()
+	specs := make([]JobSpec, 0, len(s.jobs))
+	for _, job := range s.jobs {
+		if job.Status == StatusQueued || job.Status == StatusRunning {
+			specs = append(specs, job.Spec)
+		}
+	}
+	s.mu.Unlock()
+	sort.Slice(specs, func(i, j int) bool { return specs[i].ID < specs[j].ID })
+	data, err := json.Marshal(specs)
+	if err != nil {
+		return nil
+	}
+	return data
+}
+
+// applyReplicatedJobs installs the leader's job snapshot on this standby: in
+// memory (resumed at takeover) and, when a checkpoint dir is configured, on
+// disk in the ordinary checkpoint format — so a standby that restarts before
+// taking over still holds the jobs, and takeover is just resume. Checkpoints
+// of jobs no longer in the leader's snapshot (they finished) are removed;
+// the term file has no .json suffix and is never touched.
+func (s *Server) applyReplicatedJobs(raw json.RawMessage) (int, error) {
+	var specs []JobSpec
+	if len(raw) > 0 {
+		if err := json.Unmarshal(raw, &specs); err != nil {
+			return 0, err
+		}
+	}
+	s.haMu.Lock()
+	s.haSpecs = specs
+	s.haMu.Unlock()
+	if s.cfg.CheckpointDir != "" {
+		want := make(map[string]bool, len(specs))
+		for _, spec := range specs {
+			want[spec.ID] = true
+			if err := checkpointJob(s.cfg.CheckpointDir, spec); err != nil {
+				s.checkpointErrs.Add(1)
+				s.logf("server: mirroring replicated job %s: %v", spec.ID, err)
+			}
+		}
+		if entries, err := os.ReadDir(s.cfg.CheckpointDir); err == nil {
+			for _, ent := range entries {
+				name := ent.Name()
+				if !strings.HasSuffix(name, ".json") {
+					continue
+				}
+				if id := strings.TrimSuffix(name, ".json"); !want[id] {
+					s.removeCheckpoint(s.cfg.CheckpointDir, id)
+				}
+			}
+		}
+	}
+	return len(specs), nil
+}
+
+// takeover runs when this node wins the lease: resume the union of the
+// replicated snapshot and any surviving disk checkpoints (deduplicated by job
+// ID, in ID order). Admitting a job the old leader actually finished is
+// wasteful but harmless — deterministic re-execution makes the rerun
+// byte-identical — and admitting one it never finished is exactly the point.
+func (s *Server) takeover(term uint64) {
+	s.haMu.Lock()
+	specs := append([]JobSpec(nil), s.haSpecs...)
+	s.haMu.Unlock()
+	seen := make(map[string]bool, len(specs))
+	for _, spec := range specs {
+		seen[spec.ID] = true
+	}
+	if s.cfg.CheckpointDir != "" {
+		if disk, err := loadCheckpoints(s.cfg.CheckpointDir, s.badCheckpoint); err == nil {
+			for _, spec := range disk {
+				if !seen[spec.ID] {
+					seen[spec.ID] = true
+					specs = append(specs, spec)
+				}
+			}
+		}
+	}
+	sort.Slice(specs, func(i, j int) bool { return specs[i].ID < specs[j].ID })
+	resumed := 0
+	for _, spec := range specs {
+		if !s.enqueueSpec(spec) {
+			// Queue full: park the spec on disk for a later resume instead of
+			// dropping it.
+			if s.cfg.CheckpointDir != "" {
+				if err := checkpointJob(s.cfg.CheckpointDir, spec); err != nil {
+					s.checkpointErrs.Add(1)
+				}
+			}
+			continue
+		}
+		if s.cfg.CheckpointDir != "" {
+			s.removeCheckpoint(s.cfg.CheckpointDir, spec.ID)
+		}
+		resumed++
+	}
+	s.haTakeoverJobs.Add(int64(resumed))
+	s.logf("server: HA takeover at term %d: resumed %d replicated job(s)", term, resumed)
+}
+
+// steppedDown runs when this node loses the lease to a higher term. Jobs
+// already queued or running here are left to finish: their results are
+// byte-identical to the new leader's reruns, so the overlap is unobservable.
+func (s *Server) steppedDown(term uint64, leaderURL string) {
+	s.logf("server: stepped down at term %d; %s admits jobs now", term, leaderURL)
 }
 
 // Shutdown drains the service: new submissions are rejected, workers finish
@@ -315,6 +552,9 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	}
 	s.draining = true
 	s.mu.Unlock()
+	if s.election != nil {
+		s.election.Stop()
+	}
 	close(s.stop)
 
 	done := make(chan struct{})
@@ -359,6 +599,13 @@ func (s *Server) Shutdown(ctx context.Context) error {
 			continue
 		}
 		s.finishFailed(job, fmt.Errorf("server shut down before the job ran: %w", context.Canceled))
+	}
+	// Let in-flight async remote-store retries finish (bounded by ctx) so a
+	// clean shutdown does not silently drop shared-tier write-throughs.
+	if s.store != nil {
+		if err := s.store.Flush(ctx); err != nil && firstErr == nil {
+			firstErr = err
+		}
 	}
 	return firstErr
 }
@@ -688,6 +935,22 @@ func (s *Server) handleExplore(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) submit(w http.ResponseWriter, r *http.Request, kind string) {
+	// HA fencing: only the leader admits jobs. A standby — including a
+	// partitioned ex-leader that stepped down — answers with the leader hint
+	// (307 when it knows one, 503 when it does not) and never enqueues, so
+	// at most one side of a split pair grows the job log.
+	if s.election != nil && !s.election.IsLeader() {
+		s.haNotLeader.Add(1)
+		if hint := s.election.LeaderURL(); hint != "" && hint != s.cfg.AdvertiseURL {
+			w.Header().Set("Location", hint+r.URL.RequestURI())
+			s.writeLeaderReject(w, http.StatusTemporaryRedirect, CodeNotLeader,
+				"this coordinator is standby; submit to the leader")
+		} else {
+			s.writeLeaderReject(w, http.StatusServiceUnavailable, CodeNotLeader,
+				"this coordinator is standby and knows no live leader")
+		}
+		return
+	}
 	var req retimeRequest
 	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
 	if err := json.NewDecoder(body).Decode(&req); err != nil {
@@ -754,6 +1017,9 @@ func (s *Server) submit(w http.ResponseWriter, r *http.Request, kind string) {
 		return
 	}
 	s.submitted.Add(1)
+	if s.election != nil {
+		s.election.Kick() // replicate the new job to the standby now, not next beat
+	}
 
 	if wait := r.URL.Query().Get("wait"); wait == "1" || wait == "true" {
 		select {
@@ -891,6 +1157,31 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	}
 	put("cluster_runs_served", s.clusterRuns.Load())
 
+	// HA pair counters (zero rows unless -peer is configured). ha_is_leader is
+	// the role gauge; holds count indeterminate probes where the standby chose
+	// fail-safe inaction over a possible split brain.
+	if s.election != nil {
+		status := s.election.Status()
+		stats := s.election.Stats()
+		leader := int64(0)
+		if status.Role == cluster.RoleLeader {
+			leader = 1
+		}
+		put("ha_is_leader", leader)
+		put("ha_term", int64(status.Term))
+		put("ha_campaigns", stats.Campaigns)
+		put("ha_stepdowns", stats.Stepdowns)
+		put("ha_lease_pushes", stats.Pushes)
+		put("ha_lease_push_errors", stats.PushErrors)
+		put("ha_lease_holds", stats.Holds)
+		put("ha_store_replicated_out", stats.StoreReplicated)
+		put("ha_store_replication_drops", stats.StoreDropped)
+		put("ha_replicated_jobs", s.haReplJobs.Load())
+		put("ha_replicated_store", s.haReplStore.Load())
+		put("ha_not_leader_rejects", s.haNotLeader.Load())
+		put("ha_takeover_jobs", s.haTakeoverJobs.Load())
+	}
+
 	// Result-store counters (zero unless -store is configured). The remote_*
 	// rows count the shared tier; remote errors are degradations to local
 	// misses, never failures.
@@ -906,6 +1197,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		put("store_remote_errors", st.RemoteErrors)
 		put("store_remote_saves", st.RemoteSaves)
 		put("store_remote_save_errors", st.RemoteSaveErrors)
+		put("store_remote_save_retries", st.RemoteSaveRetries)
+		put("store_remote_save_dropped", st.RemoteSaveDropped)
 	}
 
 	// Process-cumulative solve-cache counters (all caches, lifetime of the

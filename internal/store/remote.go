@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"strings"
 	"time"
 )
@@ -22,7 +23,17 @@ type Remote struct {
 	base    string
 	client  *http.Client
 	timeout time.Duration
+	// termSource, when set, stamps every PUT with the current leader term
+	// (TermHeader). A term-fenced server 409s writes carrying a stale term —
+	// the fence that keeps a deposed leader's late write-throughs out of the
+	// shared tier. A rejected PUT is just a counted save error: the fence
+	// refuses writes, it never corrupts reads.
+	termSource func() uint64
 }
+
+// TermHeader carries the writer's leader term on store PUTs; the HA
+// coordinator fences writes on it.
+const TermHeader = "X-MCRetiming-Term"
 
 // NewRemote returns a client for the store served at baseURL (e.g.
 // "http://coordinator:8472"). client nil means http.DefaultClient.
@@ -42,6 +53,13 @@ func (r *Remote) WithTimeout(d time.Duration) *Remote {
 	if d > 0 {
 		r.timeout = d
 	}
+	return r
+}
+
+// WithTermSource makes every PUT carry the term fn reports (when non-zero)
+// in TermHeader, so a term-fenced coordinator can reject stale writers.
+func (r *Remote) WithTermSource(fn func() uint64) *Remote {
+	r.termSource = fn
 	return r
 }
 
@@ -87,6 +105,11 @@ func (r *Remote) put(ctx context.Context, key string, data []byte) error {
 		return err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	if r.termSource != nil {
+		if term := r.termSource(); term > 0 {
+			req.Header.Set(TermHeader, strconv.FormatUint(term, 10))
+		}
+	}
 	resp, err := r.client.Do(req)
 	if err != nil {
 		return err

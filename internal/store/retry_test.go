@@ -1,0 +1,162 @@
+package store
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"mcretiming/internal/retry"
+)
+
+// flakyStoreServer serves the PUT protocol but fails the first failN attempts
+// per key with 503, then accepts into backing.
+func flakyStoreServer(t *testing.T, backing *Store, failN int64) (*httptest.Server, *atomic.Int64) {
+	t.Helper()
+	var puts atomic.Int64
+	mux := http.NewServeMux()
+	mux.HandleFunc("PUT /v1/store/{key}", func(w http.ResponseWriter, r *http.Request) {
+		if puts.Add(1) <= failN {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			return
+		}
+		data, err := io.ReadAll(r.Body)
+		if err != nil {
+			w.WriteHeader(http.StatusBadRequest)
+			return
+		}
+		if err := backing.SaveRaw(r.Context(), r.PathValue("key"), data); err != nil {
+			w.WriteHeader(http.StatusBadRequest)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	})
+	mux.HandleFunc("GET /v1/store/{key}", func(w http.ResponseWriter, r *http.Request) {
+		data, ok := backing.LoadRaw(r.Context(), r.PathValue("key"))
+		if !ok {
+			http.NotFound(w, r)
+			return
+		}
+		_, _ = w.Write(data)
+	})
+	hs := httptest.NewServer(mux)
+	t.Cleanup(hs.Close)
+	return hs, &puts
+}
+
+func fastRetry() retry.Schedule {
+	return retry.Schedule{Base: time.Millisecond, Cap: 5 * time.Millisecond, Jitter: -1}
+}
+
+// TestRemoteSaveRetriesThenLands: a write-through that fails transiently is
+// retried asynchronously and eventually lands in the shared tier; the Save
+// call itself never waited or failed.
+func TestRemoteSaveRetriesThenLands(t *testing.T) {
+	ctx := context.Background()
+	shared, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs, puts := flakyStoreServer(t, shared, 2) // inline + first retry fail
+
+	local, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	local.WithRemote(NewRemote(hs.URL, nil)).WithRemoteRetry(fastRetry(), 3)
+
+	key := Key([]byte("retry-me"))
+	if err := local.Save(ctx, key, rpayload{N: 7}); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	fctx, cancel := context.WithTimeout(ctx, 5*time.Second)
+	defer cancel()
+	if err := local.Flush(fctx); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+
+	var got rpayload
+	if ok := shared.Load(ctx, key, &got); !ok || got.N != 7 {
+		t.Fatalf("shared tier: loaded %v ok=%v; want the retried write-through", got, ok)
+	}
+	st := local.Stats()
+	if st.RemoteSaveErrors < 2 || st.RemoteSaveRetries < 2 || st.RemoteSaves != 1 {
+		t.Fatalf("stats = %+v; want ≥2 errors, ≥2 retries, exactly 1 landed save", st)
+	}
+	if st.RemoteSaveDropped != 0 {
+		t.Fatalf("dropped %d saves despite eventual success", st.RemoteSaveDropped)
+	}
+	if puts.Load() != 3 {
+		t.Fatalf("server saw %d PUTs, want 3 (inline + 2 retries)", puts.Load())
+	}
+}
+
+// TestRemoteSaveDroppedAfterBudget: a write-through that keeps failing is
+// abandoned after the retry budget and counted as dropped — the shared tier
+// stays cold (a future miss), the job never sees an error.
+func TestRemoteSaveDroppedAfterBudget(t *testing.T) {
+	ctx := context.Background()
+	down := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}))
+	t.Cleanup(down.Close)
+
+	local, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	local.WithRemote(NewRemote(down.URL, nil)).WithRemoteRetry(fastRetry(), 2)
+
+	key := Key([]byte("doomed"))
+	if err := local.Save(ctx, key, rpayload{N: 1}); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	fctx, cancel := context.WithTimeout(ctx, 5*time.Second)
+	defer cancel()
+	if err := local.Flush(fctx); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	st := local.Stats()
+	if st.RemoteSaveDropped != 1 {
+		t.Fatalf("dropped = %d, want exactly 1", st.RemoteSaveDropped)
+	}
+	if st.RemoteSaveErrors != 3 || st.RemoteSaveRetries != 2 {
+		t.Fatalf("stats = %+v; want 3 errors (inline + 2 retries), 2 retries", st)
+	}
+	// The local tier still has the entry — only the shared tier is behind.
+	var got rpayload
+	if ok := local.Load(ctx, key, &got); !ok || got.N != 1 {
+		t.Fatalf("local tier lost the entry: %v ok=%v", got, ok)
+	}
+}
+
+// TestRemoteSaveRetryDisabled: maxRetries < 0 restores fire-and-forget — one
+// inline attempt, no goroutine, the failure dropped immediately.
+func TestRemoteSaveRetryDisabled(t *testing.T) {
+	ctx := context.Background()
+	var puts atomic.Int64
+	down := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		puts.Add(1)
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}))
+	t.Cleanup(down.Close)
+
+	local, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	local.WithRemote(NewRemote(down.URL, nil)).WithRemoteRetry(retry.Schedule{}, -1)
+	if err := local.Save(ctx, Key([]byte("once")), rpayload{}); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	if err := local.Flush(ctx); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	st := local.Stats()
+	if puts.Load() != 1 || st.RemoteSaveRetries != 0 || st.RemoteSaveDropped != 1 {
+		t.Fatalf("puts %d stats %+v; want exactly one attempt, no retries, one drop", puts.Load(), st)
+	}
+}

@@ -28,9 +28,12 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sync"
 	"sync/atomic"
+	"time"
 
 	"mcretiming/internal/failpoint"
+	"mcretiming/internal/retry"
 )
 
 // Schema is the version tag of the on-disk envelope. Bump it when the layout
@@ -56,6 +59,20 @@ type Store struct {
 	dir    string  // "" for a remote-only store
 	remote *Remote // nil without a remote tier
 	stats  storeStats
+
+	// onSave, when set (WithOnSave), observes every successful local write
+	// with the validated envelope bytes. The HA coordinator hooks store
+	// replication here so the standby's tier stays warm.
+	onSave func(key string, envelope []byte)
+
+	// Remote write-through retry policy: a failed remote save is retried
+	// asynchronously up to remoteRetries times on remoteBackoff, with at most
+	// cap(remoteSem) retriers in flight — beyond that the save is dropped and
+	// counted. Zero values get defaults from withRemote.
+	remoteRetries int
+	remoteBackoff retry.Schedule
+	remoteSem     chan struct{}
+	remoteWG      sync.WaitGroup
 }
 
 type storeStats struct {
@@ -64,6 +81,7 @@ type storeStats struct {
 
 	remoteHits, remoteMisses, remoteErrors atomic.Int64
 	remoteSaves, remoteSaveErrors          atomic.Int64
+	remoteSaveRetries, remoteSaveDropped   atomic.Int64
 }
 
 // Stats is a snapshot of a store's counters. Corrupt counts loads that found
@@ -84,6 +102,14 @@ type Stats struct {
 	RemoteErrors     int64 `json:"remote_errors,omitempty"`
 	RemoteSaves      int64 `json:"remote_saves,omitempty"`
 	RemoteSaveErrors int64 `json:"remote_save_errors,omitempty"`
+
+	// RemoteSaveRetries counts async re-attempts of failed write-throughs;
+	// RemoteSaveDropped counts write-throughs abandoned after the retry
+	// budget (or because too many retriers were already in flight). A
+	// dropped save only means the shared tier misses until someone
+	// re-solves — never a wrong answer.
+	RemoteSaveRetries int64 `json:"remote_save_retries,omitempty"`
+	RemoteSaveDropped int64 `json:"remote_save_dropped,omitempty"`
 }
 
 // Stats returns a snapshot of the store's counters (zero value for nil).
@@ -92,16 +118,18 @@ func (s *Store) Stats() Stats {
 		return Stats{}
 	}
 	return Stats{
-		Hits:             s.stats.hits.Load(),
-		Misses:           s.stats.misses.Load(),
-		Corrupt:          s.stats.corrupt.Load(),
-		Saves:            s.stats.saves.Load(),
-		SaveErrors:       s.stats.saveErrors.Load(),
-		RemoteHits:       s.stats.remoteHits.Load(),
-		RemoteMisses:     s.stats.remoteMisses.Load(),
-		RemoteErrors:     s.stats.remoteErrors.Load(),
-		RemoteSaves:      s.stats.remoteSaves.Load(),
-		RemoteSaveErrors: s.stats.remoteSaveErrors.Load(),
+		Hits:              s.stats.hits.Load(),
+		Misses:            s.stats.misses.Load(),
+		Corrupt:           s.stats.corrupt.Load(),
+		Saves:             s.stats.saves.Load(),
+		SaveErrors:        s.stats.saveErrors.Load(),
+		RemoteHits:        s.stats.remoteHits.Load(),
+		RemoteMisses:      s.stats.remoteMisses.Load(),
+		RemoteErrors:      s.stats.remoteErrors.Load(),
+		RemoteSaves:       s.stats.remoteSaves.Load(),
+		RemoteSaveErrors:  s.stats.remoteSaveErrors.Load(),
+		RemoteSaveRetries: s.stats.remoteSaveRetries.Load(),
+		RemoteSaveDropped: s.stats.remoteSaveDropped.Load(),
 	}
 }
 
@@ -126,10 +154,10 @@ func Open(dir string) (*Store, error) {
 
 // WithRemote layers a remote/shared tier behind the store and returns the
 // store. Loads fall back to the remote on a local miss (populating the local
-// tier); saves write through best-effort.
+// tier); saves write through best-effort with a bounded async retry.
 func (s *Store) WithRemote(r *Remote) *Store {
 	if s != nil {
-		s.remote = r
+		s.withRemote(r)
 	}
 	return s
 }
@@ -139,7 +167,60 @@ func (s *Store) WithRemote(r *Remote) *Store {
 // store. All the degradation guarantees hold — a dead remote is simply a
 // store that always misses.
 func RemoteOnly(r *Remote) *Store {
-	return &Store{remote: r}
+	s := &Store{}
+	s.withRemote(r)
+	return s
+}
+
+func (s *Store) withRemote(r *Remote) {
+	s.remote = r
+	if s.remoteRetries == 0 {
+		s.remoteRetries = 3
+	}
+	if s.remoteBackoff.Base == 0 {
+		s.remoteBackoff = retry.Schedule{Base: 50 * time.Millisecond, Cap: time.Second, Jitter: 0.2}
+	}
+	if s.remoteSem == nil {
+		s.remoteSem = make(chan struct{}, 16)
+	}
+}
+
+// WithRemoteRetry overrides the async write-through retry policy: at most
+// maxRetries re-attempts per failed save, paced by backoff. maxRetries < 0
+// disables retries entirely (the pre-retry fire-and-forget behavior).
+func (s *Store) WithRemoteRetry(backoff retry.Schedule, maxRetries int) *Store {
+	if s != nil {
+		s.remoteRetries = maxRetries
+		s.remoteBackoff = backoff
+	}
+	return s
+}
+
+// WithOnSave registers a hook observing every successful local write with its
+// validated envelope bytes (the HA replication tap). Returns the store.
+func (s *Store) WithOnSave(fn func(key string, envelope []byte)) *Store {
+	if s != nil {
+		s.onSave = fn
+	}
+	return s
+}
+
+// Flush waits for in-flight async remote saves to finish, bounded by ctx.
+func (s *Store) Flush(ctx context.Context) error {
+	if s == nil {
+		return nil
+	}
+	done := make(chan struct{})
+	go func() {
+		s.remoteWG.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
 }
 
 // Key derives a content address from parts: a SHA-256 over the parts with
@@ -316,24 +397,67 @@ func (s *Store) Save(ctx context.Context, key string, v any) error {
 		}
 		s.stats.saves.Add(1)
 	}
+	if s.onSave != nil {
+		s.onSave(key, data)
+	}
 	s.saveRemote(ctx, key, data)
 	return nil
 }
 
-// saveRemote writes envelope bytes through to the remote tier, best effort.
+// saveRemote writes envelope bytes through to the remote tier: one inline
+// attempt, then — because a shared tier that silently stays cold makes every
+// other node re-solve — a bounded async retry. The job's latency only ever
+// pays for the inline attempt; retries ride a background goroutine (at most
+// cap(remoteSem) at once) and a save still failing after the budget is
+// dropped and counted, never surfaced as a job error.
 func (s *Store) saveRemote(ctx context.Context, key string, data []byte) {
 	if s.remote == nil {
 		return
 	}
+	if s.remotePutOnce(ctx, key, data) {
+		return
+	}
+	if s.remoteRetries < 0 {
+		s.stats.remoteSaveDropped.Add(1)
+		return
+	}
+	select {
+	case s.remoteSem <- struct{}{}:
+	default:
+		s.stats.remoteSaveDropped.Add(1) // too many retriers already in flight
+		return
+	}
+	s.remoteWG.Add(1)
+	// The retry outlives the job (and its cancellation) but keeps its
+	// failpoint scope, so chaos tests see the same fault the job saw.
+	bg := context.WithoutCancel(ctx)
+	go func() {
+		defer func() { <-s.remoteSem; s.remoteWG.Done() }()
+		for attempt := 0; attempt < s.remoteRetries; attempt++ {
+			if err := s.remoteBackoff.Wait(bg, attempt); err != nil {
+				break
+			}
+			s.stats.remoteSaveRetries.Add(1)
+			if s.remotePutOnce(bg, key, data) {
+				return
+			}
+		}
+		s.stats.remoteSaveDropped.Add(1)
+	}()
+}
+
+// remotePutOnce performs one write-through attempt, counting the outcome.
+func (s *Store) remotePutOnce(ctx context.Context, key string, data []byte) bool {
 	if err := failpoint.Inject(ctx, "store.remote"); err != nil {
 		s.stats.remoteSaveErrors.Add(1)
-		return
+		return false
 	}
 	if err := s.remote.put(ctx, key, data); err != nil {
 		s.stats.remoteSaveErrors.Add(1)
-		return
+		return false
 	}
 	s.stats.remoteSaves.Add(1)
+	return true
 }
 
 // writeEnvelope atomically places validated envelope bytes at key's path.
@@ -407,5 +531,8 @@ func (s *Store) SaveRaw(ctx context.Context, key string, data []byte) error {
 		return err
 	}
 	s.stats.saves.Add(1)
+	if s.onSave != nil {
+		s.onSave(key, data)
+	}
 	return nil
 }
