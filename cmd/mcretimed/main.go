@@ -8,7 +8,7 @@
 //	mcretimed [-addr :8472] [-queue 64] [-workers 2] [-deadline 60s]
 //	          [-checkpoint DIR] [-store DIR] [-retries 2] [-failpoints]
 //	          [-coordinator] [-join URL -advertise URL] [-remote-store URL]
-//	          [-peer URL] [-election-timeout 18s]
+//	          [-peer URL] [-election-timeout 18s] [-tenants FILE]
 //
 // A single daemon serves jobs by itself. With -coordinator it additionally
 // dispatches jobs to joined workers (degrading to local execution when none
@@ -26,9 +26,25 @@
 //	                       the result carries the mcretiming-front/v1 Pareto
 //	                       front, and GET /v1/jobs/{id} reports per-point
 //	                       progress while it runs
-//	GET  /v1/jobs          list jobs (?status=queued|running|done|failed)
+//	POST /v1/batch         submit N jobs as one batch: {"jobs":[{...}, ...]}
+//	GET  /v1/batch/{id}    aggregate batch status + member views
+//	GET  /v1/batch/{id}/events  stream per-job progress (NDJSON, or SSE with
+//	                       Accept: text/event-stream); ?after=N replays
+//	GET  /v1/jobs          list jobs (?status=queued|running|done|failed,
+//	                       ?tenant=, paginated with ?limit= and ?cursor=)
 //	GET  /v1/jobs/{id}     job status/result; failed jobs answer with their
 //	                       mapped HTTP status (see README "Serving")
+//	GET  /v1/cluster/autoscale  scaling signals: per-tenant queue depth and
+//	                       wait age, per-worker serving counts
+//
+// Submissions may carry an X-MCRetiming-Tenant header (default tenant when
+// absent); -tenants names a JSON file of per-tenant weights and admission
+// quotas, hot-reloaded on SIGHUP. An Idempotency-Key header on POST
+// /v1/retime and /v1/batch makes retries safe: the same key with the same
+// body replays the original admission.
+//
+// Other endpoints:
+//
 //	POST /v1/cluster/run   execute one forwarded run (cluster data plane)
 //	POST /v1/cluster/join  register a worker        (coordinator only)
 //	POST /v1/cluster/heartbeat  renew a worker lease (coordinator only)
@@ -88,6 +104,8 @@ func main() {
 	peer := flag.String("peer", "", "base URL of the paired HA coordinator (requires -coordinator and -advertise)")
 	electionTimeout := flag.Duration("election-timeout", 0,
 		"how long a standby tolerates lease silence before probing the peer (default: 3×lease)")
+	tenantsFile := flag.String("tenants", "",
+		"JSON file of per-tenant scheduling weights and admission quotas (hot-reloaded on SIGHUP)")
 	flag.Parse()
 
 	if *joinURL != "" && *advertise == "" {
@@ -129,10 +147,23 @@ func main() {
 		RemoteStoreURL:    *remoteStore,
 		PeerURL:           *peer,
 		ElectionTimeout:   *electionTimeout,
+		TenantsFile:       *tenantsFile,
 	})
 	if err := srv.Start(); err != nil {
 		fatal(err)
 	}
+
+	// SIGHUP re-reads -tenants without a restart; a malformed file logs and
+	// leaves the running table untouched.
+	hup := make(chan os.Signal, 1)
+	signal.Notify(hup, syscall.SIGHUP)
+	go func() {
+		for range hup {
+			if err := srv.ReloadTenants(); err != nil {
+				fmt.Fprintln(os.Stderr, "mcretimed: tenant reload:", err)
+			}
+		}
+	}()
 
 	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
 	errc := make(chan error, 1)

@@ -6,22 +6,27 @@ import (
 	"net/http"
 
 	"mcretiming/internal/rterr"
+	"mcretiming/internal/tenant"
 )
 
 // ErrorBody is the stable machine-readable error envelope of the API: every
 // failed job and every rejected request carries one. Code is taken from the
 // rterr sentinel taxonomy (rterr.Sentinels) plus the transport-level codes
-// below; Detail is the human-readable error chain.
+// below; Detail is the human-readable error chain. Tenant and Limit are set
+// only on quota_exceeded, naming who hit which configured limit.
 type ErrorBody struct {
 	Code   string `json:"code"`
 	Detail string `json:"detail"`
+	Tenant string `json:"tenant,omitempty"`
+	Limit  int    `json:"limit,omitempty"`
 }
 
 // Transport-level codes that do not correspond to an engine sentinel.
 const (
 	CodeDeadlineExceeded = "deadline_exceeded" // per-job deadline fired
 	CodeCanceled         = "canceled"          // run canceled (client or shutdown)
-	CodeQueueFull        = "queue_full"        // admission control shed the job
+	CodeQueueFull        = "queue_full"        // admission control shed the job (global capacity)
+	CodeQuotaExceeded    = "quota_exceeded"    // per-tenant admission quota hit; body carries tenant+limit
 	CodeShuttingDown     = "shutting_down"     // server is draining
 	CodeBadRequest       = "bad_request"       // unparseable request envelope
 	CodeNotLeader        = "not_leader"        // HA: this coordinator is standby; follow leader_hint
@@ -57,6 +62,11 @@ func buildMappings() []mapping {
 	out := []mapping{
 		{context.DeadlineExceeded, CodeDeadlineExceeded, http.StatusGatewayTimeout},
 		{context.Canceled, CodeCanceled, http.StatusServiceUnavailable},
+		// Admission sentinels from the tenant layer. Both answer 429, but a
+		// quota rejection is the tenant's own doing (the body names the limit)
+		// while queue_full is global backpressure.
+		{tenant.ErrQuota, CodeQuotaExceeded, http.StatusTooManyRequests},
+		{tenant.ErrQueueFull, CodeQueueFull, http.StatusTooManyRequests},
 	}
 	for _, s := range rterr.Sentinels() {
 		status, ok := sentinelStatus[s.Name]
@@ -74,7 +84,13 @@ func buildMappings() []mapping {
 func MapError(err error) (int, ErrorBody) {
 	for _, m := range mappings {
 		if errors.Is(err, m.sentinel) {
-			return m.status, ErrorBody{Code: m.code, Detail: err.Error()}
+			body := ErrorBody{Code: m.code, Detail: err.Error()}
+			var qe *tenant.QuotaError
+			if m.code == CodeQuotaExceeded && errors.As(err, &qe) {
+				body.Tenant = qe.Tenant
+				body.Limit = qe.Limit
+			}
+			return m.status, body
 		}
 	}
 	return http.StatusInternalServerError, ErrorBody{Code: "internal", Detail: err.Error()}

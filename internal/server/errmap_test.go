@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"mcretiming/internal/rterr"
+	"mcretiming/internal/tenant"
 )
 
 // TestEverySentinelHasExplicitMapping is the satellite guarantee: every
@@ -53,6 +54,8 @@ func TestMapErrorStatuses(t *testing.T) {
 		{fmt.Errorf("x: %w", rterr.ErrInternal), http.StatusInternalServerError, "internal"},
 		{context.DeadlineExceeded, http.StatusGatewayTimeout, CodeDeadlineExceeded},
 		{context.Canceled, http.StatusServiceUnavailable, CodeCanceled},
+		{tenant.ErrQueueFull, http.StatusTooManyRequests, CodeQueueFull},
+		{&tenant.QuotaError{Tenant: "t", Quota: tenant.QuotaQueued, Limit: 3}, http.StatusTooManyRequests, CodeQuotaExceeded},
 		{errors.New("novel"), http.StatusInternalServerError, "internal"},
 	}
 	for _, tc := range cases {
@@ -63,6 +66,25 @@ func TestMapErrorStatuses(t *testing.T) {
 		if body.Detail == "" {
 			t.Errorf("MapError(%v): empty detail", tc.err)
 		}
+	}
+}
+
+// TestQuotaErrorBody: admission-quota rejections carry the tenant and limit
+// in the error body so a client can tell "your quota" (back off until your
+// own jobs drain) from queue_full (the whole server is saturated).
+func TestQuotaErrorBody(t *testing.T) {
+	err := fmt.Errorf("admitting: %w", &tenant.QuotaError{Tenant: "acme", Quota: tenant.QuotaInFlight, Limit: 8})
+	status, body := MapError(err)
+	if status != http.StatusTooManyRequests || body.Code != CodeQuotaExceeded {
+		t.Fatalf("got %d %q", status, body.Code)
+	}
+	if body.Tenant != "acme" || body.Limit != 8 {
+		t.Fatalf("quota body missing tenant/limit: %+v", body)
+	}
+	// The global queue-full rejection must NOT carry tenant attribution.
+	_, qf := MapError(tenant.ErrQueueFull)
+	if qf.Tenant != "" || qf.Limit != 0 {
+		t.Fatalf("queue_full body has tenant attribution: %+v", qf)
 	}
 }
 

@@ -17,9 +17,11 @@ package server
 // the rest of the TestCluster* suite.
 
 import (
+	"bufio"
 	"bytes"
 	"context"
 	"encoding/json"
+	"fmt"
 	"net"
 	"net/http"
 	"net/http/httptest"
@@ -30,6 +32,7 @@ import (
 
 	"mcretiming/internal/cluster"
 	"mcretiming/internal/failpoint"
+	"mcretiming/internal/tenant"
 )
 
 // waitWorkerCounts polls a coordinator's membership summary until pred holds.
@@ -459,5 +462,189 @@ func TestClusterHAKillReviveRejoinsAsStandby(t *testing.T) {
 	}
 	if n := metric(t, p.urlB, "cluster_jobs_dispatched"); n != 1 {
 		t.Fatalf("new leader dispatched %d job(s), want exactly 1", n)
+	}
+}
+
+// TestClusterHABatchFailoverMidBatch is the PR 10 batch-durability property:
+// the leader is SIGKILLed while a 3-job tenant batch is mid-flight. Because
+// the batch members ride the ordinary job snapshot (the spec carries the
+// batch ID and total), the standby rebuilds the WHOLE batch — same batch ID,
+// same tenant — resumes it, loses nothing, duplicates nothing, and a client
+// whose event stream died with the old leader reconnects to the new one and
+// replays a complete, contiguous log ending in batch_done.
+func TestClusterHABatchFailoverMidBatch(t *testing.T) {
+	// Single-node control runs: one per distinct circuit, submitted alone.
+	_, control := newTestServer(t, Config{})
+	want := make([][]byte, 3)
+	for i := 0; i < 3; i++ {
+		status, body := post(t, control.URL+"/v1/retime?wait=1",
+			retimeRequest{BLIF: clusterBLIF(t, fmt.Sprintf("ha-batch-%d", i))})
+		if status != http.StatusOK {
+			t.Fatalf("control %d status = %d, body %v", i, status, body)
+		}
+		want[i] = resultBytes(t, body)
+	}
+
+	p := newHAPair(t, func(cfg *Config, self string) {
+		cfg.Workers = 1 // serialize members so the kill lands mid-batch
+	})
+
+	// Per-member sleeps keep the batch in flight across several replication
+	// pushes (a sleep changes timing, never results).
+	req := map[string]any{"jobs": []map[string]any{
+		{"blif": clusterBLIF(t, "ha-batch-0"), "failpoints": "server.job=sleep(300ms)"},
+		{"blif": clusterBLIF(t, "ha-batch-1"), "failpoints": "server.job=sleep(300ms)"},
+		{"blif": clusterBLIF(t, "ha-batch-2"), "failpoints": "server.job=sleep(300ms)"},
+	}}
+	data, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hreq, _ := http.NewRequest(http.MethodPost, p.urlA+"/v1/batch", bytes.NewReader(data))
+	hreq.Header.Set("Content-Type", "application/json")
+	hreq.Header.Set(tenant.Header, "acme")
+	resp, err := http.DefaultClient.Do(hreq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var accepted map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&accepted); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("batch submit = %d: %v", resp.StatusCode, accepted)
+	}
+	batchID := accepted["id"].(string)
+	memberIDs := map[string]bool{}
+	for _, j := range accepted["jobs"].([]any) {
+		memberIDs[j.(string)] = true
+	}
+
+	// A client watches the batch on the leader; this stream dies with it.
+	stream, err := http.Get(p.urlA + "/v1/batch/" + batchID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stream.Body.Close()
+	preKill := 0
+	sc := bufio.NewScanner(stream.Body)
+	for preKill < 3 && sc.Scan() { // at least the three queued events
+		preKill++
+	}
+	if preKill < 3 {
+		t.Fatalf("leader stream delivered only %d events before the kill", preKill)
+	}
+
+	// Kill the leader only once the standby provably holds all three member
+	// specs (each carrying the batch ID, so the batch rebuilds whole).
+	waitMetric(t, p.urlB, "ha_replicated_jobs", 3)
+	p.killA(t)
+	if sc.Scan(); sc.Err() == nil && stream.Body != nil {
+		// The severed stream ends; whether it surfaces as EOF or a transport
+		// error depends on timing — either way the client must reconnect.
+		_ = sc.Err()
+	}
+
+	waitLeaderView(t, p.urlB, "B takes the lease", func(st cluster.LeaderStatus) bool {
+		return st.Role == cluster.RoleLeader
+	})
+
+	// The SAME batch completes on B: same ID, same tenant, all members done.
+	deadline := time.Now().Add(20 * time.Second)
+	var view map[string]any
+	for {
+		r, err := http.Get(p.urlB + "/v1/batch/" + batchID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.StatusCode == http.StatusNotFound {
+			r.Body.Close()
+			if time.Now().After(deadline) {
+				t.Fatalf("standby never rebuilt batch %s", batchID)
+			}
+			time.Sleep(10 * time.Millisecond)
+			continue
+		}
+		if err := json.NewDecoder(r.Body).Decode(&view); err != nil {
+			t.Fatal(err)
+		}
+		r.Body.Close()
+		if int(view["done"].(float64)) == int(view["total"].(float64)) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("batch never finished on the standby: %v", view)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if view["tenant"] != "acme" || int(view["total"].(float64)) != 3 {
+		t.Fatalf("rebuilt batch view: %v", view)
+	}
+	counts := view["counts"].(map[string]any)
+	if int(counts["done"].(float64)) != 3 {
+		t.Fatalf("rebuilt batch counts = %v (lost or failed members)", counts)
+	}
+
+	// No lost, no duplicated jobs: exactly the original member IDs, each with
+	// a result byte-identical to its single-job control run.
+	jobs := view["jobs"].([]any)
+	if len(jobs) != 3 {
+		t.Fatalf("rebuilt batch has %d members", len(jobs))
+	}
+	seen := map[string]bool{}
+	for i, j := range jobs {
+		jm := j.(map[string]any)
+		id := jm["id"].(string)
+		if !memberIDs[id] {
+			t.Fatalf("member %s was not in the original admission", id)
+		}
+		if seen[id] {
+			t.Fatalf("member %s appears twice", id)
+		}
+		seen[id] = true
+		code, full := getJob(t, p.urlB, id)
+		if code != http.StatusOK {
+			t.Fatalf("member %s on standby: %d", id, code)
+		}
+		if got := resultBytes(t, full); !bytes.Equal(got, want[i]) {
+			t.Fatalf("failed-over member %d differs from its single-node control", i)
+		}
+	}
+
+	// The reconnected event stream replays a complete log: contiguous seq
+	// from 0, every member exactly one done, batch_done terminal.
+	r2, err := http.Get(p.urlB + "/v1/batch/" + batchID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r2.Body.Close()
+	doneSeen := map[string]int{}
+	lastEvent, n := "", 0
+	sc2 := bufio.NewScanner(r2.Body)
+	for sc2.Scan() {
+		var ev map[string]any
+		if err := json.Unmarshal(sc2.Bytes(), &ev); err != nil {
+			t.Fatalf("bad event line %q: %v", sc2.Text(), err)
+		}
+		if int(ev["seq"].(float64)) != n {
+			t.Fatalf("seq gap: event %d has seq %v", n, ev["seq"])
+		}
+		n++
+		lastEvent = ev["event"].(string)
+		if lastEvent == "done" {
+			doneSeen[ev["job"].(string)]++
+		}
+		if lastEvent == "batch_done" {
+			break
+		}
+	}
+	if lastEvent != "batch_done" {
+		t.Fatalf("reconnected stream ended with %q after %d events", lastEvent, n)
+	}
+	for id := range memberIDs {
+		if doneSeen[id] != 1 {
+			t.Fatalf("member %s has %d done events on the standby, want exactly 1", id, doneSeen[id])
+		}
 	}
 }

@@ -108,6 +108,18 @@ type JobSpec struct {
 	BLIF       string     `json:"blif"`
 	Options    JobOptions `json:"options"`
 	Failpoints string     `json:"failpoints,omitempty"` // chaos-only; gated by Config.EnableFailpoints
+
+	// Tenant is the submitting tenant, empty for the default tenant — kept
+	// empty (not "default") so pre-tenant checkpoints and default-tenant
+	// specs share one byte format.
+	Tenant string `json:"tenant,omitempty"`
+	// Batch ties this spec to a /v1/batch submission. Because the spec is
+	// the checkpoint format AND the HA replication format, these two fields
+	// are all a standby or restarted node needs to rebuild the batch: member
+	// specs carry the batch ID, and BatchTotal says when the rebuilt batch
+	// is whole (so an incremental resume never fires batch_done early).
+	Batch      string `json:"batch,omitempty"`
+	BatchTotal int    `json:"batch_total,omitempty"`
 }
 
 // JobStatus enumerates a job's lifecycle.
@@ -195,17 +207,22 @@ type Job struct {
 // wall-clock observability fields; result payloads deliberately carry no
 // time, so identical inputs still produce byte-identical results.
 type jobView struct {
-	ID         string     `json:"id"`
-	Kind       string     `json:"kind,omitempty"`
-	Status     JobStatus  `json:"status"`
-	Attempts   int        `json:"attempts,omitempty"`
-	Worker     string     `json:"worker,omitempty"`
-	QueuedAt   string     `json:"queued_at,omitempty"`
-	StartedAt  string     `json:"started_at,omitempty"`
-	FinishedAt string     `json:"finished_at,omitempty"`
-	Progress   *Progress  `json:"progress,omitempty"`
-	Result     *Result    `json:"result,omitempty"`
-	Error      *ErrorBody `json:"error,omitempty"`
+	ID         string    `json:"id"`
+	Kind       string    `json:"kind,omitempty"`
+	Status     JobStatus `json:"status"`
+	Tenant     string    `json:"tenant,omitempty"`
+	Batch      string    `json:"batch,omitempty"`
+	Attempts   int       `json:"attempts,omitempty"`
+	Worker     string    `json:"worker,omitempty"`
+	QueuedAt   string    `json:"queued_at,omitempty"`
+	StartedAt  string    `json:"started_at,omitempty"`
+	FinishedAt string    `json:"finished_at,omitempty"`
+	// WaitMS is queue wait (start − enqueue) for jobs that started, in
+	// milliseconds — the per-tenant latency signal the batch bench records.
+	WaitMS   int64      `json:"wait_ms,omitempty"`
+	Progress *Progress  `json:"progress,omitempty"`
+	Result   *Result    `json:"result,omitempty"`
+	Error    *ErrorBody `json:"error,omitempty"`
 }
 
 // stamp renders a lifecycle timestamp, empty (and so omitted) when unset.

@@ -34,6 +34,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"log"
 	"net/http"
 	"os"
@@ -55,6 +56,7 @@ import (
 	"mcretiming/internal/retry"
 	"mcretiming/internal/rterr"
 	"mcretiming/internal/store"
+	"mcretiming/internal/tenant"
 	"mcretiming/internal/trace"
 )
 
@@ -87,6 +89,15 @@ type Config struct {
 	// it across requests and restarts, and /metrics exports its hit/miss
 	// counters.
 	StoreDir string
+
+	// Tenants is the initial tenant table: per-tenant DRR weights and
+	// admission quotas (see internal/tenant). The zero value admits every
+	// tenant at unit weight with no quotas.
+	Tenants tenant.Config
+	// TenantsFile, when non-empty, is a JSON tenant table loaded at Start
+	// (overriding Tenants) and re-read by ReloadTenants — cmd/mcretimed
+	// wires that to SIGHUP for hot reload.
+	TenantsFile string
 
 	// Coordinator enables the cluster control plane: the join/heartbeat/
 	// workers endpoints, the shared-store endpoints, and job dispatch to
@@ -180,7 +191,18 @@ type Server struct {
 	draining bool
 	parked   []*Job // dequeued after draining began; checkpointed, not run
 
-	queue    chan *Job
+	// Batch and idempotency state, under mu. batches is rebuilt from member
+	// JobSpecs on resume/takeover (the spec carries batch ID + total), so it
+	// needs no checkpoint or replication format of its own.
+	batches  map[string]*batchRec
+	batchSeq int
+	idem     map[string]idemRecord
+
+	// sched replaced the single FIFO channel in PR 10: per-tenant queues
+	// dispensed in weighted deficit-round-robin order, with per-tenant
+	// admission quotas. Lock order: s.mu is never held while calling a
+	// blocking scheduler method (Next); non-blocking calls are fine.
+	sched    *tenant.Scheduler[*Job]
 	stop     chan struct{}
 	wg       sync.WaitGroup
 	inflight atomic.Int64
@@ -211,6 +233,8 @@ type Server struct {
 	dispatched, clusterFallback, clusterRuns, remotePoints           atomic.Int64
 	checkpointErrs                                                   atomic.Int64
 	haReplJobs, haReplStore, haNotLeader, haTakeoverJobs             atomic.Int64
+	quotaRejected, batchesSubmitted, batchesCompleted, batchJobs     atomic.Int64
+	idemReplays                                                      atomic.Int64
 
 	cntMu    sync.Mutex
 	counters map[string]int64 // aggregated engine trace counters
@@ -222,7 +246,9 @@ func New(cfg Config) *Server {
 	s := &Server{
 		cfg:      cfg,
 		jobs:     make(map[string]*Job),
-		queue:    make(chan *Job, cfg.QueueSize),
+		batches:  make(map[string]*batchRec),
+		idem:     make(map[string]idemRecord),
+		sched:    tenant.NewScheduler[*Job](cfg.Tenants, cfg.QueueSize),
 		stop:     make(chan struct{}),
 		counters: make(map[string]int64),
 	}
@@ -230,9 +256,13 @@ func New(cfg Config) *Server {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/retime", s.handleSubmit)
 	mux.HandleFunc("POST /v1/explore", s.handleExplore)
+	mux.HandleFunc("POST /v1/batch", s.handleBatchSubmit)
+	mux.HandleFunc("GET /v1/batch/{id}", s.handleBatch)
+	mux.HandleFunc("GET /v1/batch/{id}/events", s.handleBatchEvents)
 	mux.HandleFunc("GET /v1/jobs", s.handleJobs)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	mux.HandleFunc("POST /v1/cluster/run", s.handleClusterRun)
+	mux.HandleFunc("GET /v1/cluster/autoscale", s.handleAutoscale)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -277,6 +307,13 @@ func (s *Server) Start() error {
 		if s.cfg.AdvertiseURL == "" {
 			return fmt.Errorf("server: an HA coordinator needs an advertise URL (the peer and workers must dial back)")
 		}
+	}
+	if s.cfg.TenantsFile != "" {
+		cfg, err := tenant.LoadFile(s.cfg.TenantsFile)
+		if err != nil {
+			return fmt.Errorf("server: %w", err)
+		}
+		s.sched.SetConfig(cfg)
 	}
 	if s.cfg.StoreDir != "" {
 		st, err := store.Open(s.cfg.StoreDir)
@@ -353,6 +390,32 @@ func (s *Server) selfID() string {
 	return s.cfg.AdvertiseURL
 }
 
+// ReloadTenants re-reads the tenant table from Config.TenantsFile and
+// hot-swaps it into the scheduler; a no-op without a file, and a malformed
+// file leaves the running table untouched. cmd/mcretimed calls this on
+// SIGHUP.
+func (s *Server) ReloadTenants() error {
+	if s.cfg.TenantsFile == "" {
+		return nil
+	}
+	cfg, err := tenant.LoadFile(s.cfg.TenantsFile)
+	if err != nil {
+		return err
+	}
+	s.sched.SetConfig(cfg)
+	s.logf("server: reloaded tenant table from %s", s.cfg.TenantsFile)
+	return nil
+}
+
+// tenantOf is the effective scheduling tenant of a spec: the default tenant
+// when the spec carries none (pre-tenant checkpoints, header-less clients).
+func tenantOf(spec JobSpec) string {
+	if spec.Tenant == "" {
+		return tenant.DefaultTenant
+	}
+	return spec.Tenant
+}
+
 // termPath is where the HA term is persisted: the configured TermFile, else
 // "ha-term" next to the checkpoints (it has no .json suffix, so checkpoint
 // loading never confuses it for a job spec), else in the store directory.
@@ -397,11 +460,14 @@ func (s *Server) badCheckpoint(name string, err error) {
 	s.logf("server: skipping corrupt checkpoint %s: %v (resuming the rest)", name, err)
 }
 
-// enqueueSpec places a resumed or replicated job spec on the queue. It
-// reports false when the queue is full (callers leave the spec checkpointed).
-// A spec whose ID is already tracked is a no-op success: re-admitting it
-// would run the job twice for nothing (the result would be byte-identical,
-// but the duplicate would still burn a worker).
+// enqueueSpec places a resumed or replicated job spec on the queue (via the
+// scheduler's quota-free Restore path — the job was admitted once already).
+// It reports false when the global capacity is reached (callers leave the
+// spec checkpointed). A spec whose ID is already tracked is a no-op success:
+// re-admitting it would run the job twice for nothing (the result would be
+// byte-identical, but the duplicate would still burn a worker). Specs that
+// belong to a batch re-attach to it, rebuilding the batch record as members
+// arrive.
 func (s *Server) enqueueSpec(spec JobSpec) bool {
 	s.mu.Lock()
 	_, exists := s.jobs[spec.ID]
@@ -410,9 +476,7 @@ func (s *Server) enqueueSpec(spec JobSpec) bool {
 		return true
 	}
 	job := &Job{Spec: spec, Status: StatusQueued, QueuedAt: time.Now(), done: make(chan struct{})}
-	select {
-	case s.queue <- job:
-	default:
+	if !s.sched.Restore(tenantOf(spec), job) {
 		return false
 	}
 	s.mu.Lock()
@@ -420,6 +484,9 @@ func (s *Server) enqueueSpec(spec JobSpec) bool {
 	// Keep fresh IDs past every resumed one.
 	if n, err := strconv.Atoi(strings.TrimPrefix(spec.ID, "job-")); err == nil && n > s.seq {
 		s.seq = n
+	}
+	if spec.Batch != "" {
+		s.attachBatchJobLocked(job)
 	}
 	s.mu.Unlock()
 	s.resumed.Add(1)
@@ -431,11 +498,17 @@ func (s *Server) enqueueSpec(spec JobSpec) bool {
 // snapshotJobs renders every queued and running job spec, in ID order, as the
 // replication payload — the same JSON shape the checkpoint files hold, so the
 // checkpoint format is the wire format.
+//
+// Members of an unfinished batch are included even after they finish: a
+// standby rebuilds the batch purely from member specs, so dropping finished
+// members would leave it a partial batch whose batch_done never fires.
+// Re-running a finished member after takeover is wasteful but harmless — the
+// engine is deterministic, so the rerun is byte-identical.
 func (s *Server) snapshotJobs() json.RawMessage {
 	s.mu.Lock()
 	specs := make([]JobSpec, 0, len(s.jobs))
 	for _, job := range s.jobs {
-		if job.Status == StatusQueued || job.Status == StatusRunning {
+		if job.Status == StatusQueued || job.Status == StatusRunning || s.batchOpenLocked(job.Spec.Batch) {
 			specs = append(specs, job.Spec)
 		}
 	}
@@ -556,6 +629,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		s.election.Stop()
 	}
 	close(s.stop)
+	s.sched.Close() // wake every worker blocked in Next
 
 	done := make(chan struct{})
 	go func() {
@@ -569,19 +643,26 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	}
 
 	// Workers are gone: collect everything that never ran.
-	var queued []*Job
-	for {
-		select {
-		case job := <-s.queue:
-			queued = append(queued, job)
-			continue
-		default:
-		}
-		break
-	}
+	queued := s.sched.DrainAll()
 	s.mu.Lock()
 	queued = append(queued, s.parked...)
 	s.parked = nil
+	// A batch interrupted mid-flight checkpoints whole: its finished members
+	// join the queued ones on disk, so the restarted server rebuilds (and
+	// deterministically re-runs) the full batch rather than a partial one.
+	if s.cfg.CheckpointDir != "" {
+		inQueue := make(map[string]bool, len(queued))
+		for _, job := range queued {
+			inQueue[job.Spec.ID] = true
+		}
+		for _, job := range s.jobs {
+			if job.Spec.Batch != "" && !inQueue[job.Spec.ID] && s.batchOpenLocked(job.Spec.Batch) {
+				if err := checkpointJob(s.cfg.CheckpointDir, job.Spec); err != nil {
+					s.checkpointErrs.Add(1)
+				}
+			}
+		}
+	}
 	s.mu.Unlock()
 	sort.Slice(queued, func(i, j int) bool { return queued[i].Spec.ID < queued[j].Spec.ID })
 
@@ -625,27 +706,27 @@ func (s *Server) removeCheckpoint(dir, id string) {
 func (s *Server) worker() {
 	defer s.wg.Done()
 	for {
-		// Prefer the stop signal when both are ready.
+		// Prefer the stop signal over more work when both are ready.
 		select {
 		case <-s.stop:
 			return
 		default:
 		}
-		select {
-		case <-s.stop:
-			return
-		case job := <-s.queue:
-			s.mu.Lock()
-			draining := s.draining
-			if draining {
-				s.parked = append(s.parked, job)
-			}
-			s.mu.Unlock()
-			if draining {
-				continue
-			}
-			s.runJob(job)
+		job, tenantID, ok := s.sched.Next()
+		if !ok {
+			return // scheduler closed: shutting down
 		}
+		s.mu.Lock()
+		draining := s.draining
+		if draining {
+			s.parked = append(s.parked, job)
+		}
+		s.mu.Unlock()
+		if draining {
+			s.sched.Release(tenantID)
+			continue
+		}
+		s.runJob(job, tenantID)
 	}
 }
 
@@ -653,12 +734,14 @@ func (s *Server) worker() {
 // (whose pass pipeline already converts pass crashes into pass.PanicError)
 // or thrown by the server-side job path itself is recovered here: the job
 // fails with 500/"internal", the worker survives.
-func (s *Server) runJob(job *Job) {
+func (s *Server) runJob(job *Job, tenantID string) {
 	s.inflight.Add(1)
 	defer s.inflight.Add(-1)
+	defer s.sched.Release(tenantID)
 	s.mu.Lock()
 	job.Status = StatusRunning
 	job.StartedAt = time.Now()
+	s.batchEventLocked(job, batchEventDispatched)
 	s.mu.Unlock()
 
 	var err error
@@ -674,6 +757,7 @@ func (s *Server) runJob(job *Job) {
 			s.mu.Lock()
 			job.Status = StatusDone
 			job.FinishedAt = time.Now()
+			s.batchEventLocked(job, batchEventDone)
 			s.mu.Unlock()
 			close(job.done)
 		}
@@ -691,6 +775,7 @@ func (s *Server) finishFailed(job *Job, err error) {
 	job.Err = &body
 	job.HTTP = status
 	job.FinishedAt = time.Now()
+	s.batchEventLocked(job, batchEventFailed)
 	s.mu.Unlock()
 	close(job.done)
 }
@@ -921,9 +1006,136 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 }
 
 func writeError(w http.ResponseWriter, status int, code, detail string) {
+	writeErrorBody(w, status, ErrorBody{Code: code, Detail: detail})
+}
+
+func writeErrorBody(w http.ResponseWriter, status int, body ErrorBody) {
 	writeJSON(w, status, struct {
 		Error ErrorBody `json:"error"`
-	}{ErrorBody{Code: code, Detail: detail}})
+	}{body})
+}
+
+// tenantFrom resolves the submitting tenant from the X-MCRetiming-Tenant
+// header ("default" when absent); an unusable tenant ID is a 400.
+func (s *Server) tenantFrom(w http.ResponseWriter, r *http.Request) (string, bool) {
+	id := r.Header.Get(tenant.Header)
+	if id == "" {
+		return tenant.DefaultTenant, true
+	}
+	if !tenant.ValidID(id) {
+		writeError(w, http.StatusBadRequest, CodeBadRequest,
+			fmt.Sprintf("invalid %s header: 1-%d chars of [A-Za-z0-9._-]", tenant.Header, tenant.MaxIDLen))
+		return "", false
+	}
+	return id, true
+}
+
+// specTenant is the spec field for a tenant ID: empty for the default tenant
+// so default-tenant specs keep the pre-tenant checkpoint byte format.
+func specTenant(id string) string {
+	if id == tenant.DefaultTenant {
+		return ""
+	}
+	return id
+}
+
+// readBody slurps the (bounded) request body — submission handlers need the
+// raw bytes for the idempotency fingerprint before decoding.
+func (s *Server) readBody(w http.ResponseWriter, r *http.Request) ([]byte, bool) {
+	raw, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, CodeBadRequest, "reading request: "+err.Error())
+		return nil, false
+	}
+	return raw, true
+}
+
+// writeAdmissionReject answers a scheduler admission error: 429 with the
+// mapped body. A per-tenant quota rejection carries the tenant and limit and
+// a longer Retry-After than plain global backpressure — the tenant's own
+// backlog must drain, not just anyone's.
+func (s *Server) writeAdmissionReject(w http.ResponseWriter, err error) {
+	status, body := MapError(err)
+	if body.Code == CodeQuotaExceeded {
+		s.quotaRejected.Add(1)
+		w.Header().Set("Retry-After", "5")
+	} else {
+		s.rejected.Add(1)
+		w.Header().Set("Retry-After", "1")
+	}
+	writeErrorBody(w, status, body)
+}
+
+// idemRecord is one remembered idempotent submission: the job or batch it
+// admitted plus a fingerprint of the request content, so a retry with the
+// same key and different body is caught as a conflict instead of silently
+// returning someone else's job.
+type idemRecord struct {
+	id          string // job-... or batch-...
+	fingerprint string
+}
+
+// checkIdempotency handles the Idempotency-Key header on submissions. When
+// the key was seen before with the same content fingerprint, the existing
+// job/batch is replayed (ok=false — the response has been written); a
+// content mismatch is a 409. Otherwise it returns the key and fingerprint
+// for recordIdempotency after successful admission.
+func (s *Server) checkIdempotency(w http.ResponseWriter, r *http.Request, tenantID, kind string, raw []byte) (key, fingerprint string, ok bool) {
+	key = r.Header.Get("Idempotency-Key")
+	if key == "" {
+		return "", "", true
+	}
+	// Keys are scoped per tenant; the fingerprint is the content-addressed
+	// store key of the raw body (same hashing as result addressing).
+	key = tenantID + "\x00" + key
+	fingerprint = store.Key(raw, []byte(tenantID), []byte(kind))
+	s.mu.Lock()
+	rec, seen := s.idem[key]
+	s.mu.Unlock()
+	if !seen {
+		return key, fingerprint, true
+	}
+	if rec.fingerprint != fingerprint {
+		writeError(w, http.StatusConflict, CodeBadRequest,
+			"Idempotency-Key was already used with a different request body")
+		return "", "", false
+	}
+	s.idemReplays.Add(1)
+	w.Header().Set("Idempotency-Replayed", "true")
+	if strings.HasPrefix(rec.id, "batch-") {
+		s.mu.Lock()
+		b := s.batches[rec.id]
+		var view any
+		if b != nil {
+			view = s.batchViewLocked(b)
+		}
+		s.mu.Unlock()
+		if view != nil {
+			writeJSON(w, http.StatusOK, view)
+			return "", "", false
+		}
+	} else {
+		s.mu.Lock()
+		job := s.jobs[rec.id]
+		s.mu.Unlock()
+		if job != nil {
+			s.writeJob(w, job)
+			return "", "", false
+		}
+	}
+	// The admitted work is gone (e.g. restarted process lost the job table).
+	// Fall through to a fresh admission under the same key.
+	return key, fingerprint, true
+}
+
+// recordIdempotency remembers a successful admission under its key.
+func (s *Server) recordIdempotency(key, fingerprint, id string) {
+	if key == "" {
+		return
+	}
+	s.mu.Lock()
+	s.idem[key] = idemRecord{id: id, fingerprint: fingerprint}
+	s.mu.Unlock()
 }
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
@@ -939,21 +1151,19 @@ func (s *Server) submit(w http.ResponseWriter, r *http.Request, kind string) {
 	// partitioned ex-leader that stepped down — answers with the leader hint
 	// (307 when it knows one, 503 when it does not) and never enqueues, so
 	// at most one side of a split pair grows the job log.
-	if s.election != nil && !s.election.IsLeader() {
-		s.haNotLeader.Add(1)
-		if hint := s.election.LeaderURL(); hint != "" && hint != s.cfg.AdvertiseURL {
-			w.Header().Set("Location", hint+r.URL.RequestURI())
-			s.writeLeaderReject(w, http.StatusTemporaryRedirect, CodeNotLeader,
-				"this coordinator is standby; submit to the leader")
-		} else {
-			s.writeLeaderReject(w, http.StatusServiceUnavailable, CodeNotLeader,
-				"this coordinator is standby and knows no live leader")
-		}
+	if s.fenceStandby(w, r) {
+		return
+	}
+	tenantID, ok := s.tenantFrom(w, r)
+	if !ok {
+		return
+	}
+	raw, rok := s.readBody(w, r)
+	if !rok {
 		return
 	}
 	var req retimeRequest
-	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
-	if err := json.NewDecoder(body).Decode(&req); err != nil {
+	if err := json.Unmarshal(raw, &req); err != nil {
 		writeError(w, http.StatusBadRequest, CodeBadRequest, "decoding request: "+err.Error())
 		return
 	}
@@ -980,6 +1190,11 @@ func (s *Server) submit(w http.ResponseWriter, r *http.Request, kind string) {
 		}
 	}
 
+	idemKey, fingerprint, idemOK := s.checkIdempotency(w, r, tenantID, kind, raw)
+	if !idemOK {
+		return
+	}
+
 	s.mu.Lock()
 	if s.draining || !s.started {
 		s.mu.Unlock()
@@ -994,6 +1209,7 @@ func (s *Server) submit(w http.ResponseWriter, r *http.Request, kind string) {
 			BLIF:       req.BLIF,
 			Options:    req.Options,
 			Failpoints: req.Failpoints,
+			Tenant:     specTenant(tenantID),
 		},
 		Status:   StatusQueued,
 		QueuedAt: time.Now(),
@@ -1002,21 +1218,16 @@ func (s *Server) submit(w http.ResponseWriter, r *http.Request, kind string) {
 	s.jobs[job.Spec.ID] = job
 	s.mu.Unlock()
 
-	select {
-	case s.queue <- job:
-	default:
-		// Load shedding: the queue is full. Drop the job (it never ran, so
-		// forgetting it is safe) and tell the client when to come back.
+	if err := s.sched.Enqueue(tenantID, job); err != nil {
+		// Admission refused — the job never ran, so forgetting it is safe.
 		s.mu.Lock()
 		delete(s.jobs, job.Spec.ID)
 		s.mu.Unlock()
-		s.rejected.Add(1)
-		w.Header().Set("Retry-After", "1")
-		writeError(w, http.StatusTooManyRequests, CodeQueueFull,
-			fmt.Sprintf("job queue is full (%d queued)", s.cfg.QueueSize))
+		s.writeAdmissionReject(w, err)
 		return
 	}
 	s.submitted.Add(1)
+	s.recordIdempotency(idemKey, fingerprint, job.Spec.ID)
 	if s.election != nil {
 		s.election.Kick() // replicate the new job to the standby now, not next beat
 	}
@@ -1044,31 +1255,107 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 	s.writeJob(w, job)
 }
 
-// handleJobs lists every tracked job as a light view (no result payloads),
-// newest-submitted last, optionally filtered with ?status=queued|running|
-// done|failed.
+// Listing pagination bounds: ?limit= defaults to defaultJobsLimit and is
+// clamped to maxJobsLimit, so a 10k-job batch cannot turn the listing into a
+// 10k-entry response.
+const (
+	defaultJobsLimit = 100
+	maxJobsLimit     = 1000
+)
+
+// handleJobs lists tracked jobs as light views (no result payloads) in
+// stable (queued_at, id) order, paginated: ?limit= bounds the page (default
+// 100, max 1000) and ?cursor= resumes after the previous page's
+// next_cursor. Optional filters: ?status=queued|running|done|failed and
+// ?tenant=<id>.
 func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
-	filter := r.URL.Query().Get("status")
+	q := r.URL.Query()
+	filter := q.Get("status")
 	switch JobStatus(filter) {
 	case "", StatusQueued, StatusRunning, StatusDone, StatusFailed:
 	default:
 		writeError(w, http.StatusBadRequest, CodeBadRequest, "unknown status filter "+strconv.Quote(filter))
 		return
 	}
+	tenantFilter := q.Get("tenant")
+	limit := defaultJobsLimit
+	if v := q.Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n <= 0 {
+			writeError(w, http.StatusBadRequest, CodeBadRequest, "limit must be a positive integer")
+			return
+		}
+		limit = min(n, maxJobsLimit)
+	}
+	afterNano, afterID, cursorOK := parseJobsCursor(q.Get("cursor"))
+	if !cursorOK {
+		writeError(w, http.StatusBadRequest, CodeBadRequest, "malformed cursor (use the next_cursor of the previous page)")
+		return
+	}
+
+	type keyed struct {
+		view jobView
+		nano int64
+	}
 	s.mu.Lock()
-	views := make([]jobView, 0, len(s.jobs))
+	all := make([]keyed, 0, len(s.jobs))
 	for _, job := range s.jobs {
 		if filter != "" && string(job.Status) != filter {
 			continue
 		}
-		views = append(views, s.viewLocked(job, false))
+		if tenantFilter != "" && tenantOf(job.Spec) != tenantFilter {
+			continue
+		}
+		all = append(all, keyed{s.viewLocked(job, false), job.QueuedAt.UnixNano()})
 	}
 	s.mu.Unlock()
-	sort.Slice(views, func(i, j int) bool { return views[i].ID < views[j].ID })
+	// Stable (queued_at, id) order: batch members share an admission instant,
+	// so the ID tiebreak is what keeps the cursor exact.
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].nano != all[j].nano {
+			return all[i].nano < all[j].nano
+		}
+		return all[i].view.ID < all[j].view.ID
+	})
+	start := 0
+	if afterID != "" {
+		start = sort.Search(len(all), func(i int) bool {
+			if all[i].nano != afterNano {
+				return all[i].nano > afterNano
+			}
+			return all[i].view.ID > afterID
+		})
+	}
+	end := min(start+limit, len(all))
+	views := make([]jobView, 0, end-start)
+	for _, k := range all[start:end] {
+		views = append(views, k.view)
+	}
+	next := ""
+	if end < len(all) {
+		next = fmt.Sprintf("%d:%s", all[end-1].nano, all[end-1].view.ID)
+	}
 	writeJSON(w, http.StatusOK, struct {
-		Jobs  []jobView `json:"jobs"`
-		Count int       `json:"count"`
-	}{views, len(views)})
+		Jobs       []jobView `json:"jobs"`
+		Count      int       `json:"count"`
+		NextCursor string    `json:"next_cursor,omitempty"`
+	}{views, len(views), next})
+}
+
+// parseJobsCursor decodes "<queuedAtUnixNano>:<jobID>"; empty is the start.
+func parseJobsCursor(c string) (nano int64, id string, ok bool) {
+	if c == "" {
+		return 0, "", true
+	}
+	i := strings.IndexByte(c, ':')
+	if i <= 0 || i == len(c)-1 {
+		return 0, "", false
+	}
+	n, err := strconv.ParseInt(c[:i], 10, 64)
+	if err != nil {
+		return 0, "", false
+	}
+	return n, c[i+1:], true
 }
 
 // viewLocked renders job under s.mu. withResult controls whether the result
@@ -1078,6 +1365,8 @@ func (s *Server) viewLocked(job *Job, withResult bool) jobView {
 		ID:         job.Spec.ID,
 		Kind:       job.Spec.Kind,
 		Status:     job.Status,
+		Tenant:     job.Spec.Tenant,
+		Batch:      job.Spec.Batch,
 		Attempts:   job.Attempts,
 		Worker:     job.Worker,
 		QueuedAt:   stamp(job.QueuedAt),
@@ -1085,6 +1374,9 @@ func (s *Server) viewLocked(job *Job, withResult bool) jobView {
 		FinishedAt: stamp(job.FinishedAt),
 		Progress:   job.Progress,
 		Error:      job.Err,
+	}
+	if !job.StartedAt.IsZero() {
+		view.WaitMS = job.StartedAt.Sub(job.QueuedAt).Milliseconds()
 	}
 	if withResult {
 		view.Result = job.Result
@@ -1139,10 +1431,34 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	put("jobs_retried", s.retried.Load())
 	put("jobs_resumed", s.resumed.Load())
 	put("job_panics", s.panics.Load())
-	put("queue_depth", int64(len(s.queue)))
+	put("jobs_quota_rejected", s.quotaRejected.Load())
+	put("queue_depth", int64(s.sched.Len()))
 	put("inflight", s.inflight.Load())
 	put("draining", int64(draining))
 	put("checkpoint_errors", s.checkpointErrs.Load())
+
+	// Multi-tenant serving counters: batch lifecycle plus one labelled row
+	// set per tenant the scheduler has ever seen.
+	put("batches_submitted", s.batchesSubmitted.Load())
+	put("batches_completed", s.batchesCompleted.Load())
+	put("batch_jobs_submitted", s.batchJobs.Load())
+	put("idempotent_replays", s.idemReplays.Load())
+	now := time.Now()
+	for _, st := range s.sched.StatsSnapshot() {
+		lput := func(name string, v int64) {
+			fmt.Fprintf(&b, "mcretimed_tenant_%s{tenant=%q} %d\n", name, st.Tenant, v)
+		}
+		lput("weight", int64(st.Weight))
+		lput("queued", int64(st.Queued))
+		lput("inflight", int64(st.InFlight))
+		lput("dispatched", st.Dispatched)
+		lput("quota_rejects", st.QuotaRejects)
+		var age int64
+		if !st.OldestQueued.IsZero() {
+			age = now.Sub(st.OldestQueued).Milliseconds()
+		}
+		lput("oldest_queued_age_ms", age)
+	}
 
 	// Cluster counters. The registry block is coordinator-only; runs_served
 	// counts this node's worker side.

@@ -1,0 +1,107 @@
+package tenant
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestValidID(t *testing.T) {
+	good := []string{"default", "a", "team-7", "acme.corp", "A_b-C.9", strings.Repeat("x", MaxIDLen)}
+	for _, id := range good {
+		if !ValidID(id) {
+			t.Errorf("ValidID(%q) = false, want true", id)
+		}
+	}
+	bad := []string{"", "has space", "slash/y", "unié", strings.Repeat("x", MaxIDLen+1), "semi;colon"}
+	for _, id := range bad {
+		if ValidID(id) {
+			t.Errorf("ValidID(%q) = true, want false", id)
+		}
+	}
+}
+
+func TestConfigFor(t *testing.T) {
+	cfg := Config{
+		Default: Limits{MaxQueued: 10},
+		Tenants: map[string]Limits{
+			"vip": {Weight: 5, MaxBatch: 100},
+		},
+	}
+	if lim := cfg.For("vip"); lim.Weight != 5 || lim.MaxBatch != 100 || lim.MaxQueued != 0 {
+		t.Errorf("For(vip) = %+v", lim)
+	}
+	// Unknown tenant falls back to Default, weight normalized to 1.
+	if lim := cfg.For("stranger"); lim.Weight != 1 || lim.MaxQueued != 10 {
+		t.Errorf("For(stranger) = %+v", lim)
+	}
+	// Zero Config admits everything at unit weight.
+	var zero Config
+	if lim := zero.For("anyone"); lim.Weight != 1 || lim.MaxQueued != 0 || lim.MaxInFlight != 0 || lim.MaxBatch != 0 {
+		t.Errorf("zero.For = %+v", lim)
+	}
+}
+
+func TestParseAndLoadFile(t *testing.T) {
+	data := []byte(`{
+		"default": {"weight": 1, "max_queued": 64},
+		"tenants": {
+			"big": {"weight": 3, "max_queued": 500, "max_in_flight": 8, "max_batch": 200},
+			"small": {"weight": 1}
+		}
+	}`)
+	cfg, err := Parse(data)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if cfg.For("big").Weight != 3 || cfg.For("big").MaxBatch != 200 {
+		t.Errorf("big = %+v", cfg.For("big"))
+	}
+	if cfg.For("nobody").MaxQueued != 64 {
+		t.Errorf("default fallthrough = %+v", cfg.For("nobody"))
+	}
+
+	path := filepath.Join(t.TempDir(), "tenants.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadFile(path); err != nil {
+		t.Fatalf("LoadFile: %v", err)
+	}
+	if _, err := LoadFile(filepath.Join(t.TempDir(), "absent.json")); err == nil {
+		t.Error("LoadFile(absent) succeeded")
+	}
+}
+
+func TestParseRejects(t *testing.T) {
+	cases := map[string]string{
+		"bad json":     `{`,
+		"bad id":       `{"tenants": {"no spaces": {}}}`,
+		"negative":     `{"tenants": {"a": {"max_queued": -1}}}`,
+		"negative def": `{"default": {"weight": -2}}`,
+	}
+	for name, data := range cases {
+		if _, err := Parse([]byte(data)); err == nil {
+			t.Errorf("%s: Parse succeeded, want error", name)
+		}
+	}
+}
+
+func TestQuotaErrorIs(t *testing.T) {
+	err := error(&QuotaError{Tenant: "acme", Quota: QuotaQueued, Limit: 4})
+	if !errors.Is(err, ErrQuota) {
+		t.Error("QuotaError does not match ErrQuota")
+	}
+	if errors.Is(err, ErrQueueFull) {
+		t.Error("QuotaError matches ErrQueueFull")
+	}
+	var qe *QuotaError
+	if !errors.As(err, &qe) || qe.Limit != 4 || qe.Tenant != "acme" {
+		t.Errorf("errors.As: %+v", qe)
+	}
+	if !strings.Contains(err.Error(), "acme") || !strings.Contains(err.Error(), "max_queued") {
+		t.Errorf("Error() = %q", err.Error())
+	}
+}
